@@ -1,0 +1,48 @@
+//! Criterion bench for the Figure 2 machinery: one full failover
+//! experiment (converge → select → fail → probe → metrics) per technique,
+//! at a reduced scale so `cargo bench` completes quickly. The full-scale
+//! reproduction lives in the `fig2` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bobw_core::{run_failover, ExperimentConfig, Technique, Testbed};
+use bobw_event::SimDuration;
+
+fn bench_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(7);
+    cfg.gen = bobw_topology::GenConfig::tiny();
+    cfg.targets_per_site = 30;
+    cfg.probe.duration = SimDuration::from_secs(90);
+    cfg
+}
+
+fn fig2(c: &mut Criterion) {
+    let testbed = Testbed::new(bench_cfg());
+    let mut group = c.benchmark_group("fig2_failover");
+    let mut techniques = Technique::figure2_set();
+    techniques.push(Technique::Combined);
+    for t in techniques {
+        group.bench_with_input(BenchmarkId::from_parameter(t.name()), &t, |b, t| {
+            b.iter(|| {
+                let r = run_failover(&testbed, t, testbed.site("bos"));
+                (r.num_controllable, r.outcomes.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the Figure 3 (Appendix A) machinery: one withdrawal
+//! convergence study instance per origin profile. Full-scale numbers come
+//! from the `fig3` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bobw_bench::appendix::withdrawal_convergence;
+use bobw_core::ExperimentConfig;
+use bobw_topology::OriginProfile;
+
+fn fig3(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::quick(7);
+    cfg.gen = bobw_topology::GenConfig::tiny();
+    let mut group = c.benchmark_group("fig3_withdrawal");
+    for profile in [OriginProfile::Hypergiant, OriginProfile::PeeringTestbed] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{profile:?}")),
+            &profile,
+            |b, p| {
+                b.iter(|| {
+                    let out = withdrawal_convergence(&cfg, &cfg.timing, *p, 1);
+                    out.samples.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Figure 4 (Appendix B) machinery: one anycast
+//! announcement propagation study instance per population. Full-scale
+//! numbers come from the `fig4` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bobw_bench::appendix::announcement_propagation;
+use bobw_core::ExperimentConfig;
+use bobw_topology::OriginProfile;
+
+fn fig4(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::quick(7);
+    cfg.gen = bobw_topology::GenConfig::tiny();
+    let mut group = c.benchmark_group("fig4_propagation");
+    for (label, profile, n) in [
+        ("manycast2-like", OriginProfile::Hypergiant, 3usize),
+        ("peering", OriginProfile::PeeringTestbed, 1),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(profile, n),
+            |b, (p, n)| {
+                b.iter(|| {
+                    let out = announcement_propagation(&cfg, &cfg.timing, *p, *n, 1);
+                    out.samples.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig4
+}
+criterion_main!(benches);

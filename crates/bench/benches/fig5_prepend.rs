@@ -1,0 +1,45 @@
+//! Criterion bench for the Figure 5 (Appendix C.2) machinery: the
+//! proactive-prepending failover experiment at prepend 3 vs 5. Full-scale
+//! numbers come from the `fig5` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bobw_core::{run_failover, ExperimentConfig, Technique, Testbed};
+use bobw_event::SimDuration;
+
+fn fig5(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::quick(7);
+    cfg.gen = bobw_topology::GenConfig::tiny();
+    cfg.targets_per_site = 30;
+    cfg.probe.duration = SimDuration::from_secs(90);
+    let testbed = Testbed::new(cfg);
+    let mut group = c.benchmark_group("fig5_prepend");
+    for prepends in [3u8, 5u8] {
+        let t = Technique::ProactivePrepending {
+            prepends,
+            selective: false,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(prepends), &t, |b, t| {
+            b.iter(|| {
+                let r = run_failover(&testbed, t, testbed.site("slc"));
+                r.outcomes.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Table 1 machinery: anycast catchment + steered
+//! fraction under prepending for one site. Full-scale numbers come from the
+//! `table1` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bobw_core::{measure_control, ExperimentConfig, Testbed};
+
+fn table1(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::quick(7);
+    cfg.gen = bobw_topology::GenConfig::tiny();
+    let testbed = Testbed::new(cfg);
+    let mut group = c.benchmark_group("table1_control");
+    for site in ["ams", "sea1", "sea2"] {
+        group.bench_with_input(BenchmarkId::from_parameter(site), &site, |b, site| {
+            b.iter(|| {
+                let r = measure_control(&testbed, testbed.site(site), &[3, 5]);
+                (r.num_near, r.steered.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = table1
+}
+criterion_main!(benches);

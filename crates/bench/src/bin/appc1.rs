@@ -1,0 +1,41 @@
+//! Appendix C.1: why do clients route to prepended backup sites? For each
+//! site (the paper focuses on sea1), compare each target's path to a
+//! unicast prefix `u` at the site vs an anycast prefix `a5` with five
+//! prepends at the backups, find the diverging AS, and classify the
+//! divergence (business preference / R&E next hop).
+//!
+//! Run: `cargo run --release -p bobw-bench --bin appc1 [--scale quick]`
+
+use bobw_bench::{compute_appc1, parse_cli, write_json};
+use bobw_core::Testbed;
+use bobw_measure::percent;
+
+fn main() {
+    let cli = parse_cli();
+    let testbed = Testbed::new(cli.scale.config(cli.seed));
+
+    let mut reports = Vec::new();
+    println!("Appendix C.1 — diverging-AS classification (prepend 5)");
+    println!(
+        "{:<6} {:>6} {:>12} {:>14} {:>8}",
+        "site", "pairs", "to-intended", "business-pref", "via-R&E"
+    );
+    for site in ["sea1", "sea2", "ams", "msn"] {
+        let r = compute_appc1(&testbed, site, 5);
+        println!(
+            "{:<6} {:>6} {:>12} {:>14} {:>8}",
+            r.site_name,
+            r.measured_pairs,
+            percent(r.frac_to_intended()),
+            percent(r.frac_business_pref()),
+            percent(r.frac_via_rne()),
+        );
+        reports.push(r);
+    }
+    println!(
+        "(paper, sea1: 36.2% of measured targets selected sea1 for a5; of the rest, 82% \
+         explained by business preference and 54% routed via an R&E network)"
+    );
+
+    write_json(&cli, "appc1", &reports);
+}

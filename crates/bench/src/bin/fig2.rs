@@ -1,0 +1,66 @@
+//! Figure 2: CDF of reconnection and failover time across
+//! ⟨failed site, target⟩ for proactive-superprefix, reactive-anycast,
+//! proactive-prepending (3) and anycast.
+//!
+//! Run: `cargo run --release -p bobw-bench --bin fig2 [--scale quick]`
+//! Add the combined technique (§4's briefly-evaluated variant) with the
+//! `--extended` behaviour of `repro_all`; here it is always included as a
+//! fifth series since it costs one more run.
+
+use bobw_bench::{parse_cli, run_technique_all_sites, write_json, TechniqueSeries};
+use bobw_core::{Technique, Testbed};
+use bobw_measure::cdf_table;
+
+fn main() {
+    let cli = parse_cli();
+    let testbed = Testbed::new(cli.scale.config(cli.seed));
+    eprintln!(
+        "fig2: topology {} nodes / {} links, {} sites",
+        testbed.topo.len(),
+        testbed.topo.link_count(),
+        testbed.cdn.num_sites()
+    );
+
+    let mut techniques = Technique::figure2_set();
+    techniques.push(Technique::Combined);
+
+    let mut series = Vec::new();
+    for t in &techniques {
+        let results = run_technique_all_sites(&testbed, t);
+        let s = TechniqueSeries::from_results(t, &results);
+        eprintln!(
+            "  {:<26} targets={} never_reconnected={}",
+            s.technique, s.num_targets, s.never_reconnected
+        );
+        series.push(s);
+    }
+
+    let recon: Vec<(String, _)> = series
+        .iter()
+        .map(|s| (s.technique.clone(), s.reconnection_cdf()))
+        .collect();
+    let recon_refs: Vec<(String, &bobw_measure::Cdf)> =
+        recon.iter().map(|(n, c)| (n.clone(), c)).collect();
+    println!(
+        "{}",
+        cdf_table(
+            "Figure 2a — reconnection time (s) across <failed site, target>",
+            &recon_refs
+        )
+    );
+    let fail: Vec<(String, _)> = series
+        .iter()
+        .map(|s| (s.technique.clone(), s.failover_cdf()))
+        .collect();
+    let fail_refs: Vec<(String, &bobw_measure::Cdf)> =
+        fail.iter().map(|(n, c)| (n.clone(), c)).collect();
+    println!(
+        "{}",
+        cdf_table(
+            "Figure 2b — failover time (s) across <failed site, target>",
+            &fail_refs
+        )
+    );
+
+    write_json(&cli, "fig2", &series);
+}

@@ -1,0 +1,48 @@
+//! Figure 4 (Appendix B): propagation time of anycast announcements per
+//! ⟨collector peer, announcement⟩ — a Manycast2-like population (several
+//! independent origins announcing one prefix) vs PEERING-profile
+//! announcements.
+//!
+//! Run: `cargo run --release -p bobw-bench --bin fig4 [--scale quick]`
+
+use bobw_bench::appendix::announcement_propagation;
+use bobw_bench::{parse_cli, write_json, Scale};
+use bobw_measure::{cdf_table, Cdf};
+use bobw_topology::OriginProfile;
+
+fn main() {
+    let cli = parse_cli();
+    let cfg = cli.scale.config(cli.seed);
+    let instances = match cli.scale {
+        Scale::Quick => 6,
+        Scale::Eval => 16,
+        Scale::Large => 24,
+    };
+
+    // Manycast2-like: 3 hypergiant-profile origins anycasting one prefix.
+    let manycast =
+        announcement_propagation(&cfg, &cfg.timing, OriginProfile::Hypergiant, 3, instances);
+    // PEERING-like: a single testbed-profile origin.
+    let peering =
+        announcement_propagation(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, 1, instances);
+
+    let mc = Cdf::new(manycast.samples.clone());
+    let pc = Cdf::new(peering.samples.clone());
+    println!(
+        "{}",
+        cdf_table(
+            "Figure 4 — anycast announcement propagation (s) per <collector peer, announcement>",
+            &[
+                ("manycast2-like".to_string(), &mc),
+                ("peering".to_string(), &pc),
+            ]
+        )
+    );
+    println!(
+        "medians: manycast2-like {:.1}s, peering {:.1}s (paper: both <10s)",
+        mc.median().unwrap_or(f64::NAN),
+        pc.median().unwrap_or(f64::NAN)
+    );
+
+    write_json(&cli, "fig4", &vec![manycast, peering]);
+}

@@ -1,0 +1,53 @@
+//! Figure 5 (Appendix C.2): reconnection and failover time for
+//! proactive-prepending with 3 vs 5 prepends — the control/failover
+//! tradeoff knob.
+//!
+//! Run: `cargo run --release -p bobw-bench --bin fig5 [--scale quick]`
+
+use bobw_bench::{parse_cli, run_technique_all_sites, write_json, TechniqueSeries};
+use bobw_core::{Technique, Testbed};
+use bobw_measure::cdf_table;
+
+fn main() {
+    let cli = parse_cli();
+    let testbed = Testbed::new(cli.scale.config(cli.seed));
+
+    let mut series = Vec::new();
+    for prepends in [3u8, 5u8] {
+        let t = Technique::ProactivePrepending {
+            prepends,
+            selective: false,
+        };
+        let results = run_technique_all_sites(&testbed, &t);
+        series.push(TechniqueSeries::from_results(&t, &results));
+    }
+
+    let recon: Vec<(String, _)> = series
+        .iter()
+        .map(|s| (s.technique.clone(), s.reconnection_cdf()))
+        .collect();
+    let refs: Vec<(String, &bobw_measure::Cdf)> =
+        recon.iter().map(|(n, c)| (n.clone(), c)).collect();
+    println!(
+        "{}",
+        cdf_table("Figure 5a — reconnection time (s), prepend 3 vs 5", &refs)
+    );
+    let fail: Vec<(String, _)> = series
+        .iter()
+        .map(|s| (s.technique.clone(), s.failover_cdf()))
+        .collect();
+    let refs: Vec<(String, &bobw_measure::Cdf)> =
+        fail.iter().map(|(n, c)| (n.clone(), c)).collect();
+    println!(
+        "{}",
+        cdf_table("Figure 5b — failover time (s), prepend 3 vs 5", &refs)
+    );
+
+    // The paper's headline: more prepends → similar reconnection, slower
+    // failover.
+    let f3 = series[0].failover_cdf().median().unwrap_or(f64::NAN);
+    let f5 = series[1].failover_cdf().median().unwrap_or(f64::NAN);
+    println!("failover median: prepend3={f3:.1}s prepend5={f5:.1}s (delta {:.1}s)", f5 - f3);
+
+    write_json(&cli, "fig5", &series);
+}

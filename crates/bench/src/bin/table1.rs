@@ -1,0 +1,33 @@
+//! Table 1: per-site traffic control. Row 1: of the targets within 50 ms
+//! of the site, the % anycast routes to a *different* site. Rows 2-3: of
+//! those, the % proactive-prepending steers to the site with 3 and 5
+//! prepends.
+//!
+//! Run: `cargo run --release -p bobw-bench --bin table1 [--scale quick]`
+
+use bobw_bench::{compute_table1, parse_cli, write_json};
+use bobw_core::Testbed;
+use bobw_measure::percent;
+
+fn main() {
+    let cli = parse_cli();
+    let testbed = Testbed::new(cli.scale.config(cli.seed));
+    let table = compute_table1(&testbed, &[3, 5]);
+
+    // Paper-style layout: sites as columns.
+    let names = &table.site_order;
+    let header: Vec<String> = names.to_vec();
+    println!("Table 1 — traffic control under proactive-prepending");
+    println!("{:<22} {}", "", header.join("  "));
+    let row = |label: &str, f: &dyn Fn(&str) -> String| {
+        let cells: Vec<String> = names.iter().map(|n| format!("{:>4}", f(n))).collect();
+        println!("{label:<22} {}", cells.join("  "));
+    };
+    row("not routed by anycast", &|n| {
+        percent(table.rows[n].0)
+    });
+    row("prepend 3", &|n| percent(table.rows[n].1[0].1));
+    row("prepend 5", &|n| percent(table.rows[n].1[1].1));
+
+    write_json(&cli, "table1", &table);
+}

@@ -1,0 +1,297 @@
+//! # bobw-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig2` | Figure 2 — reconnection & failover CDFs per technique |
+//! | `table1` | Table 1 — traffic control under prepending |
+//! | `table2` | Table 2 — control/availability/risk matrix |
+//! | `fig3` | Appendix A / Figure 3 — withdrawal convergence |
+//! | `fig4` | Appendix B / Figure 4 — announcement propagation |
+//! | `fig5` | Appendix C.2 / Figure 5 — prepend 3 vs 5 |
+//! | `appc1` | Appendix C.1 — divergence classification |
+//! | `superprefix_survey` | §3 — covering-prefix survey pipeline |
+//! | `unicast_dns` | §1/§2 — DNS-bound unicast failover baseline |
+//! | `repro_all` | everything above, plus a markdown summary |
+//! | `calibrate` | raw timing-model calibration check |
+//!
+//! Every binary accepts `--scale quick|eval|large` (default `eval`) and
+//! `--seed N`, and writes machine-readable JSON next to its stdout report
+//! (under `results/`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use bobw_core::{
+    analyze_divergence, measure_control, run_failover, ExperimentConfig, FailoverResult, Technique,
+    Testbed,
+};
+use bobw_measure::Cdf;
+use serde::Serialize;
+
+pub mod appendix;
+
+/// Experiment scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small topology, shortened probing — minutes of wall time.
+    Quick,
+    /// The paper-reproduction scale (default).
+    Eval,
+    /// Double-size robustness check.
+    Large,
+}
+
+impl Scale {
+    pub fn config(self, seed: u64) -> ExperimentConfig {
+        match self {
+            Scale::Quick => ExperimentConfig::quick(seed),
+            Scale::Eval => ExperimentConfig::eval(seed),
+            Scale::Large => {
+                let mut cfg = ExperimentConfig::eval(seed);
+                cfg.gen = bobw_topology::GenConfig::large();
+                cfg
+            }
+        }
+    }
+}
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    pub scale: Scale,
+    pub seed: u64,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: Scale::Eval,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Parses `--scale`, `--seed`, `--out` from the process arguments; exits
+/// with a usage message on unknown flags.
+pub fn parse_cli() -> Cli {
+    let mut cli = Cli::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                cli.scale = match v.as_str() {
+                    "quick" => Scale::Quick,
+                    "eval" => Scale::Eval,
+                    "large" => Scale::Large,
+                    other => {
+                        eprintln!("unknown scale {other:?} (quick|eval|large)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                cli.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                cli.out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; supported: --scale --seed --out");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+/// Writes a JSON result file under the CLI's output directory.
+pub fn write_json<T: Serialize>(cli: &Cli, name: &str, value: &T) {
+    if let Err(e) = std::fs::create_dir_all(&cli.out_dir) {
+        eprintln!("warning: cannot create {}: {e}", cli.out_dir.display());
+        return;
+    }
+    let path = cli.out_dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Runs one technique across every site of the testbed in parallel,
+/// returning per-site results in site order.
+pub fn run_technique_all_sites(testbed: &Testbed, technique: &Technique) -> Vec<FailoverResult> {
+    let sites: Vec<_> = testbed.cdn.sites().collect();
+    let mut results: Vec<Option<FailoverResult>> = Vec::new();
+    results.resize_with(sites.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, site) in results.iter_mut().zip(sites.iter()) {
+            let t = technique.clone();
+            scope.spawn(move |_| {
+                *slot = Some(run_failover(testbed, &t, *site));
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Aggregated series for one technique: reconnection and failover samples
+/// across ⟨failed site, target⟩, as in Figure 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct TechniqueSeries {
+    pub technique: String,
+    pub reconnection: Vec<f64>,
+    pub failover: Vec<f64>,
+    pub num_targets: usize,
+    pub never_reconnected: usize,
+    pub control_fraction_mean: f64,
+}
+
+impl TechniqueSeries {
+    pub fn from_results(technique: &Technique, results: &[FailoverResult]) -> TechniqueSeries {
+        let mut reconnection = Vec::new();
+        let mut failover = Vec::new();
+        let mut num_targets = 0;
+        let mut never = 0;
+        let mut ctrl = 0.0;
+        for r in results {
+            reconnection.extend(r.reconnection_secs());
+            failover.extend(r.failover_secs());
+            num_targets += r.num_controllable;
+            never += r
+                .outcomes
+                .iter()
+                .filter(|o| o.reconnection.is_none())
+                .count();
+            ctrl += r.control_fraction();
+        }
+        TechniqueSeries {
+            technique: technique.name(),
+            reconnection,
+            failover,
+            num_targets,
+            never_reconnected: never,
+            control_fraction_mean: if results.is_empty() {
+                0.0
+            } else {
+                ctrl / results.len() as f64
+            },
+        }
+    }
+
+    pub fn reconnection_cdf(&self) -> Cdf {
+        Cdf::new(self.reconnection.clone())
+    }
+
+    pub fn failover_cdf(&self) -> Cdf {
+        Cdf::new(self.failover.clone())
+    }
+}
+
+/// Table 1 across all sites: per site, the not-anycast-routed fraction and
+/// per-prepend steered fractions, in the paper's column order.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    pub site_order: Vec<String>,
+    /// Site name → (not_anycast_fraction, [(prepends, steered_fraction)]).
+    pub rows: BTreeMap<String, (f64, Vec<(u8, f64)>)>,
+}
+
+/// Computes Table 1 in parallel across sites.
+pub fn compute_table1(testbed: &Testbed, prepend_counts: &[u8]) -> Table1 {
+    let sites: Vec<_> = testbed.cdn.sites().collect();
+    let mut rows: Vec<Option<(String, (f64, Vec<(u8, f64)>))>> = Vec::new();
+    rows.resize_with(sites.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, site) in rows.iter_mut().zip(sites.iter()) {
+            scope.spawn(move |_| {
+                let r = measure_control(testbed, *site, prepend_counts);
+                *slot = Some((r.site_name.clone(), (r.frac_not_anycast_routed, r.steered)));
+            });
+        }
+    })
+    .expect("control thread panicked");
+    let site_order = sites
+        .iter()
+        .map(|s| testbed.cdn.name(*s).to_string())
+        .collect();
+    Table1 {
+        site_order,
+        rows: rows.into_iter().map(|r| r.expect("filled")).collect(),
+    }
+}
+
+/// Convenience: the Appendix C.1 report for a named site.
+pub fn compute_appc1(
+    testbed: &Testbed,
+    site_name: &str,
+    prepends: u8,
+) -> bobw_core::DivergenceReport {
+    analyze_divergence(testbed, testbed.site(site_name), prepends)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_configs_differ() {
+        let q = Scale::Quick.config(1);
+        let e = Scale::Eval.config(1);
+        let l = Scale::Large.config(1);
+        assert!(q.gen.num_ases() < e.gen.num_ases());
+        assert!(e.gen.num_ases() < l.gen.num_ases());
+        assert_eq!(q.seed, 1);
+    }
+
+    #[test]
+    fn technique_series_aggregates() {
+        let mut cfg = ExperimentConfig::quick(3);
+        cfg.targets_per_site = 25;
+        cfg.probe.duration = bobw_event::SimDuration::from_secs(60);
+        let tb = Testbed::new(cfg);
+        let t = Technique::Anycast;
+        let r1 = run_failover(&tb, &t, tb.site("ams"));
+        let r2 = run_failover(&tb, &t, tb.site("bos"));
+        let n1 = r1.num_controllable;
+        let s = TechniqueSeries::from_results(&t, &[r1, r2]);
+        assert_eq!(s.technique, "anycast");
+        assert!(s.num_targets >= n1);
+        assert_eq!(s.reconnection.len() + s.never_reconnected, s.num_targets);
+        assert!(!s.reconnection_cdf().is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut cfg = ExperimentConfig::quick(3);
+        cfg.targets_per_site = 15;
+        cfg.probe.duration = bobw_event::SimDuration::from_secs(45);
+        let tb = Testbed::new(cfg);
+        let t = Technique::ReactiveAnycast;
+        let par = run_technique_all_sites(&tb, &t);
+        let site0 = tb.cdn.sites().next().unwrap();
+        let seq = run_failover(&tb, &t, site0);
+        assert_eq!(par[0].num_controllable, seq.num_controllable);
+        assert_eq!(par[0].outcomes, seq.outcomes);
+        assert_eq!(par.len(), tb.cdn.num_sites());
+    }
+}

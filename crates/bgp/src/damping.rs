@@ -1,0 +1,183 @@
+//! Route-flap damping (RFC 2439, simplified): per-⟨neighbor, prefix⟩
+//! penalties with exponential decay and suppress/reuse thresholds.
+//!
+//! Damping is off by default (modern operational guidance — RIPE-580 — is
+//! to avoid aggressive damping precisely because of the failure mode the
+//! `ablation` bench demonstrates): a site failure *is* a flap, so routers
+//! that dampen the withdrawn prefix will also suppress the **valid** routes
+//! reactive-anycast injects right after it, delaying failover. The paper
+//! does not discuss this interaction; the knob exists here to quantify it.
+
+use bobw_event::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Damping parameters (classic Cisco-style defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DampingConfig {
+    /// Penalty added when the neighbor withdraws the route.
+    pub withdrawal_penalty: f64,
+    /// Penalty added when the neighbor re-advertises / changes attributes.
+    pub update_penalty: f64,
+    /// Suppress the route when its penalty exceeds this.
+    pub suppress_threshold: f64,
+    /// Un-suppress when the decayed penalty falls below this.
+    pub reuse_threshold: f64,
+    /// Exponential-decay half life of the penalty.
+    pub half_life: SimDuration,
+    /// Penalty ceiling.
+    pub max_penalty: f64,
+}
+
+impl Default for DampingConfig {
+    fn default() -> Self {
+        DampingConfig {
+            withdrawal_penalty: 1000.0,
+            update_penalty: 500.0,
+            suppress_threshold: 2000.0,
+            reuse_threshold: 750.0,
+            half_life: SimDuration::from_secs(900),
+            max_penalty: 12_000.0,
+        }
+    }
+}
+
+/// Damping state for one ⟨neighbor, prefix⟩ route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DampState {
+    penalty: f64,
+    last: SimTime,
+    suppressed: bool,
+}
+
+impl DampState {
+    pub fn new(now: SimTime) -> DampState {
+        DampState {
+            penalty: 0.0,
+            last: now,
+            suppressed: false,
+        }
+    }
+
+    fn decayed(&self, cfg: &DampingConfig, now: SimTime) -> f64 {
+        let dt = now.checked_since(self.last).unwrap_or(SimDuration::ZERO);
+        let hl = cfg.half_life.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.penalty * 0.5f64.powf(dt.as_secs_f64() / hl)
+    }
+
+    /// Current penalty after decay (does not mutate).
+    pub fn penalty_at(&self, cfg: &DampingConfig, now: SimTime) -> f64 {
+        self.decayed(cfg, now)
+    }
+
+    /// Is the route currently suppressed? Also applies reuse on read: a
+    /// decayed-below-reuse route is usable again.
+    pub fn is_suppressed(&self, cfg: &DampingConfig, now: SimTime) -> bool {
+        self.suppressed && self.decayed(cfg, now) >= cfg.reuse_threshold
+    }
+
+    /// Registers a flap (withdrawal or update) at `now`; returns whether
+    /// the route is suppressed afterwards.
+    pub fn flap(&mut self, cfg: &DampingConfig, now: SimTime, withdrawal: bool) -> bool {
+        let add = if withdrawal {
+            cfg.withdrawal_penalty
+        } else {
+            cfg.update_penalty
+        };
+        let mut p = self.decayed(cfg, now) + add;
+        if p > cfg.max_penalty {
+            p = cfg.max_penalty;
+        }
+        // Reuse check before stacking the new state.
+        if self.suppressed && self.decayed(cfg, now) < cfg.reuse_threshold {
+            self.suppressed = false;
+        }
+        self.penalty = p;
+        self.last = now;
+        if p >= cfg.suppress_threshold {
+            self.suppressed = true;
+        }
+        self.suppressed
+    }
+
+    /// Time until the decayed penalty reaches the reuse threshold (zero if
+    /// already reusable). Callers schedule a re-decision then.
+    pub fn time_to_reuse(&self, cfg: &DampingConfig, now: SimTime) -> SimDuration {
+        let p = self.decayed(cfg, now);
+        if p <= cfg.reuse_threshold {
+            return SimDuration::ZERO;
+        }
+        let hl = cfg.half_life.as_secs_f64();
+        let secs = hl * (p / cfg.reuse_threshold).log2();
+        SimDuration::from_secs_f64(secs.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_flap_does_not_suppress() {
+        let cfg = DampingConfig::default();
+        let mut d = DampState::new(t(0));
+        assert!(!d.flap(&cfg, t(10), true));
+        assert!(!d.is_suppressed(&cfg, t(10)));
+        assert!((d.penalty_at(&cfg, t(10)) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rapid_flaps_suppress() {
+        // With Cisco-style parameters (1000/penalty, 2000 suppress), the
+        // third rapid flap crosses the threshold (decay keeps two flaps
+        // just under it).
+        let cfg = DampingConfig::default();
+        let mut d = DampState::new(t(0));
+        assert!(!d.flap(&cfg, t(10), true));
+        assert!(!d.flap(&cfg, t(20), true));
+        let suppressed = d.flap(&cfg, t(30), true);
+        assert!(suppressed, "three withdrawals in 20 s must suppress");
+        assert!(d.is_suppressed(&cfg, t(40)));
+    }
+
+    #[test]
+    fn penalty_decays_with_half_life() {
+        let cfg = DampingConfig::default();
+        let mut d = DampState::new(t(0));
+        d.flap(&cfg, t(0), true);
+        let p = d.penalty_at(&cfg, t(900));
+        assert!((p - 500.0).abs() < 1.0, "{p}");
+        let p = d.penalty_at(&cfg, t(1800));
+        assert!((p - 250.0).abs() < 1.0, "{p}");
+    }
+
+    #[test]
+    fn reuse_after_decay() {
+        let cfg = DampingConfig::default();
+        let mut d = DampState::new(t(0));
+        d.flap(&cfg, t(0), true);
+        d.flap(&cfg, t(5), true);
+        d.flap(&cfg, t(10), false);
+        assert!(d.is_suppressed(&cfg, t(60)));
+        let wait = d.time_to_reuse(&cfg, t(60));
+        // ~2500 penalty → reuse at 750 needs ~1.7 half lives ≈ 1560 s.
+        assert!(wait > SimDuration::from_secs(1000));
+        assert!(wait < SimDuration::from_secs(2500));
+        let later = t(60) + wait + SimDuration::from_secs(1);
+        assert!(!d.is_suppressed(&cfg, later), "reusable after the wait");
+        assert_eq!(d.time_to_reuse(&cfg, later), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn penalty_is_capped() {
+        let cfg = DampingConfig::default();
+        let mut d = DampState::new(t(0));
+        for i in 0..100 {
+            d.flap(&cfg, t(i), true);
+        }
+        assert!(d.penalty_at(&cfg, t(100)) <= cfg.max_penalty);
+    }
+}

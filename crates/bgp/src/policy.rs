@@ -1,0 +1,170 @@
+//! Import and export policy: the Gao-Rexford economics that shape every
+//! catchment in the paper, plus per-origin announcement configuration
+//! (prepending and selective export) used by the paper's techniques.
+
+use std::collections::BTreeSet;
+
+use bobw_net::NodeId;
+use bobw_topology::Rel;
+use serde::{Deserialize, Serialize};
+
+/// LOCAL_PREF assigned on import by relationship with the sender.
+///
+/// Customer routes earn money, peer routes are free, provider routes cost
+/// money — so customer > peer > provider, the standard model. These values
+/// sit above any AS-path consideration, which is why prepending cannot
+/// overcome a relationship preference (Appendix C.1: 82% of sea1's lost
+/// targets diverge at an AS that prefers a customer link to another site).
+pub fn import_local_pref(rel_of_sender: Rel) -> u32 {
+    match rel_of_sender {
+        Rel::Customer => 300,
+        // R&E mutual transit behaves almost like a customer route (free
+        // academic transit), slightly below paying customers.
+        Rel::MutualTransit => 280,
+        Rel::Peer => 200,
+        Rel::Provider => 100,
+    }
+}
+
+/// Valley-free export rule: may a route learned from `learned_from`
+/// (`None` = self-originated) be exported to a neighbor with relationship
+/// `to`?
+///
+/// Self-originated and customer-learned routes go to everyone; peer- and
+/// provider-learned routes go only to customers (no valleys, no free
+/// transit).
+pub fn may_export(learned_from: Option<Rel>, to: Rel) -> bool {
+    match learned_from {
+        // Self-originated and customer-learned routes go everywhere,
+        // including across the R&E fabric.
+        None | Some(Rel::Customer) => true,
+        // Fabric-learned academic routes flood the fabric and its customer
+        // cones, but are not leaked to commercial providers or peers.
+        Some(Rel::MutualTransit) => matches!(to, Rel::Customer | Rel::MutualTransit),
+        // Peer-/provider-learned (commercial) routes go only to customers —
+        // an R&E network does not sell commodity transit to the fabric.
+        Some(Rel::Peer) | Some(Rel::Provider) => to == Rel::Customer,
+    }
+}
+
+/// How a node originates one prefix.
+///
+/// The paper's techniques are, at the BGP layer, just different
+/// `OriginConfig`s applied at different times (Figure 1):
+///
+/// * unicast / reactive-anycast before failure: `OriginConfig::plain()` at
+///   the specific site only;
+/// * anycast: `plain()` at every site;
+/// * proactive-prepending: `plain()` at the specific site,
+///   `prepended(3)` (or 5) at every other site — optionally restricted via
+///   `export_to` to neighbors that also connect to the specific site (§4's
+///   recommendation);
+/// * proactive-superprefix: `plain()` for the covering prefix at every
+///   site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OriginConfig {
+    /// Extra times the origin prepends its own ASN (0 = announce normally;
+    /// the ASN always appears once).
+    pub prepend: u8,
+    /// If set, announce only to these neighbors; `None` = all neighbors.
+    pub export_to: Option<BTreeSet<NodeId>>,
+    /// MED attached to the announcement (0 unless a technique uses it).
+    pub med: u32,
+    /// Attach the NO_EXPORT community: receiving neighbors use the route
+    /// but do not propagate it.
+    pub no_export: bool,
+}
+
+impl OriginConfig {
+    /// Announce normally to all neighbors.
+    pub fn plain() -> OriginConfig {
+        OriginConfig {
+            prepend: 0,
+            export_to: None,
+            med: 0,
+            no_export: false,
+        }
+    }
+
+    /// Announce with `n` extra prepends to all neighbors.
+    pub fn prepended(n: u8) -> OriginConfig {
+        OriginConfig {
+            prepend: n,
+            export_to: None,
+            med: 0,
+            no_export: false,
+        }
+    }
+
+    /// Attaches the NO_EXPORT community.
+    pub fn with_no_export(mut self) -> OriginConfig {
+        self.no_export = true;
+        self
+    }
+
+    /// Restricts the announcement to the given neighbors.
+    pub fn only_to(mut self, neighbors: impl IntoIterator<Item = NodeId>) -> OriginConfig {
+        self.export_to = Some(neighbors.into_iter().collect());
+        self
+    }
+
+    /// May the origin announce to `neighbor` under this config?
+    pub fn allows(&self, neighbor: NodeId) -> bool {
+        match &self.export_to {
+            None => true,
+            Some(set) => set.contains(&neighbor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_pref_orders_customer_peer_provider() {
+        assert!(import_local_pref(Rel::Customer) > import_local_pref(Rel::MutualTransit));
+        assert!(import_local_pref(Rel::MutualTransit) > import_local_pref(Rel::Peer));
+        assert!(import_local_pref(Rel::Peer) > import_local_pref(Rel::Provider));
+    }
+
+    #[test]
+    fn valley_free_matrix() {
+        use Rel::*;
+        // Self-originated: export everywhere.
+        for to in [Customer, Peer, Provider, MutualTransit] {
+            assert!(may_export(None, to));
+        }
+        // Customer-learned: export everywhere.
+        for to in [Customer, Peer, Provider, MutualTransit] {
+            assert!(may_export(Some(Customer), to));
+        }
+        // Peer-learned: only down to customers.
+        assert!(may_export(Some(Peer), Customer));
+        assert!(!may_export(Some(Peer), Peer));
+        assert!(!may_export(Some(Peer), Provider));
+        assert!(!may_export(Some(Peer), MutualTransit));
+        // Provider-learned: only down to customers.
+        assert!(may_export(Some(Provider), Customer));
+        assert!(!may_export(Some(Provider), Peer));
+        assert!(!may_export(Some(Provider), Provider));
+        assert!(!may_export(Some(Provider), MutualTransit));
+        // Fabric-learned: down and across the fabric, never upward.
+        assert!(may_export(Some(MutualTransit), Customer));
+        assert!(may_export(Some(MutualTransit), MutualTransit));
+        assert!(!may_export(Some(MutualTransit), Peer));
+        assert!(!may_export(Some(MutualTransit), Provider));
+    }
+
+    #[test]
+    fn origin_config_builders() {
+        assert_eq!(OriginConfig::plain().prepend, 0);
+        assert_eq!(OriginConfig::prepended(3).prepend, 3);
+        assert!(OriginConfig::plain().allows(NodeId(5)));
+        let sel = OriginConfig::prepended(3).only_to([NodeId(1), NodeId(2)]);
+        assert!(sel.allows(NodeId(1)));
+        assert!(!sel.allows(NodeId(5)));
+        assert!(!OriginConfig::plain().no_export);
+        assert!(OriginConfig::prepended(2).with_no_export().no_export);
+    }
+}

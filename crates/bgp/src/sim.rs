@@ -1,0 +1,661 @@
+//! The network-wide BGP simulation: all nodes, message dispatch, the
+//! route-change history (collector feed), and a standalone driver for
+//! pure-control-plane experiments.
+
+use bobw_event::{Engine, Handler, RngFactory, Scheduler, SimDuration, SimTime, StepOutcome};
+use bobw_net::{NodeId, Prefix};
+use bobw_topology::Topology;
+use rand::rngs::SmallRng;
+
+use crate::node::BgpNode;
+use crate::policy::OriginConfig;
+use crate::route::{BgpEvent, NextHop, RouteChange, Selected};
+use crate::timing::BgpTimingConfig;
+
+/// Aggregate counters, exposed for the engine benchmarks and for sanity
+/// checks in experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// BGP messages delivered to nodes.
+    pub messages: u64,
+    /// Best-route changes across all nodes.
+    pub best_changes: u64,
+}
+
+/// The whole-network BGP state: one [`BgpNode`] per topology node.
+///
+/// `BgpSim` is deliberately engine-agnostic: [`BgpSim::handle`] consumes an
+/// event and pushes follow-ups (as `(delay, event)` pairs) into a caller
+/// buffer. `bobw-core` embeds it in a composite simulation next to the data
+/// plane and DNS; [`Standalone`] wraps it for control-plane-only runs.
+pub struct BgpSim {
+    timing: BgpTimingConfig,
+    nodes: Vec<BgpNode>,
+    proc_rngs: Vec<SmallRng>,
+    history: Vec<RouteChange>,
+    record_history: bool,
+    stats: SimStats,
+}
+
+impl BgpSim {
+    /// Builds per-node BGP state over `topo`. MRAI values are sampled per
+    /// directed session from the factory's `"mrai-session"` stream.
+    pub fn new(topo: &Topology, timing: BgpTimingConfig, rng: &RngFactory) -> BgpSim {
+        let n = topo.len();
+        let mut nodes = Vec::with_capacity(n);
+        let mut proc_rngs = Vec::with_capacity(n);
+        for node in topo.nodes() {
+            let neighbors = topo
+                .neighbors(node.id)
+                .iter()
+                .map(|adj| {
+                    let session_key =
+                        (node.id.index() as u64) << 32 | adj.peer.index() as u64;
+                    BgpNode::neighbor_state(
+                        adj.peer,
+                        topo.node(adj.peer).asn,
+                        adj.rel,
+                        adj.delay,
+                        timing.sample_session_mrai(rng, session_key),
+                    )
+                })
+                .collect();
+            nodes.push(BgpNode::new(node.id, node.asn, neighbors));
+            proc_rngs.push(rng.stream("bgp-proc", node.id.index() as u64));
+        }
+        BgpSim {
+            timing,
+            nodes,
+            proc_rngs,
+            history: Vec::new(),
+            record_history: false,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Enables/disables the route-change history (collector feed). Off by
+    /// default: failover experiments only need current state, and the
+    /// history grows with path-exploration churn.
+    pub fn set_record_history(&mut self, on: bool) {
+        self.record_history = on;
+    }
+
+    /// The recorded route changes, in time order.
+    pub fn history(&self) -> &[RouteChange] {
+        &self.history
+    }
+
+    /// Takes ownership of the recorded history, clearing the buffer.
+    pub fn take_history(&mut self) -> Vec<RouteChange> {
+        std::mem::take(&mut self.history)
+    }
+
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current best route of `node` for `prefix`.
+    pub fn best(&self, node: NodeId, prefix: &Prefix) -> Option<&Selected> {
+        self.nodes[node.index()].best(prefix)
+    }
+
+    /// Longest-prefix-match lookup in `node`'s FIB.
+    pub fn fib_lookup(&self, node: NodeId, addr: u32) -> Option<(Prefix, NextHop)> {
+        self.nodes[node.index()].fib_lookup(addr)
+    }
+
+    /// Does `node` currently originate `prefix`?
+    pub fn originates(&self, node: NodeId, prefix: &Prefix) -> bool {
+        self.nodes[node.index()].originates(prefix)
+    }
+
+    /// Direct node access (read-only), for diagnostics and tests.
+    pub fn node(&self, id: NodeId) -> &BgpNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Starts originating `prefix` at `node`.
+    pub fn announce(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        prefix: Prefix,
+        cfg: OriginConfig,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        let changed = self.nodes[node.index()].originate(
+            now,
+            prefix,
+            cfg,
+            &self.timing,
+            &mut self.proc_rngs[node.index()],
+            out,
+        );
+        if changed {
+            self.record_change(now, node, prefix);
+        }
+    }
+
+    /// Stops originating `prefix` at `node`.
+    pub fn withdraw(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        prefix: Prefix,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        let changed = self.nodes[node.index()].withdraw_origin(
+            now,
+            prefix,
+            &self.timing,
+            &mut self.proc_rngs[node.index()],
+            out,
+        );
+        if changed {
+            self.record_change(now, node, prefix);
+        }
+    }
+
+    /// Processes one event, pushing follow-ups into `out`.
+    pub fn handle(&mut self, now: SimTime, ev: BgpEvent, out: &mut Vec<(SimDuration, BgpEvent)>) {
+        match ev {
+            BgpEvent::Deliver { to, from, msg } => {
+                self.stats.messages += 1;
+                let prefix = msg.prefix();
+                let changed = self.nodes[to.index()].receive(
+                    now,
+                    from,
+                    msg,
+                    &self.timing,
+                    &mut self.proc_rngs[to.index()],
+                    out,
+                );
+                if changed {
+                    self.stats.best_changes += 1;
+                    self.record_change(now, to, prefix);
+                }
+            }
+            BgpEvent::Fire {
+                node,
+                neighbor,
+                prefix,
+                gen,
+            } => {
+                self.nodes[node.index()].fire(now, neighbor, prefix, gen, &self.timing, out);
+            }
+            BgpEvent::DampingReuse {
+                node,
+                neighbor,
+                prefix,
+            } => {
+                let changed = self.nodes[node.index()].damping_reuse(
+                    now,
+                    neighbor,
+                    prefix,
+                    &self.timing,
+                    &mut self.proc_rngs[node.index()],
+                    out,
+                );
+                if changed {
+                    self.stats.best_changes += 1;
+                    self.record_change(now, node, prefix);
+                }
+            }
+            BgpEvent::HoldExpire { node, neighbor } => {
+                let changed = self.nodes[node.index()].expire_session(
+                    now,
+                    neighbor,
+                    &self.timing,
+                    &mut self.proc_rngs[node.index()],
+                    out,
+                );
+                for prefix in changed {
+                    self.stats.best_changes += 1;
+                    self.record_change(now, node, prefix);
+                }
+            }
+        }
+    }
+
+    /// Fails the link between `a` and `b` silently: no withdrawals are
+    /// sent; each side discovers the failure when its hold timer expires
+    /// (or via the operator's monitoring at a higher layer). In-flight and
+    /// future messages on the link are lost.
+    pub fn fail_link(
+        &mut self,
+        _now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        let hold = self.timing.hold_time();
+        for (x, y) in [(a, b), (b, a)] {
+            self.nodes[x.index()].fail_session(y);
+            out.push((hold, BgpEvent::HoldExpire { node: x, neighbor: y }));
+        }
+    }
+
+    /// Restores a failed link; both ends re-establish and exchange full
+    /// tables.
+    pub fn restore_link(
+        &mut self,
+        now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        for (x, y) in [(a, b), (b, a)] {
+            let idx = x.index();
+            let (node, rng) = (&mut self.nodes[idx], &mut self.proc_rngs[idx]);
+            node.restore_session(now, y, &self.timing, rng, out);
+        }
+    }
+
+    /// Fails every link of `node` (a whole-site crash).
+    pub fn fail_node_links(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        topo_neighbors: &[NodeId],
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        for &peer in topo_neighbors {
+            self.fail_link(now, node, peer, out);
+        }
+    }
+
+    /// Is the (bidirectional) link between `a` and `b` usable? A link
+    /// counts as up only when both ends consider the session up.
+    pub fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes[a.index()].session_is_up(b) && self.nodes[b.index()].session_is_up(a)
+    }
+
+    fn record_change(&mut self, now: SimTime, node: NodeId, prefix: Prefix) {
+        if !self.record_history {
+            return;
+        }
+        self.history.push(RouteChange {
+            time: now,
+            node,
+            prefix,
+            new: self.nodes[node.index()].best(&prefix).cloned(),
+        });
+    }
+}
+
+struct Adapter<'a> {
+    sim: &'a mut BgpSim,
+    scratch: Vec<(SimDuration, BgpEvent)>,
+}
+
+impl Handler<BgpEvent> for Adapter<'_> {
+    fn handle(&mut self, now: SimTime, event: BgpEvent, sched: &mut Scheduler<'_, BgpEvent>) {
+        self.sim.handle(now, event, &mut self.scratch);
+        for (d, e) in self.scratch.drain(..) {
+            sched.after(d, e);
+        }
+    }
+}
+
+/// A self-contained control-plane-only simulation: engine + [`BgpSim`].
+/// Used by the BGP tests and the Appendix A/B experiments (Figures 3/4),
+/// where no data-plane probing is needed.
+///
+/// ```
+/// use bobw_bgp::{BgpTimingConfig, OriginConfig, Standalone};
+/// use bobw_event::RngFactory;
+/// use bobw_topology::{generate, GenConfig};
+///
+/// let rng = RngFactory::new(42);
+/// let (topo, cdn) = generate(&GenConfig::tiny(), &rng);
+/// let mut sim = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);
+/// // Anycast: every site originates the same prefix.
+/// let prefix = "184.164.244.0/24".parse().unwrap();
+/// for &site in cdn.site_nodes() {
+///     sim.announce(site, prefix, OriginConfig::plain());
+/// }
+/// sim.run_to_idle(1_000_000);
+/// // Every AS now has a best route to one of the sites.
+/// assert!(topo.ids().all(|n| {
+///     sim.sim().best(n, &prefix).is_some() || cdn.site_at(n).is_some()
+/// }));
+/// ```
+pub struct Standalone {
+    engine: Engine<BgpEvent>,
+    sim: BgpSim,
+}
+
+impl Standalone {
+    pub fn new(topo: &Topology, timing: BgpTimingConfig, rng: &RngFactory) -> Standalone {
+        Standalone {
+            engine: Engine::new(),
+            sim: BgpSim::new(topo, timing, rng),
+        }
+    }
+
+    pub fn sim(&self) -> &BgpSim {
+        &self.sim
+    }
+
+    pub fn sim_mut(&mut self) -> &mut BgpSim {
+        &mut self.sim
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    pub fn announce(&mut self, node: NodeId, prefix: Prefix, cfg: OriginConfig) {
+        let now = self.engine.now();
+        let mut out = Vec::new();
+        self.sim.announce(now, node, prefix, cfg, &mut out);
+        for (d, e) in out {
+            self.engine.schedule_after(d, e);
+        }
+    }
+
+    pub fn withdraw(&mut self, node: NodeId, prefix: Prefix) {
+        let now = self.engine.now();
+        let mut out = Vec::new();
+        self.sim.withdraw(now, node, prefix, &mut out);
+        for (d, e) in out {
+            self.engine.schedule_after(d, e);
+        }
+    }
+
+    /// Silently fails the link between `a` and `b` (see [`BgpSim::fail_link`]).
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
+        let now = self.engine.now();
+        let mut out = Vec::new();
+        self.sim.fail_link(now, a, b, &mut out);
+        for (d, e) in out {
+            self.engine.schedule_after(d, e);
+        }
+    }
+
+    /// Restores a previously failed link.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        let now = self.engine.now();
+        let mut out = Vec::new();
+        self.sim.restore_link(now, a, b, &mut out);
+        for (d, e) in out {
+            self.engine.schedule_after(d, e);
+        }
+    }
+
+    /// Crashes every listed link of `node` at once (whole-site failure).
+    pub fn fail_all_links(&mut self, node: NodeId, peers: &[NodeId]) {
+        let now = self.engine.now();
+        let mut out = Vec::new();
+        self.sim.fail_node_links(now, node, peers, &mut out);
+        for (d, e) in out {
+            self.engine.schedule_after(d, e);
+        }
+    }
+
+    /// Runs until no BGP work remains (full convergence) or the event
+    /// budget is exhausted.
+    pub fn run_to_idle(&mut self, max_events: u64) -> StepOutcome {
+        let mut adapter = Adapter {
+            sim: &mut self.sim,
+            scratch: Vec::with_capacity(64),
+        };
+        self.engine.run_to_idle(&mut adapter, max_events)
+    }
+
+    /// Runs for `secs` of simulated time from now (convenience wrapper).
+    pub fn run_until_secs(&mut self, secs: u64) -> StepOutcome {
+        let deadline = self.engine.now() + SimDuration::from_secs(secs);
+        self.run_until(deadline, u64::MAX)
+    }
+
+    /// Runs until `deadline` (events at the deadline included).
+    pub fn run_until(&mut self, deadline: SimTime, max_events: u64) -> StepOutcome {
+        let mut adapter = Adapter {
+            sim: &mut self.sim,
+            scratch: Vec::with_capacity(64),
+        };
+        self.engine.run_until(&mut adapter, deadline, max_events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bobw_net::Asn;
+    use bobw_topology::{NodeKind, REGIONS};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Chain topology: t1 --(provides)--> mid --(provides)--> leaf, plus a
+    /// second leaf under t1 directly.
+    ///
+    /// ```text
+    ///        t1
+    ///       /  \
+    ///     mid   leaf2
+    ///      |
+    ///     leaf
+    /// ```
+    fn chain() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let c = REGIONS[0].center;
+        let t1 = t.add_node(Asn(10), NodeKind::Tier1, c, 0);
+        let mid = t.add_node(Asn(20), NodeKind::Transit, c, 0);
+        let leaf = t.add_node(Asn(30), NodeKind::Stub, c, 0);
+        let leaf2 = t.add_node(Asn(40), NodeKind::Stub, c, 0);
+        t.link_provider_customer(t1, mid);
+        t.link_provider_customer(mid, leaf);
+        t.link_provider_customer(t1, leaf2);
+        (t, t1, mid, leaf, leaf2)
+    }
+
+    #[test]
+    fn announcement_propagates_to_whole_chain() {
+        let (topo, t1, mid, leaf, leaf2) = chain();
+        let rng = RngFactory::new(1);
+        let mut s = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);
+        let pre = p("184.164.244.0/24");
+        s.announce(leaf, pre, OriginConfig::plain());
+        assert_eq!(s.run_to_idle(100_000), StepOutcome::Idle);
+        // Everyone has a route; FIB next hops walk back down the chain.
+        assert_eq!(s.sim().fib_lookup(leaf, pre.addr_at(1)).unwrap().1, NextHop::Local);
+        assert_eq!(
+            s.sim().fib_lookup(mid, pre.addr_at(1)).unwrap().1,
+            NextHop::Via(leaf)
+        );
+        assert_eq!(
+            s.sim().fib_lookup(t1, pre.addr_at(1)).unwrap().1,
+            NextHop::Via(mid)
+        );
+        assert_eq!(
+            s.sim().fib_lookup(leaf2, pre.addr_at(1)).unwrap().1,
+            NextHop::Via(t1)
+        );
+        // AS paths lengthen along the chain.
+        let best_at_leaf2 = s.sim().best(leaf2, &pre).unwrap();
+        assert_eq!(best_at_leaf2.attrs.path.hops().len(), 3);
+        assert_eq!(best_at_leaf2.attrs.origin, leaf);
+    }
+
+    #[test]
+    fn withdrawal_clears_the_network() {
+        let (topo, t1, mid, leaf, leaf2) = chain();
+        let rng = RngFactory::new(1);
+        let mut s = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);
+        let pre = p("184.164.244.0/24");
+        s.announce(leaf, pre, OriginConfig::plain());
+        s.run_to_idle(100_000);
+        s.withdraw(leaf, pre);
+        assert_eq!(s.run_to_idle(100_000), StepOutcome::Idle);
+        for n in [t1, mid, leaf, leaf2] {
+            assert!(s.sim().best(n, &pre).is_none(), "{n} still has a route");
+            assert!(s.sim().fib_lookup(n, pre.addr_at(1)).is_none());
+        }
+    }
+
+    #[test]
+    fn anycast_two_origins_split_catchment() {
+        // Diamond: two tier-1 peers, each providing one leaf; both leaves
+        // announce the same prefix (anycast). Each tier-1 must prefer its
+        // own customer leaf.
+        let mut t = Topology::new();
+        let c = REGIONS[0].center;
+        let a = t.add_node(Asn(10), NodeKind::Tier1, c, 0);
+        let b = t.add_node(Asn(11), NodeKind::Tier1, c, 0);
+        let la = t.add_node(Asn(30), NodeKind::Stub, c, 0);
+        let lb = t.add_node(Asn(31), NodeKind::Stub, c, 0);
+        t.link_peers(a, b);
+        t.link_provider_customer(a, la);
+        t.link_provider_customer(b, lb);
+        let rng = RngFactory::new(1);
+        let mut s = Standalone::new(&t, BgpTimingConfig::instant(), &rng);
+        let pre = p("184.164.244.0/24");
+        s.announce(la, pre, OriginConfig::plain());
+        s.announce(lb, pre, OriginConfig::plain());
+        s.run_to_idle(100_000);
+        assert_eq!(s.sim().best(a, &pre).unwrap().attrs.origin, la);
+        assert_eq!(s.sim().best(b, &pre).unwrap().attrs.origin, lb);
+        // Withdraw one origin: both tier-1s converge to the survivor.
+        s.withdraw(la, pre);
+        s.run_to_idle(100_000);
+        assert_eq!(s.sim().best(a, &pre).unwrap().attrs.origin, lb);
+        assert_eq!(s.sim().best(b, &pre).unwrap().attrs.origin, lb);
+        assert!(s.sim().best(la, &pre).is_some(), "ex-origin learns the other site");
+    }
+
+    #[test]
+    fn valley_free_blocks_peer_to_peer_transit() {
+        // leafA - t1a (peer) t1b - leafB, and t1a peers with t1c which has
+        // no customer route: t1c must NOT relay t1a's peer-learned route to
+        // t1b. Build: origin under t1a; t1b reaches it via its own peer link
+        // to t1a, never via t1c.
+        let mut t = Topology::new();
+        let c = REGIONS[0].center;
+        let t1a = t.add_node(Asn(10), NodeKind::Tier1, c, 0);
+        let t1b = t.add_node(Asn(11), NodeKind::Tier1, c, 0);
+        let t1c = t.add_node(Asn(12), NodeKind::Tier1, c, 0);
+        let origin = t.add_node(Asn(30), NodeKind::Stub, c, 0);
+        t.link_peers(t1a, t1b);
+        t.link_peers(t1a, t1c);
+        t.link_peers(t1b, t1c);
+        t.link_provider_customer(t1a, origin);
+        let rng = RngFactory::new(1);
+        let mut s = Standalone::new(&t, BgpTimingConfig::instant(), &rng);
+        let pre = p("184.164.244.0/24");
+        s.announce(origin, pre, OriginConfig::plain());
+        s.run_to_idle(100_000);
+        // t1b and t1c both learn via t1a directly (valley-free: they cannot
+        // relay to each other).
+        assert_eq!(s.sim().best(t1b, &pre).unwrap().from, Some(t1a));
+        assert_eq!(s.sim().best(t1c, &pre).unwrap().from, Some(t1a));
+        // Adj-RIB-In of t1b contains only the t1a route.
+        assert_eq!(s.sim().node(t1b).adj_in(&pre).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn covering_prefix_lpm_fallthrough_after_withdrawal() {
+        // The §3 proactive-superprefix mechanism at a single router: /24
+        // from one origin, /23 from another; withdrawing the /24 makes the
+        // FIB fall through to the /23.
+        let (topo, t1, _mid, leaf, leaf2) = chain();
+        let rng = RngFactory::new(1);
+        let mut s = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);
+        let specific = p("184.164.244.0/24");
+        let covering = p("184.164.244.0/23");
+        s.announce(leaf, specific, OriginConfig::plain());
+        s.announce(leaf2, covering, OriginConfig::plain());
+        s.run_to_idle(100_000);
+        let addr = specific.addr_at(10);
+        let (matched, _) = s.sim().fib_lookup(t1, addr).unwrap();
+        assert_eq!(matched, specific);
+        s.withdraw(leaf, specific);
+        s.run_to_idle(100_000);
+        let (matched, nh) = s.sim().fib_lookup(t1, addr).unwrap();
+        assert_eq!(matched, covering);
+        assert_eq!(nh, NextHop::Via(leaf2));
+    }
+
+    #[test]
+    fn history_records_convergence_and_withdrawals() {
+        let (topo, _t1, _mid, leaf, leaf2) = chain();
+        let rng = RngFactory::new(1);
+        let mut s = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);
+        s.sim_mut().set_record_history(true);
+        let pre = p("184.164.244.0/24");
+        s.announce(leaf, pre, OriginConfig::plain());
+        s.run_to_idle(100_000);
+        let announces = s.sim().history().len();
+        assert!(announces >= 4, "each node's first best counts: {announces}");
+        s.withdraw(leaf, pre);
+        s.run_to_idle(100_000);
+        let hist = s.sim_mut().take_history();
+        assert!(hist.iter().any(|rc| rc.is_withdrawal() && rc.node == leaf2));
+        // Times are monotone.
+        for w in hist.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(s.sim().history().is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (topo, ..) = chain();
+        let run = || {
+            let rng = RngFactory::new(99);
+            let mut s = Standalone::new(&topo, BgpTimingConfig::default(), &rng);
+            s.sim_mut().set_record_history(true);
+            let pre = p("184.164.244.0/24");
+            s.announce(NodeId(2), pre, OriginConfig::plain());
+            s.run_to_idle(1_000_000);
+            s.withdraw(NodeId(2), pre);
+            s.run_to_idle(1_000_000);
+            (
+                s.sim().stats(),
+                s.now(),
+                s.sim().history().len(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn no_export_stays_at_direct_neighbors() {
+        // leaf originates with NO_EXPORT: mid (its provider) learns and
+        // uses the route but never re-advertises it to t1.
+        let (topo, t1, mid, leaf, leaf2) = chain();
+        let rng = RngFactory::new(1);
+        let mut s = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);
+        let pre = p("184.164.244.0/24");
+        s.announce(leaf, pre, OriginConfig::plain().with_no_export());
+        s.run_to_idle(100_000);
+        assert_eq!(
+            s.sim().fib_lookup(mid, pre.addr_at(1)).unwrap().1,
+            NextHop::Via(leaf),
+            "direct neighbor uses the NO_EXPORT route"
+        );
+        assert!(
+            s.sim().best(t1, &pre).is_none(),
+            "NO_EXPORT route must not propagate beyond the neighbor"
+        );
+        assert!(s.sim().best(leaf2, &pre).is_none());
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let (topo, ..) = chain();
+        let rng = RngFactory::new(1);
+        let mut s = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);
+        s.announce(NodeId(2), p("184.164.244.0/24"), OriginConfig::plain());
+        s.run_to_idle(100_000);
+        let stats = s.sim().stats();
+        assert!(stats.messages >= 3);
+        assert!(stats.best_changes >= 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! The BGP timing model — the calibration surface of the reproduction.
+//!
+//! Four knobs produce the paper's time scales (DESIGN.md §5 and §7):
+//!
+//! * **MRAI** per session, drawn uniformly from a band. Each advertisement
+//!   to a neighbor for a prefix must wait `MRAI × U(0.75, 1.0)` since the
+//!   last one — so every round of path exploration costs tens of seconds,
+//!   which is where "~100 s median withdrawal convergence" (Figure 3) comes
+//!   from.
+//! * **Announcement processing delay** per hop: routers batch updates and
+//!   run periodic scanners, so a *fresh* announcement still takes ~1-2 s per
+//!   AS hop, stacking to the ~10 s median propagation at collector distance
+//!   (Figure 4).
+//! * **Withdrawal processing delay** per hop, slightly faster (withdrawals
+//!   are not MRAI-limited in the classic configuration — WRATE off).
+//! * **Link delay** comes from topology geography and is negligible against
+//!   the above, as on the real Internet.
+
+use bobw_event::rng::lognormal;
+use bobw_event::{RngFactory, SimDuration};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::damping::DampingConfig;
+
+/// Timing parameters for the BGP simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BgpTimingConfig {
+    /// MRAI band (seconds); each session samples once, uniformly.
+    pub mrai_min_s: f64,
+    pub mrai_max_s: f64,
+    /// Per-send MRAI jitter factor band (classic 0.75–1.0).
+    pub mrai_jitter_lo: f64,
+    pub mrai_jitter_hi: f64,
+    /// Lognormal median/sigma of per-hop announcement processing delay (s).
+    pub announce_proc_median_s: f64,
+    pub announce_proc_sigma: f64,
+    /// Lognormal median/sigma of per-hop withdrawal processing delay (s).
+    pub withdraw_proc_median_s: f64,
+    pub withdraw_proc_sigma: f64,
+    /// Fraction of sessions that are "laggards" (overloaded or
+    /// conservatively configured routers) whose MRAI is multiplied by
+    /// `mrai_slow_multiplier`. Real collector feeds show a long convergence
+    /// tail driven by such sessions (Figure 3's p90 ≈ 4× its median).
+    pub mrai_slow_fraction: f64,
+    /// MRAI multiplier for laggard sessions.
+    pub mrai_slow_multiplier: f64,
+    /// BGP hold time: how long after a silent link failure a router keeps
+    /// treating the session (and its routes) as alive. The protocol default
+    /// is 90 s; operators running BFD detect in well under a second.
+    pub hold_time_s: f64,
+    /// Route-flap damping (RFC 2439-style). `None` (default) = disabled,
+    /// per modern operational guidance; see `crate::damping` for why
+    /// enabling it hurts reactive-anycast.
+    pub flap_damping: Option<DampingConfig>,
+    /// Apply MRAI pacing to withdrawals too (per-peer update pacing of
+    /// *all* updates — the classic router behaviour of the era in which the
+    /// ~100 s/170 s withdrawal-convergence numbers the paper relies on were
+    /// measured; Labovitz et al. call the alternative "WRATE off").
+    /// Defaults to `true`; flipping it is an ablation knob (see the
+    /// `ablation` bench).
+    pub withdrawal_rate_limiting: bool,
+}
+
+impl Default for BgpTimingConfig {
+    fn default() -> Self {
+        BgpTimingConfig {
+            mrai_min_s: 12.0,
+            mrai_max_s: 55.0,
+            mrai_jitter_lo: 0.75,
+            mrai_jitter_hi: 1.0,
+            mrai_slow_fraction: 0.12,
+            mrai_slow_multiplier: 5.0,
+            announce_proc_median_s: 1.6,
+            announce_proc_sigma: 0.6,
+            withdraw_proc_median_s: 2.2,
+            withdraw_proc_sigma: 0.6,
+            hold_time_s: 90.0,
+            flap_damping: None,
+            withdrawal_rate_limiting: true,
+        }
+    }
+}
+
+impl BgpTimingConfig {
+    /// A config with all stochastic delays collapsed to fixed small values
+    /// and no MRAI — converges in a handful of simulated seconds. For unit
+    /// tests that assert routing *outcomes* rather than timing.
+    pub fn instant() -> BgpTimingConfig {
+        BgpTimingConfig {
+            mrai_min_s: 0.0,
+            mrai_max_s: 0.0,
+            mrai_jitter_lo: 1.0,
+            mrai_jitter_hi: 1.0,
+            mrai_slow_fraction: 0.0,
+            mrai_slow_multiplier: 1.0,
+            announce_proc_median_s: 0.01,
+            announce_proc_sigma: 0.0,
+            withdraw_proc_median_s: 0.01,
+            withdraw_proc_sigma: 0.0,
+            hold_time_s: 90.0,
+            flap_damping: None,
+            withdrawal_rate_limiting: false,
+        }
+    }
+
+    /// The hold time as a duration.
+    pub fn hold_time(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.hold_time_s)
+    }
+
+    /// Samples the MRAI for one session (fixed for the session's lifetime,
+    /// like a router configuration value).
+    pub fn sample_session_mrai(&self, rng: &RngFactory, session_key: u64) -> SimDuration {
+        if self.mrai_max_s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let mut s =
+            rng.uniform_f64("mrai-session", session_key, self.mrai_min_s, self.mrai_max_s);
+        if self.mrai_slow_fraction > 0.0
+            && rng.uniform_f64("mrai-laggard", session_key, 0.0, 1.0) < self.mrai_slow_fraction
+        {
+            s *= self.mrai_slow_multiplier;
+        }
+        SimDuration::from_secs_f64(s)
+    }
+
+    /// Effective MRAI for one send (session value × jitter).
+    pub fn jittered_mrai(&self, session_mrai: SimDuration, rng: &mut SmallRng) -> SimDuration {
+        if session_mrai == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let f = if self.mrai_jitter_hi > self.mrai_jitter_lo {
+            rng.gen_range(self.mrai_jitter_lo..self.mrai_jitter_hi)
+        } else {
+            self.mrai_jitter_lo
+        };
+        SimDuration::from_secs_f64(session_mrai.as_secs_f64() * f)
+    }
+
+    /// Per-hop processing delay before an announcement is sent.
+    pub fn announce_proc_delay(&self, rng: &mut SmallRng) -> SimDuration {
+        SimDuration::from_secs_f64(lognormal(
+            rng,
+            self.announce_proc_median_s,
+            self.announce_proc_sigma,
+        ))
+    }
+
+    /// Per-hop processing delay before a withdrawal is sent.
+    pub fn withdraw_proc_delay(&self, rng: &mut SmallRng) -> SimDuration {
+        SimDuration::from_secs_f64(lognormal(
+            rng,
+            self.withdraw_proc_median_s,
+            self.withdraw_proc_sigma,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bands_are_sane() {
+        let c = BgpTimingConfig::default();
+        assert!(c.mrai_min_s < c.mrai_max_s);
+        assert!(c.mrai_jitter_lo < c.mrai_jitter_hi);
+        assert!(c.withdrawal_rate_limiting);
+    }
+
+    #[test]
+    fn session_mrai_in_band_and_deterministic() {
+        let c = BgpTimingConfig::default();
+        let rng = RngFactory::new(1);
+        let mut laggards = 0;
+        for key in 0..1000 {
+            let m = c.sample_session_mrai(&rng, key);
+            let s = m.as_secs_f64();
+            let in_normal_band = (c.mrai_min_s..c.mrai_max_s).contains(&s);
+            let in_slow_band = (c.mrai_min_s * c.mrai_slow_multiplier
+                ..c.mrai_max_s * c.mrai_slow_multiplier)
+                .contains(&s);
+            assert!(in_normal_band || in_slow_band, "{s}");
+            if in_slow_band && !in_normal_band {
+                laggards += 1;
+            }
+            assert_eq!(m, c.sample_session_mrai(&rng, key));
+        }
+        // Roughly the configured laggard fraction (loose bounds).
+        assert!((40..=250).contains(&laggards), "{laggards}");
+    }
+
+    #[test]
+    fn instant_config_has_no_mrai() {
+        let c = BgpTimingConfig::instant();
+        let rng = RngFactory::new(1);
+        assert_eq!(c.sample_session_mrai(&rng, 0), SimDuration::ZERO);
+        let mut r = rng.stream("x", 0);
+        assert_eq!(c.jittered_mrai(SimDuration::ZERO, &mut r), SimDuration::ZERO);
+        // Deterministic tiny processing delays.
+        assert_eq!(c.announce_proc_delay(&mut r), SimDuration::from_millis(10));
+        assert_eq!(c.withdraw_proc_delay(&mut r), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn jitter_shrinks_mrai() {
+        let c = BgpTimingConfig::default();
+        let mut r = RngFactory::new(2).stream("jitter", 0);
+        let session = SimDuration::from_secs(30);
+        for _ in 0..100 {
+            let j = c.jittered_mrai(session, &mut r);
+            let f = j.as_secs_f64() / 30.0;
+            assert!((0.75..1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn proc_delays_positive_and_heavy_tailed() {
+        let c = BgpTimingConfig::default();
+        let mut r = RngFactory::new(3).stream("proc", 0);
+        let mut v: Vec<f64> = (0..2001)
+            .map(|_| c.announce_proc_delay(&mut r).as_secs_f64())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((1.2..2.1).contains(&median), "median {median}");
+        assert!(v[0] > 0.0);
+        // Tail stretches well beyond the median (lognormal).
+        assert!(v[(v.len() * 99) / 100] > 2.0 * median);
+    }
+}

@@ -1,0 +1,166 @@
+//! Link/session failure injection tests: silent failures, hold-timer
+//! expiry, recovery, and the data-plane consequences.
+
+use bobw_bgp::{BgpTimingConfig, OriginConfig, Standalone};
+use bobw_event::{RngFactory, SimDuration, SimTime};
+use bobw_net::{Asn, NodeId, Prefix};
+use bobw_topology::{NodeKind, Topology, REGIONS};
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// Diamond: origin multihomed under p1 and p2, both customers of t1.
+///
+/// ```text
+///        t1
+///       /  \
+///      p1   p2
+///       \  /
+///      origin
+/// ```
+fn diamond() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let c = REGIONS[0].center;
+    let t1 = t.add_node(Asn(10), NodeKind::Tier1, c, 0);
+    let p1 = t.add_node(Asn(20), NodeKind::Transit, c, 0);
+    let p2 = t.add_node(Asn(21), NodeKind::Transit, c, 0);
+    let origin = t.add_node(Asn(30), NodeKind::Stub, c, 0);
+    t.link_provider_customer(t1, p1);
+    t.link_provider_customer(t1, p2);
+    t.link_provider_customer(p1, origin);
+    t.link_provider_customer(p2, origin);
+    (t, t1, p1, p2, origin)
+}
+
+fn timing(hold_s: f64) -> BgpTimingConfig {
+    let mut t = BgpTimingConfig::instant();
+    t.hold_time_s = hold_s;
+    t
+}
+
+#[test]
+fn silent_failure_holds_routes_until_hold_expiry() {
+    let (topo, t1, p1, _p2, origin) = diamond();
+    let rng = RngFactory::new(1);
+    let mut s = Standalone::new(&topo, timing(90.0), &rng);
+    let pre = p("184.164.244.0/24");
+    s.announce(origin, pre, OriginConfig::plain());
+    s.run_to_idle(1_000_000);
+    assert_eq!(s.sim().best(p1, &pre).unwrap().from, Some(origin));
+
+    // The origin-p1 link dies silently. No withdrawal is sent: p1 keeps
+    // the stale route through the hold window.
+    s.fail_link(origin, p1);
+    let t_fail = s.now();
+    s.run_until(t_fail + SimDuration::from_secs(60), 1_000_000);
+    assert_eq!(
+        s.sim().best(p1, &pre).unwrap().from,
+        Some(origin),
+        "route must persist before hold expiry"
+    );
+    assert!(!s.sim().link_is_up(origin, p1));
+    assert!(s.sim().link_is_up(origin, _p2));
+
+    // After the hold timer (90 s), p1 purges and falls back to the path
+    // via its provider t1 -> p2 -> origin.
+    s.run_to_idle(1_000_000);
+    let best = s.sim().best(p1, &pre).unwrap();
+    assert_eq!(best.from, Some(t1));
+    assert_eq!(best.attrs.origin, origin);
+    assert!(s.now() >= t_fail + SimDuration::from_secs(90));
+}
+
+#[test]
+fn messages_on_failed_link_are_lost() {
+    let (topo, _t1, p1, p2, origin) = diamond();
+    let rng = RngFactory::new(1);
+    let mut s = Standalone::new(&topo, timing(90.0), &rng);
+    let pre = p("184.164.244.0/24");
+    // Fail the link BEFORE announcing: p1 never hears the origin directly.
+    s.fail_link(origin, p1);
+    s.announce(origin, pre, OriginConfig::plain());
+    s.run_to_idle(1_000_000);
+    let best = s.sim().best(p1, &pre).expect("route via t1 survives");
+    assert_ne!(best.from, Some(origin));
+    // p2 heard it directly.
+    assert_eq!(s.sim().best(p2, &pre).unwrap().from, Some(origin));
+}
+
+#[test]
+fn restore_resends_full_table() {
+    let (topo, _t1, p1, _p2, origin) = diamond();
+    let rng = RngFactory::new(1);
+    let mut s = Standalone::new(&topo, timing(90.0), &rng);
+    let pre = p("184.164.244.0/24");
+    s.announce(origin, pre, OriginConfig::plain());
+    s.run_to_idle(1_000_000);
+    s.fail_link(origin, p1);
+    s.run_to_idle(1_000_000); // hold expires, p1 reroutes via t1
+    assert_ne!(s.sim().best(p1, &pre).unwrap().from, Some(origin));
+
+    // Link comes back: session re-establishes, full table re-exchanged,
+    // p1 prefers its direct customer route again.
+    s.restore_link(origin, p1);
+    s.run_to_idle(1_000_000);
+    assert!(s.sim().link_is_up(origin, p1));
+    assert_eq!(s.sim().best(p1, &pre).unwrap().from, Some(origin));
+}
+
+#[test]
+fn hold_expiry_noop_if_restored_in_time() {
+    let (topo, _t1, p1, _p2, origin) = diamond();
+    let rng = RngFactory::new(1);
+    let mut s = Standalone::new(&topo, timing(90.0), &rng);
+    let pre = p("184.164.244.0/24");
+    s.announce(origin, pre, OriginConfig::plain());
+    s.run_to_idle(1_000_000);
+    s.fail_link(origin, p1);
+    let t_fail = s.now();
+    // Flap: restore before the hold timer fires.
+    s.run_until(t_fail + SimDuration::from_secs(30), 1_000_000);
+    s.restore_link(origin, p1);
+    s.run_to_idle(1_000_000);
+    // The pending HoldExpire events fired as no-ops; the direct route wins.
+    assert_eq!(s.sim().best(p1, &pre).unwrap().from, Some(origin));
+}
+
+#[test]
+fn short_hold_time_converges_fast() {
+    // BFD-style sub-second detection: failure behaves almost like a
+    // withdrawal.
+    let (topo, t1, p1, _p2, origin) = diamond();
+    let rng = RngFactory::new(1);
+    let mut s = Standalone::new(&topo, timing(0.3), &rng);
+    let pre = p("184.164.244.0/24");
+    s.announce(origin, pre, OriginConfig::plain());
+    s.run_to_idle(1_000_000);
+    let t_fail = s.now();
+    s.fail_link(origin, p1);
+    s.run_to_idle(1_000_000);
+    assert_eq!(s.sim().best(p1, &pre).unwrap().from, Some(t1));
+    assert!(
+        s.now().since(t_fail) < SimDuration::from_secs(5),
+        "BFD-scale detection should reroute in seconds, took {}",
+        s.now().since(t_fail)
+    );
+}
+
+#[test]
+fn whole_site_crash_isolates_until_hold() {
+    let (topo, t1, p1, p2, origin) = diamond();
+    let rng = RngFactory::new(1);
+    let mut s = Standalone::new(&topo, timing(90.0), &rng);
+    let pre = p("184.164.244.0/24");
+    s.announce(origin, pre, OriginConfig::plain());
+    s.run_to_idle(1_000_000);
+    // Crash all of the origin's links at once.
+    s.fail_all_links(origin, &[p1, p2]);
+    s.run_to_idle(1_000_000);
+    for n in [t1, p1, p2] {
+        assert!(
+            s.sim().best(n, &pre).is_none(),
+            "{n} kept a route to a fully crashed site"
+        );
+    }
+}

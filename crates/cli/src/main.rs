@@ -1,0 +1,12 @@
+//! The `bobw` binary: see `bobw help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bobw_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

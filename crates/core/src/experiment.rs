@@ -1,0 +1,607 @@
+//! The failover experiment harness (§5.2) — the machinery behind Figures 2
+//! and 5.
+//!
+//! For one ⟨technique, failed site⟩ pair:
+//!
+//! 1. advertise the technique's before-failure announcements plus the two
+//!    measurement prefixes, and run BGP to convergence (the paper waits an
+//!    hour; in a discrete-event world, "run to idle");
+//! 2. select targets (§5.1) and run the reachability test, keeping the
+//!    targets the technique routes to the failed site (its *controllable*
+//!    set);
+//! 3. fail the site: mark it down on the data plane and withdraw all its
+//!    announcements; after the CDN's detection delay, apply the
+//!    technique's reactions (reactive-anycast's new announcements);
+//! 4. probe every controllable target every ~1.5 s for ~600 s via
+//!    Verfploeter-style pings sourced at a surviving site;
+//! 5. extract per-target reconnection and failover times.
+
+use bobw_bgp::{BgpEvent, BgpSim, BgpTimingConfig};
+use bobw_dataplane::{probe_once, ForwardEnv, ProbeConfig, ProbeLog, ProbeOutcome, ProbeRecord, SiteCapture};
+use bobw_dataplane::walk;
+use bobw_event::{Engine, Handler, RngFactory, Scheduler, SimDuration, SimTime};
+use bobw_net::NodeId;
+use bobw_topology::{generate, CdnDeployment, GenConfig, SiteId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{analyze_target, TargetOutcome};
+use crate::plan::AddressPlan;
+use crate::targets::select_targets;
+use crate::technique::{Action, Technique};
+
+/// How the site fails (§4 assumes graceful withdrawal; the silent-crash
+/// mode probes what happens when the router dies without saying goodbye
+/// and neighbors must discover it via the BGP hold timer — the case that
+/// makes the paper's "real-time monitoring system" requirement bite).
+/// A botched reactive reconfiguration (see `ExperimentConfig::reaction_fault`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReactionFault {
+    /// The first `n` backup sites never get the new configuration (partial
+    /// rollout / automation failure).
+    SkipSites(usize),
+    /// Every backup site announces the *covering* prefix instead of the
+    /// failed site's specific one — a one-line config typo. Longest-prefix
+    /// match makes the mistake silent at the announcing sites and fatal
+    /// for the clients (the Amazon-typo class of outage the paper cites).
+    WrongPrefix,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// The failing site withdraws all its announcements (paper default).
+    GracefulWithdrawal,
+    /// The site crashes silently: all its links drop, no withdrawals are
+    /// sent, and each neighbor purges its routes only when its hold timer
+    /// expires (`BgpTimingConfig::hold_time_s`).
+    SilentCrash,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    pub gen: GenConfig,
+    pub timing: BgpTimingConfig,
+    pub probe: ProbeConfig,
+    pub plan: AddressPlan,
+    /// Target-count cap per site (paper: 50k; scaled to the topology).
+    pub targets_per_site: usize,
+    /// Site-proximity criterion in milliseconds RTT (paper: 50 ms).
+    pub proximity_ms: f64,
+    /// Delay between the failure and the CDN's reactive reconfiguration
+    /// (outage detection + control-system actuation).
+    pub detection_delay: SimDuration,
+    /// How the site fails.
+    pub failure_mode: FailureMode,
+    /// Fault injected into the post-failure reaction — the §4/§7 "risk"
+    /// of reactive-anycast made measurable ("simultaneous global
+    /// configuration changes are operationally treacherous"). `None` = the
+    /// reaction executes cleanly.
+    pub reaction_fault: Option<ReactionFault>,
+    /// Number of withdraw/re-announce cycles the site goes through before
+    /// the final failure (maintenance churn / partial outages). With
+    /// route-flap damping enabled, these pre-failure flaps push the
+    /// prefix's penalty toward suppression — the damping ablation's
+    /// scenario.
+    pub pre_failure_flaps: u32,
+    pub seed: u64,
+    /// Event budget per engine phase (runaway protection).
+    pub max_events: u64,
+}
+
+impl ExperimentConfig {
+    /// Small topology, shortened probing window — integration tests and
+    /// quick benches.
+    pub fn quick(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            gen: GenConfig::small(),
+            timing: BgpTimingConfig::default(),
+            probe: ProbeConfig::quick(),
+            plan: AddressPlan::default(),
+            targets_per_site: 150,
+            proximity_ms: 50.0,
+            detection_delay: SimDuration::from_secs(2),
+            failure_mode: FailureMode::GracefulWithdrawal,
+            reaction_fault: None,
+            pre_failure_flaps: 0,
+            seed,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// The full reproduction scale.
+    pub fn eval(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            gen: GenConfig::eval(),
+            timing: BgpTimingConfig::default(),
+            probe: ProbeConfig::default(),
+            plan: AddressPlan::default(),
+            targets_per_site: 400,
+            proximity_ms: 50.0,
+            detection_delay: SimDuration::from_secs(2),
+            failure_mode: FailureMode::GracefulWithdrawal,
+            reaction_fault: None,
+            pre_failure_flaps: 0,
+            seed,
+            max_events: 200_000_000,
+        }
+    }
+}
+
+/// A generated topology + CDN deployment shared by all runs of a config
+/// (the paper reuses the same PEERING deployment across techniques).
+pub struct Testbed {
+    pub cfg: ExperimentConfig,
+    pub topo: Topology,
+    pub cdn: CdnDeployment,
+    pub rng: RngFactory,
+}
+
+impl Testbed {
+    pub fn new(cfg: ExperimentConfig) -> Testbed {
+        let rng = RngFactory::new(cfg.seed);
+        let (topo, cdn) = generate(&cfg.gen, &rng);
+        Testbed {
+            cfg,
+            topo,
+            cdn,
+            rng,
+        }
+    }
+
+    /// Site id by paper name (`"sea1"`), panicking on typos.
+    pub fn site(&self, name: &str) -> SiteId {
+        self.cdn
+            .by_name(name)
+            .unwrap_or_else(|| panic!("unknown site {name}"))
+    }
+}
+
+/// The result of one ⟨technique, failed site⟩ failover run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailoverResult {
+    pub technique: String,
+    pub site_name: String,
+    pub failed_site: SiteId,
+    /// Targets meeting the §5.1 criteria (before the per-site cap).
+    pub num_candidates: usize,
+    /// Targets probed for control (after the cap).
+    pub num_selected: usize,
+    /// Targets the technique routed to the site before failure — the set
+    /// that is then probed through the failure.
+    pub num_controllable: usize,
+    /// Per-controllable-target outcomes (same order as `controllable`).
+    pub outcomes: Vec<TargetOutcome>,
+    pub t_fail: SimTime,
+}
+
+impl FailoverResult {
+    /// Fraction of selected targets the technique could steer to the site.
+    pub fn control_fraction(&self) -> f64 {
+        if self.num_selected == 0 {
+            0.0
+        } else {
+            self.num_controllable as f64 / self.num_selected as f64
+        }
+    }
+
+    /// Reconnection times in seconds (reconnected targets only).
+    pub fn reconnection_secs(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.reconnection)
+            .map(|d| d.as_secs_f64())
+            .collect()
+    }
+
+    /// Failover times in seconds (stabilized targets only).
+    pub fn failover_secs(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.failover)
+            .map(|d| d.as_secs_f64())
+            .collect()
+    }
+
+    /// Fraction of controllable targets that never reconnected.
+    pub fn never_reconnected_fraction(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .filter(|o| o.reconnection.is_none())
+            .count() as f64
+            / self.outcomes.len() as f64
+    }
+}
+
+/// Composite simulation events: BGP plus the experiment's own actions.
+enum SimEvent {
+    Bgp(BgpEvent),
+    /// Pre-failure churn: the site withdraws everything it announces...
+    FlapDown,
+    /// ...and re-announces it shortly after.
+    FlapUp,
+    FailSite,
+    React,
+    ProbeRound(u32),
+}
+
+struct Run<'a> {
+    topo: &'a Topology,
+    cdn: &'a CdnDeployment,
+    plan: &'a AddressPlan,
+    bgp: BgpSim,
+    down: Vec<NodeId>,
+    targets: Vec<NodeId>,
+    prober: NodeId,
+    failed_node: NodeId,
+    failure_mode: FailureMode,
+    reactions: Vec<Action>,
+    /// The failed site's own before-failure announcements, re-played by
+    /// `FlapUp` events.
+    site_announcements: Vec<Action>,
+    log: ProbeLog,
+    capture: SiteCapture,
+    scratch: Vec<(SimDuration, BgpEvent)>,
+}
+
+impl Run<'_> {
+    fn drain_bgp(&mut self, sched: &mut Scheduler<'_, SimEvent>) {
+        for (d, e) in self.scratch.drain(..) {
+            sched.after(d, SimEvent::Bgp(e));
+        }
+    }
+}
+
+impl Handler<SimEvent> for Run<'_> {
+    fn handle(&mut self, now: SimTime, event: SimEvent, sched: &mut Scheduler<'_, SimEvent>) {
+        match event {
+            SimEvent::Bgp(e) => {
+                self.bgp.handle(now, e, &mut self.scratch);
+                self.drain_bgp(sched);
+            }
+            SimEvent::FlapDown => {
+                for prefix in self.bgp.node(self.failed_node).originated_prefixes() {
+                    self.bgp
+                        .withdraw(now, self.failed_node, prefix, &mut self.scratch);
+                }
+                self.drain_bgp(sched);
+            }
+            SimEvent::FlapUp => {
+                for a in &self.site_announcements.clone() {
+                    self.bgp
+                        .announce(now, a.node, a.prefix, a.cfg.clone(), &mut self.scratch);
+                }
+                self.drain_bgp(sched);
+            }
+            SimEvent::FailSite => {
+                // The site dies: data plane drops everything arriving there.
+                self.down.push(self.failed_node);
+                match self.failure_mode {
+                    FailureMode::GracefulWithdrawal => {
+                        // Its router withdraws all announcements (§4).
+                        for prefix in self.bgp.node(self.failed_node).originated_prefixes() {
+                            self.bgp
+                                .withdraw(now, self.failed_node, prefix, &mut self.scratch);
+                        }
+                    }
+                    FailureMode::SilentCrash => {
+                        // Every link drops with no goodbye; the neighbors'
+                        // hold timers do the discovering.
+                        let peers: Vec<NodeId> = self
+                            .topo
+                            .neighbors(self.failed_node)
+                            .iter()
+                            .map(|a| a.peer)
+                            .collect();
+                        self.bgp
+                            .fail_node_links(now, self.failed_node, &peers, &mut self.scratch);
+                    }
+                }
+                self.drain_bgp(sched);
+            }
+            SimEvent::React => {
+                let reactions = std::mem::take(&mut self.reactions);
+                for a in &reactions {
+                    self.bgp
+                        .announce(now, a.node, a.prefix, a.cfg.clone(), &mut self.scratch);
+                }
+                self.drain_bgp(sched);
+            }
+            SimEvent::ProbeRound(seq) => {
+                let mut outcomes = Vec::with_capacity(self.targets.len());
+                {
+                    let env = ForwardEnv {
+                        topo: self.topo,
+                        bgp: &self.bgp,
+                        down: &self.down,
+                    };
+                    for &target in &self.targets {
+                        outcomes.push(probe_once(
+                            &env,
+                            self.cdn,
+                            self.topo,
+                            self.prober,
+                            target,
+                            self.plan.probe_addr(),
+                            now,
+                        ));
+                    }
+                }
+                for (i, outcome) in outcomes.into_iter().enumerate() {
+                    if let ProbeOutcome::Received { site, at } = outcome {
+                        self.capture.record(site, at, i as u32, seq);
+                    }
+                    self.log.push(
+                        i,
+                        ProbeRecord {
+                            seq,
+                            sent: now,
+                            outcome,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Applies a configured [`ReactionFault`] to the technique's reaction set.
+fn apply_reaction_fault(
+    mut reactions: Vec<Action>,
+    fault: Option<ReactionFault>,
+    plan: &AddressPlan,
+) -> Vec<Action> {
+    match fault {
+        None => reactions,
+        Some(ReactionFault::SkipSites(n)) => {
+            // The first n sites' automation never fires.
+            reactions.drain(..n.min(reactions.len()));
+            reactions
+        }
+        Some(ReactionFault::WrongPrefix) => {
+            for a in &mut reactions {
+                a.prefix = plan.covering;
+            }
+            reactions
+        }
+    }
+}
+
+/// Runs one failover experiment. See the module docs for the protocol.
+pub fn run_failover(testbed: &Testbed, technique: &Technique, failed: SiteId) -> FailoverResult {
+    let cfg = &testbed.cfg;
+    cfg.plan.validate();
+    let topo = &testbed.topo;
+    let cdn = &testbed.cdn;
+    let plan = &cfg.plan;
+    let failed_node = cdn.node(failed);
+
+    let mut engine: Engine<SimEvent> = Engine::new();
+    let mut run = Run {
+        topo,
+        cdn,
+        plan,
+        bgp: BgpSim::new(topo, cfg.timing.clone(), &testbed.rng),
+        down: Vec::new(),
+        targets: Vec::new(),
+        prober: NodeId(0), // set after target selection
+        failed_node,
+        failure_mode: cfg.failure_mode,
+        reactions: apply_reaction_fault(
+            technique.after(plan, topo, cdn, failed),
+            cfg.reaction_fault,
+            plan,
+        ),
+        site_announcements: Vec::new(),
+        log: ProbeLog::new(0),
+        capture: SiteCapture::new(cdn.num_sites()),
+        scratch: Vec::with_capacity(64),
+    };
+
+    // --- Phase 1: announce and converge. ---
+    let mut initial: Vec<Action> = technique.before(plan, topo, cdn, failed);
+    // Measurement prefixes: RTT probe unicast from the site under test,
+    // anycast probe from every site.
+    initial.push(Action {
+        node: failed_node,
+        prefix: plan.rtt_probe,
+        cfg: bobw_bgp::OriginConfig::plain(),
+    });
+    for site in cdn.sites() {
+        initial.push(Action {
+            node: cdn.node(site),
+            prefix: plan.anycast_probe,
+            cfg: bobw_bgp::OriginConfig::plain(),
+        });
+    }
+    for a in &initial {
+        run.bgp
+            .announce(engine.now(), a.node, a.prefix, a.cfg.clone(), &mut run.scratch);
+    }
+    let pending: Vec<(SimDuration, BgpEvent)> = run.scratch.drain(..).collect();
+    for (d, e) in pending {
+        engine.schedule_after(d, SimEvent::Bgp(e));
+    }
+    engine.run_to_idle(&mut run, cfg.max_events);
+
+    // --- Phase 2: target selection + reachability (control) test. ---
+    let require_not_anycast = !matches!(technique, Technique::Anycast);
+    let candidates = select_targets(
+        topo,
+        cdn,
+        &run.bgp,
+        plan,
+        failed,
+        cfg.proximity_ms,
+        require_not_anycast,
+        usize::MAX,
+        &testbed.rng,
+    );
+    let num_candidates = candidates.len();
+    let selected = select_targets(
+        topo,
+        cdn,
+        &run.bgp,
+        plan,
+        failed,
+        cfg.proximity_ms,
+        require_not_anycast,
+        cfg.targets_per_site,
+        &testbed.rng,
+    );
+    let num_selected = selected.len();
+    let controllable: Vec<NodeId> = {
+        let env = ForwardEnv {
+            topo,
+            bgp: &run.bgp,
+            down: &run.down,
+        };
+        selected
+            .into_iter()
+            .filter(|t| {
+                walk(&env, *t, plan.probe_addr())
+                    .delivered_to()
+                    .and_then(|n| cdn.site_at(n))
+                    == Some(failed)
+            })
+            .collect()
+    };
+    run.targets = controllable;
+    run.log = ProbeLog::new(run.targets.len());
+    // Probe from the first surviving site (the paper probes "from a
+    // Peering site other than the failed one").
+    run.prober = cdn
+        .other_sites(failed)
+        .map(|s| cdn.node(s))
+        .next()
+        .expect("at least two sites");
+
+    // The failed site's own announcements (replayed by pre-failure flaps).
+    run.site_announcements = initial
+        .iter()
+        .filter(|a| a.node == failed_node)
+        .cloned()
+        .collect();
+
+    // --- Phase 3: (optional churn,) fail the site, react, probe. ---
+    let mut t_fail = engine.now() + SimDuration::from_secs(10);
+    for k in 0..cfg.pre_failure_flaps {
+        let down = engine.now() + SimDuration::from_secs(10 + 30 * k as u64);
+        engine.schedule_at(down, SimEvent::FlapDown);
+        engine.schedule_at(down + SimDuration::from_secs(10), SimEvent::FlapUp);
+    }
+    if cfg.pre_failure_flaps > 0 {
+        t_fail = engine.now() + SimDuration::from_secs(10 + 30 * cfg.pre_failure_flaps as u64);
+    }
+    engine.schedule_at(t_fail, SimEvent::FailSite);
+    if !run.reactions.is_empty() {
+        engine.schedule_at(t_fail + cfg.detection_delay, SimEvent::React);
+    }
+    let rounds = cfg.probe.probes_per_target();
+    for k in 0..rounds {
+        engine.schedule_at(t_fail + cfg.probe.interval.saturating_mul(k as u64), SimEvent::ProbeRound(k));
+    }
+    engine.run_until(&mut run, t_fail + cfg.probe.duration, cfg.max_events);
+
+    // --- Phase 4: metrics. ---
+    let outcomes: Vec<TargetOutcome> = (0..run.log.num_targets())
+        .map(|i| analyze_target(run.log.for_target(i), t_fail))
+        .collect();
+
+    FailoverResult {
+        technique: technique.name(),
+        site_name: cdn.name(failed).to_string(),
+        failed_site: failed,
+        num_candidates,
+        num_selected,
+        num_controllable: run.targets.len(),
+        outcomes,
+        t_fail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_testbed() -> Testbed {
+        let mut cfg = ExperimentConfig::quick(7);
+        cfg.targets_per_site = 40;
+        Testbed::new(cfg)
+    }
+
+    #[test]
+    fn reactive_anycast_full_control_and_recovery() {
+        let tb = quick_testbed();
+        let site = tb.site("bos");
+        let r = run_failover(&tb, &Technique::ReactiveAnycast, site);
+        assert!(r.num_selected > 0, "no targets selected");
+        // Unicast-prefix techniques control every target.
+        assert!(
+            r.control_fraction() > 0.99,
+            "reactive-anycast should control all targets: {}",
+            r.control_fraction()
+        );
+        // The vast majority of targets reconnect within the window.
+        assert!(
+            r.never_reconnected_fraction() < 0.1,
+            "too many targets never reconnected: {}",
+            r.never_reconnected_fraction()
+        );
+        // Reconnection times are positive and bounded by the window.
+        for s in r.reconnection_secs() {
+            assert!(s >= 0.0 && s <= 130.0, "{s}");
+        }
+        // Final sites are never the failed one.
+        for o in &r.outcomes {
+            assert_ne!(o.final_site, Some(site));
+        }
+    }
+
+    #[test]
+    fn anycast_controllable_set_is_its_catchment() {
+        let tb = quick_testbed();
+        let site = tb.site("ams");
+        let r = run_failover(&tb, &Technique::Anycast, site);
+        // ams is well connected: its anycast catchment includes nearby
+        // clients, so some targets must be controllable...
+        assert!(r.num_controllable > 0);
+        // ...but anycast cannot steer everyone (that is the whole point).
+        assert!(
+            r.control_fraction() < 1.0,
+            "anycast controlling everything is wrong: {}",
+            r.control_fraction()
+        );
+    }
+
+    #[test]
+    fn prepending_loses_some_control() {
+        let tb = quick_testbed();
+        let site = tb.site("sea1");
+        let t = Technique::ProactivePrepending {
+            prepends: 3,
+            selective: false,
+        };
+        let r = run_failover(&tb, &t, site);
+        assert!(r.num_selected > 0);
+        // sea1's profile (mostly peers at a commercial IX, with R&E-backed
+        // sea2 nearby) must lose a meaningful share of targets.
+        assert!(
+            r.control_fraction() < 0.9,
+            "sea1 prepending control suspiciously high: {}",
+            r.control_fraction()
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let tb = quick_testbed();
+        let site = tb.site("bos");
+        let a = run_failover(&tb, &Technique::Anycast, site);
+        let b = run_failover(&tb, &Technique::Anycast, site);
+        assert_eq!(a.num_controllable, b.num_controllable);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+}

@@ -1,0 +1,406 @@
+//! The CDN redirection techniques (paper Figure 1).
+//!
+//! A technique is fully described by the announcements it makes before a
+//! site failure and the announcements it adds after one (the failing site
+//! always withdraws everything it announces — §4: "On site failure, we
+//! assume that the site withdraws its prefix announcements"). Everything
+//! else (probing, metrics) is shared by the experiment harness.
+
+use bobw_bgp::OriginConfig;
+use bobw_net::{NodeId, Prefix};
+use bobw_topology::{CdnDeployment, SiteId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::plan::AddressPlan;
+
+/// One announcement action: `node` originates `prefix` under `cfg`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Action {
+    pub node: NodeId,
+    pub prefix: Prefix,
+    pub cfg: OriginConfig,
+}
+
+impl Action {
+    fn plain(node: NodeId, prefix: Prefix) -> Action {
+        Action {
+            node,
+            prefix,
+            cfg: OriginConfig::plain(),
+        }
+    }
+}
+
+/// A CDN redirection technique.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// DNS-only steering; per-site unicast prefixes (§2).
+    Unicast,
+    /// One shared prefix from every site; BGP picks the site (§2).
+    Anycast,
+    /// Unicast plus a covering prefix from all sites (§3's hybrid
+    /// non-solution).
+    ProactiveSuperprefix,
+    /// §4: unicast normally; on failure all other sites announce the failed
+    /// site's prefix.
+    ReactiveAnycast,
+    /// §4: the specific site announces plain; all other sites announce the
+    /// same prefix prepended `prepends` times. With `selective`, backup
+    /// sites announce only to neighbors that also connect to the specific
+    /// site (§4's recommendation; the paper's evaluation prepends to all
+    /// neighbors because PEERING providers differ per site, §5.2).
+    ProactivePrepending { prepends: u8, selective: bool },
+    /// §4's briefly-evaluated combination: reactive-anycast plus the
+    /// proactive covering prefix.
+    Combined,
+    /// Extension: backup sites pre-position prepended routes tagged with
+    /// the well-known NO_EXPORT community, so the exact-prefix backups
+    /// exist *only* in the RIBs of the backups' direct neighbors — the
+    /// practical realization of §4's "announce the prepended route only to
+    /// neighbors that also connect to the site", with zero control loss
+    /// anywhere else. During convergence, ghost routes funnel packets into
+    /// those neighborhoods, where the scoped routes catch them; the
+    /// covering prefix (announced from every site, as in
+    /// proactive-superprefix) provides the steady state once the ghosts
+    /// die — without it, remote ASes end up with *no* route at all, a
+    /// pitfall the ablation bench demonstrates.
+    ProactiveNoExport { prepends: u8 },
+    /// Extension of §4's aside — "BGP MED could also be used for neighbors
+    /// that support it": backup sites announce the prefix *unprepended* but
+    /// with a high MED, so neighbors connected to both a backup and the
+    /// specific site prefer the specific site (lower MED) without any
+    /// path-length penalty during failover. Neighbors connected only to a
+    /// backup still route there (MED is non-transitive), so control is
+    /// below prepending's — the tradeoff the ablation bench quantifies.
+    ProactiveMed { med: u32 },
+}
+
+impl Technique {
+    /// Display name matching the paper's typography.
+    pub fn name(&self) -> String {
+        match self {
+            Technique::Unicast => "unicast".into(),
+            Technique::Anycast => "anycast".into(),
+            Technique::ProactiveSuperprefix => "proactive-superprefix".into(),
+            Technique::ReactiveAnycast => "reactive-anycast".into(),
+            Technique::ProactivePrepending { prepends, selective } => {
+                if *selective {
+                    format!("proactive-prepending-{prepends}-selective")
+                } else {
+                    format!("proactive-prepending-{prepends}")
+                }
+            }
+            Technique::Combined => "combined".into(),
+            Technique::ProactiveMed { med } => format!("proactive-med-{med}"),
+            Technique::ProactiveNoExport { prepends } => {
+                format!("proactive-noexport-{prepends}")
+            }
+        }
+    }
+
+    /// The four techniques of Figure 2, with the paper's default prepend
+    /// count (3, §5.2).
+    pub fn figure2_set() -> Vec<Technique> {
+        vec![
+            Technique::ProactiveSuperprefix,
+            Technique::ReactiveAnycast,
+            Technique::ProactivePrepending {
+                prepends: 3,
+                selective: false,
+            },
+            Technique::Anycast,
+        ]
+    }
+
+    /// Does failover require changing announcements at surviving sites
+    /// (the paper's "risk" column: global routing reconfiguration under
+    /// pressure, §7)?
+    pub fn requires_global_reconfiguration(&self) -> bool {
+        matches!(self, Technique::ReactiveAnycast | Technique::Combined)
+    }
+
+    /// Announcements in normal operation, with `specific` as the site the
+    /// CDN steers the measured clients to (Figure 1's left column).
+    pub fn before(
+        &self,
+        plan: &AddressPlan,
+        topo: &Topology,
+        cdn: &CdnDeployment,
+        specific: SiteId,
+    ) -> Vec<Action> {
+        let s_node = cdn.node(specific);
+        let mut acts = Vec::new();
+        match self {
+            Technique::Unicast | Technique::ReactiveAnycast => {
+                acts.push(Action::plain(s_node, plan.specific));
+            }
+            Technique::Anycast => {
+                for site in cdn.sites() {
+                    acts.push(Action::plain(cdn.node(site), plan.specific));
+                }
+            }
+            Technique::ProactiveSuperprefix | Technique::Combined => {
+                acts.push(Action::plain(s_node, plan.specific));
+                for site in cdn.sites() {
+                    acts.push(Action::plain(cdn.node(site), plan.covering));
+                }
+            }
+            Technique::ProactivePrepending { prepends, selective } => {
+                acts.push(Action::plain(s_node, plan.specific));
+                for site in cdn.other_sites(specific) {
+                    let node = cdn.node(site);
+                    let mut cfg = OriginConfig::prepended(*prepends);
+                    if *selective {
+                        cfg = cfg.only_to(shared_neighbors(topo, node, s_node));
+                    }
+                    acts.push(Action {
+                        node,
+                        prefix: plan.specific,
+                        cfg,
+                    });
+                }
+            }
+            Technique::ProactiveMed { med } => {
+                acts.push(Action::plain(s_node, plan.specific));
+                for site in cdn.other_sites(specific) {
+                    let mut cfg = OriginConfig::plain();
+                    cfg.med = *med;
+                    acts.push(Action {
+                        node: cdn.node(site),
+                        prefix: plan.specific,
+                        cfg,
+                    });
+                }
+            }
+            Technique::ProactiveNoExport { prepends } => {
+                acts.push(Action::plain(s_node, plan.specific));
+                for site in cdn.sites() {
+                    acts.push(Action::plain(cdn.node(site), plan.covering));
+                }
+                for site in cdn.other_sites(specific) {
+                    acts.push(Action {
+                        node: cdn.node(site),
+                        prefix: plan.specific,
+                        cfg: OriginConfig::prepended(*prepends).with_no_export(),
+                    });
+                }
+            }
+        }
+        acts
+    }
+
+    /// New announcements made in reaction to the failure of `failed`
+    /// (Figure 1's right column). The failed site's withdrawals are handled
+    /// by the harness, not here.
+    pub fn after(
+        &self,
+        plan: &AddressPlan,
+        _topo: &Topology,
+        cdn: &CdnDeployment,
+        failed: SiteId,
+    ) -> Vec<Action> {
+        match self {
+            Technique::ReactiveAnycast | Technique::Combined => cdn
+                .other_sites(failed)
+                .map(|site| Action::plain(cdn.node(site), plan.specific))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Neighbors of `backup` that are also neighbors of `specific` — the §4
+/// recommendation's export set for selective prepending ("only announce the
+/// prepended route for a site's prefix to neighbors that also connect to
+/// the site and hence receive the non-prepended route").
+pub fn shared_neighbors(topo: &Topology, backup: NodeId, specific: NodeId) -> Vec<NodeId> {
+    topo.neighbors(backup)
+        .iter()
+        .map(|a| a.peer)
+        .filter(|peer| topo.are_linked(*peer, specific))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bobw_event::RngFactory;
+    use bobw_topology::{generate, GenConfig};
+
+    fn setup() -> (AddressPlan, Topology, CdnDeployment, SiteId) {
+        let (topo, cdn) = generate(&GenConfig::tiny(), &RngFactory::new(1));
+        let site = cdn.by_name("bos").unwrap();
+        (AddressPlan::default(), topo, cdn, site)
+    }
+
+    #[test]
+    fn unicast_announces_specific_only() {
+        let (plan, topo, cdn, site) = setup();
+        let acts = Technique::Unicast.before(&plan, &topo, &cdn, site);
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].node, cdn.node(site));
+        assert_eq!(acts[0].prefix, plan.specific);
+        assert_eq!(acts[0].cfg, OriginConfig::plain());
+        assert!(Technique::Unicast.after(&plan, &topo, &cdn, site).is_empty());
+    }
+
+    #[test]
+    fn anycast_announces_from_all_sites() {
+        let (plan, topo, cdn, site) = setup();
+        let acts = Technique::Anycast.before(&plan, &topo, &cdn, site);
+        assert_eq!(acts.len(), cdn.num_sites());
+        assert!(acts.iter().all(|a| a.prefix == plan.specific));
+        assert!(Technique::Anycast.after(&plan, &topo, &cdn, site).is_empty());
+    }
+
+    #[test]
+    fn superprefix_matches_figure1() {
+        let (plan, topo, cdn, site) = setup();
+        let acts = Technique::ProactiveSuperprefix.before(&plan, &topo, &cdn, site);
+        // specific /24 at the site + /23 from all 8 sites.
+        assert_eq!(acts.len(), 1 + cdn.num_sites());
+        let specifics: Vec<&Action> = acts.iter().filter(|a| a.prefix == plan.specific).collect();
+        assert_eq!(specifics.len(), 1);
+        assert_eq!(specifics[0].node, cdn.node(site));
+        let coverings = acts.iter().filter(|a| a.prefix == plan.covering).count();
+        assert_eq!(coverings, cdn.num_sites());
+        assert!(Technique::ProactiveSuperprefix
+            .after(&plan, &topo, &cdn, site)
+            .is_empty());
+    }
+
+    #[test]
+    fn reactive_anycast_reacts_from_all_other_sites() {
+        let (plan, topo, cdn, site) = setup();
+        let before = Technique::ReactiveAnycast.before(&plan, &topo, &cdn, site);
+        assert_eq!(before.len(), 1);
+        let after = Technique::ReactiveAnycast.after(&plan, &topo, &cdn, site);
+        assert_eq!(after.len(), cdn.num_sites() - 1);
+        assert!(after.iter().all(|a| a.prefix == plan.specific));
+        assert!(after.iter().all(|a| a.node != cdn.node(site)));
+    }
+
+    #[test]
+    fn prepending_prepends_only_backups() {
+        let (plan, topo, cdn, site) = setup();
+        let t = Technique::ProactivePrepending {
+            prepends: 3,
+            selective: false,
+        };
+        let acts = t.before(&plan, &topo, &cdn, site);
+        assert_eq!(acts.len(), cdn.num_sites());
+        for a in &acts {
+            if a.node == cdn.node(site) {
+                assert_eq!(a.cfg.prepend, 0);
+            } else {
+                assert_eq!(a.cfg.prepend, 3);
+                assert!(a.cfg.export_to.is_none());
+            }
+        }
+        assert!(t.after(&plan, &topo, &cdn, site).is_empty());
+    }
+
+    #[test]
+    fn selective_prepending_restricts_to_shared_neighbors() {
+        let (plan, topo, cdn, site) = setup();
+        let t = Technique::ProactivePrepending {
+            prepends: 3,
+            selective: true,
+        };
+        let acts = t.before(&plan, &topo, &cdn, site);
+        for a in &acts {
+            if a.node == cdn.node(site) {
+                continue;
+            }
+            let set = a.cfg.export_to.as_ref().expect("selective export set");
+            for n in set {
+                assert!(topo.are_linked(*n, cdn.node(site)));
+                assert!(topo.are_linked(*n, a.node));
+            }
+        }
+    }
+
+    #[test]
+    fn combined_is_superprefix_plus_reactive() {
+        let (plan, topo, cdn, site) = setup();
+        let before = Technique::Combined.before(&plan, &topo, &cdn, site);
+        assert_eq!(before.len(), 1 + cdn.num_sites());
+        let after = Technique::Combined.after(&plan, &topo, &cdn, site);
+        assert_eq!(after.len(), cdn.num_sites() - 1);
+    }
+
+    #[test]
+    fn risk_classification_matches_table2() {
+        assert!(Technique::ReactiveAnycast.requires_global_reconfiguration());
+        assert!(Technique::Combined.requires_global_reconfiguration());
+        assert!(!Technique::Anycast.requires_global_reconfiguration());
+        assert!(!Technique::Unicast.requires_global_reconfiguration());
+        assert!(!Technique::ProactiveSuperprefix.requires_global_reconfiguration());
+        assert!(!Technique::ProactivePrepending {
+            prepends: 3,
+            selective: false
+        }
+        .requires_global_reconfiguration());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Technique::Anycast.name(), "anycast");
+        assert_eq!(
+            Technique::ProactivePrepending {
+                prepends: 5,
+                selective: false
+            }
+            .name(),
+            "proactive-prepending-5"
+        );
+        assert_eq!(Technique::ProactiveMed { med: 50 }.name(), "proactive-med-50");
+        assert_eq!(
+            Technique::ProactiveNoExport { prepends: 3 }.name(),
+            "proactive-noexport-3"
+        );
+        assert_eq!(Technique::figure2_set().len(), 4);
+    }
+
+    #[test]
+    fn noexport_variant_tags_backups_only() {
+        let (plan, topo, cdn, site) = setup();
+        let t = Technique::ProactiveNoExport { prepends: 3 };
+        let acts = t.before(&plan, &topo, &cdn, site);
+        // specific at the site + covering everywhere + scoped backups.
+        assert_eq!(acts.len(), 2 * cdn.num_sites());
+        for a in &acts {
+            if a.prefix == plan.covering {
+                assert!(!a.cfg.no_export, "covering prefix must propagate");
+                continue;
+            }
+            if a.node == cdn.node(site) {
+                assert!(!a.cfg.no_export);
+                assert_eq!(a.cfg.prepend, 0);
+            } else {
+                assert!(a.cfg.no_export);
+                assert_eq!(a.cfg.prepend, 3);
+            }
+        }
+        assert!(t.after(&plan, &topo, &cdn, site).is_empty());
+        assert!(!t.requires_global_reconfiguration());
+    }
+
+    #[test]
+    fn med_variant_sets_med_on_backups_only() {
+        let (plan, topo, cdn, site) = setup();
+        let t = Technique::ProactiveMed { med: 100 };
+        let acts = t.before(&plan, &topo, &cdn, site);
+        assert_eq!(acts.len(), cdn.num_sites());
+        for a in &acts {
+            assert_eq!(a.cfg.prepend, 0, "MED variant must not prepend");
+            if a.node == cdn.node(site) {
+                assert_eq!(a.cfg.med, 0);
+            } else {
+                assert_eq!(a.cfg.med, 100);
+            }
+        }
+        assert!(t.after(&plan, &topo, &cdn, site).is_empty());
+        assert!(!t.requires_global_reconfiguration());
+    }
+}

@@ -1,0 +1,157 @@
+//! Table 2: the control / availability / risk tradeoff matrix — derived
+//! from measured quantities rather than asserted.
+//!
+//! The paper's rubric (§7): control is *high* if equal to unicast, *low*
+//! if equal to anycast, *medium* in between. Availability is *high* if the
+//! failover time is close to anycast's, *low* if it depends on new DNS
+//! record distribution, *medium* if it improves on unicast but is slower
+//! than anycast. Risk is *high* iff failover requires global routing
+//! reconfiguration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::technique::Technique;
+
+/// A qualitative rating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rating {
+    Low,
+    Medium,
+    High,
+}
+
+impl std::fmt::Display for Rating {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rating::Low => write!(f, "low"),
+            Rating::Medium => write!(f, "medium"),
+            Rating::High => write!(f, "high"),
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TechniqueTradeoff {
+    pub technique: String,
+    pub control: Rating,
+    pub availability: Rating,
+    pub risk: Rating,
+}
+
+/// Inputs for one technique's row.
+#[derive(Debug, Clone)]
+pub struct MeasuredTechnique {
+    pub technique: Technique,
+    /// Fraction of (not-anycast-routed) targets the technique steers to
+    /// the intended site. 1.0 for unicast-prefix techniques by
+    /// construction; anycast's value is 0 on that population.
+    pub control_fraction: f64,
+    /// Median failover in seconds; `None` for DNS-bound techniques whose
+    /// failover depends on record distribution (unicast).
+    pub failover_median_s: Option<f64>,
+}
+
+/// Derives Table 2. `anycast_failover_median_s` anchors the availability
+/// scale (availability is judged *relative to anycast*, §7).
+pub fn derive_tradeoffs(
+    measured: &[MeasuredTechnique],
+    anycast_failover_median_s: f64,
+) -> Vec<TechniqueTradeoff> {
+    measured
+        .iter()
+        .map(|m| {
+            let control = if m.control_fraction >= 0.99 {
+                Rating::High
+            } else if m.control_fraction <= 0.05 {
+                Rating::Low
+            } else {
+                Rating::Medium
+            };
+            let availability = match m.failover_median_s {
+                // DNS-bound: availability depends on record distribution
+                // (caches, TTL violations) — the paper's "low".
+                None => Rating::Low,
+                // BGP-bound failover always improves on unicast; the split
+                // is whether it is close to anycast ("high") or measurably
+                // slower ("medium", e.g. proactive-superprefix).
+                Some(f) if f <= anycast_failover_median_s * 2.0 => Rating::High,
+                Some(_) => Rating::Medium,
+            };
+            let risk = if m.technique.requires_global_reconfiguration() {
+                Rating::High
+            } else {
+                Rating::Low
+            };
+            TechniqueTradeoff {
+                technique: m.technique.name(),
+                control,
+                availability,
+                risk,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feeds the rubric with numbers shaped like the paper's measurements
+    /// and checks that Table 2 comes out exactly as printed in §7.
+    #[test]
+    fn paper_shaped_inputs_reproduce_table2() {
+        let anycast_median = 11.0;
+        let measured = vec![
+            MeasuredTechnique {
+                technique: Technique::ProactivePrepending { prepends: 3, selective: false },
+                control_fraction: 0.6,
+                failover_median_s: Some(16.0),
+            },
+            MeasuredTechnique {
+                technique: Technique::ReactiveAnycast,
+                control_fraction: 1.0,
+                failover_median_s: Some(12.0),
+            },
+            MeasuredTechnique {
+                technique: Technique::ProactiveSuperprefix,
+                control_fraction: 1.0,
+                failover_median_s: Some(100.0),
+            },
+            MeasuredTechnique {
+                technique: Technique::Anycast,
+                control_fraction: 0.0,
+                failover_median_s: Some(anycast_median),
+            },
+            MeasuredTechnique {
+                technique: Technique::Unicast,
+                control_fraction: 1.0,
+                failover_median_s: None,
+            },
+        ];
+        let rows = derive_tradeoffs(&measured, anycast_median);
+        let find = |name: &str| rows.iter().find(|r| r.technique == name).unwrap();
+
+        let pp = find("proactive-prepending-3");
+        assert_eq!((pp.control, pp.availability, pp.risk), (Rating::Medium, Rating::High, Rating::Low));
+
+        let ra = find("reactive-anycast");
+        assert_eq!((ra.control, ra.availability, ra.risk), (Rating::High, Rating::High, Rating::High));
+
+        let ps = find("proactive-superprefix");
+        assert_eq!((ps.control, ps.availability, ps.risk), (Rating::High, Rating::Medium, Rating::Low));
+
+        let ac = find("anycast");
+        assert_eq!((ac.control, ac.availability, ac.risk), (Rating::Low, Rating::High, Rating::Low));
+
+        let un = find("unicast");
+        assert_eq!((un.control, un.availability, un.risk), (Rating::High, Rating::Low, Rating::Low));
+    }
+
+    #[test]
+    fn rating_display() {
+        assert_eq!(Rating::Low.to_string(), "low");
+        assert_eq!(Rating::Medium.to_string(), "medium");
+        assert_eq!(Rating::High.to_string(), "high");
+    }
+}

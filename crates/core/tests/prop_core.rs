@@ -1,0 +1,139 @@
+//! Property tests for the core crate's pure logic: the §5.4.1 metric
+//! extraction and the Table-2 rubric, under arbitrary inputs.
+
+use bobw_core::{analyze_target, derive_tradeoffs, MeasuredTechnique, Rating, Technique};
+use bobw_dataplane::{ProbeOutcome, ProbeRecord};
+use bobw_event::SimTime;
+use bobw_topology::SiteId;
+use proptest::prelude::*;
+
+/// Arbitrary probe record streams: per probe, either lost or received at
+/// one of 4 sites with a small arrival delay.
+fn arb_records() -> impl Strategy<Value = Vec<ProbeRecord>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(None),
+            (0u8..4, 0u64..3).prop_map(|(site, delay)| Some((site, delay))),
+        ],
+        0..60,
+    )
+    .prop_map(|outcomes| {
+        outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let sent = SimTime::from_secs(100 + 2 * i as u64);
+                ProbeRecord {
+                    seq: i as u32,
+                    sent,
+                    outcome: match o {
+                        None => ProbeOutcome::Lost,
+                        Some((site, delay)) => ProbeOutcome::Received {
+                            site: SiteId(site),
+                            at: sent + bobw_event::SimDuration::from_secs(delay),
+                        },
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+const T_FAIL: SimTime = SimTime::from_secs(100);
+
+proptest! {
+    /// Invariants of the metric extraction, for any probe stream:
+    /// reconnection ≤ failover, failover implies a final site, the final
+    /// site matches the last received record, and bounce/loss counters are
+    /// bounded by the record count.
+    #[test]
+    fn metric_invariants(records in arb_records()) {
+        let o = analyze_target(&records, T_FAIL);
+        if let (Some(r), Some(f)) = (o.reconnection, o.failover) {
+            prop_assert!(r <= f, "reconnection {r} > failover {f}");
+        }
+        if o.failover.is_some() {
+            prop_assert!(o.reconnection.is_some());
+            prop_assert!(o.final_site.is_some());
+        }
+        match records.last().map(|r| r.outcome) {
+            Some(ProbeOutcome::Received { site, .. }) => {
+                prop_assert_eq!(o.final_site, Some(site));
+                // A stream ending in a reply always stabilizes (at worst on
+                // the very last probe).
+                prop_assert!(o.failover.is_some());
+            }
+            _ => {
+                prop_assert_eq!(o.final_site, None);
+                prop_assert!(o.failover.is_none());
+            }
+        }
+        let received = records
+            .iter()
+            .filter(|r| matches!(r.outcome, ProbeOutcome::Received { .. }))
+            .count();
+        prop_assert!(o.bounces as usize <= received.saturating_sub(1));
+        prop_assert!(o.losses_after_reconnect as usize <= records.len());
+        if received == 0 {
+            prop_assert_eq!(o.reconnection, None);
+        } else {
+            prop_assert!(o.reconnection.is_some());
+        }
+    }
+
+    /// The failover instant marks a genuinely stable suffix: re-analyzing
+    /// only the records from the stable suffix onward yields zero bounces.
+    #[test]
+    fn failover_suffix_is_stable(records in arb_records()) {
+        let o = analyze_target(&records, T_FAIL);
+        if o.failover.is_none() {
+            return Ok(());
+        }
+        // Find the suffix start: last run of identical Received sites.
+        let last_site = o.final_site.expect("failover implies final site");
+        let mut start = records.len();
+        for i in (0..records.len()).rev() {
+            match records[i].outcome {
+                ProbeOutcome::Received { site, .. } if site == last_site => start = i,
+                _ => break,
+            }
+        }
+        let suffix = &records[start..];
+        let o2 = analyze_target(suffix, T_FAIL);
+        prop_assert_eq!(o2.bounces, 0);
+        prop_assert_eq!(o2.losses_after_reconnect, 0);
+        prop_assert_eq!(o2.final_site, Some(last_site));
+    }
+
+    /// Table-2 rubric sanity for arbitrary measured inputs: ratings are
+    /// monotone in their inputs.
+    #[test]
+    fn tradeoff_rubric_monotone(
+        control in 0.0f64..=1.0,
+        failover in 0.1f64..1000.0,
+        anycast in 1.0f64..100.0,
+    ) {
+        let mk = |c: f64, f: Option<f64>| MeasuredTechnique {
+            technique: Technique::Anycast,
+            control_fraction: c,
+            failover_median_s: f,
+        };
+        let rows = derive_tradeoffs(
+            &[mk(control, Some(failover)), mk(control, None)],
+            anycast,
+        );
+        // DNS-bound availability is always Low; BGP-bound never Low.
+        prop_assert_ne!(rows[0].availability, Rating::Low);
+        prop_assert_eq!(rows[1].availability, Rating::Low);
+        // Faster-than-anycast failover is always High.
+        if failover <= anycast {
+            prop_assert_eq!(rows[0].availability, Rating::High);
+        }
+        // Control rating brackets.
+        match rows[0].control {
+            Rating::High => prop_assert!(control >= 0.99),
+            Rating::Low => prop_assert!(control <= 0.05),
+            Rating::Medium => prop_assert!(control > 0.05 && control < 0.99),
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Per-site capture logs — the simulator's `tcpdump`.
+//!
+//! The paper runs `tcpdump` at every PEERING site to record when and where
+//! each ping reply lands (§5.2). [`SiteCapture`] is that instrument: an
+//! append-only log of `(arrival time, target, sequence number)` per site.
+
+use bobw_event::SimTime;
+use bobw_topology::SiteId;
+use serde::{Deserialize, Serialize};
+
+/// One captured reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaptureEntry {
+    pub at: SimTime,
+    /// Index of the target in the experiment's target list.
+    pub target: u32,
+    /// Probe sequence number (matches request to reply, detects gaps).
+    pub seq: u32,
+}
+
+/// Capture logs for every site of a deployment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SiteCapture {
+    per_site: Vec<Vec<CaptureEntry>>,
+}
+
+impl SiteCapture {
+    pub fn new(num_sites: usize) -> SiteCapture {
+        SiteCapture {
+            per_site: vec![Vec::new(); num_sites],
+        }
+    }
+
+    /// Records a reply arriving at `site`.
+    pub fn record(&mut self, site: SiteId, at: SimTime, target: u32, seq: u32) {
+        self.per_site[site.index()].push(CaptureEntry { at, target, seq });
+    }
+
+    /// All replies captured at `site`, in arrival order.
+    pub fn at_site(&self, site: SiteId) -> &[CaptureEntry] {
+        &self.per_site[site.index()]
+    }
+
+    /// Total replies captured across all sites.
+    pub fn total(&self) -> usize {
+        self.per_site.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_site_in_order() {
+        let mut cap = SiteCapture::new(3);
+        let s0 = SiteId(0);
+        let s2 = SiteId(2);
+        cap.record(s0, SimTime::from_secs(1), 7, 0);
+        cap.record(s2, SimTime::from_secs(2), 7, 1);
+        cap.record(s0, SimTime::from_secs(3), 8, 0);
+        assert_eq!(cap.at_site(s0).len(), 2);
+        assert_eq!(cap.at_site(SiteId(1)).len(), 0);
+        assert_eq!(cap.at_site(s2).len(), 1);
+        assert_eq!(cap.total(), 3);
+        assert_eq!(cap.at_site(s0)[0].seq, 0);
+        assert_eq!(cap.at_site(s0)[1].target, 8);
+        assert!(cap.at_site(s0)[0].at < cap.at_site(s0)[1].at);
+    }
+}

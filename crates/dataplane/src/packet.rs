@@ -1,0 +1,216 @@
+//! ICMP echo packet encoding — the bits Verfploeter actually puts on the
+//! wire.
+//!
+//! The paper's probing protocol (§5.2–5.3) needs three things from its
+//! packets: a unique sequence number per probe (to match replies and detect
+//! disconnection), an identifier tying replies to the measurement, and an
+//! ethics payload ("in the payload of our ping requests, we included a link
+//! to a web page with details on our experiment and contact information to
+//! opt out"). This module builds and parses those packets, checksum
+//! included, so captures can be inspected byte-for-byte.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// ICMP type for echo request.
+pub const ICMP_ECHO_REQUEST: u8 = 8;
+/// ICMP type for echo reply.
+pub const ICMP_ECHO_REPLY: u8 = 0;
+
+/// The §5.3 ethics payload embedded in every probe.
+pub const ETHICS_PAYLOAD: &str =
+    "bobw measurement study - details & opt-out: https://bobw.example/optout";
+
+/// A parsed ICMP echo message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpEcho {
+    /// `ICMP_ECHO_REQUEST` or `ICMP_ECHO_REPLY`.
+    pub icmp_type: u8,
+    /// Measurement identifier (one per experiment run).
+    pub ident: u16,
+    /// Probe sequence number.
+    pub seq: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Errors from [`IcmpEcho::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer than the 8 header bytes.
+    Truncated,
+    /// Checksum mismatch (corrupted in flight).
+    BadChecksum,
+    /// Not an echo request/reply.
+    NotEcho(u8),
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Truncated => write!(f, "packet shorter than the ICMP header"),
+            PacketError::BadChecksum => write!(f, "ICMP checksum mismatch"),
+            PacketError::NotEcho(t) => write!(f, "ICMP type {t} is not an echo message"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// RFC 1071 Internet checksum over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl IcmpEcho {
+    /// Builds a probe request with the measurement id, sequence number and
+    /// the ethics payload.
+    pub fn request(ident: u16, seq: u16) -> IcmpEcho {
+        IcmpEcho {
+            icmp_type: ICMP_ECHO_REQUEST,
+            ident,
+            seq,
+            payload: Bytes::from_static(ETHICS_PAYLOAD.as_bytes()),
+        }
+    }
+
+    /// The reply a target generates for this request (same id/seq/payload).
+    pub fn reply(&self) -> IcmpEcho {
+        IcmpEcho {
+            icmp_type: ICMP_ECHO_REPLY,
+            ident: self.ident,
+            seq: self.seq,
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Serializes with a correct checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.payload.len());
+        buf.put_u8(self.icmp_type);
+        buf.put_u8(0); // code
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u16(self.ident);
+        buf.put_u16(self.seq);
+        buf.put_slice(&self.payload);
+        let csum = internet_checksum(&buf);
+        buf[2..4].copy_from_slice(&csum.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Parses and verifies a packet.
+    pub fn decode(mut data: Bytes) -> Result<IcmpEcho, PacketError> {
+        if data.len() < 8 {
+            return Err(PacketError::Truncated);
+        }
+        if internet_checksum(&data) != 0 {
+            return Err(PacketError::BadChecksum);
+        }
+        let icmp_type = data.get_u8();
+        let _code = data.get_u8();
+        let _checksum = data.get_u16();
+        if icmp_type != ICMP_ECHO_REQUEST && icmp_type != ICMP_ECHO_REPLY {
+            return Err(PacketError::NotEcho(icmp_type));
+        }
+        let ident = data.get_u16();
+        let seq = data.get_u16();
+        Ok(IcmpEcho {
+            icmp_type,
+            ident,
+            seq,
+            payload: data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_round_trip() {
+        let req = IcmpEcho::request(0xbeef, 42);
+        let bytes = req.encode();
+        let parsed = IcmpEcho::decode(bytes).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.icmp_type, ICMP_ECHO_REQUEST);
+        assert_eq!(parsed.seq, 42);
+        assert_eq!(parsed.ident, 0xbeef);
+        let reply = parsed.reply();
+        assert_eq!(reply.icmp_type, ICMP_ECHO_REPLY);
+        assert_eq!(reply.seq, 42);
+        let parsed_reply = IcmpEcho::decode(reply.encode()).unwrap();
+        assert_eq!(parsed_reply, reply);
+    }
+
+    #[test]
+    fn ethics_payload_is_present() {
+        let req = IcmpEcho::request(1, 1);
+        let bytes = req.encode();
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.contains("opt-out") || text.contains("optout"));
+        assert!(
+            req.payload.len() * 8 < 1000,
+            "payload stays small (<100 B/s average per target, §5.3)"
+        );
+    }
+
+    #[test]
+    fn checksum_validates_and_detects_corruption() {
+        let req = IcmpEcho::request(7, 9);
+        let bytes = req.encode();
+        assert_eq!(internet_checksum(&bytes), 0, "valid packet sums to zero");
+        let mut corrupted = bytes.to_vec();
+        corrupted[9] ^= 0x40;
+        assert_eq!(
+            IcmpEcho::decode(Bytes::from(corrupted)),
+            Err(PacketError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn truncated_and_wrong_type_rejected() {
+        assert_eq!(
+            IcmpEcho::decode(Bytes::from_static(&[8, 0, 0])),
+            Err(PacketError::Truncated)
+        );
+        // A destination-unreachable (type 3) with a valid checksum.
+        let mut raw = vec![3u8, 0, 0, 0, 0, 0, 0, 0];
+        let csum = internet_checksum(&raw);
+        raw[2..4].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(
+            IcmpEcho::decode(Bytes::from(raw)),
+            Err(PacketError::NotEcho(3))
+        );
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Odd payload exercises the trailing-byte path.
+        let pkt = IcmpEcho {
+            icmp_type: ICMP_ECHO_REQUEST,
+            ident: 1,
+            seq: 2,
+            payload: Bytes::from_static(b"odd"),
+        };
+        let decoded = IcmpEcho::decode(pkt.encode()).unwrap();
+        assert_eq!(decoded.payload.as_ref(), b"odd");
+    }
+
+    #[test]
+    fn rfc1071_reference_vector() {
+        // Classic example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+}

@@ -1,0 +1,200 @@
+//! The CDN's authoritative DNS: client→site mapping and per-site answers.
+//!
+//! In every technique of the paper, DNS is the steering mechanism during
+//! normal operation: the authoritative resolver returns an address inside
+//! the prefix of the site the CDN wants the client to use (§2). On a site
+//! failure, the CDN re-maps affected clients to surviving sites — the open
+//! question each technique answers differently is what happens to clients
+//! still holding the *old* record.
+
+use std::collections::HashMap;
+
+use bobw_event::{SimDuration, SimTime};
+use bobw_net::{Ipv4Net, NodeId, Prefix};
+use bobw_topology::SiteId;
+use serde::{Deserialize, Serialize};
+
+/// An authoritative answer: one A record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsAnswer {
+    pub addr: Ipv4Net,
+    pub site: SiteId,
+    pub ttl: SimDuration,
+}
+
+/// The CDN's authoritative resolver.
+#[derive(Debug, Clone)]
+pub struct Authoritative {
+    /// Address block of each site (the per-site unicast prefix).
+    site_prefixes: Vec<Prefix>,
+    /// Current client→site assignment (the CDN's mapping decision).
+    assignment: HashMap<NodeId, SiteId>,
+    /// Fallback ranking used when a client's assigned site is failed:
+    /// per-client ordered site preference (e.g. by measured RTT).
+    fallback: HashMap<NodeId, Vec<SiteId>>,
+    /// Sites currently marked failed by the CDN's monitoring.
+    failed: Vec<SiteId>,
+    /// Record TTL handed out with every answer.
+    ttl: SimDuration,
+    /// Service host offset within the site prefix.
+    host_offset: u32,
+}
+
+impl Authoritative {
+    pub fn new(site_prefixes: Vec<Prefix>, ttl: SimDuration) -> Authoritative {
+        Authoritative {
+            site_prefixes,
+            assignment: HashMap::new(),
+            fallback: HashMap::new(),
+            failed: Vec::new(),
+            ttl,
+            host_offset: 1,
+        }
+    }
+
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    pub fn num_sites(&self) -> usize {
+        self.site_prefixes.len()
+    }
+
+    /// The prefix of one site.
+    pub fn site_prefix(&self, site: SiteId) -> Prefix {
+        self.site_prefixes[site.index()]
+    }
+
+    /// Sets the preferred site for a client (the CDN's mapping decision,
+    /// e.g. lowest-RTT site with capacity).
+    pub fn assign(&mut self, client: NodeId, site: SiteId) {
+        self.assignment.insert(client, site);
+    }
+
+    /// Sets the client's ordered fallback ranking (used when its assigned
+    /// site fails).
+    pub fn set_fallback(&mut self, client: NodeId, ranking: Vec<SiteId>) {
+        self.fallback.insert(client, ranking);
+    }
+
+    /// Marks a site failed: subsequent answers avoid it.
+    pub fn mark_failed(&mut self, site: SiteId) {
+        if !self.failed.contains(&site) {
+            self.failed.push(site);
+        }
+    }
+
+    /// Clears a failure (site recovered).
+    pub fn mark_recovered(&mut self, site: SiteId) {
+        self.failed.retain(|s| *s != site);
+    }
+
+    pub fn is_failed(&self, site: SiteId) -> bool {
+        self.failed.contains(&site)
+    }
+
+    /// The site the CDN currently wants `client` on, taking failures into
+    /// account. `None` if the client has no assignment or every ranked site
+    /// is down.
+    pub fn current_site(&self, client: NodeId) -> Option<SiteId> {
+        let preferred = *self.assignment.get(&client)?;
+        if !self.is_failed(preferred) {
+            return Some(preferred);
+        }
+        self.fallback
+            .get(&client)
+            .into_iter()
+            .flatten()
+            .copied()
+            .find(|s| !self.is_failed(*s))
+    }
+
+    /// Answers a query from `client`. `None` when the client is unknown or
+    /// all of its candidate sites are failed.
+    pub fn resolve(&self, client: NodeId, _now: SimTime) -> Option<DnsAnswer> {
+        let site = self.current_site(client)?;
+        Some(DnsAnswer {
+            addr: self.site_prefixes[site.index()].addr_at(self.host_offset),
+            site,
+            ttl: self.ttl,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auth() -> Authoritative {
+        let prefixes: Vec<Prefix> = vec![
+            "10.0.0.0/24".parse().unwrap(),
+            "10.0.1.0/24".parse().unwrap(),
+            "10.0.2.0/24".parse().unwrap(),
+        ];
+        Authoritative::new(prefixes, SimDuration::from_secs(20))
+    }
+
+    #[test]
+    fn answers_assigned_site_prefix() {
+        let mut a = auth();
+        let client = NodeId(7);
+        a.assign(client, SiteId(1));
+        let ans = a.resolve(client, SimTime::ZERO).unwrap();
+        assert_eq!(ans.site, SiteId(1));
+        assert!(a.site_prefix(SiteId(1)).contains(ans.addr));
+        assert_eq!(ans.ttl, SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn unknown_client_gets_no_answer() {
+        let a = auth();
+        assert!(a.resolve(NodeId(9), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn failure_falls_back_in_ranked_order() {
+        let mut a = auth();
+        let client = NodeId(7);
+        a.assign(client, SiteId(0));
+        a.set_fallback(client, vec![SiteId(0), SiteId(2), SiteId(1)]);
+        a.mark_failed(SiteId(0));
+        assert!(a.is_failed(SiteId(0)));
+        let ans = a.resolve(client, SimTime::ZERO).unwrap();
+        assert_eq!(ans.site, SiteId(2));
+        // Second failure falls further down the ranking.
+        a.mark_failed(SiteId(2));
+        assert_eq!(a.resolve(client, SimTime::ZERO).unwrap().site, SiteId(1));
+        // Recovery restores the preferred site.
+        a.mark_recovered(SiteId(0));
+        assert_eq!(a.resolve(client, SimTime::ZERO).unwrap().site, SiteId(0));
+    }
+
+    #[test]
+    fn all_sites_failed_means_no_answer() {
+        let mut a = auth();
+        let client = NodeId(7);
+        a.assign(client, SiteId(0));
+        a.set_fallback(client, vec![SiteId(0), SiteId(1)]);
+        a.mark_failed(SiteId(0));
+        a.mark_failed(SiteId(1));
+        assert!(a.resolve(client, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn failure_without_fallback_means_no_answer() {
+        let mut a = auth();
+        let client = NodeId(7);
+        a.assign(client, SiteId(0));
+        a.mark_failed(SiteId(0));
+        assert!(a.resolve(client, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn double_mark_failed_is_idempotent() {
+        let mut a = auth();
+        a.mark_failed(SiteId(0));
+        a.mark_failed(SiteId(0));
+        a.mark_recovered(SiteId(0));
+        assert!(!a.is_failed(SiteId(0)));
+    }
+}

@@ -1,0 +1,183 @@
+//! Recursive resolver caching.
+//!
+//! The recursive resolver sits between clients and the CDN's authoritative
+//! server and caches answers for up to one TTL. Caching is why unicast
+//! cannot fail over quickly: a client keeps connecting to the failed site's
+//! address until its resolver's copy expires — and some resolvers and
+//! applications keep using records even past expiry (§2).
+
+use bobw_event::{SimDuration, SimTime};
+use bobw_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::authoritative::{Authoritative, DnsAnswer};
+
+/// How a query was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheStatus {
+    /// Served from cache within TTL.
+    Hit,
+    /// Fetched from the authoritative server (cold or expired).
+    Miss,
+    /// Served from cache *past* TTL (violating resolver/client behaviour).
+    StaleHit,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CachedRecord {
+    answer: DnsAnswer,
+    fetched_at: SimTime,
+}
+
+/// One recursive resolver serving one client network.
+///
+/// `stale_grace` models TTL violation: the resolver keeps serving an
+/// expired record for that long before actually re-querying. Zero means a
+/// standards-compliant resolver.
+#[derive(Debug, Clone)]
+pub struct RecursiveResolver {
+    client: NodeId,
+    cache: Option<CachedRecord>,
+    stale_grace: SimDuration,
+}
+
+impl RecursiveResolver {
+    pub fn new(client: NodeId, stale_grace: SimDuration) -> RecursiveResolver {
+        RecursiveResolver {
+            client,
+            cache: None,
+            stale_grace,
+        }
+    }
+
+    pub fn client(&self) -> NodeId {
+        self.client
+    }
+
+    pub fn stale_grace(&self) -> SimDuration {
+        self.stale_grace
+    }
+
+    /// Is the cached record fresh (within TTL) at `now`?
+    pub fn fresh_until(&self) -> Option<SimTime> {
+        self.cache.map(|c| c.fetched_at + c.answer.ttl)
+    }
+
+    /// Resolves for the client at `now`. Serves from cache while fresh,
+    /// serves stale within the grace window, otherwise re-queries the
+    /// authoritative server. `None` if a re-query is needed and the
+    /// authoritative has no answer (all candidate sites failed).
+    pub fn query(
+        &mut self,
+        auth: &Authoritative,
+        now: SimTime,
+    ) -> Option<(DnsAnswer, CacheStatus)> {
+        if let Some(c) = self.cache {
+            let expiry = c.fetched_at + c.answer.ttl;
+            if now < expiry {
+                return Some((c.answer, CacheStatus::Hit));
+            }
+            if now < expiry + self.stale_grace {
+                return Some((c.answer, CacheStatus::StaleHit));
+            }
+        }
+        let answer = auth.resolve(self.client, now)?;
+        self.cache = Some(CachedRecord {
+            answer,
+            fetched_at: now,
+        });
+        Some((answer, CacheStatus::Miss))
+    }
+
+    /// Drops the cache (e.g. resolver restart).
+    pub fn flush(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bobw_net::Prefix;
+    use bobw_topology::SiteId;
+
+    fn auth(ttl_s: u64) -> Authoritative {
+        let prefixes: Vec<Prefix> = vec![
+            "10.0.0.0/24".parse().unwrap(),
+            "10.0.1.0/24".parse().unwrap(),
+        ];
+        let mut a = Authoritative::new(prefixes, SimDuration::from_secs(ttl_s));
+        a.assign(NodeId(1), SiteId(0));
+        a.set_fallback(NodeId(1), vec![SiteId(0), SiteId(1)]);
+        a
+    }
+
+    #[test]
+    fn cold_miss_then_hits_until_expiry() {
+        let a = auth(20);
+        let mut r = RecursiveResolver::new(NodeId(1), SimDuration::ZERO);
+        let (ans0, st0) = r.query(&a, SimTime::from_secs(100)).unwrap();
+        assert_eq!(st0, CacheStatus::Miss);
+        let (ans1, st1) = r.query(&a, SimTime::from_secs(110)).unwrap();
+        assert_eq!(st1, CacheStatus::Hit);
+        assert_eq!(ans0, ans1);
+        assert_eq!(r.fresh_until(), Some(SimTime::from_secs(120)));
+        // At expiry: re-query.
+        let (_, st2) = r.query(&a, SimTime::from_secs(120)).unwrap();
+        assert_eq!(st2, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn failure_visible_only_after_expiry() {
+        let mut a = auth(20);
+        let mut r = RecursiveResolver::new(NodeId(1), SimDuration::ZERO);
+        let (ans, _) = r.query(&a, SimTime::from_secs(0)).unwrap();
+        assert_eq!(ans.site, SiteId(0));
+        // Site 0 fails at t=5; the cached record still points there.
+        a.mark_failed(SiteId(0));
+        let (stale, st) = r.query(&a, SimTime::from_secs(10)).unwrap();
+        assert_eq!(st, CacheStatus::Hit);
+        assert_eq!(stale.site, SiteId(0));
+        // After expiry the re-query returns the surviving site.
+        let (fresh, st) = r.query(&a, SimTime::from_secs(25)).unwrap();
+        assert_eq!(st, CacheStatus::Miss);
+        assert_eq!(fresh.site, SiteId(1));
+    }
+
+    #[test]
+    fn violating_resolver_serves_stale() {
+        let mut a = auth(20);
+        let mut r = RecursiveResolver::new(NodeId(1), SimDuration::from_secs(880));
+        r.query(&a, SimTime::from_secs(0)).unwrap();
+        a.mark_failed(SiteId(0));
+        // Long past TTL but within the grace window: stale hit to the dead
+        // site — the Allman '20 behaviour.
+        let (stale, st) = r.query(&a, SimTime::from_secs(500)).unwrap();
+        assert_eq!(st, CacheStatus::StaleHit);
+        assert_eq!(stale.site, SiteId(0));
+        // Beyond the grace window it finally re-queries.
+        let (fresh, st) = r.query(&a, SimTime::from_secs(1000)).unwrap();
+        assert_eq!(st, CacheStatus::Miss);
+        assert_eq!(fresh.site, SiteId(1));
+    }
+
+    #[test]
+    fn flush_forces_requery() {
+        let a = auth(20);
+        let mut r = RecursiveResolver::new(NodeId(1), SimDuration::ZERO);
+        r.query(&a, SimTime::ZERO).unwrap();
+        r.flush();
+        let (_, st) = r.query(&a, SimTime::from_secs(1)).unwrap();
+        assert_eq!(st, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn requery_returns_none_when_everything_failed() {
+        let mut a = auth(20);
+        let mut r = RecursiveResolver::new(NodeId(1), SimDuration::ZERO);
+        r.query(&a, SimTime::ZERO).unwrap();
+        a.mark_failed(SiteId(0));
+        a.mark_failed(SiteId(1));
+        assert!(r.query(&a, SimTime::from_secs(30)).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests on the DNS subsystem: cache semantics and population
+//! failover invariants.
+
+use bobw_dns::{Authoritative, CacheStatus, ClientPopulation, DnsFailoverConfig, RecursiveResolver};
+use bobw_event::{RngFactory, SimDuration, SimTime};
+use bobw_net::{NodeId, Prefix};
+use bobw_topology::SiteId;
+use proptest::prelude::*;
+
+fn auth(ttl_s: u64, num_sites: u8) -> Authoritative {
+    let prefixes: Vec<Prefix> = (0..num_sites)
+        .map(|i| Prefix::new((10u32 << 24) | ((i as u32) << 8), 24))
+        .collect();
+    Authoritative::new(prefixes, SimDuration::from_secs(ttl_s))
+}
+
+proptest! {
+    /// A compliant resolver never serves a record past its TTL: every
+    /// answer it returns was fetched within TTL of the query time.
+    #[test]
+    fn compliant_resolver_never_serves_expired(
+        ttl in 1u64..600,
+        query_times in proptest::collection::vec(0u64..5_000, 1..40),
+    ) {
+        let mut a = auth(ttl, 2);
+        let client = NodeId(1);
+        a.assign(client, SiteId(0));
+        let mut r = RecursiveResolver::new(client, SimDuration::ZERO);
+        let mut sorted = query_times.clone();
+        sorted.sort();
+        let mut last_fetch: Option<u64> = None;
+        for t in sorted {
+            let (_, status) = r.query(&a, SimTime::from_secs(t)).expect("answer");
+            match status {
+                CacheStatus::Miss => last_fetch = Some(t),
+                CacheStatus::Hit => {
+                    let f = last_fetch.expect("hit implies a prior fetch");
+                    prop_assert!(t < f + ttl, "hit at {t} on record fetched at {f} (ttl {ttl})");
+                }
+                CacheStatus::StaleHit => {
+                    prop_assert!(false, "compliant resolver served stale");
+                }
+            }
+        }
+    }
+
+    /// A violating resolver serves stale only within its grace window.
+    #[test]
+    fn violator_bounded_by_grace(
+        ttl in 1u64..120,
+        grace in 1u64..2_000,
+        offset in 0u64..5_000,
+    ) {
+        let mut a = auth(ttl, 2);
+        let client = NodeId(1);
+        a.assign(client, SiteId(0));
+        let mut r = RecursiveResolver::new(client, SimDuration::from_secs(grace));
+        r.query(&a, SimTime::ZERO).unwrap();
+        let t = SimTime::from_secs(offset);
+        let (_, status) = r.query(&a, t).expect("answer");
+        if offset < ttl {
+            prop_assert_eq!(status, CacheStatus::Hit);
+        } else if offset < ttl + grace {
+            prop_assert_eq!(status, CacheStatus::StaleHit);
+        } else {
+            prop_assert_eq!(status, CacheStatus::Miss);
+        }
+    }
+
+    /// Population failover times are bounded below by the re-query latency
+    /// and, for compliant clients, above by TTL + latency; the sampled
+    /// distribution is deterministic in the seed.
+    #[test]
+    fn population_bounds(ttl in 1u64..1_000, seed in 0u64..1_000) {
+        let cfg = DnsFailoverConfig {
+            ttl: SimDuration::from_secs(ttl),
+            violator_fraction: 0.0,
+            ..Default::default()
+        };
+        let pop = ClientPopulation::sample(&cfg, 300, &RngFactory::new(seed));
+        for d in pop.failover_times() {
+            prop_assert!(*d >= cfg.requery_latency);
+            prop_assert!(*d <= SimDuration::from_secs(ttl) + cfg.requery_latency);
+        }
+        let again = ClientPopulation::sample(&cfg, 300, &RngFactory::new(seed));
+        prop_assert_eq!(pop.failover_times(), again.failover_times());
+    }
+
+    /// More violators can only shift the distribution upward (stochastic
+    /// dominance on the sampled population mean).
+    #[test]
+    fn violators_increase_mean_failover(seed in 0u64..200) {
+        let mk = |frac: f64| {
+            let cfg = DnsFailoverConfig {
+                violator_fraction: frac,
+                ..Default::default()
+            };
+            let pop = ClientPopulation::sample(&cfg, 2_000, &RngFactory::new(seed));
+            pop.sorted_secs().iter().sum::<f64>() / 2_000.0
+        };
+        let none = mk(0.0);
+        let half = mk(0.5);
+        prop_assert!(half > none, "mean with violators {half} !> {none}");
+    }
+
+    /// Fallback ordering is respected under arbitrary failure sets: the
+    /// answer is always the first non-failed site in the ranking.
+    #[test]
+    fn fallback_respects_ranking(failed_mask in 0u8..32) {
+        let mut a = auth(30, 5);
+        let client = NodeId(1);
+        a.assign(client, SiteId(0));
+        let ranking: Vec<SiteId> = (0..5).map(SiteId).collect();
+        a.set_fallback(client, ranking.clone());
+        for i in 0..5 {
+            if failed_mask & (1 << i) != 0 {
+                a.mark_failed(SiteId(i));
+            }
+        }
+        let expect = ranking.iter().find(|s| !a.is_failed(**s)).copied();
+        let got = a.resolve(client, SimTime::ZERO).map(|ans| ans.site);
+        prop_assert_eq!(got, expect);
+    }
+}

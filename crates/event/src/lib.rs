@@ -1,0 +1,32 @@
+//! # bobw-event
+//!
+//! A deterministic discrete-event simulation kernel.
+//!
+//! Everything in the *Best of Both Worlds* reproduction — BGP message
+//! delivery, per-router processing delays, MRAI timer expiry, probe
+//! transmissions, probe responses, DNS re-queries, site failures — is an
+//! event in a single totally-ordered queue. That one queue is what lets the
+//! data plane observe the control plane *mid-convergence*, which is the crux
+//! of every experiment in the paper (a ping either reaches a site or dies at
+//! a router whose FIB has not converged yet, at a specific simulated
+//! instant).
+//!
+//! Determinism rules enforced here:
+//!
+//! * Time is simulated ([`SimTime`], nanosecond ticks); there is no wall
+//!   clock anywhere.
+//! * Ties in the queue break by insertion sequence number, so identical
+//!   timestamps process FIFO ([`EventQueue`]).
+//! * All randomness flows from named streams derived from a single seed
+//!   ([`rng::RngFactory`]), so runs are bit-reproducible and adding a new
+//!   consumer does not perturb existing streams.
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Engine, Handler, Scheduler, StepOutcome};
+pub use queue::EventQueue;
+pub use rng::RngFactory;
+pub use time::{SimDuration, SimTime};

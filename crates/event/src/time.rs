@@ -1,0 +1,251 @@
+//! Simulated time.
+//!
+//! Time is a count of nanoseconds since the start of the run, wide enough
+//! for the paper's longest windows (600 s probing, 1000 s convergence
+//! windows, multi-day visibility aggregation) with room to spare
+//! (`u64` nanoseconds ≈ 584 years).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A duration in simulated time (nanosecond resolution).
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Builds a duration from fractional seconds. Panics on negative or
+    /// non-finite input — durations never run backwards.
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An instant in simulated time: nanoseconds since run start.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than any event the simulator will ever schedule.
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX);
+
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`. Panics if `earlier` is later than
+    /// `self` — a reversed subtraction is always a simulation bug.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since called with a later time"),
+        )
+    }
+
+    /// `self - earlier` if non-negative, else `None`.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos()))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3000));
+        assert_eq!(SimDuration::from_micros(5), SimDuration::from_nanos(5000));
+        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(10);
+        assert_eq!(t.since(SimTime::from_secs(4)), SimDuration::from_secs(6));
+        assert_eq!(
+            SimDuration::from_secs(3) + SimDuration::from_secs(4),
+            SimDuration::from_secs(7)
+        );
+        assert_eq!(
+            SimDuration::from_secs(4) - SimDuration::from_secs(3),
+            SimDuration::from_secs(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "later time")]
+    fn reversed_since_panics() {
+        let _ = SimTime::from_secs(1).since(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn checked_since_returns_none_when_reversed() {
+        assert_eq!(
+            SimTime::from_secs(1).checked_since(SimTime::from_secs(2)),
+            None
+        );
+        assert_eq!(
+            SimTime::from_secs(2).checked_since(SimTime::from_secs(1)),
+            Some(SimDuration::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn far_future_saturates() {
+        let t = SimTime::FAR_FUTURE + SimDuration::from_secs(1);
+        assert_eq!(t, SimTime::FAR_FUTURE);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(SimDuration::from_secs(90).to_string(), "90.000s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "250.000ms");
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_secs(3).to_string(), "t=3.000s");
+    }
+
+    #[test]
+    fn conversions() {
+        let d = SimDuration::from_millis(1234);
+        assert_eq!(d.as_millis(), 1234);
+        assert_eq!(d.as_secs(), 1);
+        assert!((d.as_secs_f64() - 1.234).abs() < 1e-12);
+        assert_eq!(d.saturating_mul(2), SimDuration::from_millis(2468));
+        assert_eq!(
+            SimDuration::from_nanos(u64::MAX / 2).saturating_mul(u64::MAX),
+            SimDuration::from_nanos(u64::MAX)
+        );
+    }
+}

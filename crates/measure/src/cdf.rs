@@ -1,0 +1,157 @@
+//! Empirical CDFs — the paper's figures 2–5 are all CDFs.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over `f64` samples.
+///
+/// ```
+/// use bobw_measure::Cdf;
+///
+/// let failover = Cdf::new(vec![4.5, 6.1, 6.1, 9.0, 31.5]);
+/// assert_eq!(failover.median(), Some(6.1));
+/// assert_eq!(failover.fraction_leq(10.0), 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples. Non-finite values are rejected loudly —
+    /// they would silently corrupt every quantile.
+    pub fn new(mut samples: Vec<f64>) -> Cdf {
+        assert!(
+            samples.iter().all(|v| v.is_finite()),
+            "non-finite sample in CDF input"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), nearest-rank. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples ≤ `x` (the CDF value at `x`).
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point: first index with sample > x.
+        let k = self.sorted.partition_point(|v| *v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// All samples, ascending.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Merges two CDFs (union of samples).
+    pub fn merged(&self, other: &Cdf) -> Cdf {
+        let mut v = self.sorted.clone();
+        v.extend_from_slice(&other.sorted);
+        Cdf::new(v)
+    }
+
+    /// `(x, F(x))` points at the given x-values — ready to print as a
+    /// figure series.
+    pub fn series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|x| (*x, self.fraction_leq(*x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let c = Cdf::new(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.median(), Some(3.0));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(5.0));
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(5.0));
+    }
+
+    #[test]
+    fn fraction_leq_step_behaviour() {
+        let c = Cdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(c.fraction_leq(0.5), 0.0);
+        assert_eq!(c.fraction_leq(1.0), 0.25);
+        assert_eq!(c.fraction_leq(2.0), 0.75);
+        assert_eq!(c.fraction_leq(3.9), 0.75);
+        assert_eq!(c.fraction_leq(4.0), 1.0);
+        assert_eq!(c.fraction_leq(100.0), 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_graceful() {
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.median(), None);
+        assert_eq!(c.fraction_leq(1.0), 0.0);
+        assert_eq!(c.min(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        Cdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn merged_combines_samples() {
+        let a = Cdf::new(vec![1.0, 3.0]);
+        let b = Cdf::new(vec![2.0]);
+        let m = a.merged(&b);
+        assert_eq!(m.samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let c = Cdf::new((0..100).map(|i| i as f64).collect());
+        let xs: Vec<f64> = vec![0.0, 10.0, 50.0, 99.0, 200.0];
+        let s = c.series(&xs);
+        for w in s.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let c = Cdf::new(vec![1.0, 2.0]);
+        assert_eq!(c.quantile(-0.3), Some(1.0));
+        assert_eq!(c.quantile(7.0), Some(2.0));
+    }
+}

@@ -1,0 +1,209 @@
+//! BGP route collectors (RIS / RouteViews stand-ins).
+//!
+//! A collector has BGP sessions with *peer* routers in many ASes; each peer
+//! exports its best-route changes. The paper reads collector archives in
+//! three places: §5.2 (convergence on PEERING vs other networks), Appendix
+//! A (hypergiant withdrawal convergence) and Appendix B (anycast
+//! announcement propagation). Here a collector is realized by filtering the
+//! simulator's best-route-change history down to the chosen peer set and
+//! adding a small deterministic export delay per peer.
+
+use bobw_bgp::RouteChange;
+use bobw_event::{RngFactory, SimDuration, SimTime};
+use bobw_net::{AsPath, NodeId, Prefix};
+use bobw_topology::{NodeKind, Topology};
+use serde::{Deserialize, Serialize};
+
+/// One update as recorded by the collector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectorUpdate {
+    /// Arrival time at the collector (peer change time + export delay).
+    pub time: SimTime,
+    pub peer: NodeId,
+    pub prefix: Prefix,
+    /// `None` = the peer withdrew the route; `Some(path)` = announcement.
+    pub path: Option<AsPath>,
+}
+
+impl CollectorUpdate {
+    pub fn is_withdrawal(&self) -> bool {
+        self.path.is_none()
+    }
+}
+
+/// A route collector: a peer set plus per-peer export delays.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    peers: Vec<NodeId>,
+    export_delay: Vec<SimDuration>,
+}
+
+impl Collector {
+    /// Builds a collector over the given peers. Export delays (session
+    /// transfer + collector dump granularity) are sampled deterministically
+    /// per peer in `[0.1 s, 2 s)`.
+    pub fn new(peers: Vec<NodeId>, rng: &RngFactory) -> Collector {
+        let export_delay = peers
+            .iter()
+            .map(|p| {
+                SimDuration::from_secs_f64(rng.uniform_f64(
+                    "collector-export",
+                    p.index() as u64,
+                    0.1,
+                    2.0,
+                ))
+            })
+            .collect();
+        Collector {
+            peers,
+            export_delay,
+        }
+    }
+
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    fn delay_of(&self, peer: NodeId) -> Option<SimDuration> {
+        self.peers
+            .iter()
+            .position(|p| *p == peer)
+            .map(|i| self.export_delay[i])
+    }
+
+    /// Converts a simulation route-change history into this collector's
+    /// update feed for `prefix`, sorted by collector arrival time.
+    pub fn feed(&self, history: &[RouteChange], prefix: Prefix) -> Vec<CollectorUpdate> {
+        let mut out: Vec<CollectorUpdate> = history
+            .iter()
+            .filter(|rc| rc.prefix == prefix)
+            .filter_map(|rc| {
+                let delay = self.delay_of(rc.node)?;
+                Some(CollectorUpdate {
+                    time: rc.time + delay,
+                    peer: rc.node,
+                    prefix: rc.prefix,
+                    path: rc.new.as_ref().map(|sel| sel.attrs.path.clone()),
+                })
+            })
+            .collect();
+        out.sort_by_key(|u| (u.time, u.peer));
+        out
+    }
+}
+
+/// Picks a realistic collector peer set from a topology: all tier-1s,
+/// every `stride`-th transit AS, and every `3*stride`-th edge AS. Real
+/// RIS/RouteViews full-table peers span the whole hierarchy — large
+/// backbones down to mid-size ISPs — and the convergence-time distribution
+/// over peers (Figure 3) depends on that mix: core routers settle early,
+/// edge networks receive the MRAI-paced correction tail. Deterministic.
+pub fn pick_collector_peers(topo: &Topology, stride: usize) -> Vec<NodeId> {
+    let stride = stride.max(1);
+    let mut peers: Vec<NodeId> = topo
+        .nodes()
+        .filter(|n| n.kind == NodeKind::Tier1)
+        .map(|n| n.id)
+        .collect();
+    peers.extend(
+        topo.nodes()
+            .filter(|n| n.kind == NodeKind::Transit)
+            .enumerate()
+            .filter(|(i, _)| i % stride == 0)
+            .map(|(_, n)| n.id),
+    );
+    peers.extend(
+        topo.nodes()
+            .filter(|n| n.kind.hosts_clients())
+            .enumerate()
+            .filter(|(i, _)| i % (3 * stride) == 0)
+            .map(|(_, n)| n.id),
+    );
+    peers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bobw_bgp::{RouteAttrs, Selected};
+    use bobw_net::Asn;
+    use bobw_topology::{generate, GenConfig};
+
+    fn change(t: u64, node: u32, announced: bool) -> RouteChange {
+        let prefix: Prefix = "10.0.0.0/24".parse().unwrap();
+        RouteChange {
+            time: SimTime::from_secs(t),
+            node: NodeId(node),
+            prefix,
+            new: announced.then(|| Selected {
+                from: Some(NodeId(99)),
+                attrs: RouteAttrs {
+                    path: AsPath::originate(Asn(1), 0),
+                    local_pref: 100,
+                    med: 0,
+                    origin: NodeId(99),
+                    no_export: false,
+                },
+            }),
+        }
+    }
+
+    #[test]
+    fn feed_filters_to_peers_and_sorts() {
+        let rng = RngFactory::new(1);
+        let col = Collector::new(vec![NodeId(1), NodeId(2)], &rng);
+        let history = vec![
+            change(10, 3, true), // not a peer: dropped
+            change(10, 2, true),
+            change(5, 1, true),
+            change(20, 1, false),
+        ];
+        let feed = col.feed(&history, "10.0.0.0/24".parse().unwrap());
+        assert_eq!(feed.len(), 3);
+        // Sorted by arrival.
+        for w in feed.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(feed.iter().any(|u| u.is_withdrawal()));
+        // Export delay shifts arrival after the change time.
+        let first = feed.iter().find(|u| u.peer == NodeId(1)).unwrap();
+        assert!(first.time > SimTime::from_secs(5));
+        assert!(first.time < SimTime::from_secs(8));
+    }
+
+    #[test]
+    fn feed_filters_by_prefix() {
+        let rng = RngFactory::new(1);
+        let col = Collector::new(vec![NodeId(1)], &rng);
+        let history = vec![change(5, 1, true)];
+        let other: Prefix = "11.0.0.0/24".parse().unwrap();
+        assert!(col.feed(&history, other).is_empty());
+    }
+
+    #[test]
+    fn export_delays_deterministic_per_peer() {
+        let rng = RngFactory::new(7);
+        let a = Collector::new(vec![NodeId(1), NodeId(2)], &rng);
+        let b = Collector::new(vec![NodeId(1), NodeId(2)], &rng);
+        assert_eq!(a.delay_of(NodeId(1)), b.delay_of(NodeId(1)));
+        assert_ne!(a.delay_of(NodeId(1)), a.delay_of(NodeId(2)));
+    }
+
+    #[test]
+    fn picks_tier1s_and_strided_transits() {
+        let (topo, _) = generate(&GenConfig::tiny(), &RngFactory::new(2));
+        let peers = pick_collector_peers(&topo, 3);
+        let tier1s = topo
+            .nodes()
+            .filter(|n| n.kind == NodeKind::Tier1)
+            .count();
+        let transits = topo
+            .nodes()
+            .filter(|n| n.kind == NodeKind::Transit)
+            .count();
+        let edges = topo.nodes().filter(|n| n.kind.hosts_clients()).count();
+        assert_eq!(peers.len(), tier1s + transits.div_ceil(3) + edges.div_ceil(9));
+        // Deterministic.
+        assert_eq!(peers, pick_collector_peers(&topo, 3));
+    }
+}

@@ -1,0 +1,32 @@
+//! # bobw-measure
+//!
+//! Measurement infrastructure mirroring the paper's: BGP route collectors
+//! (RIS / RouteViews stand-ins), the appendices' convergence and
+//! propagation estimators, RIPEstat-style visibility aggregation, CDF
+//! utilities, and paper-style report formatting.
+//!
+//! The collectors are deliberately faithful to how the paper consumes
+//! them: a *collector peer* is an AS that exports its best-route changes to
+//! the collector; the collector's "update feed" for a prefix is therefore
+//! the time-stamped sequence of that peer's best-route changes
+//! (`bobw-bgp`'s [`bobw_bgp::RouteChange`] history, filtered and delayed by
+//! an export latency). The Appendix A/B estimators then run on that feed
+//! exactly as described: a withdrawal (announcement) event is estimated as
+//! the first instant with 5 withdrawals (announcements) within 20 seconds,
+//! and per-peer convergence is the peer's last update inside a 1000-second
+//! window.
+
+pub mod cdf;
+pub mod collector;
+pub mod convergence;
+pub mod report;
+pub mod visibility;
+
+pub use cdf::Cdf;
+pub use collector::{pick_collector_peers, Collector, CollectorUpdate};
+pub use convergence::{
+    estimate_event_time, per_peer_convergence, per_peer_propagation, ANNOUNCE_BURST,
+    BURST_WINDOW, CONVERGENCE_WINDOW,
+};
+pub use report::{cdf_row, cdf_table, markdown_table, percent};
+pub use visibility::{covered_fraction, daily_visibility, flag_potential_withdrawals, RibEntry};

@@ -1,0 +1,112 @@
+//! Paper-style report formatting: quantile rows for CDF figures and
+//! markdown tables for EXPERIMENTS.md.
+
+use crate::cdf::Cdf;
+
+/// Formats a fraction as a percentage string ("57%").
+pub fn percent(frac: f64) -> String {
+    format!("{:.0}%", frac * 100.0)
+}
+
+/// Renders one labeled CDF as a quantile row:
+/// `label  p10  p25  p50  p75  p90  p99  max  (n)`.
+pub fn cdf_row(label: &str, cdf: &Cdf) -> String {
+    if cdf.is_empty() {
+        return format!("{label:<28} (no samples)");
+    }
+    let q = |x: f64| cdf.quantile(x).expect("non-empty");
+    format!(
+        "{label:<28} p10={:>7.1}s p25={:>7.1}s p50={:>7.1}s p75={:>7.1}s p90={:>7.1}s p99={:>7.1}s max={:>7.1}s (n={})",
+        q(0.10),
+        q(0.25),
+        q(0.50),
+        q(0.75),
+        q(0.90),
+        q(0.99),
+        cdf.max().expect("non-empty"),
+        cdf.len()
+    )
+}
+
+/// Renders a set of labeled CDFs as a figure-style block: a header plus
+/// one quantile row per series.
+pub fn cdf_table(title: &str, series: &[(String, &Cdf)]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, cdf) in series {
+        out.push_str(&cdf_row(label, cdf));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a markdown table from a header and rows.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_rounds() {
+        assert_eq!(percent(0.566), "57%");
+        assert_eq!(percent(0.0), "0%");
+        assert_eq!(percent(1.0), "100%");
+    }
+
+    #[test]
+    fn cdf_row_contains_quantiles() {
+        let c = Cdf::new((1..=100).map(|i| i as f64).collect());
+        let row = cdf_row("anycast", &c);
+        assert!(row.contains("anycast"));
+        assert!(row.contains("p50="));
+        assert!(row.contains("(n=100)"));
+    }
+
+    #[test]
+    fn empty_cdf_row_is_graceful() {
+        let row = cdf_row("x", &Cdf::new(vec![]));
+        assert!(row.contains("no samples"));
+    }
+
+    #[test]
+    fn cdf_table_has_all_series() {
+        let a = Cdf::new(vec![1.0]);
+        let b = Cdf::new(vec![2.0]);
+        let t = cdf_table(
+            "Figure 2",
+            &[("one".to_string(), &a), ("two".to_string(), &b)],
+        );
+        assert!(t.starts_with("Figure 2\n"));
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[3], "| 3 | 4 |");
+    }
+}

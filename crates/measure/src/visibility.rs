@@ -1,0 +1,185 @@
+//! RIPEstat-Routing-History-style visibility aggregation and the §3
+//! superprefix survey.
+//!
+//! Appendix A's pipeline starts from day-granularity *visibility* (the
+//! fraction of full-table RIS peers with a route to a prefix) and flags a
+//! potential withdrawal when visibility drops from >0.9 to <0.7. Section 3
+//! separately surveys hypergiant RIB dumps: what fraction of the most
+//! specific server-hosting prefixes are simultaneously covered by a less
+//! specific prefix from the same origin (the paper found 39%).
+
+use std::collections::HashMap;
+
+use bobw_event::SimTime;
+use bobw_net::{NodeId, Prefix};
+use serde::{Deserialize, Serialize};
+
+use crate::collector::CollectorUpdate;
+
+/// One RIB-dump entry for the superprefix survey: a prefix and its origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RibEntry {
+    pub prefix: Prefix,
+    pub origin: NodeId,
+}
+
+/// Day-granularity visibility of a prefix: for each day in
+/// `[0, num_days)`, the fraction of `peers` that had a route to the prefix
+/// at any point during that day (matching RIPEstat's day aggregation, which
+/// the paper notes can show non-zero visibility on the withdrawal day).
+pub fn daily_visibility(
+    feed: &[CollectorUpdate],
+    peers: &[NodeId],
+    num_days: usize,
+) -> Vec<f64> {
+    const DAY_NS: u64 = 86_400 * 1_000_000_000;
+    if peers.is_empty() {
+        return vec![0.0; num_days];
+    }
+    // Track per-peer route state over time; a peer counts for a day if it
+    // held a route at the day's start or received an announcement during it.
+    let mut state: HashMap<NodeId, bool> = peers.iter().map(|p| (*p, false)).collect();
+    let mut days = vec![0.0; num_days];
+    let mut idx = 0usize;
+    for day in 0..num_days {
+        let day_end = SimTime::from_nanos((day as u64 + 1) * DAY_NS);
+        let mut had_route: HashMap<NodeId, bool> =
+            state.iter().map(|(p, s)| (*p, *s)).collect();
+        while idx < feed.len() && feed[idx].time < day_end {
+            let u = &feed[idx];
+            if let Some(s) = state.get_mut(&u.peer) {
+                *s = !u.is_withdrawal();
+                if *s {
+                    had_route.insert(u.peer, true);
+                }
+            }
+            idx += 1;
+        }
+        days[day] = had_route.values().filter(|v| **v).count() as f64 / peers.len() as f64;
+    }
+    days
+}
+
+/// Flags day indices where visibility drops from >0.9 to <0.7 — the
+/// paper's "potentially withdrawn" criterion.
+pub fn flag_potential_withdrawals(visibility: &[f64]) -> Vec<usize> {
+    visibility
+        .windows(2)
+        .enumerate()
+        .filter(|(_, w)| w[0] > 0.9 && w[1] < 0.7)
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+/// §3 survey: of the most-specific prefixes per origin, the fraction that
+/// are covered by a less-specific prefix announced by the *same* origin.
+///
+/// Returns `(covered, total, fraction)` over most-specific prefixes.
+pub fn covered_fraction(rib: &[RibEntry]) -> (usize, usize, f64) {
+    // Group by origin.
+    let mut by_origin: HashMap<NodeId, Vec<Prefix>> = HashMap::new();
+    for e in rib {
+        by_origin.entry(e.origin).or_default().push(e.prefix);
+    }
+    let mut total = 0usize;
+    let mut covered = 0usize;
+    for prefixes in by_origin.values() {
+        for p in prefixes {
+            // Most specific: no other prefix of this origin is inside p.
+            let is_most_specific = !prefixes
+                .iter()
+                .any(|q| q != p && p.covers(q));
+            if !is_most_specific {
+                continue;
+            }
+            total += 1;
+            if prefixes.iter().any(|q| q != p && q.covers(p)) {
+                covered += 1;
+            }
+        }
+    }
+    let frac = if total == 0 {
+        0.0
+    } else {
+        covered as f64 / total as f64
+    };
+    (covered, total, frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bobw_net::{AsPath, Asn};
+
+    fn upd(day: u64, hour: u64, peer: u32, withdrawal: bool) -> CollectorUpdate {
+        CollectorUpdate {
+            time: SimTime::from_secs(day * 86_400 + hour * 3600),
+            peer: NodeId(peer),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: (!withdrawal).then(|| AsPath::originate(Asn(1), 0)),
+        }
+    }
+
+    #[test]
+    fn visibility_tracks_announce_then_withdraw() {
+        let peers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut feed = Vec::new();
+        // Day 0: all peers announce.
+        for p in 0..4 {
+            feed.push(upd(0, 1, p, false));
+        }
+        // Day 2: three peers withdraw mid-day.
+        for p in 0..3 {
+            feed.push(upd(2, 12, p, true));
+        }
+        feed.sort_by_key(|u| u.time);
+        let vis = daily_visibility(&feed, &peers, 4);
+        assert_eq!(vis[0], 1.0);
+        assert_eq!(vis[1], 1.0);
+        // Withdrawal day still shows visibility (day aggregation).
+        assert_eq!(vis[2], 1.0);
+        // Day after: only one peer retains the route.
+        assert_eq!(vis[3], 0.25);
+        assert_eq!(flag_potential_withdrawals(&vis), vec![3]);
+    }
+
+    #[test]
+    fn no_flags_on_stable_visibility() {
+        assert!(flag_potential_withdrawals(&[1.0, 0.95, 0.92, 1.0]).is_empty());
+        // Drop not deep enough.
+        assert!(flag_potential_withdrawals(&[1.0, 0.8]).is_empty());
+        // Start not high enough.
+        assert!(flag_potential_withdrawals(&[0.85, 0.5]).is_empty());
+    }
+
+    #[test]
+    fn empty_peers_graceful() {
+        assert_eq!(daily_visibility(&[], &[], 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn covered_fraction_counts_same_origin_covers() {
+        let o1 = NodeId(1);
+        let o2 = NodeId(2);
+        let p = |s: &str| s.parse::<Prefix>().unwrap();
+        let rib = vec![
+            // o1: /24 covered by its own /23 -> covered most-specific.
+            RibEntry { prefix: p("184.164.244.0/24"), origin: o1 },
+            RibEntry { prefix: p("184.164.244.0/23"), origin: o1 },
+            // o1: another /24 with no cover.
+            RibEntry { prefix: p("10.0.0.0/24"), origin: o1 },
+            // o2: /24 whose covering /23 belongs to o1 -> NOT covered
+            // (different origin).
+            RibEntry { prefix: p("184.164.245.0/24"), origin: o2 },
+        ];
+        let (covered, total, frac) = covered_fraction(&rib);
+        // Most-specifics: o1's two /24s + o2's /24 = 3; covered = 1.
+        assert_eq!((covered, total), (1, 3));
+        assert!((frac - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covered_fraction_empty() {
+        assert_eq!(covered_fraction(&[]), (0, 0, 0.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the measurement crate: CDF correctness against naive
+//! definitions and estimator behaviour on synthetic feeds.
+
+use bobw_event::SimTime;
+use bobw_measure::{
+    estimate_event_time, per_peer_convergence, per_peer_propagation, Cdf, CollectorUpdate,
+};
+use bobw_net::{AsPath, Asn, NodeId, Prefix};
+use proptest::prelude::*;
+
+fn upd(t_ms: u64, peer: u32, withdrawal: bool) -> CollectorUpdate {
+    CollectorUpdate {
+        time: SimTime::from_nanos(t_ms * 1_000_000),
+        peer: NodeId(peer),
+        prefix: "10.0.0.0/24".parse::<Prefix>().unwrap(),
+        path: (!withdrawal).then(|| AsPath::originate(Asn(1), 0)),
+    }
+}
+
+proptest! {
+    /// `fraction_leq` agrees with the naive count for arbitrary inputs.
+    #[test]
+    fn cdf_fraction_matches_naive(
+        samples in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        probes in proptest::collection::vec(-1e6f64..1e6, 1..20),
+    ) {
+        let cdf = Cdf::new(samples.clone());
+        for x in probes {
+            let naive = samples.iter().filter(|v| **v <= x).count() as f64
+                / samples.len().max(1) as f64;
+            let got = cdf.fraction_leq(x);
+            if samples.is_empty() {
+                prop_assert_eq!(got, 0.0);
+            } else {
+                prop_assert!((got - naive).abs() < 1e-12, "{got} vs {naive}");
+            }
+        }
+    }
+
+    /// Quantiles are monotone in q and always actual samples.
+    #[test]
+    fn cdf_quantiles_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::new(samples.clone());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = cdf.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantile not monotone at q={q}");
+            prop_assert!(samples.contains(&v), "quantile {v} is not a sample");
+            prev = v;
+        }
+        prop_assert_eq!(cdf.quantile(0.0), cdf.min());
+        prop_assert_eq!(cdf.quantile(1.0), cdf.max());
+    }
+
+    /// Merging CDFs behaves like concatenating samples.
+    #[test]
+    fn cdf_merge_is_concat(
+        a in proptest::collection::vec(0f64..100.0, 0..50),
+        b in proptest::collection::vec(0f64..100.0, 0..50),
+    ) {
+        let merged = Cdf::new(a.clone()).merged(&Cdf::new(b.clone()));
+        let mut concat = a.clone();
+        concat.extend(&b);
+        let direct = Cdf::new(concat);
+        prop_assert_eq!(merged.samples(), direct.samples());
+    }
+
+    /// The burst estimator, when it fires, always returns the time of some
+    /// matching update, and there really are >= 5 matching updates within
+    /// 20 s of it.
+    #[test]
+    fn estimator_returns_genuine_burst(
+        times in proptest::collection::vec(0u64..200_000u64, 0..60),
+        withdrawal_mask in proptest::collection::vec(any::<bool>(), 0..60),
+    ) {
+        let mut feed: Vec<CollectorUpdate> = times
+            .iter()
+            .zip(withdrawal_mask.iter().chain(std::iter::repeat(&true)))
+            .enumerate()
+            .map(|(i, (t, w))| upd(*t, i as u32 % 7, *w))
+            .collect();
+        feed.sort_by_key(|u| u.time);
+        for withdrawals in [true, false] {
+            if let Some(est) = estimate_event_time(&feed, withdrawals) {
+                let matching_in_window = feed
+                    .iter()
+                    .filter(|u| u.is_withdrawal() == withdrawals)
+                    .filter(|u| {
+                        u.time >= est
+                            && u.time.since(est).as_secs_f64() <= 20.0
+                    })
+                    .count();
+                prop_assert!(
+                    matching_in_window >= 5,
+                    "estimate at {est} has only {matching_in_window} matching updates"
+                );
+                prop_assert!(feed.iter().any(|u| u.time == est));
+            }
+        }
+    }
+
+    /// Per-peer convergence and propagation never exceed the 1000 s window
+    /// and each peer appears at most once.
+    #[test]
+    fn per_peer_outputs_well_formed(
+        times in proptest::collection::vec(0u64..2_000_000u64, 0..80),
+    ) {
+        let feed: Vec<CollectorUpdate> = {
+            let mut f: Vec<CollectorUpdate> = times
+                .iter()
+                .enumerate()
+                .map(|(i, t)| upd(*t, i as u32 % 5, i % 3 == 0))
+                .collect();
+            f.sort_by_key(|u| u.time);
+            f
+        };
+        let event = SimTime::from_secs(100);
+        for out in [per_peer_convergence(&feed, event), per_peer_propagation(&feed, event)] {
+            let mut peers: Vec<NodeId> = out.iter().map(|(p, _)| *p).collect();
+            peers.sort();
+            let before = peers.len();
+            peers.dedup();
+            prop_assert_eq!(peers.len(), before, "duplicate peer");
+            for (_, d) in &out {
+                prop_assert!(d.as_secs_f64() <= 1000.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! AS numbers and AS paths.
+//!
+//! The AS path is the BGP attribute everything in this paper turns on:
+//! `proactive-prepending` trades control for availability by lengthening
+//! backup paths, and the decision process compares path lengths right after
+//! LOCAL_PREF. Paths here are simple sequences (no AS_SETs — route
+//! aggregation is out of scope for the reproduction).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An autonomous system number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A BGP AS path: the sequence of ASes an announcement traversed, most
+/// recent (nearest) first, origin last.
+///
+/// Prepending repeats the origin (or announcing) ASN to make the path less
+/// preferred without changing reachability.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AsPath {
+    hops: Vec<Asn>,
+}
+
+impl AsPath {
+    /// The empty path (a route at its origin, before any export).
+    pub fn empty() -> AsPath {
+        AsPath { hops: Vec::new() }
+    }
+
+    /// A path freshly originated by `origin`, optionally prepended
+    /// `extra_prepends` additional times (so the origin appears
+    /// `1 + extra_prepends` times).
+    pub fn originate(origin: Asn, extra_prepends: u8) -> AsPath {
+        let mut hops = Vec::with_capacity(1 + extra_prepends as usize);
+        for _ in 0..=extra_prepends {
+            hops.push(origin);
+        }
+        AsPath { hops }
+    }
+
+    /// Builds a path from explicit hops, nearest first.
+    pub fn from_hops(hops: Vec<Asn>) -> AsPath {
+        AsPath { hops }
+    }
+
+    /// Path length as used by the decision process (prepends count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for a freshly-originated, never-exported path of length zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The hops, nearest first.
+    #[inline]
+    pub fn hops(&self) -> &[Asn] {
+        &self.hops
+    }
+
+    /// The origin AS (last hop), if any.
+    pub fn origin(&self) -> Option<Asn> {
+        self.hops.last().copied()
+    }
+
+    /// The neighbor AS that sent us the route (first hop), if any.
+    pub fn first(&self) -> Option<Asn> {
+        self.hops.first().copied()
+    }
+
+    /// Does the path contain `asn`? Used for loop detection on import:
+    /// a router discards routes already carrying its own ASN.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.hops.contains(&asn)
+    }
+
+    /// Returns a new path with `asn` prepended `count` times. `count == 0`
+    /// returns the path unchanged — useful when policy decides per-neighbor.
+    pub fn prepended(&self, asn: Asn, count: u8) -> AsPath {
+        let mut hops = Vec::with_capacity(self.hops.len() + count as usize);
+        for _ in 0..count {
+            hops.push(asn);
+        }
+        hops.extend_from_slice(&self.hops);
+        AsPath { hops }
+    }
+
+    /// The number of *distinct* ASes on the path (prepends collapse).
+    ///
+    /// Appendix C.1 compares unicast and anycast paths; distinct-hop length
+    /// is the meaningful quantity when paths carry different prepend counts.
+    pub fn distinct_len(&self) -> usize {
+        let mut n = 0;
+        let mut prev: Option<Asn> = None;
+        for &h in &self.hops {
+            if prev != Some(h) {
+                n += 1;
+                prev = Some(h);
+            }
+        }
+        n
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for h in &self.hops {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", h.0)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn originate_respects_prepend_count() {
+        let p = AsPath::originate(Asn(47065), 0);
+        assert_eq!(p.len(), 1);
+        let p3 = AsPath::originate(Asn(47065), 3);
+        assert_eq!(p3.len(), 4);
+        assert_eq!(p3.origin(), Some(Asn(47065)));
+        assert_eq!(p3.distinct_len(), 1);
+    }
+
+    #[test]
+    fn prepended_puts_new_hops_first() {
+        let p = AsPath::originate(Asn(1), 0).prepended(Asn(2), 1).prepended(Asn(3), 2);
+        assert_eq!(p.hops(), &[Asn(3), Asn(3), Asn(2), Asn(1)]);
+        assert_eq!(p.first(), Some(Asn(3)));
+        assert_eq!(p.origin(), Some(Asn(1)));
+        assert_eq!(p.distinct_len(), 3);
+    }
+
+    #[test]
+    fn prepend_zero_is_identity() {
+        let p = AsPath::originate(Asn(1), 2);
+        assert_eq!(p.prepended(Asn(9), 0), p);
+    }
+
+    #[test]
+    fn loop_detection_sees_every_hop() {
+        let p = AsPath::from_hops(vec![Asn(3), Asn(2), Asn(1)]);
+        assert!(p.contains(Asn(2)));
+        assert!(!p.contains(Asn(4)));
+    }
+
+    #[test]
+    fn empty_path_edge_cases() {
+        let e = AsPath::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.origin(), None);
+        assert_eq!(e.first(), None);
+        assert_eq!(e.distinct_len(), 0);
+        assert_eq!(e.to_string(), "");
+    }
+
+    #[test]
+    fn display_is_space_separated() {
+        let p = AsPath::from_hops(vec![Asn(3), Asn(3), Asn(1)]);
+        assert_eq!(p.to_string(), "3 3 1");
+        assert_eq!(format!("{:?}", p), "[3 3 1]");
+    }
+}

@@ -1,0 +1,64 @@
+//! Dense node identifiers for topology entities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in the simulated topology.
+///
+/// A node is an AS-level routing entity: one per autonomous system, plus one
+/// per CDN *site* (sites share the CDN's ASN but are distinct announcement
+/// origins — that is what makes anycast anycast), plus one per route
+/// collector. `NodeId`s are dense, so per-node state lives in `Vec`s indexed
+/// by `NodeId::index()` rather than hash maps.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's position in dense per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense array index.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("topology larger than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 42, 1_000_000] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

@@ -1,0 +1,365 @@
+//! A binary prefix trie with longest-prefix-match lookup.
+//!
+//! This is the data structure behind every FIB in the simulator. Its LPM
+//! semantics are load-bearing for the paper: under `proactive-superprefix`,
+//! a router that still holds a stale `/24` route forwards along it even when
+//! a perfectly valid `/23` covering route is present — `lookup` returns the
+//! deepest match, exactly like a real forwarding engine, so the §3 failure
+//! mode needs no special-casing.
+//!
+//! The trie is uncompressed (one node per bit). The simulator's routing
+//! tables hold a handful of experiment prefixes plus per-target /24s, so
+//! simplicity and obvious correctness win over path compression.
+
+use crate::addr::{Ipv4Net, Prefix};
+
+#[derive(Debug, Clone)]
+struct TrieNode<V> {
+    value: Option<V>,
+    children: [Option<Box<TrieNode<V>>>; 2],
+}
+
+impl<V> TrieNode<V> {
+    fn new() -> Self {
+        TrieNode {
+            value: None,
+            children: [None, None],
+        }
+    }
+
+    fn is_leafless(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A map from [`Prefix`] to `V` supporting exact and longest-prefix-match
+/// lookups.
+///
+/// ```
+/// use bobw_net::{Prefix, PrefixTrie};
+///
+/// let mut fib = PrefixTrie::new();
+/// fib.insert("184.164.244.0/23".parse().unwrap(), "backup");
+/// fib.insert("184.164.244.0/24".parse().unwrap(), "primary");
+/// let addr = "184.164.244.0/24".parse::<Prefix>().unwrap().addr_at(10);
+/// // Longest-prefix match: the /24 shadows the /23 …
+/// assert_eq!(*fib.lookup(addr).unwrap().1, "primary");
+/// fib.remove(&"184.164.244.0/24".parse().unwrap());
+/// // … until it is withdrawn, and traffic falls through to the covering
+/// // prefix — §3's proactive-superprefix mechanism in four lines.
+/// assert_eq!(*fib.lookup(addr).unwrap().1, "backup");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    root: TrieNode<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: TrieNode::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or replaces the value at `prefix`, returning the previous
+    /// value if one existed.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(|| Box::new(TrieNode::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value at exactly `prefix`, pruning now-empty
+    /// interior nodes so memory does not grow across repeated
+    /// announce/withdraw cycles.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        fn rec<V>(node: &mut TrieNode<V>, prefix: &Prefix, depth: u8) -> Option<V> {
+            if depth == prefix.len() {
+                return node.value.take();
+            }
+            let b = prefix.bit(depth) as usize;
+            let child = node.children[b].as_mut()?;
+            let out = rec(child, prefix, depth + 1);
+            if out.is_some() && child.is_leafless() {
+                node.children[b] = None;
+            }
+            out
+        }
+        let out = rec(&mut self.root, prefix, 0);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// The value stored at exactly `prefix`, if any.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Mutable access to the value stored at exactly `prefix`.
+    pub fn get_mut(&mut self, prefix: &Prefix) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Longest-prefix-match: the deepest stored prefix containing `addr`,
+    /// with its value. This is the forwarding lookup.
+    pub fn lookup(&self, addr: Ipv4Net) -> Option<(Prefix, &V)> {
+        let mut node = &self.root;
+        let mut best: Option<(Prefix, &V)> = None;
+        let mut depth: u8 = 0;
+        loop {
+            if let Some(v) = node.value.as_ref() {
+                best = Some((Prefix::new(addr, depth), v));
+            }
+            if depth == 32 {
+                break;
+            }
+            let b = ((addr >> (31 - depth)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// All stored prefixes that cover `addr`, shallowest first. Useful for
+    /// diagnosing which routes *could* have matched.
+    pub fn matches(&self, addr: Ipv4Net) -> Vec<(Prefix, &V)> {
+        let mut node = &self.root;
+        let mut out = Vec::new();
+        let mut depth: u8 = 0;
+        loop {
+            if let Some(v) = node.value.as_ref() {
+                out.push((Prefix::new(addr, depth), v));
+            }
+            if depth == 32 {
+                break;
+            }
+            let b = ((addr >> (31 - depth)) & 1) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in lexicographic
+    /// (address, length) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        let mut out = Vec::new();
+        fn walk<'a, V>(
+            node: &'a TrieNode<V>,
+            bits: u32,
+            depth: u8,
+            out: &mut Vec<(Prefix, &'a V)>,
+        ) {
+            if let Some(v) = node.value.as_ref() {
+                out.push((Prefix::new(bits, depth), v));
+            }
+            if depth == 32 {
+                return;
+            }
+            if let Some(c) = node.children[0].as_deref() {
+                walk(c, bits, depth + 1, out);
+            }
+            if let Some(c) = node.children[1].as_deref() {
+                walk(c, bits | (0x8000_0000u32 >> depth), depth + 1, out);
+            }
+        }
+        walk(&self.root, 0, 0, &mut out);
+        out.sort_by_key(|(p, _)| *p);
+        out.into_iter()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.root = TrieNode::new();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::parse_addr;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv4Net {
+        parse_addr(s).unwrap()
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("184.164.244.0/23"), "super");
+        t.insert(p("184.164.244.0/24"), "specific");
+        let (q, v) = t.lookup(a("184.164.244.7")).unwrap();
+        assert_eq!((q, *v), (p("184.164.244.0/24"), "specific"));
+        // Addresses in the other half match only the covering prefix.
+        let (q, v) = t.lookup(a("184.164.245.7")).unwrap();
+        assert_eq!((q, *v), (p("184.164.244.0/23"), "super"));
+    }
+
+    #[test]
+    fn superprefix_failover_emerges_from_lpm() {
+        // The §3 scenario: while the stale /24 is present it shadows the /23;
+        // once removed, the same lookup falls through to the covering route.
+        let mut t = PrefixTrie::new();
+        t.insert(p("184.164.244.0/23"), "backup-site");
+        t.insert(p("184.164.244.0/24"), "failed-site");
+        assert_eq!(*t.lookup(a("184.164.244.10")).unwrap().1, "failed-site");
+        t.remove(&p("184.164.244.0/24"));
+        assert_eq!(*t.lookup(a("184.164.244.10")).unwrap().1, "backup-site");
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::DEFAULT, 0u8);
+        assert!(t.lookup(0).is_some());
+        assert!(t.lookup(u32::MAX).is_some());
+        t.insert(p("10.0.0.0/8"), 1u8);
+        assert_eq!(*t.lookup(a("10.1.1.1")).unwrap().1, 1);
+        assert_eq!(*t.lookup(a("11.1.1.1")).unwrap().1, 0);
+    }
+
+    #[test]
+    fn lookup_misses_when_nothing_covers() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        assert!(t.lookup(a("11.0.0.1")).is_none());
+        assert!(PrefixTrie::<()>::new().lookup(0).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(*t.get(&p("10.0.0.0/8")).unwrap(), 2);
+    }
+
+    #[test]
+    fn remove_prunes_and_updates_len() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(&p("10.1.0.0/16")), Some(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(&p("10.1.0.0/16")), None);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(&p("10.0.0.0/8")).is_some());
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn exact_get_distinguishes_lengths() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        assert!(t.get(&p("10.0.0.0/16")).is_none());
+        assert_eq!(*t.get(&p("10.0.0.0/8")).unwrap(), "eight");
+    }
+
+    #[test]
+    fn matches_returns_chain_shallowest_first() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::DEFAULT, 0);
+        t.insert(p("184.164.244.0/23"), 23);
+        t.insert(p("184.164.244.0/24"), 24);
+        let m: Vec<u8> = t
+            .matches(a("184.164.244.1"))
+            .into_iter()
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(m, vec![0, 23, 24]);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "184.164.244.0/24", "184.164.244.0/23", "0.0.0.0/0"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let got: Vec<Prefix> = t.iter().map(|(q, _)| q).collect();
+        let mut want: Vec<Prefix> = prefixes.iter().map(|s| p(s)).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        *t.get_mut(&p("10.0.0.0/8")).unwrap() += 10;
+        assert_eq!(*t.get(&p("10.0.0.0/8")).unwrap(), 11);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.lookup(a("10.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn slash32_round_trip() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        assert_eq!(*t.lookup(a("1.2.3.4")).unwrap().1, "host");
+        assert!(t.lookup(a("1.2.3.5")).is_none());
+    }
+}

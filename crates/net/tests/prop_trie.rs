@@ -1,0 +1,119 @@
+//! Property-based tests checking the prefix trie against a naive
+//! linear-scan reference model, and structural prefix invariants.
+
+use std::collections::HashMap;
+
+use bobw_net::{Prefix, PrefixTrie};
+use proptest::prelude::*;
+
+/// A reference LPM: scan all prefixes, keep the longest that contains `addr`.
+fn naive_lpm(entries: &HashMap<Prefix, u32>, addr: u32) -> Option<(Prefix, u32)> {
+    entries
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (*p, *v))
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(bits, len))
+}
+
+proptest! {
+    #[test]
+    fn trie_lpm_matches_naive(
+        entries in proptest::collection::hash_map(arb_prefix(), any::<u32>(), 0..64),
+        addrs in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+        }
+        prop_assert_eq!(trie.len(), entries.len());
+        for addr in addrs {
+            let got = trie.lookup(addr).map(|(p, v)| (p, *v));
+            let want = naive_lpm(&entries, addr);
+            // Value must match exactly; prefix must match in length (two
+            // distinct prefixes of the same length cannot both contain addr).
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn insert_remove_round_trip(
+        entries in proptest::collection::hash_map(arb_prefix(), any::<u32>(), 1..64),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+        }
+        // Remove in sorted order; after each removal the entry is gone and
+        // the others still resolve exactly.
+        let mut keys: Vec<Prefix> = entries.keys().copied().collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(trie.remove(k), Some(entries[k]));
+            prop_assert!(trie.get(k).is_none());
+            for later in &keys[i + 1..] {
+                prop_assert_eq!(trie.get(later), Some(&entries[later]));
+            }
+        }
+        prop_assert!(trie.is_empty());
+    }
+
+    #[test]
+    fn matches_is_ordered_cover_chain(
+        entries in proptest::collection::hash_map(arb_prefix(), any::<u32>(), 0..64),
+        addr in any::<u32>(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+        }
+        let chain = trie.matches(addr);
+        // Every returned prefix contains the address, lengths strictly
+        // increase, and each covers the next.
+        for w in chain.windows(2) {
+            prop_assert!(w[0].0.len() < w[1].0.len());
+            prop_assert!(w[0].0.covers(&w[1].0));
+        }
+        for (p, _) in &chain {
+            prop_assert!(p.contains(addr));
+        }
+        // The chain length equals the naive count of covering prefixes.
+        let want = entries.keys().filter(|p| p.contains(addr)).count();
+        prop_assert_eq!(chain.len(), want);
+    }
+
+    #[test]
+    fn prefix_halves_partition_parent(prefix in (any::<u32>(), 0u8..=31).prop_map(|(b, l)| Prefix::new(b, l)), addr in any::<u32>()) {
+        let (lo, hi) = prefix.halves().unwrap();
+        prop_assert!(prefix.covers(&lo) && prefix.covers(&hi));
+        prop_assert_eq!(lo.parent(), Some(prefix));
+        prop_assert_eq!(hi.parent(), Some(prefix));
+        // Each address in the parent is in exactly one half.
+        if prefix.contains(addr) {
+            prop_assert!(lo.contains(addr) ^ hi.contains(addr));
+        } else {
+            prop_assert!(!lo.contains(addr) && !hi.contains(addr));
+        }
+    }
+
+    #[test]
+    fn prefix_display_parse_round_trip(prefix in arb_prefix()) {
+        let s = prefix.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(prefix, back);
+    }
+
+    #[test]
+    fn covers_agrees_with_contains(a in arb_prefix(), b in arb_prefix()) {
+        if a.covers(&b) {
+            prop_assert!(a.contains(b.first_addr()));
+            prop_assert!(a.contains(b.last_addr()));
+            prop_assert!(a.len() <= b.len());
+        }
+        // Reflexivity.
+        prop_assert!(a.covers(&a));
+    }
+}

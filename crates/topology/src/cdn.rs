@@ -1,0 +1,254 @@
+//! The CDN deployment: sites, their names, and how each attaches to the
+//! surrounding Internet.
+//!
+//! The default deployment mirrors the eight PEERING sites of the paper's
+//! Table 1 (`ams ath bos atl sea1 slc sea2 msn`), with attachment profiles
+//! chosen to span the same qualitative connectivity range:
+//!
+//! * `ams` — rich commercial connectivity (providers + many peers): attracts
+//!   a large anycast catchment, like the paper's ams (only 15% of its nearby
+//!   targets were *not* anycast-routed to it).
+//! * `sea1` — connected at a commercial exchange, mostly peers: its
+//!   non-prepended announcement loses to *customer* routes toward other
+//!   sites, reproducing Table 1's 6% control and Appendix C.1.
+//! * `sea2`, `msn`, `ath` — university-hosted sites behind R&E gigapops
+//!   (the R&E network is a *customer* of big transits, so routes through it
+//!   are strongly preferred by the business hierarchy).
+//! * the rest sit between those extremes.
+
+use bobw_net::{Asn, NodeId};
+use serde::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The CDN's autonomous system number (PEERING's real ASN, as a nod to the
+/// testbed; any number unused by the generator works).
+pub const CDN_ASN: Asn = Asn(47065);
+
+/// Index of a CDN site within a deployment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u8);
+
+impl SiteId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// One way a site connects to the rest of the Internet. Attachment targets
+/// are resolved by the generator against the synthetic topology (nearest
+/// matching ASes in the site's region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteAttachment {
+    /// Buy transit from `n` regional commercial transit providers.
+    TransitProviders(usize),
+    /// Buy transit from `n` transit providers *outside* the site's region
+    /// (an ad hoc, non-dominant upstream — the PEERING sea1 pattern, where
+    /// the site's provider does not serve the local client population).
+    RemoteTransitProviders(usize),
+    /// Buy transit from `n` tier-1 providers.
+    Tier1Providers(usize),
+    /// Sit behind `n` R&E gigapops (the site is the R&E network's customer).
+    ResearchEduProviders(usize),
+    /// Settlement-free peering with `n` regional eyeball networks.
+    EyeballPeers(usize),
+    /// Settlement-free peering with `n` regional transit networks (an IXP
+    /// presence).
+    TransitPeers(usize),
+}
+
+/// Static description of one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Short name as used in the paper's tables (e.g. `sea1`).
+    pub name: String,
+    /// Region name from [`crate::geo::REGIONS`].
+    pub region: String,
+    /// How the site connects.
+    pub attachments: Vec<SiteAttachment>,
+}
+
+impl SiteSpec {
+    pub fn new(name: &str, region: &str, attachments: Vec<SiteAttachment>) -> SiteSpec {
+        SiteSpec {
+            name: name.to_string(),
+            region: region.to_string(),
+            attachments,
+        }
+    }
+
+    /// Does this site have at least one provider? The paper only uses
+    /// PEERING sites with a provider (peer-only sites are not globally
+    /// reachable); the generator enforces the same rule.
+    pub fn has_provider(&self) -> bool {
+        self.attachments.iter().any(|a| {
+            matches!(
+                a,
+                SiteAttachment::TransitProviders(n)
+                    | SiteAttachment::RemoteTransitProviders(n)
+                    | SiteAttachment::Tier1Providers(n)
+                    | SiteAttachment::ResearchEduProviders(n)
+                    if *n > 0
+            )
+        })
+    }
+}
+
+/// The paper's eight Table-1 sites with connectivity profiles spanning the
+/// same qualitative range (see module docs).
+pub fn paper_sites() -> Vec<SiteSpec> {
+    use SiteAttachment::*;
+    vec![
+        SiteSpec::new(
+            "ams",
+            "amsterdam",
+            vec![TransitProviders(2), Tier1Providers(1), EyeballPeers(6), TransitPeers(4)],
+        ),
+        SiteSpec::new("ath", "athens", vec![ResearchEduProviders(1), EyeballPeers(1)]),
+        SiteSpec::new("bos", "boston", vec![TransitProviders(1), EyeballPeers(2)]),
+        SiteSpec::new(
+            "atl",
+            "atlanta",
+            vec![TransitProviders(1), ResearchEduProviders(1)],
+        ),
+        SiteSpec::new("sea1", "seattle", vec![RemoteTransitProviders(1), TransitPeers(5)]),
+        SiteSpec::new("slc", "salt-lake-city", vec![TransitProviders(1), EyeballPeers(1)]),
+        SiteSpec::new(
+            "sea2",
+            "seattle",
+            vec![ResearchEduProviders(2), EyeballPeers(1)],
+        ),
+        SiteSpec::new("msn", "madison", vec![ResearchEduProviders(1), TransitProviders(1)]),
+    ]
+}
+
+/// The realized CDN deployment inside a generated topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CdnDeployment {
+    specs: Vec<SiteSpec>,
+    nodes: Vec<NodeId>,
+}
+
+impl CdnDeployment {
+    /// Builds a deployment record; `nodes[i]` realizes `specs[i]`.
+    pub fn new(specs: Vec<SiteSpec>, nodes: Vec<NodeId>) -> CdnDeployment {
+        assert_eq!(specs.len(), nodes.len());
+        assert!(
+            specs.len() <= u8::MAX as usize,
+            "more than 255 sites not supported"
+        );
+        CdnDeployment { specs, nodes }
+    }
+
+    pub fn num_sites(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.nodes.len() as u8).map(SiteId)
+    }
+
+    pub fn node(&self, site: SiteId) -> NodeId {
+        self.nodes[site.index()]
+    }
+
+    pub fn spec(&self, site: SiteId) -> &SiteSpec {
+        &self.specs[site.index()]
+    }
+
+    pub fn name(&self, site: SiteId) -> &str {
+        &self.specs[site.index()].name
+    }
+
+    /// Site by name (`"sea1"`), if present.
+    pub fn by_name(&self, name: &str) -> Option<SiteId> {
+        self.specs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SiteId(i as u8))
+    }
+
+    /// Site realized at `node`, if any.
+    pub fn site_at(&self, node: NodeId) -> Option<SiteId> {
+        self.nodes
+            .iter()
+            .position(|n| *n == node)
+            .map(|i| SiteId(i as u8))
+    }
+
+    /// All site node ids in site order.
+    pub fn site_nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// All sites except `failed` — the set that participates in
+    /// reactive-anycast / prepended backup announcements.
+    pub fn other_sites(&self, failed: SiteId) -> impl Iterator<Item = SiteId> + '_ {
+        self.sites().filter(move |s| *s != failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sites_match_table1_columns() {
+        let sites = paper_sites();
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["ams", "ath", "bos", "atl", "sea1", "slc", "sea2", "msn"]);
+        // Every site must be globally reachable (has a provider).
+        for s in &sites {
+            assert!(s.has_provider(), "{} lacks a provider", s.name);
+        }
+        // Regions must resolve.
+        for s in &sites {
+            let _ = crate::geo::region(&s.region);
+        }
+    }
+
+    #[test]
+    fn has_provider_logic() {
+        use SiteAttachment::*;
+        let peer_only = SiteSpec::new("x", "seattle", vec![TransitPeers(3), EyeballPeers(2)]);
+        assert!(!peer_only.has_provider());
+        let zero_counts = SiteSpec::new("y", "seattle", vec![TransitProviders(0)]);
+        assert!(!zero_counts.has_provider());
+        let rne = SiteSpec::new("z", "seattle", vec![ResearchEduProviders(1)]);
+        assert!(rne.has_provider());
+    }
+
+    #[test]
+    fn deployment_lookup() {
+        let specs = paper_sites();
+        let nodes: Vec<NodeId> = (100..108).map(NodeId).collect();
+        let d = CdnDeployment::new(specs, nodes);
+        assert_eq!(d.num_sites(), 8);
+        let sea1 = d.by_name("sea1").unwrap();
+        assert_eq!(d.name(sea1), "sea1");
+        assert_eq!(d.node(sea1), NodeId(104));
+        assert_eq!(d.site_at(NodeId(104)), Some(sea1));
+        assert_eq!(d.site_at(NodeId(1)), None);
+        assert_eq!(d.by_name("nope"), None);
+        assert_eq!(d.other_sites(sea1).count(), 7);
+        assert!(d.other_sites(sea1).all(|s| s != sea1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_rejected() {
+        CdnDeployment::new(paper_sites(), vec![NodeId(0)]);
+    }
+}

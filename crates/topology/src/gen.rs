@@ -1,0 +1,696 @@
+//! Internet-like topology generation.
+//!
+//! The generator builds a four-layer hierarchy: a tier-1 clique, regional
+//! commercial transit, R&E backbones, and an eyeball/stub edge, then
+//! realizes the CDN deployment's sites against it. All wiring decisions are
+//! drawn from named [`RngFactory`] streams, so the same `(config, seed)`
+//! always produces the same graph.
+
+use bobw_event::RngFactory;
+use bobw_net::{Asn, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cdn::{CdnDeployment, SiteAttachment, SiteSpec, CDN_ASN};
+use crate::geo::{Coords, REGIONS};
+use crate::graph::{NodeKind, Topology};
+
+/// Generator parameters. Start from a preset ([`GenConfig::eval`] is the
+/// scale used for the paper reproduction) and tweak fields as needed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Number of tier-1 (default-free) ASes, fully meshed as peers.
+    pub tier1: usize,
+    /// Number of regional commercial transit ASes.
+    pub transit: usize,
+    /// Number of R&E backbone/gigapop ASes.
+    pub rne: usize,
+    /// Number of eyeball (access) ASes.
+    pub eyeballs: usize,
+    /// Number of small stub ASes.
+    pub stubs: usize,
+    /// Probability that two transits in the same region peer.
+    pub transit_peer_prob: f64,
+    /// Number of random cross-region transit peerings (IXP long lines).
+    pub transit_cross_peers: usize,
+    /// Fraction of stubs that are R&E customers (universities) rather than
+    /// commercial customers.
+    pub stub_rne_fraction: f64,
+    /// Extra random tier-1 providers per transit (beyond the nearest one).
+    /// Higher values add path diversity, deepening BGP path exploration.
+    pub transit_extra_tier1: usize,
+    /// Provider count band for eyeball ASes (multihoming degree).
+    pub eyeball_providers: (usize, usize),
+    /// Provider count band for commercial stub ASes.
+    pub stub_providers: (usize, usize),
+    /// Number of nearest R&E networks each R&E peers with.
+    pub rne_peers: usize,
+    /// Number of Internet exchange points. Each IXP sits in one region and
+    /// full-meshes (settlement-free) the regional transits and eyeballs
+    /// that join. Default 0 in every preset so the calibrated dynamics are
+    /// unchanged; turn it up to study denser lateral peering.
+    pub ixps: usize,
+    /// Probability that an eligible regional AS joins its region's IXP.
+    pub ixp_member_prob: f64,
+    /// The CDN deployment to realize.
+    pub sites: Vec<SiteSpec>,
+}
+
+impl GenConfig {
+    /// Minimal topology for unit tests (runs in microseconds).
+    pub fn tiny() -> GenConfig {
+        GenConfig {
+            tier1: 4,
+            transit: 12,
+            rne: 6,
+            eyeballs: 24,
+            stubs: 30,
+            transit_peer_prob: 0.4,
+            transit_cross_peers: 4,
+            stub_rne_fraction: 0.15,
+            transit_extra_tier1: 1,
+            eyeball_providers: (2, 3),
+            stub_providers: (1, 2),
+            rne_peers: 2,
+            ixps: 0,
+            ixp_member_prob: 0.5,
+            sites: crate::cdn::paper_sites(),
+        }
+    }
+
+    /// Small topology for integration tests and quick benches.
+    pub fn small() -> GenConfig {
+        GenConfig {
+            tier1: 6,
+            transit: 30,
+            rne: 12,
+            eyeballs: 80,
+            stubs: 120,
+            transit_peer_prob: 0.5,
+            transit_cross_peers: 25,
+            stub_rne_fraction: 0.15,
+            transit_extra_tier1: 2,
+            eyeball_providers: (3, 4),
+            stub_providers: (2, 3),
+            rne_peers: 3,
+            ixps: 0,
+            ixp_member_prob: 0.5,
+            sites: crate::cdn::paper_sites(),
+        }
+    }
+
+    /// Evaluation-scale topology used for the full paper reproduction.
+    pub fn eval() -> GenConfig {
+        GenConfig {
+            tier1: 8,
+            transit: 70,
+            rne: 24,
+            eyeballs: 250,
+            stubs: 400,
+            transit_peer_prob: 0.4,
+            transit_cross_peers: 80,
+            stub_rne_fraction: 0.15,
+            transit_extra_tier1: 2,
+            eyeball_providers: (3, 4),
+            stub_providers: (2, 3),
+            rne_peers: 3,
+            ixps: 0,
+            ixp_member_prob: 0.5,
+            sites: crate::cdn::paper_sites(),
+        }
+    }
+
+    /// Double-scale topology for robustness checks.
+    pub fn large() -> GenConfig {
+        GenConfig {
+            tier1: 10,
+            transit: 140,
+            rne: 40,
+            eyeballs: 500,
+            stubs: 800,
+            transit_peer_prob: 0.35,
+            transit_cross_peers: 160,
+            stub_rne_fraction: 0.15,
+            transit_extra_tier1: 2,
+            eyeball_providers: (3, 4),
+            stub_providers: (2, 3),
+            rne_peers: 3,
+            ixps: 0,
+            ixp_member_prob: 0.5,
+            sites: crate::cdn::paper_sites(),
+        }
+    }
+
+    /// Total node count excluding CDN sites.
+    pub fn num_ases(&self) -> usize {
+        self.tier1 + self.transit + self.rne + self.eyeballs + self.stubs
+    }
+}
+
+/// Connectivity profile for standalone announcement origins, used by the
+/// Appendix A/B reproductions (Figures 3 and 4) to compare withdrawal
+/// convergence and announcement propagation between hypergiant-like and
+/// PEERING-like origins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OriginProfile {
+    /// Many providers and wide peering, like a hypergiant.
+    Hypergiant,
+    /// A couple of providers (one R&E), like a PEERING testbed site.
+    PeeringTestbed,
+}
+
+struct Builder<'a> {
+    topo: Topology,
+    rng: &'a RngFactory,
+    next_asn: u32,
+}
+
+impl<'a> Builder<'a> {
+    fn coords_near(&self, region: usize, stream: &str, id: u64) -> Coords {
+        let c = REGIONS[region].center;
+        let mut r = self.rng.stream(stream, id);
+        Coords::new(
+            c.lat + r.gen_range(-2.0..2.0),
+            c.lon + r.gen_range(-2.0..2.0),
+        )
+    }
+
+    fn add(&mut self, kind: NodeKind, region: usize, stream: &str, id: u64) -> NodeId {
+        let asn = Asn(self.next_asn);
+        self.next_asn += 1;
+        let coords = self.coords_near(region, stream, id);
+        self.topo.add_node(asn, kind, coords, region)
+    }
+
+    /// The `k` nearest nodes to `from` satisfying `filter`, deterministic
+    /// (ties break by node id), excluding already-linked nodes.
+    fn nearest<F: Fn(&crate::graph::Node) -> bool>(
+        &self,
+        from: Coords,
+        filter: F,
+        k: usize,
+        exclude_linked_to: Option<NodeId>,
+    ) -> Vec<NodeId> {
+        let mut candidates: Vec<(u64, NodeId)> = self
+            .topo
+            .nodes()
+            .filter(|n| filter(n))
+            .filter(|n| match exclude_linked_to {
+                Some(x) => n.id != x && !self.topo.are_linked(x, n.id),
+                None => true,
+            })
+            .map(|n| ((from.distance_km(&n.coords) * 1000.0) as u64, n.id))
+            .collect();
+        candidates.sort();
+        candidates.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+}
+
+/// Generates a topology and realizes the CDN deployment in `cfg.sites`.
+///
+/// Panics if any site spec lacks a provider (peer-only sites are not
+/// globally reachable; the paper excludes such PEERING sites too).
+pub fn generate(cfg: &GenConfig, rng: &RngFactory) -> (Topology, CdnDeployment) {
+    for s in &cfg.sites {
+        assert!(
+            s.has_provider(),
+            "site {} has no provider attachment; it would not be globally reachable",
+            s.name
+        );
+    }
+
+    let mut b = Builder {
+        topo: Topology::new(),
+        rng,
+        next_asn: 1,
+    };
+    let nregions = REGIONS.len();
+
+    // --- Tier-1 clique, spread round-robin over regions. ---
+    let mut tier1s = Vec::with_capacity(cfg.tier1);
+    for i in 0..cfg.tier1 {
+        let region = i % nregions;
+        tier1s.push(b.add(NodeKind::Tier1, region, "t1-coords", i as u64));
+    }
+    for i in 0..tier1s.len() {
+        for j in (i + 1)..tier1s.len() {
+            b.topo.link_peers(tier1s[i], tier1s[j]);
+        }
+    }
+
+    // --- Regional transit: 2 tier-1 providers (nearest + random), regional
+    // peering mesh, a few long-line cross-region peers. ---
+    let mut transits = Vec::with_capacity(cfg.transit);
+    for i in 0..cfg.transit {
+        let region = b.rng.stream("transit-region", i as u64).gen_range(0..nregions);
+        let id = b.add(NodeKind::Transit, region, "transit-coords", i as u64);
+        let coords = b.topo.node(id).coords;
+        // Nearest tier-1 is always a provider.
+        let near = b.nearest(coords, |n| n.kind == NodeKind::Tier1, 1, Some(id));
+        for p in &near {
+            b.topo.link_provider_customer(*p, id);
+        }
+        // Plus random distinct tier-1s (multihoming).
+        let mut r = b.rng.stream("transit-provider2", i as u64);
+        for _ in 0..cfg.transit_extra_tier1 {
+            if let Some(p2) = tier1s
+                .iter()
+                .filter(|t| !b.topo.are_linked(**t, id))
+                .collect::<Vec<_>>()
+                .choose(&mut r)
+            {
+                b.topo.link_provider_customer(**p2, id);
+            }
+        }
+        transits.push(id);
+    }
+    // Same-region transit peering.
+    for i in 0..transits.len() {
+        for j in (i + 1)..transits.len() {
+            let (a, c) = (transits[i], transits[j]);
+            if b.topo.node(a).region == b.topo.node(c).region {
+                let p: f64 = b
+                    .rng
+                    .stream("transit-peer", (i * cfg.transit + j) as u64)
+                    .gen();
+                if p < cfg.transit_peer_prob && !b.topo.are_linked(a, c) {
+                    b.topo.link_peers(a, c);
+                }
+            }
+        }
+    }
+    // Cross-region transit peering (long lines).
+    {
+        let mut r = b.rng.stream("transit-cross", 0);
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < cfg.transit_cross_peers && attempts < cfg.transit_cross_peers * 20 {
+            attempts += 1;
+            let a = *transits.choose(&mut r).expect("transits nonempty");
+            let c = *transits.choose(&mut r).expect("transits nonempty");
+            if a != c && !b.topo.are_linked(a, c) {
+                b.topo.link_peers(a, c);
+                added += 1;
+            }
+        }
+    }
+
+    // --- R&E backbones: customers of one tier-1 and one transit
+    // (commercial upstreams), peering with the 2 nearest other R&Es. The
+    // customer link is the Appendix C.1 mechanism: commercial networks
+    // prefer the R&E customer route to an R&E-hosted site over a peer route
+    // to the intended site. ---
+    let mut rnes = Vec::with_capacity(cfg.rne);
+    for i in 0..cfg.rne {
+        let region = b.rng.stream("rne-region", i as u64).gen_range(0..nregions);
+        let id = b.add(NodeKind::ResearchEdu, region, "rne-coords", i as u64);
+        let coords = b.topo.node(id).coords;
+        for p in b.nearest(coords, |n| n.kind == NodeKind::Tier1, 1, Some(id)) {
+            b.topo.link_provider_customer(p, id);
+        }
+        // Gigapops buy from the local commercial transits too (the PNW
+        // Gigapop pattern): their upstreams then hold *customer* routes to
+        // everything the R&E fabric carries — Appendix C.1's mechanism.
+        for p in b.nearest(coords, |n| n.kind == NodeKind::Transit, 2, Some(id)) {
+            b.topo.link_provider_customer(p, id);
+        }
+        rnes.push(id);
+    }
+    for (i, &id) in rnes.iter().enumerate() {
+        let coords = b.topo.node(id).coords;
+        let peers = b.nearest(
+            coords,
+            |n| n.kind == NodeKind::ResearchEdu,
+            cfg.rne_peers,
+            Some(id),
+        );
+        let _ = i;
+        for p in peers {
+            if !b.topo.are_linked(id, p) {
+                // The R&E fabric provides mutual transit, not mere peering.
+                b.topo.link_mutual_transit(id, p);
+            }
+        }
+    }
+
+    // --- Edge: eyeballs (multihomed to 2-3 regional transits) and stubs
+    // (1-2 providers; a fraction are universities behind R&E). ---
+    let mut edge_count = 0u64;
+    for _ in 0..cfg.eyeballs {
+        let region = b
+            .rng
+            .stream("eyeball-region", edge_count)
+            .gen_range(0..nregions);
+        let id = b.add(NodeKind::Eyeball, region, "eyeball-coords", edge_count);
+        let coords = b.topo.node(id).coords;
+        let nproviders = b
+            .rng
+            .stream("eyeball-degree", edge_count)
+            .gen_range(cfg.eyeball_providers.0..=cfg.eyeball_providers.1);
+        for p in b.nearest(coords, |n| n.kind == NodeKind::Transit, nproviders, Some(id)) {
+            b.topo.link_provider_customer(p, id);
+        }
+        edge_count += 1;
+    }
+    for _ in 0..cfg.stubs {
+        let region = b
+            .rng
+            .stream("stub-region", edge_count)
+            .gen_range(0..nregions);
+        let id = b.add(NodeKind::Stub, region, "stub-coords", edge_count);
+        let coords = b.topo.node(id).coords;
+        let is_university: f64 = b.rng.stream("stub-rne", edge_count).gen();
+        if is_university < cfg.stub_rne_fraction && !rnes.is_empty() {
+            for p in b.nearest(coords, |n| n.kind == NodeKind::ResearchEdu, 1, Some(id)) {
+                b.topo.link_provider_customer(p, id);
+            }
+        } else {
+            let nproviders = b
+                .rng
+                .stream("stub-degree", edge_count)
+                .gen_range(cfg.stub_providers.0..=cfg.stub_providers.1);
+            for p in b.nearest(coords, |n| n.kind == NodeKind::Transit, nproviders, Some(id)) {
+                b.topo.link_provider_customer(p, id);
+            }
+        }
+        edge_count += 1;
+    }
+
+    // --- Internet exchange points: full-mesh peering among regional
+    // members (transits and eyeballs). ---
+    for ix in 0..cfg.ixps {
+        let region = ix % nregions;
+        let mut members: Vec<NodeId> = Vec::new();
+        for n in b.topo.nodes() {
+            if n.region != region
+                || !matches!(n.kind, NodeKind::Transit | NodeKind::Eyeball)
+            {
+                continue;
+            }
+            let roll: f64 = b
+                .rng
+                .stream("ixp-join", (ix * 100_000 + n.id.index()) as u64)
+                .gen();
+            if roll < cfg.ixp_member_prob {
+                members.push(n.id);
+            }
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if !b.topo.are_linked(members[i], members[j]) {
+                    b.topo.link_peers(members[i], members[j]);
+                }
+            }
+        }
+    }
+
+    // --- CDN sites. ---
+    let mut site_nodes = Vec::with_capacity(cfg.sites.len());
+    for (i, spec) in cfg.sites.iter().enumerate() {
+        let region = REGIONS
+            .iter()
+            .position(|r| r.name == spec.region)
+            .unwrap_or_else(|| panic!("site {} in unknown region {}", spec.name, spec.region));
+        let asn_backup = b.next_asn; // sites use CDN_ASN, not the counter
+        let coords = b.coords_near(region, "site-coords", i as u64);
+        let id = b
+            .topo
+            .add_node(CDN_ASN, NodeKind::CdnSite(crate::cdn::SiteId(i as u8)), coords, region);
+        b.next_asn = asn_backup;
+        for att in &spec.attachments {
+            match *att {
+                SiteAttachment::TransitProviders(n) => {
+                    for p in b.nearest(coords, |x| x.kind == NodeKind::Transit, n, Some(id)) {
+                        b.topo.link_provider_customer(p, id);
+                    }
+                }
+                SiteAttachment::RemoteTransitProviders(n) => {
+                    for p in b.nearest(
+                        coords,
+                        |x| x.kind == NodeKind::Transit && x.region != region,
+                        n,
+                        Some(id),
+                    ) {
+                        b.topo.link_provider_customer(p, id);
+                    }
+                }
+                SiteAttachment::Tier1Providers(n) => {
+                    for p in b.nearest(coords, |x| x.kind == NodeKind::Tier1, n, Some(id)) {
+                        b.topo.link_provider_customer(p, id);
+                    }
+                }
+                SiteAttachment::ResearchEduProviders(n) => {
+                    for p in b.nearest(coords, |x| x.kind == NodeKind::ResearchEdu, n, Some(id)) {
+                        b.topo.link_provider_customer(p, id);
+                    }
+                }
+                SiteAttachment::EyeballPeers(n) => {
+                    for p in b.nearest(coords, |x| x.kind == NodeKind::Eyeball, n, Some(id)) {
+                        b.topo.link_peers(id, p);
+                    }
+                }
+                SiteAttachment::TransitPeers(n) => {
+                    for p in b.nearest(coords, |x| x.kind == NodeKind::Transit, n, Some(id)) {
+                        b.topo.link_peers(id, p);
+                    }
+                }
+            }
+        }
+        site_nodes.push(id);
+    }
+
+    let topo = b.topo;
+    debug_assert!(topo.check_consistency().is_ok());
+    assert!(topo.is_connected(), "generated topology is not connected");
+    (topo, CdnDeployment::new(cfg.sites.clone(), site_nodes))
+}
+
+/// Adds a standalone announcement origin with the given connectivity
+/// profile to an existing topology (Appendix A/B experiments). Returns the
+/// new node's id. Each call allocates a fresh ASN above 60000.
+pub fn attach_origin(
+    topo: &mut Topology,
+    profile: OriginProfile,
+    rng: &RngFactory,
+    instance: u64,
+) -> NodeId {
+    let nregions = REGIONS.len();
+    let region = rng.stream("origin-region", instance).gen_range(0..nregions);
+    let center = REGIONS[region].center;
+    let mut r = rng.stream("origin-coords", instance);
+    let coords = Coords::new(
+        center.lat + r.gen_range(-2.0..2.0),
+        center.lon + r.gen_range(-2.0..2.0),
+    );
+    let asn = Asn(60000 + instance as u32);
+    // Origins are modeled as stubs: they only originate, never transit.
+    let id = topo.add_node(asn, NodeKind::Stub, coords, region);
+
+    let nearest = |topo: &Topology, kind: NodeKind, k: usize, exclude: NodeId| -> Vec<NodeId> {
+        let mut c: Vec<(u64, NodeId)> = topo
+            .nodes()
+            .filter(|n| n.kind == kind && n.id != exclude && !topo.are_linked(exclude, n.id))
+            .map(|n| ((coords.distance_km(&n.coords) * 1000.0) as u64, n.id))
+            .collect();
+        c.sort();
+        c.into_iter().take(k).map(|(_, x)| x).collect()
+    };
+
+    match profile {
+        OriginProfile::Hypergiant => {
+            for p in nearest(topo, NodeKind::Tier1, 3, id) {
+                topo.link_provider_customer(p, id);
+            }
+            for p in nearest(topo, NodeKind::Transit, 6, id) {
+                topo.link_peers(id, p);
+            }
+        }
+        OriginProfile::PeeringTestbed => {
+            for p in nearest(topo, NodeKind::Transit, 1, id) {
+                topo.link_provider_customer(p, id);
+            }
+            for p in nearest(topo, NodeKind::ResearchEdu, 1, id) {
+                topo.link_provider_customer(p, id);
+            }
+            for p in nearest(topo, NodeKind::Transit, 2, id) {
+                topo.link_peers(id, p);
+            }
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_topology_is_connected_and_consistent() {
+        let rng = RngFactory::new(1);
+        let (topo, cdn) = generate(&GenConfig::tiny(), &rng);
+        assert!(topo.is_connected());
+        topo.check_consistency().unwrap();
+        assert_eq!(cdn.num_sites(), 8);
+        // All sites share the CDN ASN and are distinct nodes.
+        let mut nodes: Vec<NodeId> = cdn.site_nodes().to_vec();
+        for &n in &nodes {
+            assert_eq!(topo.node(n).asn, CDN_ASN);
+            assert!(topo.node(n).kind.is_site());
+        }
+        nodes.dedup();
+        assert_eq!(nodes.len(), 8);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::tiny();
+        let (a, _) = generate(&cfg, &RngFactory::new(7));
+        let (b, _) = generate(&cfg, &RngFactory::new(7));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.link_count(), b.link_count());
+        for (na, nb) in a.nodes().zip(b.nodes()) {
+            assert_eq!(na.asn, nb.asn);
+            assert_eq!(na.kind, nb.kind);
+            assert_eq!(na.coords, nb.coords);
+        }
+        for id in a.ids() {
+            let aa: Vec<_> = a.neighbors(id).iter().map(|x| (x.peer, x.rel)).collect();
+            let bb: Vec<_> = b.neighbors(id).iter().map(|x| (x.peer, x.rel)).collect();
+            assert_eq!(aa, bb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GenConfig::tiny();
+        let (a, _) = generate(&cfg, &RngFactory::new(1));
+        let (b, _) = generate(&cfg, &RngFactory::new(2));
+        // Same node counts, different wiring (with overwhelming probability).
+        assert_eq!(a.len(), b.len());
+        let wiring_differs = a.ids().any(|id| {
+            let aa: Vec<_> = a.neighbors(id).iter().map(|x| x.peer).collect();
+            let bb: Vec<_> = b.neighbors(id).iter().map(|x| x.peer).collect();
+            aa != bb
+        });
+        assert!(wiring_differs);
+    }
+
+    #[test]
+    fn every_nonsite_as_has_a_path_up() {
+        // Every non-tier1, non-site node must have at least one provider,
+        // otherwise it could be unreachable in valley-free routing.
+        let (topo, _) = generate(&GenConfig::small(), &RngFactory::new(3));
+        for n in topo.nodes() {
+            if n.kind == NodeKind::Tier1 || n.kind.is_site() {
+                continue;
+            }
+            let has_provider = topo
+                .neighbors(n.id)
+                .iter()
+                .any(|a| a.rel == crate::graph::Rel::Provider);
+            assert!(has_provider, "{:?} {} has no provider", n.kind, n.id);
+        }
+    }
+
+    #[test]
+    fn site_attachments_realize_spec() {
+        let (topo, cdn) = generate(&GenConfig::small(), &RngFactory::new(3));
+        // ams: 3 providers (2 transit + 1 tier1) and 10 peers.
+        let ams = cdn.by_name("ams").unwrap();
+        let node = cdn.node(ams);
+        let providers = topo
+            .neighbors(node)
+            .iter()
+            .filter(|a| a.rel == crate::graph::Rel::Provider)
+            .count();
+        let peers = topo
+            .neighbors(node)
+            .iter()
+            .filter(|a| a.rel == crate::graph::Rel::Peer)
+            .count();
+        assert_eq!(providers, 3);
+        assert_eq!(peers, 10);
+        // sea2 sits behind R&E gigapops.
+        let sea2 = cdn.by_name("sea2").unwrap();
+        let rne_providers = topo
+            .neighbors(cdn.node(sea2))
+            .iter()
+            .filter(|a| {
+                a.rel == crate::graph::Rel::Provider && topo.node(a.peer).kind.is_rne()
+            })
+            .count();
+        assert_eq!(rne_providers, 2);
+    }
+
+    #[test]
+    fn rne_networks_are_customers_of_commercial() {
+        let (topo, _) = generate(&GenConfig::small(), &RngFactory::new(3));
+        for n in topo.nodes().filter(|n| n.kind.is_rne()) {
+            let commercial_providers = topo
+                .neighbors(n.id)
+                .iter()
+                .filter(|a| {
+                    a.rel == crate::graph::Rel::Provider
+                        && matches!(
+                            topo.node(a.peer).kind,
+                            NodeKind::Tier1 | NodeKind::Transit
+                        )
+                })
+                .count();
+            assert!(commercial_providers >= 1, "{} lacks commercial upstream", n.id);
+        }
+    }
+
+    #[test]
+    fn origin_profiles_differ_in_degree() {
+        let rng = RngFactory::new(5);
+        let (mut topo, _) = generate(&GenConfig::tiny(), &rng);
+        let hg = attach_origin(&mut topo, OriginProfile::Hypergiant, &rng, 0);
+        let pe = attach_origin(&mut topo, OriginProfile::PeeringTestbed, &rng, 1);
+        assert!(topo.neighbors(hg).len() > topo.neighbors(pe).len());
+        assert_ne!(topo.node(hg).asn, topo.node(pe).asn);
+        assert!(topo.is_connected());
+        topo.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "no provider attachment")]
+    fn peer_only_site_rejected() {
+        let mut cfg = GenConfig::tiny();
+        cfg.sites = vec![SiteSpec::new(
+            "bad",
+            "seattle",
+            vec![SiteAttachment::TransitPeers(2)],
+        )];
+        generate(&cfg, &RngFactory::new(1));
+    }
+
+    #[test]
+    fn ixps_add_lateral_peering_without_breaking_anything() {
+        let rng = RngFactory::new(4);
+        let base = GenConfig::tiny();
+        let mut with_ixps = GenConfig::tiny();
+        with_ixps.ixps = 4;
+        let (a, _) = generate(&base, &rng);
+        let (b, _) = generate(&with_ixps, &rng);
+        assert!(
+            b.link_count() > a.link_count(),
+            "IXPs must add links: {} !> {}",
+            b.link_count(),
+            a.link_count()
+        );
+        assert!(b.is_connected());
+        b.check_consistency().unwrap();
+        // IXP links are settlement-free peerings.
+        // (Spot check: node counts unchanged.)
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn scales_have_expected_order() {
+        assert!(GenConfig::tiny().num_ases() < GenConfig::small().num_ases());
+        assert!(GenConfig::small().num_ases() < GenConfig::eval().num_ases());
+        assert!(GenConfig::eval().num_ases() < GenConfig::large().num_ases());
+    }
+}

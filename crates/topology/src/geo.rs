@@ -1,0 +1,140 @@
+//! Geography: node coordinates, great-circle distance, propagation delay.
+//!
+//! Latency only has to be *plausible*, not precise: the paper's target
+//! selection keeps clients "within 50 ms round-trip" of a site, and our
+//! regional structure must make that predicate select mostly same-continent
+//! targets, the way it does on the real Internet.
+
+use bobw_event::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Latitude/longitude in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coords {
+    pub lat: f64,
+    pub lon: f64,
+}
+
+impl Coords {
+    pub const fn new(lat: f64, lon: f64) -> Coords {
+        Coords { lat, lon }
+    }
+
+    /// Great-circle distance in kilometres (haversine, mean Earth radius).
+    pub fn distance_km(&self, other: &Coords) -> f64 {
+        const R: f64 = 6371.0;
+        let (la1, lo1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (la2, lo2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dla = la2 - la1;
+        let dlo = lo2 - lo1;
+        let a = (dla / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlo / 2.0).sin().powi(2);
+        2.0 * R * a.sqrt().asin()
+    }
+}
+
+/// One-way propagation delay over a fiber path of the given geographic
+/// distance: light in fiber covers ~200 km/ms, plus ~1.3× path stretch for
+/// real cable routes, plus a fixed per-link forwarding cost.
+pub fn propagation_delay(km: f64) -> SimDuration {
+    const KM_PER_MS: f64 = 200.0;
+    const STRETCH: f64 = 1.3;
+    const BASE_US: f64 = 350.0; // per-hop serialization/queueing floor
+    let us = km * STRETCH / KM_PER_MS * 1000.0 + BASE_US;
+    SimDuration::from_micros(us.round() as u64)
+}
+
+/// A metropolitan region where ASes and CDN sites cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    pub name: &'static str,
+    pub center: Coords,
+}
+
+/// The simulator's region set: the 8 PEERING sites of the paper's Table 1
+/// plus extra population centres so that not every client is near a site
+/// (the paper's §5.1 notes PEERING lacks sites in some regions).
+pub const REGIONS: &[Region] = &[
+    Region { name: "amsterdam", center: Coords::new(52.37, 4.90) },
+    Region { name: "athens", center: Coords::new(37.98, 23.73) },
+    Region { name: "boston", center: Coords::new(42.36, -71.06) },
+    Region { name: "atlanta", center: Coords::new(33.75, -84.39) },
+    Region { name: "seattle", center: Coords::new(47.61, -122.33) },
+    Region { name: "salt-lake-city", center: Coords::new(40.76, -111.89) },
+    Region { name: "madison", center: Coords::new(43.07, -89.40) },
+    Region { name: "belo-horizonte", center: Coords::new(-19.92, -43.94) },
+    // Non-site population centres.
+    Region { name: "london", center: Coords::new(51.51, -0.13) },
+    Region { name: "frankfurt", center: Coords::new(50.11, 8.68) },
+    Region { name: "new-york", center: Coords::new(40.71, -74.01) },
+    Region { name: "chicago", center: Coords::new(41.88, -87.63) },
+    Region { name: "dallas", center: Coords::new(32.78, -96.80) },
+    Region { name: "los-angeles", center: Coords::new(34.05, -118.24) },
+    Region { name: "sao-paulo", center: Coords::new(-23.55, -46.63) },
+    Region { name: "tokyo", center: Coords::new(35.68, 139.69) },
+];
+
+/// Index of a region by name; panics on unknown names (config typo).
+pub fn region(name: &str) -> &'static Region {
+    REGIONS
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("unknown region {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let c = Coords::new(52.37, 4.90);
+        assert!(c.distance_km(&c) < 1e-9);
+    }
+
+    #[test]
+    fn known_distances_are_roughly_right() {
+        let ams = region("amsterdam").center;
+        let ath = region("athens").center;
+        let d = ams.distance_km(&ath);
+        // Real-world great-circle AMS-ATH ≈ 2160 km.
+        assert!((2000.0..2350.0).contains(&d), "{d}");
+        let sea = region("seattle").center;
+        let bos = region("boston").center;
+        let d = sea.distance_km(&bos);
+        // ≈ 4000 km.
+        assert!((3800.0..4200.0).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = region("tokyo").center;
+        let b = region("sao-paulo").center;
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_scales_with_distance() {
+        let near = propagation_delay(10.0);
+        let far = propagation_delay(4000.0);
+        assert!(far > near);
+        // 4000 km -> ~26 ms one way plus floor.
+        let ms = far.as_nanos() as f64 / 1e6;
+        assert!((20.0..35.0).contains(&ms), "{ms}");
+        // Floor applies even at zero distance.
+        assert!(propagation_delay(0.0) >= SimDuration::from_micros(300));
+    }
+
+    #[test]
+    fn regions_have_unique_names() {
+        let mut names: Vec<&str> = REGIONS.iter().map(|r| r.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), REGIONS.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn unknown_region_panics() {
+        region("atlantis");
+    }
+}

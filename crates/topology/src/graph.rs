@@ -1,0 +1,388 @@
+//! The AS-level graph: nodes, business relationships, links.
+
+use bobw_event::SimDuration;
+use bobw_net::{Asn, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::cdn::SiteId;
+use crate::geo::{propagation_delay, Coords};
+
+/// What kind of network a node models. Drives generation, target selection
+/// (clients live in eyeball/stub ASes) and the Appendix C.1 classification
+/// (R&E vs commercial next hops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Default-free backbone; the tier-1 clique.
+    Tier1,
+    /// Regional/national transit provider.
+    Transit,
+    /// Access network hosting many end users (the paper's "eyeball").
+    Eyeball,
+    /// Small multi-purpose edge AS (enterprises, hosters).
+    Stub,
+    /// Research-and-education backbone or gigapop (Appendix C.1's PNW
+    /// Gigapop / Internet2 style networks).
+    ResearchEdu,
+    /// One CDN site: a distinct announcement origin sharing the CDN ASN.
+    CdnSite(SiteId),
+}
+
+impl NodeKind {
+    /// Is this an R&E network? (Appendix C.1 classification.)
+    pub fn is_rne(self) -> bool {
+        matches!(self, NodeKind::ResearchEdu)
+    }
+
+    /// Can clients (probe targets) live here?
+    pub fn hosts_clients(self) -> bool {
+        matches!(self, NodeKind::Eyeball | NodeKind::Stub)
+    }
+
+    pub fn is_site(self) -> bool {
+        matches!(self, NodeKind::CdnSite(_))
+    }
+}
+
+/// Business relationship of a neighbor *from the owning node's point of
+/// view*: `Customer` means "this neighbor pays me".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rel {
+    Customer,
+    Peer,
+    Provider,
+    /// R&E-fabric mutual transit: both sides carry each other's academic
+    /// cone (Internet2 / regional gigapop behaviour). Routes learned over
+    /// such links are treated nearly like customer routes — the Appendix
+    /// C.1 mechanism ("providers prefer to route through an R&E network")
+    /// depends on this.
+    MutualTransit,
+}
+
+impl Rel {
+    /// The same link seen from the other side.
+    pub fn flipped(self) -> Rel {
+        match self {
+            Rel::Customer => Rel::Provider,
+            Rel::Peer => Rel::Peer,
+            Rel::Provider => Rel::Customer,
+            Rel::MutualTransit => Rel::MutualTransit,
+        }
+    }
+}
+
+/// One node (AS or CDN site).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    pub id: NodeId,
+    pub asn: Asn,
+    pub kind: NodeKind,
+    pub coords: Coords,
+    /// Region index into [`crate::geo::REGIONS`] the node clusters around.
+    pub region: usize,
+}
+
+/// One direction of a link, stored in the owning node's adjacency list.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Adjacency {
+    /// The neighbor node.
+    pub peer: NodeId,
+    /// Relationship of `peer` relative to the owner.
+    pub rel: Rel,
+    /// One-way message/packet delay on the link.
+    pub delay: SimDuration,
+}
+
+/// The full topology. Node ids are dense; adjacency lists are sorted by
+/// neighbor id so iteration order (and therefore the whole simulation) is
+/// deterministic regardless of construction order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    adj: Vec<Vec<Adjacency>>,
+}
+
+impl Topology {
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, asn: Asn, kind: NodeKind, coords: Coords, region: usize) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            asn,
+            kind,
+            coords,
+            region,
+        });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Connects `provider` and `customer` with a provider-customer link,
+    /// delay derived from geography.
+    pub fn link_provider_customer(&mut self, provider: NodeId, customer: NodeId) {
+        let delay = self.geo_delay(provider, customer);
+        self.add_link(provider, customer, Rel::Customer, delay);
+    }
+
+    /// Connects two nodes as settlement-free peers.
+    pub fn link_peers(&mut self, a: NodeId, b: NodeId) {
+        let delay = self.geo_delay(a, b);
+        self.add_link(a, b, Rel::Peer, delay);
+    }
+
+    /// Connects two R&E networks with a mutual-transit link.
+    pub fn link_mutual_transit(&mut self, a: NodeId, b: NodeId) {
+        let delay = self.geo_delay(a, b);
+        self.add_link(a, b, Rel::MutualTransit, delay);
+    }
+
+    /// Low-level link insertion; `rel` is the relationship of `b` from
+    /// `a`'s point of view (`Rel::Customer` = "b is a's customer").
+    /// Duplicate links between the same pair are rejected — real ASes have
+    /// one business relationship, and duplicates would double-deliver
+    /// updates.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, rel: Rel, delay: SimDuration) {
+        assert_ne!(a, b, "self-link at {a}");
+        assert!(
+            !self.are_linked(a, b),
+            "duplicate link between {a} and {b}"
+        );
+        self.adj[a.index()].push(Adjacency { peer: b, rel, delay });
+        self.adj[b.index()].push(Adjacency {
+            peer: a,
+            rel: rel.flipped(),
+            delay,
+        });
+        // Keep adjacency deterministic under any insertion order.
+        self.adj[a.index()].sort_by_key(|x| x.peer);
+        self.adj[b.index()].sort_by_key(|x| x.peer);
+    }
+
+    fn geo_delay(&self, a: NodeId, b: NodeId) -> SimDuration {
+        let km = self.nodes[a.index()]
+            .coords
+            .distance_km(&self.nodes[b.index()].coords);
+        propagation_delay(km)
+    }
+
+    pub fn are_linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.index()].iter().any(|x| x.peer == b)
+    }
+
+    /// The relationship of `b` from `a`'s point of view, if linked.
+    pub fn rel(&self, a: NodeId, b: NodeId) -> Option<Rel> {
+        self.adj[a.index()]
+            .iter()
+            .find(|x| x.peer == b)
+            .map(|x| x.rel)
+    }
+
+    /// Link delay between two directly connected nodes.
+    pub fn delay(&self, a: NodeId, b: NodeId) -> Option<SimDuration> {
+        self.adj[a.index()]
+            .iter()
+            .find(|x| x.peer == b)
+            .map(|x| x.delay)
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn neighbors(&self, id: NodeId) -> &[Adjacency] {
+        &self.adj[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// All node ids, in dense order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Ids of nodes that can host probe targets.
+    pub fn client_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.hosts_clients())
+            .map(|n| n.id)
+    }
+
+    /// Total number of (undirected) links.
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Checks that the graph is connected (every node reachable from node 0
+    /// over undirected links). The generator guarantees this; experiments
+    /// assert it because an accidentally partitioned topology would show up
+    /// as bogus "unreachable target" measurements.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for a in &self.adj[n.index()] {
+                if !seen[a.peer.index()] {
+                    seen[a.peer.index()] = true;
+                    count += 1;
+                    stack.push(a.peer);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+
+    /// Verifies relationship symmetry: if `b` is `a`'s customer then `a`
+    /// is `b`'s provider, and delays match. Used by tests and debug builds.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (i, adjs) in self.adj.iter().enumerate() {
+            let a = NodeId::from_index(i);
+            for x in adjs {
+                let back = self.adj[x.peer.index()]
+                    .iter()
+                    .find(|y| y.peer == a)
+                    .ok_or_else(|| format!("one-way link {a}->{}", x.peer))?;
+                if back.rel != x.rel.flipped() {
+                    return Err(format!("asymmetric relationship {a}<->{}", x.peer));
+                }
+                if back.delay != x.delay {
+                    return Err(format!("asymmetric delay {a}<->{}", x.peer));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::REGIONS;
+
+    fn topo3() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let c = REGIONS[0].center;
+        let a = t.add_node(Asn(1), NodeKind::Tier1, c, 0);
+        let b = t.add_node(Asn(2), NodeKind::Transit, c, 0);
+        let d = t.add_node(Asn(3), NodeKind::Stub, c, 0);
+        t.link_peers(a, b);
+        t.link_provider_customer(b, d);
+        (t, a, b, d)
+    }
+
+    #[test]
+    fn relationships_are_symmetric() {
+        let (t, a, b, d) = topo3();
+        assert_eq!(t.rel(a, b), Some(Rel::Peer));
+        assert_eq!(t.rel(b, a), Some(Rel::Peer));
+        assert_eq!(t.rel(b, d), Some(Rel::Customer));
+        assert_eq!(t.rel(d, b), Some(Rel::Provider));
+        assert_eq!(t.rel(a, d), None);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn flipped_is_involution() {
+        for r in [Rel::Customer, Rel::Peer, Rel::Provider, Rel::MutualTransit] {
+            assert_eq!(r.flipped().flipped(), r);
+        }
+        assert_eq!(Rel::Customer.flipped(), Rel::Provider);
+        assert_eq!(Rel::Peer.flipped(), Rel::Peer);
+        assert_eq!(Rel::MutualTransit.flipped(), Rel::MutualTransit);
+    }
+
+    #[test]
+    fn adjacency_sorted_by_peer() {
+        let mut t = Topology::new();
+        let c = REGIONS[0].center;
+        let hub = t.add_node(Asn(1), NodeKind::Tier1, c, 0);
+        let n3 = t.add_node(Asn(4), NodeKind::Stub, c, 0);
+        let n1 = t.add_node(Asn(2), NodeKind::Stub, c, 0);
+        let n2 = t.add_node(Asn(3), NodeKind::Stub, c, 0);
+        // Link in scrambled order.
+        t.link_provider_customer(hub, n2);
+        t.link_provider_customer(hub, n3);
+        t.link_provider_customer(hub, n1);
+        let peers: Vec<NodeId> = t.neighbors(hub).iter().map(|a| a.peer).collect();
+        let mut sorted = peers.clone();
+        sorted.sort();
+        assert_eq!(peers, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_link_rejected() {
+        let (mut t, a, b, _) = topo3();
+        t.link_peers(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-link")]
+    fn self_link_rejected() {
+        let (mut t, a, _, _) = topo3();
+        t.link_peers(a, a);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let (mut t, _, _, _) = topo3();
+        assert!(t.is_connected());
+        let lonely = t.add_node(Asn(99), NodeKind::Stub, REGIONS[1].center, 1);
+        assert!(!t.is_connected());
+        t.link_provider_customer(NodeId(0), lonely);
+        assert!(t.is_connected());
+        assert!(Topology::new().is_connected());
+    }
+
+    #[test]
+    fn counts() {
+        let (t, _, _, _) = topo3();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.client_nodes().count(), 1);
+    }
+
+    #[test]
+    fn delay_comes_from_geography() {
+        let mut t = Topology::new();
+        let ams = crate::geo::region("amsterdam").center;
+        let ath = crate::geo::region("athens").center;
+        let a = t.add_node(Asn(1), NodeKind::Transit, ams, 0);
+        let b = t.add_node(Asn(2), NodeKind::Transit, ath, 1);
+        t.link_peers(a, b);
+        let d = t.delay(a, b).unwrap();
+        // ~2160 km * 1.3 / 200 km-per-ms ≈ 14 ms.
+        let ms = d.as_nanos() as f64 / 1e6;
+        assert!((10.0..20.0).contains(&ms), "{ms}");
+        assert_eq!(t.delay(a, b), t.delay(b, a));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::ResearchEdu.is_rne());
+        assert!(!NodeKind::Transit.is_rne());
+        assert!(NodeKind::Eyeball.hosts_clients());
+        assert!(NodeKind::Stub.hosts_clients());
+        assert!(!NodeKind::Tier1.hosts_clients());
+        assert!(NodeKind::CdnSite(SiteId(0)).is_site());
+        assert!(!NodeKind::CdnSite(SiteId(0)).hosts_clients());
+    }
+}

@@ -1,0 +1,33 @@
+//! # bobw-topology
+//!
+//! Synthetic Internet-like AS-level topologies for the *Best of Both Worlds*
+//! simulator, replacing the real Internet + PEERING testbed the paper used
+//! (see DESIGN.md §2 for the substitution argument).
+//!
+//! The model is the standard one for anycast catchment studies:
+//!
+//! * one node per AS, connected by *provider–customer* or *peer–peer*
+//!   links (Gao-Rexford economics);
+//! * the CDN is special: each **site** is its own node, all sharing the CDN
+//!   ASN — multiple origins for the same prefix is precisely what anycast
+//!   is, and per-site unicast prefixes are what the paper's techniques
+//!   manipulate;
+//! * nodes carry geographic coordinates; link delays derive from fiber
+//!   distance, so "targets within 50 ms of a site" (§5.1) is meaningful.
+//!
+//! The generator ([`gen`]) produces a hierarchy — tier-1 clique, regional
+//! transit, eyeball/stub edge, and research-and-education (R&E) backbones —
+//! whose R&E/commercial split reproduces the Appendix C.1 control-loss
+//! mechanism: a transit AS prefers a *customer* route through an R&E network
+//! to one site over a *peer* route to the intended site, no matter how much
+//! the backup sites prepend.
+
+pub mod cdn;
+pub mod gen;
+pub mod geo;
+pub mod graph;
+
+pub use cdn::{CdnDeployment, SiteAttachment, SiteId, SiteSpec, CDN_ASN};
+pub use gen::{attach_origin, generate, GenConfig, OriginProfile};
+pub use geo::{propagation_delay, Coords, Region, REGIONS};
+pub use graph::{Adjacency, Node, NodeKind, Rel, Topology};

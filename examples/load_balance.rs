@@ -1,0 +1,93 @@
+//! Load-aware mapping vs anycast's economics (§3's control motivation):
+//! assign heavy-tailed client demand to capacity-constrained sites, fail
+//! one, and compare against where pure anycast would have dumped the load.
+//!
+//! ```sh
+//! cargo run --release --example load_balance
+//! ```
+
+use bobw::bgp::{OriginConfig, Standalone};
+use bobw::core::{anycast_load, assign_load_aware, ExperimentConfig, LoadModel, Testbed};
+use bobw::dataplane::ForwardEnv;
+use bobw::net::Prefix;
+
+fn main() {
+    let testbed = Testbed::new(ExperimentConfig::quick(64));
+    let topo = &testbed.topo;
+    let cdn = &testbed.cdn;
+    let model = LoadModel::sample(topo, &testbed.rng);
+    println!(
+        "== Load balancing: {} clients, total demand {:.0} units ==\n",
+        model.demands().len(),
+        model.total()
+    );
+
+    // --- Where does pure anycast put the load? ---
+    let prefix: Prefix = "184.164.247.0/24".parse().unwrap();
+    let mut sim = Standalone::new(topo, testbed.cfg.timing.clone(), &testbed.rng);
+    for site in cdn.sites() {
+        sim.announce(cdn.node(site), prefix, OriginConfig::plain());
+    }
+    sim.run_to_idle(testbed.cfg.max_events);
+    let env = ForwardEnv {
+        topo,
+        bgp: sim.sim(),
+        down: &[],
+    };
+    let bgp_load = anycast_load(&env, cdn, &model, prefix.addr_at(1));
+
+    // --- The CDN's load-aware assignment under 1.3x fair-share capacity. ---
+    let fair = model.total() / cdn.num_sites() as f64;
+    let caps = vec![fair * 1.3; cdn.num_sites()];
+    let managed = assign_load_aware(topo, cdn, &model, &caps);
+
+    println!(
+        "{:<6} {:>14} {:>14} {:>10}",
+        "site", "anycast load", "managed load", "capacity"
+    );
+    for site in cdn.sites() {
+        println!(
+            "{:<6} {:>14.0} {:>14.0} {:>10.0}",
+            cdn.name(site),
+            bgp_load[site.index()],
+            managed.load[site.index()],
+            caps[site.index()]
+        );
+    }
+    let anycast_imbalance = {
+        let mean = bgp_load.iter().sum::<f64>() / bgp_load.len() as f64;
+        bgp_load.iter().fold(0.0f64, |a, b| a.max(*b)) / mean
+    };
+    println!(
+        "\nimbalance (max/mean): anycast {:.2} vs managed {:.2} — anycast overloads whichever \
+         site BGP's economics happen to favour; DNS control packs to capacity.",
+        anycast_imbalance,
+        managed.imbalance()
+    );
+
+    // --- Fail the hottest site; load-aware mapping re-packs. ---
+    let hottest = cdn
+        .sites()
+        .max_by(|a, b| {
+            managed.load[a.index()]
+                .partial_cmp(&managed.load[b.index()])
+                .unwrap()
+        })
+        .unwrap();
+    let mut caps_after = caps.clone();
+    caps_after[hottest.index()] = 0.0;
+    let after = assign_load_aware(topo, cdn, &model, &caps_after);
+    println!(
+        "\nAfter failing '{}' (capacity 0): survivors carry {:.0} units, unplaced {:.0} \
+         ({:.1}% of demand); imbalance {:.2}.",
+        cdn.name(hottest),
+        after.load.iter().sum::<f64>(),
+        after.unplaced,
+        100.0 * after.unplaced / model.total(),
+        after.imbalance()
+    );
+    println!(
+        "This re-pack is what the paper's techniques make *safe* to rely on: reactive-anycast \
+         and proactive-prepending keep the BGP layer available while DNS moves the load."
+    );
+}
