@@ -12,12 +12,12 @@
 use bobw_bgp::{BgpTimingConfig, OriginConfig, Standalone};
 use bobw_core::ExperimentConfig;
 use bobw_event::RngFactory;
-use bobw_net::Prefix;
-use bobw_topology::{attach_origin, generate, OriginProfile};
 use bobw_measure::{
     estimate_event_time, per_peer_convergence, per_peer_propagation, pick_collector_peers,
     Collector,
 };
+use bobw_net::Prefix;
+use bobw_topology::{attach_origin, generate, OriginProfile};
 use serde::Serialize;
 
 /// Stride used when picking collector peers (all tier-1s + every N-th
@@ -173,8 +173,7 @@ mod tests {
     #[test]
     fn propagation_study_is_fast_scale() {
         let cfg = quick_cfg();
-        let out =
-            announcement_propagation(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, 1, 2);
+        let out = announcement_propagation(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, 1, 2);
         assert!(!out.samples.is_empty());
         let cdf = Cdf::new(out.samples.clone());
         // Propagation is on the seconds scale, far below convergence.
@@ -186,8 +185,7 @@ mod tests {
         // The core Appendix A-vs-B relation, at tiny scale.
         let cfg = quick_cfg();
         let wd = withdrawal_convergence(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, 2);
-        let pr =
-            announcement_propagation(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, 1, 2);
+        let pr = announcement_propagation(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, 1, 2);
         let wd_med = Cdf::new(wd.samples).median().unwrap();
         let pr_med = Cdf::new(pr.samples).median().unwrap();
         assert!(

@@ -20,9 +20,9 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin ablation [--scale quick]`
 
-use bobw_bench::{parse_cli, write_json};
+use bobw_bench::{parse_cli, run_cells, write_json};
 use bobw_bgp::DampingConfig;
-use bobw_core::{run_failover, FailureMode, ReactionFault, Technique, Testbed};
+use bobw_core::{FailureMode, ReactionFault, Technique, Testbed};
 use bobw_event::SimDuration;
 use bobw_measure::Cdf;
 use serde::Serialize;
@@ -38,6 +38,20 @@ struct AblationRow {
     failover_p90: f64,
 }
 
+/// Runs `technique` against each named site on `jobs` workers; results are
+/// folded in site order, so the aggregate is jobs-independent.
+fn site_results(
+    testbed: &Testbed,
+    technique: &Technique,
+    sites: &[&str],
+    jobs: usize,
+) -> Vec<bobw_core::FailoverResult> {
+    run_cells(sites, jobs, |_, s| {
+        bobw_core::run_failover(testbed, technique, testbed.site(s))
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
 fn measure(
     rows: &mut Vec<AblationRow>,
     study: &str,
@@ -45,12 +59,12 @@ fn measure(
     testbed: &Testbed,
     technique: &Technique,
     sites: &[&str],
+    jobs: usize,
 ) {
     let mut recon = Vec::new();
     let mut fail = Vec::new();
     let mut ctrl = 0.0;
-    for s in sites {
-        let r = run_failover(testbed, technique, testbed.site(s));
+    for r in site_results(testbed, technique, sites, jobs) {
         recon.extend(r.reconnection_secs());
         fail.extend(r.failover_secs());
         ctrl += r.control_fraction();
@@ -89,18 +103,50 @@ fn main() {
         let mut cfg = cli.scale.config(cli.seed);
         cfg.timing.withdrawal_rate_limiting = wrate;
         let tb = Testbed::new(cfg);
-        let variant = if wrate { "wrate-on (default)" } else { "wrate-off" };
-        measure(&mut rows, "wrate", variant, &tb, &Technique::ProactiveSuperprefix, &sites);
-        measure(&mut rows, "wrate", variant, &tb, &Technique::Anycast, &sites);
+        let variant = if wrate {
+            "wrate-on (default)"
+        } else {
+            "wrate-off"
+        };
+        measure(
+            &mut rows,
+            "wrate",
+            variant,
+            &tb,
+            &Technique::ProactiveSuperprefix,
+            &sites,
+            cli.jobs,
+        );
+        measure(
+            &mut rows,
+            "wrate",
+            variant,
+            &tb,
+            &Technique::Anycast,
+            &sites,
+            cli.jobs,
+        );
     }
 
     // --- 2. MRAI band scale. ---
-    for (label, factor) in [("mrai-x0.5", 0.5), ("mrai-x1 (default)", 1.0), ("mrai-x2", 2.0)] {
+    for (label, factor) in [
+        ("mrai-x0.5", 0.5),
+        ("mrai-x1 (default)", 1.0),
+        ("mrai-x2", 2.0),
+    ] {
         let mut cfg = cli.scale.config(cli.seed);
         cfg.timing.mrai_min_s *= factor;
         cfg.timing.mrai_max_s *= factor;
         let tb = Testbed::new(cfg);
-        measure(&mut rows, "mrai", label, &tb, &Technique::ProactiveSuperprefix, &sites);
+        measure(
+            &mut rows,
+            "mrai",
+            label,
+            &tb,
+            &Technique::ProactiveSuperprefix,
+            &sites,
+            cli.jobs,
+        );
     }
 
     // --- 3. Detection delay for reactive-anycast. ---
@@ -115,6 +161,7 @@ fn main() {
             &tb,
             &Technique::ReactiveAnycast,
             &sites,
+            cli.jobs,
         );
     }
 
@@ -122,12 +169,26 @@ fn main() {
     {
         let tb = Testbed::new(cli.scale.config(cli.seed));
         for t in [
-            Technique::ProactivePrepending { prepends: 3, selective: false },
-            Technique::ProactivePrepending { prepends: 3, selective: true },
+            Technique::ProactivePrepending {
+                prepends: 3,
+                selective: false,
+            },
+            Technique::ProactivePrepending {
+                prepends: 3,
+                selective: true,
+            },
             Technique::ProactiveMed { med: 100 },
             Technique::ProactiveNoExport { prepends: 3 },
         ] {
-            measure(&mut rows, "backup-mech", &t.name(), &tb, &t, &sites);
+            measure(
+                &mut rows,
+                "backup-mech",
+                &t.name(),
+                &tb,
+                &t,
+                &sites,
+                cli.jobs,
+            );
         }
     }
 
@@ -141,8 +202,24 @@ fn main() {
         cfg.failure_mode = mode;
         cfg.timing.hold_time_s = hold;
         let tb = Testbed::new(cfg);
-        measure(&mut rows, "failure-mode", label, &tb, &Technique::Anycast, &sites);
-        measure(&mut rows, "failure-mode", label, &tb, &Technique::ReactiveAnycast, &sites);
+        measure(
+            &mut rows,
+            "failure-mode",
+            label,
+            &tb,
+            &Technique::Anycast,
+            &sites,
+            cli.jobs,
+        );
+        measure(
+            &mut rows,
+            "failure-mode",
+            label,
+            &tb,
+            &Technique::ReactiveAnycast,
+            &sites,
+            cli.jobs,
+        );
     }
 
     // --- 6. Route-flap damping vs reactive-anycast. A single clean
@@ -161,7 +238,15 @@ fn main() {
         cfg.timing.flap_damping = damping;
         cfg.pre_failure_flaps = flaps;
         let tb = Testbed::new(cfg);
-        measure(&mut rows, "damping", label, &tb, &Technique::ReactiveAnycast, &sites);
+        measure(
+            &mut rows,
+            "damping",
+            label,
+            &tb,
+            &Technique::ReactiveAnycast,
+            &sites,
+            cli.jobs,
+        );
     }
 
     // --- 7. Risk made measurable: what a botched reactive-anycast
@@ -179,9 +264,12 @@ fn main() {
         let mut never = 0usize;
         let mut total = 0usize;
         let mut fail = Vec::new();
-        for s in &sites {
-            let r = run_failover(&tb, &Technique::ReactiveAnycast, tb.site(s));
-            never += r.outcomes.iter().filter(|o| o.reconnection.is_none()).count();
+        for r in site_results(&tb, &Technique::ReactiveAnycast, &sites, cli.jobs) {
+            never += r
+                .outcomes
+                .iter()
+                .filter(|o| o.reconnection.is_none())
+                .count();
             total += r.outcomes.len();
             fail.extend(r.failover_secs());
         }

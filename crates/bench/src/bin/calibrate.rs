@@ -48,11 +48,7 @@ fn main() {
                 first.entry(rc.node).or_insert(rc.time);
             }
         }
-        props.extend(
-            first
-                .values()
-                .map(|t| t.since(t0).as_secs_f64()),
-        );
+        props.extend(first.values().map(|t| t.since(t0).as_secs_f64()));
         println!(
             "prop site {}: events={} now={}",
             cdn.name(bobw_topology::SiteId(i as u8)),

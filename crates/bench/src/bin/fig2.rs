@@ -7,7 +7,7 @@
 //! `--extended` behaviour of `repro_all`; here it is always included as a
 //! fifth series since it costs one more run.
 
-use bobw_bench::{parse_cli, run_technique_all_sites, write_json, TechniqueSeries};
+use bobw_bench::{parse_cli, run_failover_grid, write_json, TechniqueSeries};
 use bobw_core::{Technique, Testbed};
 use bobw_measure::cdf_table;
 
@@ -15,25 +15,35 @@ fn main() {
     let cli = parse_cli();
     let testbed = Testbed::new(cli.scale.config(cli.seed));
     eprintln!(
-        "fig2: topology {} nodes / {} links, {} sites",
+        "fig2: topology {} nodes / {} links, {} sites, {} jobs",
         testbed.topo.len(),
         testbed.topo.link_count(),
-        testbed.cdn.num_sites()
+        testbed.cdn.num_sites(),
+        cli.jobs
     );
 
     let mut techniques = Technique::figure2_set();
     techniques.push(Technique::Combined);
 
+    // All ⟨technique, site⟩ cells share one work queue; the result order
+    // (and hence the JSON) is identical for any --jobs value.
+    let (grouped, perf) = run_failover_grid(&testbed, &techniques, cli.jobs);
     let mut series = Vec::new();
-    for t in &techniques {
-        let results = run_technique_all_sites(&testbed, t);
-        let s = TechniqueSeries::from_results(t, &results);
+    for (t, results) in techniques.iter().zip(&grouped) {
+        let s = TechniqueSeries::from_results(t, results);
         eprintln!(
             "  {:<26} targets={} never_reconnected={}",
             s.technique, s.num_targets, s.never_reconnected
         );
         series.push(s);
     }
+    eprintln!(
+        "fig2: {} cells in {:.1}s ({} events, peak queue {})",
+        perf.cells.len(),
+        perf.elapsed_micros as f64 / 1e6,
+        perf.total_events(),
+        perf.max_queue_depth()
+    );
 
     let recon: Vec<(String, _)> = series
         .iter()

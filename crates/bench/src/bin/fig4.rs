@@ -23,8 +23,13 @@ fn main() {
     let manycast =
         announcement_propagation(&cfg, &cfg.timing, OriginProfile::Hypergiant, 3, instances);
     // PEERING-like: a single testbed-profile origin.
-    let peering =
-        announcement_propagation(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, 1, instances);
+    let peering = announcement_propagation(
+        &cfg,
+        &cfg.timing,
+        OriginProfile::PeeringTestbed,
+        1,
+        instances,
+    );
 
     let mc = Cdf::new(manycast.samples.clone());
     let pc = Cdf::new(peering.samples.clone());

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin fig5 [--scale quick]`
 
-use bobw_bench::{parse_cli, run_technique_all_sites, write_json, TechniqueSeries};
+use bobw_bench::{parse_cli, run_failover_grid, write_json, TechniqueSeries};
 use bobw_core::{Technique, Testbed};
 use bobw_measure::cdf_table;
 
@@ -12,15 +12,19 @@ fn main() {
     let cli = parse_cli();
     let testbed = Testbed::new(cli.scale.config(cli.seed));
 
-    let mut series = Vec::new();
-    for prepends in [3u8, 5u8] {
-        let t = Technique::ProactivePrepending {
+    let techniques: Vec<Technique> = [3u8, 5u8]
+        .iter()
+        .map(|&prepends| Technique::ProactivePrepending {
             prepends,
             selective: false,
-        };
-        let results = run_technique_all_sites(&testbed, &t);
-        series.push(TechniqueSeries::from_results(&t, &results));
-    }
+        })
+        .collect();
+    let (grouped, _) = run_failover_grid(&testbed, &techniques, cli.jobs);
+    let series: Vec<TechniqueSeries> = techniques
+        .iter()
+        .zip(&grouped)
+        .map(|(t, results)| TechniqueSeries::from_results(t, results))
+        .collect();
 
     let recon: Vec<(String, _)> = series
         .iter()
@@ -47,7 +51,10 @@ fn main() {
     // failover.
     let f3 = series[0].failover_cdf().median().unwrap_or(f64::NAN);
     let f5 = series[1].failover_cdf().median().unwrap_or(f64::NAN);
-    println!("failover median: prepend3={f3:.1}s prepend5={f5:.1}s (delta {:.1}s)", f5 - f3);
+    println!(
+        "failover median: prepend3={f3:.1}s prepend5={f5:.1}s (delta {:.1}s)",
+        f5 - f3
+    );
 
     write_json(&cli, "fig5", &series);
 }

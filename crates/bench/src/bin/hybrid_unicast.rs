@@ -66,7 +66,9 @@ fn main() {
             Delivery::Delivered { .. } => rtt_to_site(&env, client, plan.anycast_addr()),
             _ => None,
         };
-        let Some(anycast_rtt) = anycast_rtt else { continue };
+        let Some(anycast_rtt) = anycast_rtt else {
+            continue;
+        };
         // Best possible: nearest site by great-circle fiber distance.
         let best_ms = cdn
             .site_nodes()

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 use bobw_bench::appendix::{announcement_propagation, withdrawal_convergence};
 use bobw_bench::{
-    compute_appc1, compute_table1, parse_cli, run_technique_all_sites, write_json, Scale,
+    compute_appc1, compute_table1, parse_cli, run_failover_grid, write_json, PerfLog, Scale,
     TechniqueSeries,
 };
 use bobw_core::{
@@ -24,6 +24,10 @@ fn main() {
     let cli = parse_cli();
     let cfg = cli.scale.config(cli.seed);
     let testbed = Testbed::new(cfg.clone());
+    // Perf counters from every failover grid; summarized at the end of
+    // SUMMARY.md and dumped to BENCH_repro_all.json (NOT under results/,
+    // whose JSON must be byte-identical across --jobs and hosts).
+    let mut perf = PerfLog::new(cli.jobs);
     let mut md = String::new();
     let _ = writeln!(
         md,
@@ -35,19 +39,28 @@ fn main() {
     );
 
     // ---------------- Figure 2 (+ combined) ----------------
-    eprintln!("[1/8] figure 2 ...");
+    eprintln!("[1/8] figure 2 ({} jobs) ...", cli.jobs);
     let mut techniques = Technique::figure2_set();
     techniques.push(Technique::Combined);
+    let (grouped, p) = run_failover_grid(&testbed, &techniques, cli.jobs);
+    perf.merge(p);
     let mut fig2 = Vec::new();
-    for t in &techniques {
-        let results = run_technique_all_sites(&testbed, t);
-        fig2.push(TechniqueSeries::from_results(t, &results));
+    for (t, results) in techniques.iter().zip(&grouped) {
+        fig2.push(TechniqueSeries::from_results(t, results));
     }
     let _ = writeln!(md, "## Figure 2 — reconnection / failover CDFs\n");
     let _ = writeln!(md, "```");
     for s in &fig2 {
-        let _ = writeln!(md, "{}", cdf_row(&format!("{} recon", s.technique), &s.reconnection_cdf()));
-        let _ = writeln!(md, "{}", cdf_row(&format!("{} failover", s.technique), &s.failover_cdf()));
+        let _ = writeln!(
+            md,
+            "{}",
+            cdf_row(&format!("{} recon", s.technique), &s.reconnection_cdf())
+        );
+        let _ = writeln!(
+            md,
+            "{}",
+            cdf_row(&format!("{} failover", s.technique), &s.failover_cdf())
+        );
     }
     let _ = writeln!(md, "```\n");
     write_json(&cli, "fig2", &fig2);
@@ -67,26 +80,39 @@ fn main() {
 
     // ---------------- Figure 5 ----------------
     eprintln!("[2/8] figure 5 ...");
-    let mut fig5 = Vec::new();
-    for prepends in [3u8, 5u8] {
-        let t = Technique::ProactivePrepending {
+    let fig5_techniques: Vec<Technique> = [3u8, 5u8]
+        .iter()
+        .map(|&prepends| Technique::ProactivePrepending {
             prepends,
             selective: false,
-        };
-        let results = run_technique_all_sites(&testbed, &t);
-        fig5.push(TechniqueSeries::from_results(&t, &results));
-    }
+        })
+        .collect();
+    let (grouped, p) = run_failover_grid(&testbed, &fig5_techniques, cli.jobs);
+    perf.merge(p);
+    let fig5: Vec<TechniqueSeries> = fig5_techniques
+        .iter()
+        .zip(&grouped)
+        .map(|(t, results)| TechniqueSeries::from_results(t, results))
+        .collect();
     let _ = writeln!(md, "## Figure 5 — prepend 3 vs 5\n```");
     for s in &fig5 {
-        let _ = writeln!(md, "{}", cdf_row(&format!("{} recon", s.technique), &s.reconnection_cdf()));
-        let _ = writeln!(md, "{}", cdf_row(&format!("{} failover", s.technique), &s.failover_cdf()));
+        let _ = writeln!(
+            md,
+            "{}",
+            cdf_row(&format!("{} recon", s.technique), &s.reconnection_cdf())
+        );
+        let _ = writeln!(
+            md,
+            "{}",
+            cdf_row(&format!("{} failover", s.technique), &s.failover_cdf())
+        );
     }
     let _ = writeln!(md, "```\n");
     write_json(&cli, "fig5", &fig5);
 
     // ---------------- Table 1 ----------------
     eprintln!("[3/8] table 1 ...");
-    let t1 = compute_table1(&testbed, &[3, 5]);
+    let t1 = compute_table1(&testbed, &[3, 5], cli.jobs);
     let mut rows = Vec::new();
     let mk_row = |label: &str, f: &dyn Fn(&str) -> String| -> Vec<String> {
         let mut row = vec![label.to_string()];
@@ -106,11 +132,14 @@ fn main() {
     // ---------------- Table 2 ----------------
     eprintln!("[4/8] table 2 ...");
     let anycast_median = median_of("anycast", true);
-    let prepending_control = t1.rows.values().map(|(_, s)| s[0].1).sum::<f64>()
-        / t1.rows.len().max(1) as f64;
+    let prepending_control =
+        t1.rows.values().map(|(_, s)| s[0].1).sum::<f64>() / t1.rows.len().max(1) as f64;
     let measured = vec![
         MeasuredTechnique {
-            technique: Technique::ProactivePrepending { prepends: 3, selective: false },
+            technique: Technique::ProactivePrepending {
+                prepends: 3,
+                selective: false,
+            },
             control_fraction: prepending_control,
             failover_median_s: Some(median_of("proactive-prepending-3", true)),
         },
@@ -165,17 +194,30 @@ fn main() {
     let f3h = withdrawal_convergence(&cfg, &cfg.timing, OriginProfile::Hypergiant, instances);
     let f3p = withdrawal_convergence(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, instances);
     let _ = writeln!(md, "## Figure 3 — withdrawal convergence\n```");
-    let _ = writeln!(md, "{}", cdf_row("hypergiant", &Cdf::new(f3h.samples.clone())));
+    let _ = writeln!(
+        md,
+        "{}",
+        cdf_row("hypergiant", &Cdf::new(f3h.samples.clone()))
+    );
     let _ = writeln!(md, "{}", cdf_row("peering", &Cdf::new(f3p.samples.clone())));
     let _ = writeln!(md, "```\n");
     write_json(&cli, "fig3", &vec![f3h, f3p]);
 
     eprintln!("[6/8] figure 4 ...");
     let f4m = announcement_propagation(&cfg, &cfg.timing, OriginProfile::Hypergiant, 3, instances);
-    let f4p =
-        announcement_propagation(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, 1, instances);
+    let f4p = announcement_propagation(
+        &cfg,
+        &cfg.timing,
+        OriginProfile::PeeringTestbed,
+        1,
+        instances,
+    );
     let _ = writeln!(md, "## Figure 4 — announcement propagation\n```");
-    let _ = writeln!(md, "{}", cdf_row("manycast2-like", &Cdf::new(f4m.samples.clone())));
+    let _ = writeln!(
+        md,
+        "{}",
+        cdf_row("manycast2-like", &Cdf::new(f4m.samples.clone()))
+    );
     let _ = writeln!(md, "{}", cdf_row("peering", &Cdf::new(f4p.samples.clone())));
     let _ = writeln!(md, "```\n");
     write_json(&cli, "fig4", &vec![f4m, f4p]);
@@ -223,6 +265,19 @@ fn main() {
     let _ = writeln!(md, "{}", cdf_row("unicast analytic (ttl 600s)", &dns_cdf));
     let _ = writeln!(md, "{}", cdf_row("unicast in-sim (ttl 600s)", &insim_cdf));
     let _ = writeln!(md, "```\n");
+
+    // ---------------- Runner perf trajectory ----------------
+    let _ = writeln!(md, "{}", perf.markdown_section());
+    match serde_json::to_string_pretty(&perf) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write("BENCH_repro_all.json", s) {
+                eprintln!("warning: cannot write BENCH_repro_all.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_repro_all.json");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize perf log: {e}"),
+    }
 
     // ---------------- Write summary ----------------
     let path = cli.out_dir.join("SUMMARY.md");

@@ -16,11 +16,11 @@
 use bobw_bench::{parse_cli, write_json};
 use bobw_bgp::{OriginConfig, Standalone};
 use bobw_event::{RngFactory, SimDuration, SimTime};
-use bobw_net::Prefix;
 use bobw_measure::{
     daily_visibility, estimate_event_time, flag_potential_withdrawals, per_peer_convergence,
     pick_collector_peers, Cdf, Collector,
 };
+use bobw_net::Prefix;
 use bobw_topology::{attach_origin, generate, OriginProfile};
 use serde::Serialize;
 

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin stability [--scale quick]`
 
-use bobw_bench::{parse_cli, run_technique_all_sites, write_json, TechniqueSeries};
+use bobw_bench::{parse_cli, run_failover_grid, write_json, TechniqueSeries};
 use bobw_core::{Technique, Testbed};
 use bobw_measure::Cdf;
 use serde::Serialize;
@@ -34,9 +34,10 @@ fn main() {
     let mut rows: Vec<SeedRow> = Vec::new();
     for &seed in &seeds {
         let testbed = Testbed::new(cli.scale.config(seed));
-        for t in &techniques {
-            let results = run_technique_all_sites(&testbed, t);
-            let s = TechniqueSeries::from_results(t, &results);
+        // One shared work queue per seed: all ⟨technique, site⟩ cells.
+        let (grouped, _) = run_failover_grid(&testbed, &techniques, cli.jobs);
+        for (t, results) in techniques.iter().zip(&grouped) {
+            let s = TechniqueSeries::from_results(t, results);
             rows.push(SeedRow {
                 seed,
                 technique: s.technique.clone(),
@@ -66,7 +67,9 @@ fn main() {
     let mut orderings_hold = true;
     let mut by_seed: std::collections::BTreeMap<u64, (f64, f64, f64)> = Default::default();
     for r in &rows {
-        let e = by_seed.entry(r.seed).or_insert((f64::NAN, f64::NAN, f64::NAN));
+        let e = by_seed
+            .entry(r.seed)
+            .or_insert((f64::NAN, f64::NAN, f64::NAN));
         match r.technique.as_str() {
             "anycast" => e.0 = r.failover_p50,
             "reactive-anycast" => e.1 = r.failover_p50,
@@ -90,7 +93,10 @@ fn main() {
         );
     }
     for (seed, (anycast, reactive, superprefix)) in &by_seed {
-        if !(superprefix > &(2.0 * reactive.max(*anycast))) {
+        // NaN medians must count as a violation, so compare via partial_cmp
+        // instead of a negated `>`.
+        let bound = 2.0 * reactive.max(*anycast);
+        if superprefix.partial_cmp(&bound) != Some(std::cmp::Ordering::Greater) {
             orderings_hold = false;
             eprintln!(
                 "seed {seed}: ordering violated (anycast {anycast:.1}, reactive {reactive:.1}, \
@@ -106,7 +112,10 @@ fn main() {
             .count(),
         by_seed.len()
     );
-    assert!(orderings_hold, "the paper's headline ordering must be seed-independent");
+    assert!(
+        orderings_hold,
+        "the paper's headline ordering must be seed-independent"
+    );
 
     write_json(&cli, "stability", &rows);
 }

@@ -45,7 +45,10 @@ fn main() {
             // Disjoint /24s per hypergiant: 10.hg.i.0/24 style packing.
             let base: u32 = (10u32 << 24) | (hg << 16) | ((i as u32) << 8);
             let specific = Prefix::new(base, 24);
-            entries.push(RibEntry { prefix: specific, origin });
+            entries.push(RibEntry {
+                prefix: specific,
+                origin,
+            });
             if r.gen_bool(policy) {
                 entries.push(RibEntry {
                     prefix: specific.parent().expect("/24 has a parent"),
@@ -65,7 +68,10 @@ fn main() {
     }
 
     println!("§3 survey — covering-prefix prevalence per synthetic hypergiant");
-    println!("{:<6} {:>10} {:>10} {:>8}", "HG", "configured", "measured", "n");
+    println!(
+        "{:<6} {:>10} {:>10} {:>8}",
+        "HG", "configured", "measured", "n"
+    );
     for row in &rows {
         println!(
             "{:<6} {:>10} {:>10} {:>8}",

@@ -12,7 +12,7 @@ use bobw_measure::percent;
 fn main() {
     let cli = parse_cli();
     let testbed = Testbed::new(cli.scale.config(cli.seed));
-    let table = compute_table1(&testbed, &[3, 5]);
+    let table = compute_table1(&testbed, &[3, 5], cli.jobs);
 
     // Paper-style layout: sites as columns.
     let names = &table.site_order;
@@ -23,9 +23,7 @@ fn main() {
         let cells: Vec<String> = names.iter().map(|n| format!("{:>4}", f(n))).collect();
         println!("{label:<22} {}", cells.join("  "));
     };
-    row("not routed by anycast", &|n| {
-        percent(table.rows[n].0)
-    });
+    row("not routed by anycast", &|n| percent(table.rows[n].0));
     row("prepend 3", &|n| percent(table.rows[n].1[0].1));
     row("prepend 5", &|n| percent(table.rows[n].1[1].1));
 

@@ -14,7 +14,7 @@ fn main() {
 
     // Failover medians per technique (Figure 2 machinery).
     let failover_median = |t: &Technique| -> f64 {
-        let results = run_technique_all_sites(&testbed, t);
+        let results = run_technique_all_sites(&testbed, t, cli.jobs);
         TechniqueSeries::from_results(t, &results)
             .failover_cdf()
             .median()
@@ -31,9 +31,9 @@ fn main() {
 
     // Control fraction for prepending: mean over sites of the Table 1
     // steered fraction at 3 prepends.
-    let t1 = compute_table1(&testbed, &[3]);
-    let prepending_control = t1.rows.values().map(|(_, s)| s[0].1).sum::<f64>()
-        / t1.rows.len().max(1) as f64;
+    let t1 = compute_table1(&testbed, &[3], cli.jobs);
+    let prepending_control =
+        t1.rows.values().map(|(_, s)| s[0].1).sum::<f64>() / t1.rows.len().max(1) as f64;
 
     let measured = vec![
         MeasuredTechnique {
@@ -85,7 +85,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        markdown_table(&["Technique", "Control", "Availability", "Risk"], &table_rows)
+        markdown_table(
+            &["Technique", "Control", "Availability", "Risk"],
+            &table_rows
+        )
     );
 
     write_json(&cli, "table2", &rows);

@@ -17,21 +17,25 @@
 //! | `repro_all` | everything above, plus a markdown summary |
 //! | `calibrate` | raw timing-model calibration check |
 //!
-//! Every binary accepts `--scale quick|eval|large` (default `eval`) and
-//! `--seed N`, and writes machine-readable JSON next to its stdout report
-//! (under `results/`).
+//! Every binary accepts `--scale quick|eval|large` (default `eval`),
+//! `--seed N` and `--jobs N` (worker threads, default: available
+//! parallelism), and writes machine-readable JSON next to its stdout
+//! report (under `results/`). Results are byte-identical for any `--jobs`
+//! value — see the [`runner`] module for how that is guaranteed.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use bobw_core::{
-    analyze_divergence, measure_control, run_failover, ExperimentConfig, FailoverResult, Technique,
-    Testbed,
+    analyze_divergence, measure_control, ExperimentConfig, FailoverResult, Technique, Testbed,
 };
 use bobw_measure::Cdf;
 use serde::Serialize;
 
 pub mod appendix;
+pub mod runner;
+
+pub use runner::{default_jobs, run_cells, run_failover_grid, CellRecord, PerfLog};
 
 /// Experiment scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +69,9 @@ pub struct Cli {
     pub seed: u64,
     /// Output directory for JSON results.
     pub out_dir: PathBuf,
+    /// Worker threads for the experiment runner (default: available
+    /// parallelism). Any value produces byte-identical result JSON.
+    pub jobs: usize,
 }
 
 impl Default for Cli {
@@ -73,12 +80,13 @@ impl Default for Cli {
             scale: Scale::Eval,
             seed: 42,
             out_dir: PathBuf::from("results"),
+            jobs: default_jobs(),
         }
     }
 }
 
-/// Parses `--scale`, `--seed`, `--out` from the process arguments; exits
-/// with a usage message on unknown flags.
+/// Parses `--scale`, `--seed`, `--out`, `--jobs` from the process
+/// arguments; exits with a usage message on unknown flags.
 pub fn parse_cli() -> Cli {
     let mut cli = Cli::default();
     let mut args = std::env::args().skip(1);
@@ -108,8 +116,18 @@ pub fn parse_cli() -> Cli {
                     std::process::exit(2);
                 }));
             }
+            "--jobs" => {
+                cli.jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs an integer >= 1");
+                        std::process::exit(2);
+                    });
+            }
             other => {
-                eprintln!("unknown flag {other:?}; supported: --scale --seed --out");
+                eprintln!("unknown flag {other:?}; supported: --scale --seed --out --jobs");
                 std::process::exit(2);
             }
         }
@@ -136,22 +154,16 @@ pub fn write_json<T: Serialize>(cli: &Cli, name: &str, value: &T) {
     }
 }
 
-/// Runs one technique across every site of the testbed in parallel,
-/// returning per-site results in site order.
-pub fn run_technique_all_sites(testbed: &Testbed, technique: &Technique) -> Vec<FailoverResult> {
-    let sites: Vec<_> = testbed.cdn.sites().collect();
-    let mut results: Vec<Option<FailoverResult>> = Vec::new();
-    results.resize_with(sites.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slot, site) in results.iter_mut().zip(sites.iter()) {
-            let t = technique.clone();
-            scope.spawn(move |_| {
-                *slot = Some(run_failover(testbed, &t, *site));
-            });
-        }
-    })
-    .expect("experiment thread panicked");
-    results.into_iter().map(|r| r.expect("filled")).collect()
+/// Runs one technique across every site of the testbed on `jobs` worker
+/// threads, returning per-site results in site order (identical for any
+/// `jobs` value).
+pub fn run_technique_all_sites(
+    testbed: &Testbed,
+    technique: &Technique,
+    jobs: usize,
+) -> Vec<FailoverResult> {
+    let (mut grouped, _) = run_failover_grid(testbed, std::slice::from_ref(technique), jobs);
+    grouped.pop().expect("one technique in, one group out")
 }
 
 /// Aggregated series for one technique: reconnection and failover samples
@@ -216,27 +228,20 @@ pub struct Table1 {
     pub rows: BTreeMap<String, (f64, Vec<(u8, f64)>)>,
 }
 
-/// Computes Table 1 in parallel across sites.
-pub fn compute_table1(testbed: &Testbed, prepend_counts: &[u8]) -> Table1 {
+/// Computes Table 1 across sites on `jobs` worker threads.
+pub fn compute_table1(testbed: &Testbed, prepend_counts: &[u8], jobs: usize) -> Table1 {
     let sites: Vec<_> = testbed.cdn.sites().collect();
-    let mut rows: Vec<Option<(String, (f64, Vec<(u8, f64)>))>> = Vec::new();
-    rows.resize_with(sites.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slot, site) in rows.iter_mut().zip(sites.iter()) {
-            scope.spawn(move |_| {
-                let r = measure_control(testbed, *site, prepend_counts);
-                *slot = Some((r.site_name.clone(), (r.frac_not_anycast_routed, r.steered)));
-            });
-        }
-    })
-    .expect("control thread panicked");
+    let rows = run_cells(&sites, jobs, |_, &site| {
+        let r = measure_control(testbed, site, prepend_counts);
+        (r.site_name.clone(), (r.frac_not_anycast_routed, r.steered))
+    });
     let site_order = sites
         .iter()
         .map(|s| testbed.cdn.name(*s).to_string())
         .collect();
     Table1 {
         site_order,
-        rows: rows.into_iter().map(|r| r.expect("filled")).collect(),
+        rows: rows.into_iter().collect(),
     }
 }
 
@@ -252,6 +257,7 @@ pub fn compute_appc1(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bobw_core::run_failover;
 
     #[test]
     fn scale_configs_differ() {
@@ -287,7 +293,7 @@ mod tests {
         cfg.probe.duration = bobw_event::SimDuration::from_secs(45);
         let tb = Testbed::new(cfg);
         let t = Technique::ReactiveAnycast;
-        let par = run_technique_all_sites(&tb, &t);
+        let par = run_technique_all_sites(&tb, &t, 4);
         let site0 = tb.cdn.sites().next().unwrap();
         let seq = run_failover(&tb, &t, site0);
         assert_eq!(par[0].num_controllable, seq.num_controllable);

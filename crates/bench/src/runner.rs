@@ -1,0 +1,288 @@
+//! Deterministic parallel experiment runner.
+//!
+//! Every benchmark binary ultimately runs a grid of independent cells
+//! ⟨technique, failed site, seed⟩. This module turns that grid into a work
+//! queue fanned over `--jobs` OS threads while keeping the *output* exactly
+//! what a sequential run would produce:
+//!
+//! - Cells are enumerated up front in a fixed order; workers pull cell
+//!   *indices* from an atomic counter, so scheduling only decides *when* a
+//!   cell runs, never *what* it computes.
+//! - Each cell builds its own simulator from the shared immutable
+//!   [`Testbed`] and derives its RNG streams from the cell's seed — no
+//!   mutable state is shared between cells.
+//! - Results are written back into a slot keyed by cell index, so
+//!   aggregation order is independent of completion order.
+//!
+//! Together these guarantee that `--jobs N` produces byte-identical
+//! `results/*.json` to `--jobs 1`. Host-dependent measurements (wall time)
+//! are kept out of the result JSON entirely and flow through [`PerfLog`]
+//! into `results/SUMMARY.md` and `BENCH_*.json` artifacts instead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use bobw_core::{run_failover_instrumented, FailoverResult, Technique, Testbed};
+use serde::Serialize;
+
+/// Number of worker threads to use when `--jobs` is not given.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every item of `items`, fanned across up to `jobs` worker
+/// threads, returning results in item order regardless of scheduling.
+///
+/// `jobs <= 1` runs serially on the caller's thread (no thread setup, same
+/// results). Workers claim items through a shared atomic cursor, so an
+/// expensive item does not hold up the queue behind it. If `f` panics the
+/// panic is propagated to the caller once the remaining workers finish
+/// their current items.
+pub fn run_cells<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // The receiver outlives the workers; send only fails if the
+                // main thread is already unwinding, in which case stop.
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        // A missing slot means a worker panicked mid-cell; scope exit will
+        // re-raise that panic, so this expect is only a backstop.
+        slots
+            .into_iter()
+            .map(|r| r.expect("worker finished without producing its cell"))
+            .collect()
+    })
+}
+
+/// Perf counters for one executed cell, keyed by what the cell was.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellRecord {
+    pub technique: String,
+    pub site: String,
+    pub seed: u64,
+    pub events_processed: u64,
+    pub peak_queue_depth: usize,
+    pub wall_micros: u64,
+}
+
+/// Perf trajectory of one or more runner batches: every cell's counters
+/// plus the batch-level wall time and worker count. Serialized to
+/// `BENCH_*.json` and summarized in `results/SUMMARY.md` — never into
+/// `results/*.json`, which must stay byte-identical across `--jobs`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PerfLog {
+    /// Worker threads the batches ran with.
+    pub jobs: usize,
+    /// Wall time of the batches end to end (elapsed, not summed per cell).
+    pub elapsed_micros: u64,
+    pub cells: Vec<CellRecord>,
+}
+
+impl PerfLog {
+    pub fn new(jobs: usize) -> PerfLog {
+        PerfLog {
+            jobs,
+            ..PerfLog::default()
+        }
+    }
+
+    /// Folds another batch into this log (cells append, elapsed adds).
+    pub fn merge(&mut self, other: PerfLog) {
+        self.elapsed_micros += other.elapsed_micros;
+        self.cells.extend(other.cells);
+    }
+
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.events_processed).sum()
+    }
+
+    pub fn max_queue_depth(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| c.peak_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of per-cell wall times. The ratio against `elapsed_micros` is
+    /// the mean number of busy workers (occupancy) — on an unloaded
+    /// multicore host that approximates the achieved speedup, but under
+    /// oversubscription per-cell wall times inflate with timeslicing, so
+    /// it must not be reported as wall-clock speedup.
+    pub fn total_cell_micros(&self) -> u64 {
+        self.cells.iter().map(|c| c.wall_micros).sum()
+    }
+
+    /// Markdown section for `results/SUMMARY.md`: aggregate line plus a
+    /// per-technique table (per-cell rows would swamp the summary).
+    pub fn markdown_section(&self) -> String {
+        use std::collections::BTreeMap;
+        use std::fmt::Write as _;
+
+        let mut md = String::new();
+        let _ = writeln!(md, "## Runner performance\n");
+        let elapsed_s = self.elapsed_micros as f64 / 1e6;
+        let cell_s = self.total_cell_micros() as f64 / 1e6;
+        let _ = writeln!(
+            md,
+            "{} cells over {} worker(s): {:.1}s elapsed, {:.1}s of cell work \
+             ({:.2}x worker occupancy), {} events processed, peak queue depth {}.\n",
+            self.cells.len(),
+            self.jobs,
+            elapsed_s,
+            cell_s,
+            if elapsed_s > 0.0 {
+                cell_s / elapsed_s
+            } else {
+                1.0
+            },
+            self.total_events(),
+            self.max_queue_depth(),
+        );
+        let _ = writeln!(
+            md,
+            "| technique | cells | events | peak queue | cell wall (s) |"
+        );
+        let _ = writeln!(md, "|---|---|---|---|---|");
+        let mut by_tech: BTreeMap<&str, (usize, u64, usize, u64)> = BTreeMap::new();
+        for c in &self.cells {
+            let e = by_tech.entry(&c.technique).or_default();
+            e.0 += 1;
+            e.1 += c.events_processed;
+            e.2 = e.2.max(c.peak_queue_depth);
+            e.3 += c.wall_micros;
+        }
+        for (tech, (cells, events, peak, micros)) in by_tech {
+            let _ = writeln!(
+                md,
+                "| {tech} | {cells} | {events} | {peak} | {:.2} |",
+                micros as f64 / 1e6
+            );
+        }
+        md
+    }
+}
+
+/// Runs every ⟨technique, failed site⟩ cell of the cross product through
+/// one shared work queue, returning per-technique result vectors in site
+/// order (exactly what a nested sequential loop would build) plus the
+/// perf log of the whole grid.
+///
+/// Pooling all techniques into a single queue keeps the workers busy
+/// across technique boundaries: a slow technique's last sites overlap with
+/// the next technique's first sites instead of serializing on a barrier.
+pub fn run_failover_grid(
+    testbed: &Testbed,
+    techniques: &[Technique],
+    jobs: usize,
+) -> (Vec<Vec<FailoverResult>>, PerfLog) {
+    let sites: Vec<_> = testbed.cdn.sites().collect();
+    let cells: Vec<(usize, bobw_topology::SiteId)> = techniques
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, _)| sites.iter().map(move |s| (ti, *s)))
+        .collect();
+    let started = std::time::Instant::now();
+    let ran = run_cells(&cells, jobs, |_, &(ti, site)| {
+        run_failover_instrumented(testbed, &techniques[ti], site)
+    });
+    let mut log = PerfLog::new(jobs.max(1));
+    log.elapsed_micros = started.elapsed().as_micros() as u64;
+    let mut grouped: Vec<Vec<FailoverResult>> = techniques.iter().map(|_| Vec::new()).collect();
+    for (&(ti, _), (result, perf)) in cells.iter().zip(ran) {
+        log.cells.push(CellRecord {
+            technique: techniques[ti].name(),
+            site: result.site_name.clone(),
+            seed: testbed.cfg.seed,
+            events_processed: perf.events_processed,
+            peak_queue_depth: perf.peak_queue_depth,
+            wall_micros: perf.wall_micros,
+        });
+        grouped[ti].push(result);
+    }
+    (grouped, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bobw_core::ExperimentConfig;
+
+    #[test]
+    fn run_cells_preserves_item_order() {
+        let items: Vec<u64> = (0..37).collect();
+        // Make early items slow so completion order differs from item order.
+        let f = |_i: usize, &x: &u64| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20 - 4 * x));
+            }
+            x * x
+        };
+        let serial = run_cells(&items, 1, f);
+        let parallel = run_cells(&items, 8, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[6], 36);
+    }
+
+    #[test]
+    fn run_cells_handles_more_jobs_than_items() {
+        let items = [1u32, 2];
+        assert_eq!(run_cells(&items, 64, |_, &x| x + 1), vec![2, 3]);
+        let empty: [u32; 0] = [];
+        assert!(run_cells(&empty, 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn grid_matches_sequential_loop() {
+        let mut cfg = ExperimentConfig::quick(7);
+        cfg.targets_per_site = 12;
+        cfg.probe.duration = bobw_event::SimDuration::from_secs(45);
+        let tb = Testbed::new(cfg);
+        let techniques = [Technique::Anycast, Technique::ReactiveAnycast];
+        let (par, log) = run_failover_grid(&tb, &techniques, 4);
+        let (seq, _) = run_failover_grid(&tb, &techniques, 1);
+        assert_eq!(par.len(), 2);
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.len(), tb.cdn.num_sites());
+            for (a, b) in p.iter().zip(s) {
+                assert_eq!(a.site_name, b.site_name);
+                assert_eq!(a.outcomes, b.outcomes);
+                assert_eq!(a.num_controllable, b.num_controllable);
+            }
+        }
+        assert_eq!(log.cells.len(), 2 * tb.cdn.num_sites());
+        assert!(log.total_events() > 0);
+        assert!(log.max_queue_depth() > 0);
+        assert!(!log.markdown_section().is_empty());
+    }
+}

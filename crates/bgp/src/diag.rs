@@ -175,7 +175,10 @@ mod tests {
         assert_eq!(cands[1].from, Some(peer));
         assert!(matches!(
             cands[1].verdict,
-            Verdict::LowerLocalPref { candidate: 200, best: 300 }
+            Verdict::LowerLocalPref {
+                candidate: 200,
+                best: 300
+            }
         ));
     }
 
@@ -211,13 +214,24 @@ mod tests {
     fn verdict_display() {
         assert_eq!(Verdict::Best.to_string(), "best");
         assert_eq!(
-            Verdict::LongerAsPath { candidate: 5, best: 2 }.to_string(),
+            Verdict::LongerAsPath {
+                candidate: 5,
+                best: 2
+            }
+            .to_string(),
             "longer AS path (5 > 2)"
         );
         assert_eq!(
-            Verdict::HigherMed { candidate: 9, best: 0 }.to_string(),
+            Verdict::HigherMed {
+                candidate: 9,
+                best: 0
+            }
+            .to_string(),
             "higher MED (9 > 0)"
         );
-        assert_eq!(Verdict::TieBreak.to_string(), "lost deterministic tie-break");
+        assert_eq!(
+            Verdict::TieBreak.to_string(),
+            "lost deterministic tie-break"
+        );
     }
 }

@@ -190,12 +190,19 @@ impl BgpNode {
     /// Marks the session to `neighbor` down (link failure). No routes are
     /// purged yet — that happens when the hold timer expires — but nothing
     /// further is sent on the session and arriving messages are dropped.
-    pub fn fail_session(&mut self, neighbor: NodeId) {
+    /// Returns `true` only on a real up→down transition, so callers can
+    /// avoid scheduling a duplicate hold timer when a link is failed twice
+    /// (e.g. a `SilentCrash` following a drill on the same site).
+    pub fn fail_session(&mut self, neighbor: NodeId) -> bool {
         if let Some(&idx) = self.nbr_index.get(&neighbor) {
             let nbr = &mut self.neighbors[idx];
-            nbr.up = false;
-            nbr.pending.clear();
+            if nbr.up {
+                nbr.up = false;
+                nbr.pending.clear();
+                return true;
+            }
         }
+        false
     }
 
     /// Hold timer expiry: if the session is still down, purge every route
@@ -213,12 +220,17 @@ impl BgpNode {
             Some(&idx) if !self.neighbors[idx].up => {}
             _ => return Vec::new(), // session recovered or unknown: no-op
         }
-        let affected: Vec<Prefix> = self
+        // `adj_in` is a HashMap, so collect-then-sort: the per-prefix
+        // decision below draws timing jitter from `rng`, and iteration
+        // order must not depend on the hasher instance (it differs across
+        // threads and processes, breaking run-to-run reproducibility).
+        let mut affected: Vec<Prefix> = self
             .adj_in
             .iter()
             .filter(|(_, m)| m.contains_key(&neighbor))
             .map(|(p, _)| *p)
             .collect();
+        affected.sort_unstable();
         let mut changed = Vec::new();
         for prefix in affected {
             if let Some(m) = self.adj_in.get_mut(&prefix) {
@@ -261,7 +273,10 @@ impl BgpNode {
             nbr.last_announce.clear();
             nbr.pending.clear();
         }
-        let prefixes: Vec<Prefix> = self.best.keys().copied().collect();
+        // Sorted for the same reason as in `expire_session`: `best` is a
+        // HashMap and each export draws MRAI jitter from `rng` in turn.
+        let mut prefixes: Vec<Prefix> = self.best.keys().copied().collect();
+        prefixes.sort_unstable();
         for prefix in prefixes {
             let desired = self.desired_export(prefix, idx);
             self.queue_export(now, prefix, idx, desired, timing, rng, out);
@@ -523,6 +538,7 @@ impl BgpNode {
     /// Coalesces `desired` into the per-neighbor pending slot and schedules
     /// a send timer honoring MRAI (announcements) or the withdrawal
     /// processing delay.
+    #[allow(clippy::too_many_arguments)]
     fn queue_export(
         &mut self,
         now: SimTime,
@@ -606,7 +622,12 @@ impl BgpNode {
             })
     }
 
-    fn compute_best(&self, now: SimTime, prefix: Prefix, timing: &BgpTimingConfig) -> Option<Selected> {
+    fn compute_best(
+        &self,
+        now: SimTime,
+        prefix: Prefix,
+        timing: &BgpTimingConfig,
+    ) -> Option<Selected> {
         let mut best: Option<Selected> = None;
         if self.originated.contains_key(&prefix) {
             best = Some(Selected {
@@ -707,7 +728,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(1),
-            Message::Update { prefix: pre, route: wire(&[101, 55, 56, 57], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[101, 55, 56, 57], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -715,7 +739,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(2),
-            Message::Update { prefix: pre, route: wire(&[102, 9], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[102, 9], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -737,7 +764,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(2),
-            Message::Update { prefix: pre, route: wire(&[102, 8, 9], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[102, 8, 9], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -747,7 +777,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(2),
-            Message::Update { prefix: pre, route: wire(&[102, 9], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[102, 9], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -775,7 +808,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(1),
-            Message::Update { prefix: pre, route: wire(&[101, 47065, 47065, 47065, 47065], NodeId(8)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[101, 47065, 47065, 47065, 47065], NodeId(8)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -783,7 +819,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(2),
-            Message::Update { prefix: pre, route: wire(&[102, 47065], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[102, 47065], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -802,7 +841,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(1),
-            Message::Update { prefix: pre, route: wire(&[101, 9], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[101, 9], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -813,7 +855,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(1),
-            Message::Update { prefix: pre, route: wire(&[101, 100, 9], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[101, 100, 9], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -830,7 +875,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(1),
-            Message::Update { prefix: pre, route: wire(&[101, 9], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[101, 9], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -838,7 +886,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(3),
-            Message::Update { prefix: pre, route: wire(&[103, 9], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[103, 9], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -876,13 +927,23 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(1),
-            Message::Update { prefix: pre, route: wire(&[101, 9], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[101, 9], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
         );
         out.clear();
-        assert!(n.originate(SimTime::ZERO, pre, OriginConfig::plain(), &t, &mut rng, &mut out));
+        assert!(n.originate(
+            SimTime::ZERO,
+            pre,
+            OriginConfig::plain(),
+            &t,
+            &mut rng,
+            &mut out
+        ));
         assert_eq!(n.best(&pre).unwrap().from, None);
         assert_eq!(n.fib_lookup(pre.addr_at(1)).unwrap().1, NextHop::Local);
         // Export queued to all three neighbors.
@@ -899,7 +960,10 @@ mod tests {
         n.receive(
             SimTime::ZERO,
             NodeId(2),
-            Message::Update { prefix: pre, route: wire(&[102, 9], NodeId(9)) },
+            Message::Update {
+                prefix: pre,
+                route: wire(&[102, 9], NodeId(9)),
+            },
             &t,
             &mut rng,
             &mut out,
@@ -908,7 +972,13 @@ mod tests {
         let fires: Vec<BgpEvent> = out.drain(..).map(|(_, e)| e).collect();
         let mut deliver_targets = Vec::new();
         for ev in fires {
-            if let BgpEvent::Fire { neighbor, prefix, gen, .. } = ev {
+            if let BgpEvent::Fire {
+                neighbor,
+                prefix,
+                gen,
+                ..
+            } = ev
+            {
                 let mut sent = Vec::new();
                 n.fire(SimTime::ZERO, neighbor, prefix, gen, &t, &mut sent);
                 for (_, e) in sent {
@@ -932,7 +1002,13 @@ mod tests {
         n.originate(SimTime::ZERO, pre, cfg, &t, &mut rng, &mut out);
         let mut deliver_targets = Vec::new();
         for (_, ev) in out.drain(..) {
-            if let BgpEvent::Fire { neighbor, prefix, gen, .. } = ev {
+            if let BgpEvent::Fire {
+                neighbor,
+                prefix,
+                gen,
+                ..
+            } = ev
+            {
                 let mut sent = Vec::new();
                 n.fire(SimTime::ZERO, neighbor, prefix, gen, &t, &mut sent);
                 for (_, e) in sent {
@@ -951,14 +1027,31 @@ mod tests {
         let (t, mut rng) = ctx();
         let mut out = Vec::new();
         let pre = p("10.0.0.0/24");
-        n.originate(SimTime::ZERO, pre, OriginConfig::prepended(3), &t, &mut rng, &mut out);
+        n.originate(
+            SimTime::ZERO,
+            pre,
+            OriginConfig::prepended(3),
+            &t,
+            &mut rng,
+            &mut out,
+        );
         let mut paths = Vec::new();
         for (_, ev) in out.drain(..) {
-            if let BgpEvent::Fire { neighbor, prefix, gen, .. } = ev {
+            if let BgpEvent::Fire {
+                neighbor,
+                prefix,
+                gen,
+                ..
+            } = ev
+            {
                 let mut sent = Vec::new();
                 n.fire(SimTime::ZERO, neighbor, prefix, gen, &t, &mut sent);
                 for (_, e) in sent {
-                    if let BgpEvent::Deliver { msg: Message::Update { route, .. }, .. } = e {
+                    if let BgpEvent::Deliver {
+                        msg: Message::Update { route, .. },
+                        ..
+                    } = e
+                    {
                         paths.push(route.path);
                     }
                 }
@@ -978,13 +1071,26 @@ mod tests {
         let (t, mut rng) = ctx();
         let mut out = Vec::new();
         let pre = p("10.0.0.0/24");
-        n.originate(SimTime::ZERO, pre, OriginConfig::plain(), &t, &mut rng, &mut out);
+        n.originate(
+            SimTime::ZERO,
+            pre,
+            OriginConfig::plain(),
+            &t,
+            &mut rng,
+            &mut out,
+        );
         let first_fires: Vec<BgpEvent> = out.drain(..).map(|(_, e)| e).collect();
         // Withdraw before timers fire: pending entries are replaced.
         n.withdraw_origin(SimTime::ZERO, pre, &t, &mut rng, &mut out);
         // Old generation Fire events must now produce nothing.
         for ev in first_fires {
-            if let BgpEvent::Fire { neighbor, prefix, gen, .. } = ev {
+            if let BgpEvent::Fire {
+                neighbor,
+                prefix,
+                gen,
+                ..
+            } = ev
+            {
                 let mut sent = Vec::new();
                 n.fire(SimTime::ZERO, neighbor, prefix, gen, &t, &mut sent);
                 assert!(sent.is_empty(), "stale fire produced {sent:?}");
@@ -994,7 +1100,13 @@ mod tests {
         // never announced, so withdraw+announce cancel to silence.
         let mut sent = Vec::new();
         for (_, ev) in out.drain(..) {
-            if let BgpEvent::Fire { neighbor, prefix, gen, .. } = ev {
+            if let BgpEvent::Fire {
+                neighbor,
+                prefix,
+                gen,
+                ..
+            } = ev
+            {
                 n.fire(SimTime::ZERO, neighbor, prefix, gen, &t, &mut sent);
             }
         }
@@ -1010,14 +1122,34 @@ mod tests {
         let (t, mut rng) = ctx();
         let mut out = Vec::new();
         let pre = p("10.0.0.0/24");
-        n.originate(SimTime::ZERO, pre, OriginConfig::plain(), &t, &mut rng, &mut out);
-        n.originate(SimTime::ZERO, pre, OriginConfig::prepended(2), &t, &mut rng, &mut out);
+        n.originate(
+            SimTime::ZERO,
+            pre,
+            OriginConfig::plain(),
+            &t,
+            &mut rng,
+            &mut out,
+        );
+        n.originate(
+            SimTime::ZERO,
+            pre,
+            OriginConfig::prepended(2),
+            &t,
+            &mut rng,
+            &mut out,
+        );
         // Fire everything; each neighbor must receive exactly ONE update,
         // the latest (prepended) one.
         let mut received: HashMap<NodeId, Vec<Message>> = HashMap::new();
         let events: Vec<BgpEvent> = out.drain(..).map(|(_, e)| e).collect();
         for ev in events {
-            if let BgpEvent::Fire { neighbor, prefix, gen, .. } = ev {
+            if let BgpEvent::Fire {
+                neighbor,
+                prefix,
+                gen,
+                ..
+            } = ev
+            {
                 let mut sent = Vec::new();
                 n.fire(SimTime::ZERO, neighbor, prefix, gen, &t, &mut sent);
                 for (_, e) in sent {
@@ -1055,11 +1187,31 @@ mod tests {
         let mut out = Vec::new();
         let pre = p("10.0.0.0/24");
         // First announcement: fires after the (tiny) proc delay.
-        n.originate(SimTime::ZERO, pre, OriginConfig::plain(), &t, &mut rng, &mut out);
+        n.originate(
+            SimTime::ZERO,
+            pre,
+            OriginConfig::plain(),
+            &t,
+            &mut rng,
+            &mut out,
+        );
         let (d1, ev1) = out.remove(0);
         assert!(d1 < SimDuration::from_secs(1));
-        if let BgpEvent::Fire { neighbor, prefix, gen, .. } = ev1 {
-            n.fire(SimTime::ZERO + d1, neighbor, prefix, gen, &t, &mut Vec::new());
+        if let BgpEvent::Fire {
+            neighbor,
+            prefix,
+            gen,
+            ..
+        } = ev1
+        {
+            n.fire(
+                SimTime::ZERO + d1,
+                neighbor,
+                prefix,
+                gen,
+                &t,
+                &mut Vec::new(),
+            );
         }
         // Second announcement shortly after: must wait out the MRAI.
         let now = SimTime::ZERO + SimDuration::from_secs(1);
@@ -1092,10 +1244,30 @@ mod tests {
         let mut rng = RngFactory::new(1).stream("test", 0);
         let mut out = Vec::new();
         let pre = p("10.0.0.0/24");
-        n.originate(SimTime::ZERO, pre, OriginConfig::plain(), &t, &mut rng, &mut out);
+        n.originate(
+            SimTime::ZERO,
+            pre,
+            OriginConfig::plain(),
+            &t,
+            &mut rng,
+            &mut out,
+        );
         let (d1, ev1) = out.remove(0);
-        if let BgpEvent::Fire { neighbor, prefix, gen, .. } = ev1 {
-            n.fire(SimTime::ZERO + d1, neighbor, prefix, gen, &t, &mut Vec::new());
+        if let BgpEvent::Fire {
+            neighbor,
+            prefix,
+            gen,
+            ..
+        } = ev1
+        {
+            n.fire(
+                SimTime::ZERO + d1,
+                neighbor,
+                prefix,
+                gen,
+                &t,
+                &mut Vec::new(),
+            );
         }
         out.clear();
         // Withdraw right after the announcement went out: not rate limited.

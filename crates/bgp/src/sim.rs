@@ -49,8 +49,7 @@ impl BgpSim {
                 .neighbors(node.id)
                 .iter()
                 .map(|adj| {
-                    let session_key =
-                        (node.id.index() as u64) << 32 | adj.peer.index() as u64;
+                    let session_key = (node.id.index() as u64) << 32 | adj.peer.index() as u64;
                     BgpNode::neighbor_state(
                         adj.peer,
                         topo.node(adj.peer).asn,
@@ -234,8 +233,19 @@ impl BgpSim {
     ) {
         let hold = self.timing.hold_time();
         for (x, y) in [(a, b), (b, a)] {
-            self.nodes[x.index()].fail_session(y);
-            out.push((hold, BgpEvent::HoldExpire { node: x, neighbor: y }));
+            // Only a real up→down transition arms a hold timer: failing an
+            // already-failed link (a SilentCrash after a drill, overlapping
+            // whole-site failures) must not schedule a duplicate HoldExpire,
+            // which would rerun the purge and inflate best_changes/history.
+            if self.nodes[x.index()].fail_session(y) {
+                out.push((
+                    hold,
+                    BgpEvent::HoldExpire {
+                        node: x,
+                        neighbor: y,
+                    },
+                ));
+            }
         }
     }
 
@@ -289,12 +299,12 @@ impl BgpSim {
 
 struct Adapter<'a> {
     sim: &'a mut BgpSim,
-    scratch: Vec<(SimDuration, BgpEvent)>,
+    scratch: &'a mut Vec<(SimDuration, BgpEvent)>,
 }
 
 impl Handler<BgpEvent> for Adapter<'_> {
     fn handle(&mut self, now: SimTime, event: BgpEvent, sched: &mut Scheduler<'_, BgpEvent>) {
-        self.sim.handle(now, event, &mut self.scratch);
+        self.sim.handle(now, event, self.scratch);
         for (d, e) in self.scratch.drain(..) {
             sched.after(d, e);
         }
@@ -327,6 +337,10 @@ impl Handler<BgpEvent> for Adapter<'_> {
 pub struct Standalone {
     engine: Engine<BgpEvent>,
     sim: BgpSim,
+    /// Reusable buffer for events emitted by [`BgpSim`] before they are
+    /// scheduled on the engine — one allocation for the sim's lifetime
+    /// instead of one per injected operation or handled event.
+    scratch: Vec<(SimDuration, BgpEvent)>,
 }
 
 impl Standalone {
@@ -334,6 +348,7 @@ impl Standalone {
         Standalone {
             engine: Engine::new(),
             sim: BgpSim::new(topo, timing, rng),
+            scratch: Vec::with_capacity(64),
         }
     }
 
@@ -349,52 +364,61 @@ impl Standalone {
         self.engine.now()
     }
 
-    pub fn announce(&mut self, node: NodeId, prefix: Prefix, cfg: OriginConfig) {
-        let now = self.engine.now();
-        let mut out = Vec::new();
-        self.sim.announce(now, node, prefix, cfg, &mut out);
-        for (d, e) in out {
+    /// Number of BGP events waiting in the engine queue.
+    pub fn pending_events(&self) -> usize {
+        self.engine.pending()
+    }
+
+    /// Total events the engine has processed.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
+    }
+
+    /// High-water mark of the engine queue (see [`Engine::peak_pending`]).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.engine.peak_pending()
+    }
+
+    /// Schedule everything the sim emitted into `scratch` onto the engine.
+    /// Shared drain for every injection method below.
+    fn flush_scratch(&mut self) {
+        for (d, e) in self.scratch.drain(..) {
             self.engine.schedule_after(d, e);
         }
     }
 
+    pub fn announce(&mut self, node: NodeId, prefix: Prefix, cfg: OriginConfig) {
+        let now = self.engine.now();
+        self.sim.announce(now, node, prefix, cfg, &mut self.scratch);
+        self.flush_scratch();
+    }
+
     pub fn withdraw(&mut self, node: NodeId, prefix: Prefix) {
         let now = self.engine.now();
-        let mut out = Vec::new();
-        self.sim.withdraw(now, node, prefix, &mut out);
-        for (d, e) in out {
-            self.engine.schedule_after(d, e);
-        }
+        self.sim.withdraw(now, node, prefix, &mut self.scratch);
+        self.flush_scratch();
     }
 
     /// Silently fails the link between `a` and `b` (see [`BgpSim::fail_link`]).
     pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
         let now = self.engine.now();
-        let mut out = Vec::new();
-        self.sim.fail_link(now, a, b, &mut out);
-        for (d, e) in out {
-            self.engine.schedule_after(d, e);
-        }
+        self.sim.fail_link(now, a, b, &mut self.scratch);
+        self.flush_scratch();
     }
 
     /// Restores a previously failed link.
     pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
         let now = self.engine.now();
-        let mut out = Vec::new();
-        self.sim.restore_link(now, a, b, &mut out);
-        for (d, e) in out {
-            self.engine.schedule_after(d, e);
-        }
+        self.sim.restore_link(now, a, b, &mut self.scratch);
+        self.flush_scratch();
     }
 
     /// Crashes every listed link of `node` at once (whole-site failure).
     pub fn fail_all_links(&mut self, node: NodeId, peers: &[NodeId]) {
         let now = self.engine.now();
-        let mut out = Vec::new();
-        self.sim.fail_node_links(now, node, peers, &mut out);
-        for (d, e) in out {
-            self.engine.schedule_after(d, e);
-        }
+        self.sim
+            .fail_node_links(now, node, peers, &mut self.scratch);
+        self.flush_scratch();
     }
 
     /// Runs until no BGP work remains (full convergence) or the event
@@ -402,7 +426,7 @@ impl Standalone {
     pub fn run_to_idle(&mut self, max_events: u64) -> StepOutcome {
         let mut adapter = Adapter {
             sim: &mut self.sim,
-            scratch: Vec::with_capacity(64),
+            scratch: &mut self.scratch,
         };
         self.engine.run_to_idle(&mut adapter, max_events)
     }
@@ -417,7 +441,7 @@ impl Standalone {
     pub fn run_until(&mut self, deadline: SimTime, max_events: u64) -> StepOutcome {
         let mut adapter = Adapter {
             sim: &mut self.sim,
-            scratch: Vec::with_capacity(64),
+            scratch: &mut self.scratch,
         };
         self.engine.run_until(&mut adapter, deadline, max_events)
     }
@@ -465,7 +489,10 @@ mod tests {
         s.announce(leaf, pre, OriginConfig::plain());
         assert_eq!(s.run_to_idle(100_000), StepOutcome::Idle);
         // Everyone has a route; FIB next hops walk back down the chain.
-        assert_eq!(s.sim().fib_lookup(leaf, pre.addr_at(1)).unwrap().1, NextHop::Local);
+        assert_eq!(
+            s.sim().fib_lookup(leaf, pre.addr_at(1)).unwrap().1,
+            NextHop::Local
+        );
         assert_eq!(
             s.sim().fib_lookup(mid, pre.addr_at(1)).unwrap().1,
             NextHop::Via(leaf)
@@ -527,7 +554,10 @@ mod tests {
         s.run_to_idle(100_000);
         assert_eq!(s.sim().best(a, &pre).unwrap().attrs.origin, lb);
         assert_eq!(s.sim().best(b, &pre).unwrap().attrs.origin, lb);
-        assert!(s.sim().best(la, &pre).is_some(), "ex-origin learns the other site");
+        assert!(
+            s.sim().best(la, &pre).is_some(),
+            "ex-origin learns the other site"
+        );
     }
 
     #[test]
@@ -616,11 +646,7 @@ mod tests {
             s.run_to_idle(1_000_000);
             s.withdraw(NodeId(2), pre);
             s.run_to_idle(1_000_000);
-            (
-                s.sim().stats(),
-                s.now(),
-                s.sim().history().len(),
-            )
+            (s.sim().stats(), s.now(), s.sim().history().len())
         };
         assert_eq!(run(), run());
     }

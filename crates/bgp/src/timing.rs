@@ -116,8 +116,12 @@ impl BgpTimingConfig {
         if self.mrai_max_s <= 0.0 {
             return SimDuration::ZERO;
         }
-        let mut s =
-            rng.uniform_f64("mrai-session", session_key, self.mrai_min_s, self.mrai_max_s);
+        let mut s = rng.uniform_f64(
+            "mrai-session",
+            session_key,
+            self.mrai_min_s,
+            self.mrai_max_s,
+        );
         if self.mrai_slow_fraction > 0.0
             && rng.uniform_f64("mrai-laggard", session_key, 0.0, 1.0) < self.mrai_slow_fraction
         {
@@ -198,7 +202,10 @@ mod tests {
         let rng = RngFactory::new(1);
         assert_eq!(c.sample_session_mrai(&rng, 0), SimDuration::ZERO);
         let mut r = rng.stream("x", 0);
-        assert_eq!(c.jittered_mrai(SimDuration::ZERO, &mut r), SimDuration::ZERO);
+        assert_eq!(
+            c.jittered_mrai(SimDuration::ZERO, &mut r),
+            SimDuration::ZERO
+        );
         // Deterministic tiny processing delays.
         assert_eq!(c.announce_proc_delay(&mut r), SimDuration::from_millis(10));
         assert_eq!(c.withdraw_proc_delay(&mut r), SimDuration::from_millis(10));

@@ -2,7 +2,7 @@
 //! decision, and reuse timers bring them back.
 
 use bobw_bgp::{BgpTimingConfig, DampingConfig, OriginConfig, Standalone};
-use bobw_event::{RngFactory, SimDuration};
+use bobw_event::RngFactory;
 use bobw_net::{Asn, NodeId, Prefix};
 use bobw_topology::{NodeKind, Topology, REGIONS};
 

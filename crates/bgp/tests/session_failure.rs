@@ -2,7 +2,7 @@
 //! expiry, recovery, and the data-plane consequences.
 
 use bobw_bgp::{BgpTimingConfig, OriginConfig, Standalone};
-use bobw_event::{RngFactory, SimDuration, SimTime};
+use bobw_event::{RngFactory, SimDuration};
 use bobw_net::{Asn, NodeId, Prefix};
 use bobw_topology::{NodeKind, Topology, REGIONS};
 
@@ -163,4 +163,74 @@ fn whole_site_crash_isolates_until_hold() {
             "{n} kept a route to a fully crashed site"
         );
     }
+}
+
+#[test]
+fn double_link_failure_is_idempotent() {
+    let (topo, _t1, p1, _p2, origin) = diamond();
+    let rng = RngFactory::new(1);
+    let mut s = Standalone::new(&topo, timing(90.0), &rng);
+    let pre = p("184.164.244.0/24");
+    s.announce(origin, pre, OriginConfig::plain());
+    s.run_to_idle(1_000_000);
+
+    // First failure arms one hold timer per link end.
+    s.fail_link(origin, p1);
+    let armed = s.pending_events();
+    assert_eq!(armed, 2, "one HoldExpire per end of the failed link");
+
+    // Failing the same (already dead) link again is a no-op: no extra
+    // timers, no extra best-route churn once everything settles.
+    s.fail_link(origin, p1);
+    assert_eq!(
+        s.pending_events(),
+        armed,
+        "re-failing a dead link must not schedule duplicate HoldExpire events"
+    );
+
+    s.run_to_idle(1_000_000);
+    let single = {
+        let rng = RngFactory::new(1);
+        let mut reference = Standalone::new(&topo, timing(90.0), &rng);
+        reference.announce(origin, pre, OriginConfig::plain());
+        reference.run_to_idle(1_000_000);
+        reference.fail_link(origin, p1);
+        reference.run_to_idle(1_000_000);
+        reference
+    };
+    assert_eq!(
+        s.sim().stats().best_changes,
+        single.sim().stats().best_changes
+    );
+    assert_eq!(s.events_processed(), single.events_processed());
+}
+
+#[test]
+fn double_site_crash_is_idempotent() {
+    // SilentCrash after a drill: the experiment layer can end up crashing
+    // the same site twice; the second crash must not double the timers.
+    let (topo, _t1, p1, p2, origin) = diamond();
+    let rng = RngFactory::new(1);
+    let mut s = Standalone::new(&topo, timing(90.0), &rng);
+    let pre = p("184.164.244.0/24");
+    s.announce(origin, pre, OriginConfig::plain());
+    s.run_to_idle(1_000_000);
+
+    s.fail_all_links(origin, &[p1, p2]);
+    let armed = s.pending_events();
+    assert_eq!(armed, 4, "two links, one HoldExpire per end");
+    s.fail_all_links(origin, &[p1, p2]);
+    assert_eq!(s.pending_events(), armed);
+
+    // A partial overlap is also handled per-session: only the link that is
+    // still up arms new timers.
+    s.restore_link(origin, p1);
+    s.run_until(s.now() + SimDuration::from_secs(1), 1_000_000);
+    let before = s.pending_events();
+    s.fail_all_links(origin, &[p1, p2]);
+    assert_eq!(
+        s.pending_events(),
+        before + 2,
+        "only the restored link arms fresh hold timers"
+    );
 }

@@ -7,9 +7,7 @@
 use std::collections::BTreeMap;
 
 use bobw_bgp::{dump_rib, BgpTimingConfig, OriginConfig, Standalone};
-use bobw_core::{
-    measure_control, run_failover, ExperimentConfig, FailureMode, Technique, Testbed,
-};
+use bobw_core::{measure_control, run_failover, ExperimentConfig, FailureMode, Technique, Testbed};
 use bobw_dataplane::{walk_with_path, ForwardEnv};
 use bobw_event::SimDuration;
 use bobw_measure::{percent, Cdf};
@@ -81,6 +79,19 @@ impl Options {
     pub fn technique(&self) -> Result<Technique, String> {
         parse_technique(self.get("technique").unwrap_or("reactive-anycast"))
     }
+
+    /// Worker threads for multi-site drills; defaults to the machine's
+    /// available parallelism. Results are identical for any value.
+    pub fn jobs(&self) -> Result<usize, String> {
+        match self.get("jobs") {
+            None => Ok(bobw_bench::default_jobs()),
+            Some(v) => v
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("bad --jobs {v:?} (integer >= 1)")),
+        }
+    }
 }
 
 /// Parses a technique name as used in the paper's tables.
@@ -98,7 +109,10 @@ pub fn parse_technique(name: &str) -> Result<Technique, String> {
                     None => (rest, false),
                 };
                 let prepends: u8 = n.parse().map_err(|_| format!("bad prepend count {n:?}"))?;
-                return Ok(Technique::ProactivePrepending { prepends, selective });
+                return Ok(Technique::ProactivePrepending {
+                    prepends,
+                    selective,
+                });
             }
             if let Some(n) = other.strip_prefix("proactive-med-") {
                 let med: u32 = n.parse().map_err(|_| format!("bad MED {n:?}"))?;
@@ -121,8 +135,8 @@ bobw — the Best-of-Both-Worlds CDN routing simulator
 
 USAGE:
   bobw topology   [--scale quick|eval|large] [--seed N] [--json]
-  bobw failover   [--technique T] [--site NAME] [--scale S] [--seed N]
-                  [--failure graceful|crash] [--hold SECS]
+  bobw failover   [--technique T] [--site NAME|all] [--scale S] [--seed N]
+                  [--failure graceful|crash] [--hold SECS] [--jobs N]
   bobw catchment  [--scale S] [--seed N] [--prepend K]
   bobw inspect    --node N --prefix P [--scale S] [--seed N]
   bobw traceroute --from N --prefix P [--scale S] [--seed N]
@@ -188,6 +202,9 @@ fn cmd_failover(opts: &Options) -> Result<String, String> {
     let tb = Testbed::new(cfg);
     let technique = opts.technique()?;
     let site_name = opts.get("site").unwrap_or("bos");
+    if site_name == "all" {
+        return cmd_failover_all(opts, &tb, &technique);
+    }
     let site = tb
         .cdn
         .by_name(site_name)
@@ -218,6 +235,44 @@ fn cmd_failover(opts: &Options) -> Result<String, String> {
     ))
 }
 
+/// `failover --site all`: the drill against every site, fanned over
+/// `--jobs` workers through the deterministic experiment runner. The
+/// per-site rows come out in site order whatever the job count.
+fn cmd_failover_all(opts: &Options, tb: &Testbed, technique: &Technique) -> Result<String, String> {
+    let jobs = opts.jobs()?;
+    let results = bobw_bench::run_technique_all_sites(tb, technique, jobs);
+    let mut out = format!(
+        "failover drill: technique={} site=all ({:?}, {jobs} jobs)\n",
+        technique.name(),
+        tb.cfg.failure_mode,
+    );
+    out.push_str(&format!(
+        "{:<6} {:>6} {:>10} {:>10} {:>8}\n",
+        "site", "ctrl", "recon p50", "fail p50", "never"
+    ));
+    for r in &results {
+        let recon = Cdf::new(r.reconnection_secs());
+        let fail = Cdf::new(r.failover_secs());
+        out.push_str(&format!(
+            "{:<6} {:>6} {:>9.1}s {:>9.1}s {:>8}\n",
+            r.site_name,
+            percent(r.control_fraction()),
+            recon.median().unwrap_or(f64::NAN),
+            fail.median().unwrap_or(f64::NAN),
+            percent(r.never_reconnected_fraction()),
+        ));
+    }
+    let all_fail: Vec<f64> = results.iter().flat_map(|r| r.failover_secs()).collect();
+    let fc = Cdf::new(all_fail);
+    out.push_str(&format!(
+        "overall failover: p50 {:.1}s  p90 {:.1}s  max {:.1}s\n",
+        fc.median().unwrap_or(f64::NAN),
+        fc.quantile(0.9).unwrap_or(f64::NAN),
+        fc.max().unwrap_or(f64::NAN),
+    ));
+    Ok(out)
+}
+
 fn cmd_catchment(opts: &Options) -> Result<String, String> {
     let cfg = opts.scale_config()?;
     let tb = Testbed::new(cfg);
@@ -228,8 +283,8 @@ fn cmd_catchment(opts: &Options) -> Result<String, String> {
             out.push_str("anycast catchment (clients per site):\n");
             let r = measure_control(&tb, SiteId(0), &[]);
             let _ = r; // anycast row computed below per site
-            // One converged anycast run, counted via control measurement of
-            // each site's not-routed fraction is awkward; do it directly.
+                       // One converged anycast run, counted via control measurement of
+                       // each site's not-routed fraction is awkward; do it directly.
             let rng = &tb.rng;
             let mut sim = Standalone::new(&tb.topo, BgpTimingConfig::instant(), rng);
             let prefix: Prefix = tb.cfg.plan.anycast_probe;
@@ -427,6 +482,36 @@ mod tests {
     fn bad_scale_is_reported() {
         let err = run(&s(&["topology", "--scale", "galactic"])).unwrap_err();
         assert!(err.contains("galactic"));
+    }
+
+    #[test]
+    fn failover_all_sites_is_jobs_independent() {
+        let base = [
+            "failover",
+            "--site",
+            "all",
+            "--scale",
+            "quick",
+            "--seed",
+            "5",
+            "--technique",
+            "anycast",
+            "--jobs",
+        ];
+        let mut serial = base.to_vec();
+        serial.push("1");
+        let mut parallel = base.to_vec();
+        parallel.push("4");
+        let a = run(&s(&serial)).unwrap();
+        let b = run(&s(&parallel)).unwrap();
+        // Identical modulo the reported job count itself.
+        assert_eq!(a.replace("1 jobs", "N jobs"), b.replace("4 jobs", "N jobs"));
+        assert!(a.contains("site=all"));
+        let err = run(&s(&[
+            "failover", "--site", "all", "--scale", "quick", "--jobs", "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--jobs"));
     }
 
     #[test]

@@ -97,9 +97,7 @@ pub fn measure_control(testbed: &Testbed, site: SiteId, prepend_counts: &[u8]) -
             } else {
                 not_anycast
                     .iter()
-                    .filter(|c| {
-                        catchment(&env, cdn, **c, plan.probe_addr()) == Some(site)
-                    })
+                    .filter(|c| catchment(&env, cdn, **c, plan.probe_addr()) == Some(site))
                     .count() as f64
                     / not_anycast.len() as f64
             }

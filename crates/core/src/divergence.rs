@@ -151,7 +151,8 @@ pub fn analyze_divergence(testbed: &Testbed, site: SiteId, prepends: u8) -> Dive
         if topo.node(next_a).kind.is_rne() && !topo.node(next_u).kind.is_rne() {
             report.via_rne += 1;
         }
-        if let (Some(rel_a), Some(rel_u)) = (topo.rel(diverging, next_a), topo.rel(diverging, next_u))
+        if let (Some(rel_a), Some(rel_u)) =
+            (topo.rel(diverging, next_a), topo.rel(diverging, next_u))
         {
             // `rel` is the neighbor's role: the diverging AS prefers
             // routing *via its customer*.
@@ -175,10 +176,7 @@ mod tests {
         let tb = Testbed::new(cfg);
         let report = analyze_divergence(&tb, tb.site("sea1"), 5);
         assert!(report.measured_pairs > 0);
-        assert_eq!(
-            report.measured_pairs,
-            report.to_intended + report.diverged
-        );
+        assert_eq!(report.measured_pairs, report.to_intended + report.diverged);
         // sea1 must lose a substantial share of targets (Table 1: 6%
         // steered; ours need not match numerically but must diverge a lot).
         assert!(
@@ -209,7 +207,11 @@ mod tests {
         let tb = Testbed::new(cfg);
         let sea2 = analyze_divergence(&tb, tb.site("sea2"), 5);
         let sea1 = analyze_divergence(&tb, tb.site("sea1"), 5);
-        assert!(sea2.measured_pairs > 10, "sea2 pairs {}", sea2.measured_pairs);
+        assert!(
+            sea2.measured_pairs > 10,
+            "sea2 pairs {}",
+            sea2.measured_pairs
+        );
         // sea1's eligible population can be small at quick scale (its IX
         // presence leaves few non-anycast-routed nearby targets); only
         // compare when the sample is meaningful.

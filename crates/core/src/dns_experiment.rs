@@ -250,7 +250,11 @@ pub fn run_unicast_dns_failover(
         run.auth.set_fallback(t, ranking);
         let mut r = testbed.rng.stream("dns-client-sim", i as u64);
         let grace = if r.gen_bool(dns.violator_fraction.clamp(0.0, 1.0)) {
-            SimDuration::from_secs_f64(lognormal(&mut r, dns.overshoot_median_s, dns.overshoot_sigma))
+            SimDuration::from_secs_f64(lognormal(
+                &mut r,
+                dns.overshoot_median_s,
+                dns.overshoot_sigma,
+            ))
         } else {
             SimDuration::ZERO
         };

@@ -17,8 +17,10 @@
 //! 5. extract per-target reconnection and failover times.
 
 use bobw_bgp::{BgpEvent, BgpSim, BgpTimingConfig};
-use bobw_dataplane::{probe_once, ForwardEnv, ProbeConfig, ProbeLog, ProbeOutcome, ProbeRecord, SiteCapture};
 use bobw_dataplane::walk;
+use bobw_dataplane::{
+    probe_once, ForwardEnv, ProbeConfig, ProbeLog, ProbeOutcome, ProbeRecord, SiteCapture,
+};
 use bobw_event::{Engine, Handler, RngFactory, Scheduler, SimDuration, SimTime};
 use bobw_net::NodeId;
 use bobw_topology::{generate, CdnDeployment, GenConfig, SiteId, Topology};
@@ -29,10 +31,6 @@ use crate::plan::AddressPlan;
 use crate::targets::select_targets;
 use crate::technique::{Action, Technique};
 
-/// How the site fails (§4 assumes graceful withdrawal; the silent-crash
-/// mode probes what happens when the router dies without saying goodbye
-/// and neighbors must discover it via the BGP hold timer — the case that
-/// makes the paper's "real-time monitoring system" requirement bite).
 /// A botched reactive reconfiguration (see `ExperimentConfig::reaction_fault`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReactionFault {
@@ -46,6 +44,10 @@ pub enum ReactionFault {
     WrongPrefix,
 }
 
+/// How the site fails (§4 assumes graceful withdrawal; the silent-crash
+/// mode probes what happens when the router dies without saying goodbye
+/// and neighbors must discover it via the BGP hold timer — the case that
+/// makes the paper's "real-time monitoring system" requirement bite).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FailureMode {
     /// The failing site withdraws all its announcements (paper default).
@@ -369,8 +371,51 @@ fn apply_reaction_fault(
     }
 }
 
+/// Per-cell performance counters captured alongside a failover experiment.
+///
+/// Kept OUT of [`FailoverResult`] on purpose: wall-clock time is
+/// host-dependent, and `results/*.json` must stay byte-identical across
+/// `--jobs` settings and machines. Perf data flows to `results/SUMMARY.md`
+/// and `BENCH_*.json` artifacts instead.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CellPerf {
+    /// Simulator events processed by the cell's engine.
+    pub events_processed: u64,
+    /// High-water mark of the cell's event queue.
+    pub peak_queue_depth: usize,
+    /// Host wall-clock time for the whole cell, in microseconds.
+    pub wall_micros: u64,
+}
+
+impl CellPerf {
+    pub const ZERO: CellPerf = CellPerf {
+        events_processed: 0,
+        peak_queue_depth: 0,
+        wall_micros: 0,
+    };
+
+    /// Fold another cell's counters into an aggregate: events add up, queue
+    /// depth takes the max, wall time adds up (total CPU-side work).
+    pub fn absorb(&mut self, other: &CellPerf) {
+        self.events_processed += other.events_processed;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.wall_micros += other.wall_micros;
+    }
+}
+
 /// Runs one failover experiment. See the module docs for the protocol.
 pub fn run_failover(testbed: &Testbed, technique: &Technique, failed: SiteId) -> FailoverResult {
+    run_failover_instrumented(testbed, technique, failed).0
+}
+
+/// [`run_failover`] plus the cell's perf counters (event count, peak queue
+/// depth, wall time). The experiment result itself is unaffected.
+pub fn run_failover_instrumented(
+    testbed: &Testbed,
+    technique: &Technique,
+    failed: SiteId,
+) -> (FailoverResult, CellPerf) {
+    let wall_start = std::time::Instant::now();
     let cfg = &testbed.cfg;
     cfg.plan.validate();
     let topo = &testbed.topo;
@@ -417,8 +462,13 @@ pub fn run_failover(testbed: &Testbed, technique: &Technique, failed: SiteId) ->
         });
     }
     for a in &initial {
-        run.bgp
-            .announce(engine.now(), a.node, a.prefix, a.cfg.clone(), &mut run.scratch);
+        run.bgp.announce(
+            engine.now(),
+            a.node,
+            a.prefix,
+            a.cfg.clone(),
+            &mut run.scratch,
+        );
     }
     let pending: Vec<(SimDuration, BgpEvent)> = run.scratch.drain(..).collect();
     for (d, e) in pending {
@@ -501,7 +551,10 @@ pub fn run_failover(testbed: &Testbed, technique: &Technique, failed: SiteId) ->
     }
     let rounds = cfg.probe.probes_per_target();
     for k in 0..rounds {
-        engine.schedule_at(t_fail + cfg.probe.interval.saturating_mul(k as u64), SimEvent::ProbeRound(k));
+        engine.schedule_at(
+            t_fail + cfg.probe.interval.saturating_mul(k as u64),
+            SimEvent::ProbeRound(k),
+        );
     }
     engine.run_until(&mut run, t_fail + cfg.probe.duration, cfg.max_events);
 
@@ -510,7 +563,7 @@ pub fn run_failover(testbed: &Testbed, technique: &Technique, failed: SiteId) ->
         .map(|i| analyze_target(run.log.for_target(i), t_fail))
         .collect();
 
-    FailoverResult {
+    let result = FailoverResult {
         technique: technique.name(),
         site_name: cdn.name(failed).to_string(),
         failed_site: failed,
@@ -519,7 +572,13 @@ pub fn run_failover(testbed: &Testbed, technique: &Technique, failed: SiteId) ->
         num_controllable: run.targets.len(),
         outcomes,
         t_fail,
-    }
+    };
+    let perf = CellPerf {
+        events_processed: engine.processed(),
+        peak_queue_depth: engine.peak_pending(),
+        wall_micros: wall_start.elapsed().as_micros() as u64,
+    };
+    (result, perf)
 }
 
 #[cfg(test)]
@@ -552,7 +611,7 @@ mod tests {
         );
         // Reconnection times are positive and bounded by the window.
         for s in r.reconnection_secs() {
-            assert!(s >= 0.0 && s <= 130.0, "{s}");
+            assert!((0.0..=130.0).contains(&s), "{s}");
         }
         // Final sites are never the failed one.
         for o in &r.outcomes {

@@ -41,7 +41,10 @@ pub mod tradeoffs;
 pub use control::{measure_control, ControlResult};
 pub use divergence::{analyze_divergence, DivergenceReport};
 pub use dns_experiment::{run_unicast_dns_failover, DnsClientConfig};
-pub use experiment::{run_failover, ExperimentConfig, FailoverResult, FailureMode, ReactionFault, Testbed};
+pub use experiment::{
+    run_failover, run_failover_instrumented, CellPerf, ExperimentConfig, FailoverResult,
+    FailureMode, ReactionFault, Testbed,
+};
 pub use load::{anycast_load, apply_to_dns, assign_load_aware, Assignment, LoadModel};
 pub use metrics::{analyze_target, TargetOutcome};
 pub use plan::AddressPlan;

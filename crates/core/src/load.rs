@@ -238,7 +238,11 @@ mod tests {
         let caps = vec![fair * 1.2; tb.cdn.num_sites()];
         let a = assign_load_aware(&tb.topo, &tb.cdn, &model, &caps);
         for (i, l) in a.load.iter().enumerate() {
-            assert!(*l <= caps[i] + 1e-9, "site {i} overloaded: {l} > {}", caps[i]);
+            assert!(
+                *l <= caps[i] + 1e-9,
+                "site {i} overloaded: {l} > {}",
+                caps[i]
+            );
         }
         // Capacity 1.2× fair share is enough to place everything.
         assert!(

@@ -48,7 +48,7 @@ pub fn analyze_target(records: &[ProbeRecord], t_fail: SimTime) -> TargetOutcome
     for (i, r) in records.iter().enumerate() {
         if let ProbeOutcome::Received { at, .. } = r.outcome {
             let d = at.checked_since(t_fail).unwrap_or(SimDuration::ZERO);
-            if reconnection.map_or(true, |cur| d < cur) {
+            if reconnection.is_none_or(|cur| d < cur) {
                 reconnection = Some(d);
             }
             if first_recv_idx.is_none() {
@@ -62,8 +62,9 @@ pub fn analyze_target(records: &[ProbeRecord], t_fail: SimTime) -> TargetOutcome
     // begins.
     let mut failover: Option<SimDuration> = None;
     let mut final_site: Option<SiteId> = None;
-    if let Some(ProbeOutcome::Received { site: last_site, .. }) =
-        records.last().map(|r| r.outcome)
+    if let Some(ProbeOutcome::Received {
+        site: last_site, ..
+    }) = records.last().map(|r| r.outcome)
     {
         final_site = Some(last_site);
         let mut start = records.len() - 1;

@@ -148,16 +148,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "must cover")]
     fn validate_rejects_non_covering() {
-        let mut p = AddressPlan::default();
-        p.covering = "10.0.0.0/23".parse().unwrap();
+        let p = AddressPlan {
+            covering: "10.0.0.0/23".parse().unwrap(),
+            ..AddressPlan::default()
+        };
         p.validate();
     }
 
     #[test]
     #[should_panic(expected = "disjoint")]
     fn validate_rejects_overlapping_measurement_prefix() {
-        let mut p = AddressPlan::default();
-        p.rtt_probe = "184.164.244.0/25".parse().unwrap();
+        let p = AddressPlan {
+            rtt_probe: "184.164.244.0/25".parse().unwrap(),
+            ..AddressPlan::default()
+        };
         p.validate();
     }
 }

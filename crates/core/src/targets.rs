@@ -24,6 +24,7 @@ use crate::plan::AddressPlan;
 /// the pure-anycast technique, whose "controllable" clients are by
 /// definition the ones anycast *does* route to the site (§5.2's
 /// reachability test keeps targets that respond at the current site).
+#[allow(clippy::too_many_arguments)]
 pub fn select_targets(
     topo: &Topology,
     cdn: &CdnDeployment,
@@ -88,9 +89,7 @@ mod tests {
     fn criteria_are_enforced() {
         let (topo, cdn, s, plan, site) = converged_testbed();
         let rng = RngFactory::new(11);
-        let targets = select_targets(
-            &topo, &cdn, s.sim(), &plan, site, 50.0, true, 1000, &rng,
-        );
+        let targets = select_targets(&topo, &cdn, s.sim(), &plan, site, 50.0, true, 1000, &rng);
         assert!(!targets.is_empty(), "no targets selected");
         let env = ForwardEnv {
             topo: &topo,

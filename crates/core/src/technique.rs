@@ -83,7 +83,10 @@ impl Technique {
             Technique::Anycast => "anycast".into(),
             Technique::ProactiveSuperprefix => "proactive-superprefix".into(),
             Technique::ReactiveAnycast => "reactive-anycast".into(),
-            Technique::ProactivePrepending { prepends, selective } => {
+            Technique::ProactivePrepending {
+                prepends,
+                selective,
+            } => {
                 if *selective {
                     format!("proactive-prepending-{prepends}-selective")
                 } else {
@@ -145,7 +148,10 @@ impl Technique {
                     acts.push(Action::plain(cdn.node(site), plan.covering));
                 }
             }
-            Technique::ProactivePrepending { prepends, selective } => {
+            Technique::ProactivePrepending {
+                prepends,
+                selective,
+            } => {
                 acts.push(Action::plain(s_node, plan.specific));
                 for site in cdn.other_sites(specific) {
                     let node = cdn.node(site);
@@ -241,7 +247,9 @@ mod tests {
         assert_eq!(acts[0].node, cdn.node(site));
         assert_eq!(acts[0].prefix, plan.specific);
         assert_eq!(acts[0].cfg, OriginConfig::plain());
-        assert!(Technique::Unicast.after(&plan, &topo, &cdn, site).is_empty());
+        assert!(Technique::Unicast
+            .after(&plan, &topo, &cdn, site)
+            .is_empty());
     }
 
     #[test]
@@ -250,7 +258,9 @@ mod tests {
         let acts = Technique::Anycast.before(&plan, &topo, &cdn, site);
         assert_eq!(acts.len(), cdn.num_sites());
         assert!(acts.iter().all(|a| a.prefix == plan.specific));
-        assert!(Technique::Anycast.after(&plan, &topo, &cdn, site).is_empty());
+        assert!(Technique::Anycast
+            .after(&plan, &topo, &cdn, site)
+            .is_empty());
     }
 
     #[test]
@@ -354,7 +364,10 @@ mod tests {
             .name(),
             "proactive-prepending-5"
         );
-        assert_eq!(Technique::ProactiveMed { med: 50 }.name(), "proactive-med-50");
+        assert_eq!(
+            Technique::ProactiveMed { med: 50 }.name(),
+            "proactive-med-50"
+        );
         assert_eq!(
             Technique::ProactiveNoExport { prepends: 3 }.name(),
             "proactive-noexport-3"

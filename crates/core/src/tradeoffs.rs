@@ -104,7 +104,10 @@ mod tests {
         let anycast_median = 11.0;
         let measured = vec![
             MeasuredTechnique {
-                technique: Technique::ProactivePrepending { prepends: 3, selective: false },
+                technique: Technique::ProactivePrepending {
+                    prepends: 3,
+                    selective: false,
+                },
                 control_fraction: 0.6,
                 failover_median_s: Some(16.0),
             },
@@ -133,19 +136,34 @@ mod tests {
         let find = |name: &str| rows.iter().find(|r| r.technique == name).unwrap();
 
         let pp = find("proactive-prepending-3");
-        assert_eq!((pp.control, pp.availability, pp.risk), (Rating::Medium, Rating::High, Rating::Low));
+        assert_eq!(
+            (pp.control, pp.availability, pp.risk),
+            (Rating::Medium, Rating::High, Rating::Low)
+        );
 
         let ra = find("reactive-anycast");
-        assert_eq!((ra.control, ra.availability, ra.risk), (Rating::High, Rating::High, Rating::High));
+        assert_eq!(
+            (ra.control, ra.availability, ra.risk),
+            (Rating::High, Rating::High, Rating::High)
+        );
 
         let ps = find("proactive-superprefix");
-        assert_eq!((ps.control, ps.availability, ps.risk), (Rating::High, Rating::Medium, Rating::Low));
+        assert_eq!(
+            (ps.control, ps.availability, ps.risk),
+            (Rating::High, Rating::Medium, Rating::Low)
+        );
 
         let ac = find("anycast");
-        assert_eq!((ac.control, ac.availability, ac.risk), (Rating::Low, Rating::High, Rating::Low));
+        assert_eq!(
+            (ac.control, ac.availability, ac.risk),
+            (Rating::Low, Rating::High, Rating::Low)
+        );
 
         let un = find("unicast");
-        assert_eq!((un.control, un.availability, un.risk), (Rating::High, Rating::Low, Rating::Low));
+        assert_eq!(
+            (un.control, un.availability, un.risk),
+            (Rating::High, Rating::Low, Rating::Low)
+        );
     }
 
     #[test]

@@ -168,7 +168,11 @@ mod tests {
             down: &[],
         };
         match walk(&env, leaf2, pre.addr_at(10)) {
-            Delivery::Delivered { node, hops, latency } => {
+            Delivery::Delivered {
+                node,
+                hops,
+                latency,
+            } => {
                 assert_eq!(node, leaf);
                 assert_eq!(hops, 3); // leaf2 -> t1 -> mid -> leaf
                 assert!(latency > SimDuration::ZERO);
@@ -258,7 +262,11 @@ mod tests {
         };
         assert_eq!(d.delivered_to(), Some(NodeId(3)));
         assert_eq!(
-            Delivery::Blackhole { at: NodeId(1), hops: 0 }.delivered_to(),
+            Delivery::Blackhole {
+                at: NodeId(1),
+                hops: 0
+            }
+            .delivered_to(),
             None
         );
     }

@@ -1,7 +1,9 @@
 //! Property tests on the DNS subsystem: cache semantics and population
 //! failover invariants.
 
-use bobw_dns::{Authoritative, CacheStatus, ClientPopulation, DnsFailoverConfig, RecursiveResolver};
+use bobw_dns::{
+    Authoritative, CacheStatus, ClientPopulation, DnsFailoverConfig, RecursiveResolver,
+};
 use bobw_event::{RngFactory, SimDuration, SimTime};
 use bobw_net::{NodeId, Prefix};
 use bobw_topology::SiteId;

@@ -55,6 +55,7 @@ pub struct Engine<E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    peak_pending: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -69,6 +70,7 @@ impl<E> Engine<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            peak_pending: 0,
         }
     }
 
@@ -87,14 +89,28 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// High-water mark of the pending queue over the engine's lifetime.
+    /// Sampled after every externally scheduled event and every handler
+    /// step, so it reflects the depth the run loop actually saw. Feeds the
+    /// per-cell perf instrumentation of the experiment runner.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    fn note_depth(&mut self) {
+        self.peak_pending = self.peak_pending.max(self.queue.len());
+    }
+
     /// Schedules an event at absolute time `at` (clamped to `now`).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         self.queue.push(at.max(self.now), event);
+        self.note_depth();
     }
 
     /// Schedules an event `delay` after the current time.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
         self.queue.push(self.now + delay, event);
+        self.note_depth();
     }
 
     /// Runs until the queue is empty, the next event is later than
@@ -141,6 +157,7 @@ impl<E> Engine<E> {
                 queue: &mut self.queue,
             };
             handler.handle(at, ev, &mut sched);
+            self.note_depth();
         }
     }
 
@@ -173,7 +190,10 @@ mod tests {
     #[test]
     fn chain_of_events_advances_time() {
         let mut eng = Engine::new();
-        let mut h = Recorder { seen: vec![], chain: 3 };
+        let mut h = Recorder {
+            seen: vec![],
+            chain: 3,
+        };
         eng.schedule_at(SimTime::from_secs(1), 0);
         assert_eq!(eng.run_to_idle(&mut h, 1000), StepOutcome::Idle);
         let times: Vec<u64> = h.seen.iter().map(|(t, _)| *t / 1_000_000_000).collect();
@@ -185,7 +205,10 @@ mod tests {
     #[test]
     fn deadline_stops_and_clamps_clock() {
         let mut eng = Engine::new();
-        let mut h = Recorder { seen: vec![], chain: 0 };
+        let mut h = Recorder {
+            seen: vec![],
+            chain: 0,
+        };
         eng.schedule_at(SimTime::from_secs(1), 1);
         eng.schedule_at(SimTime::from_secs(10), 2);
         let out = eng.run_until(&mut h, SimTime::from_secs(5), 1000);
@@ -202,7 +225,10 @@ mod tests {
     #[test]
     fn event_at_deadline_still_runs() {
         let mut eng = Engine::new();
-        let mut h = Recorder { seen: vec![], chain: 0 };
+        let mut h = Recorder {
+            seen: vec![],
+            chain: 0,
+        };
         eng.schedule_at(SimTime::from_secs(5), 7);
         let out = eng.run_until(&mut h, SimTime::from_secs(5), 1000);
         assert_eq!(out, StepOutcome::Idle);
@@ -267,6 +293,42 @@ mod tests {
         // run_to_idle (infinite deadline) must NOT move the clock.
         assert_eq!(eng.run_to_idle(&mut Nop, 100), StepOutcome::Idle);
         assert_eq!(eng.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        struct Nop;
+        impl Handler<u8> for Nop {
+            fn handle(&mut self, _: SimTime, _: u8, _: &mut Scheduler<'_, u8>) {}
+        }
+        let mut eng: Engine<u8> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), 0);
+        eng.schedule_at(SimTime::from_secs(2), 1);
+        eng.schedule_at(SimTime::from_secs(3), 2);
+        assert_eq!(eng.peak_pending(), 3);
+        eng.run_to_idle(&mut Nop, 10);
+        // Draining never lowers the high-water mark.
+        assert_eq!(eng.pending(), 0);
+        assert_eq!(eng.peak_pending(), 3);
+    }
+
+    #[test]
+    fn peak_pending_sees_handler_fanout() {
+        /// Schedules `n` follow-ups the first time it runs.
+        struct FanOut(u32);
+        impl Handler<u32> for FanOut {
+            fn handle(&mut self, _now: SimTime, event: u32, sched: &mut Scheduler<'_, u32>) {
+                if event == 0 {
+                    for i in 0..self.0 {
+                        sched.after(SimDuration::from_secs(1 + i as u64), 1);
+                    }
+                }
+            }
+        }
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::ZERO, 0u32);
+        eng.run_to_idle(&mut FanOut(5), 100);
+        assert_eq!(eng.peak_pending(), 5);
     }
 
     #[test]

@@ -11,9 +11,7 @@ use std::ops::{Add, AddAssign, Sub};
 use serde::{Deserialize, Serialize};
 
 /// A duration in simulated time (nanosecond resolution).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -104,9 +102,7 @@ impl fmt::Debug for SimDuration {
 }
 
 /// An instant in simulated time: nanoseconds since run start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -181,7 +177,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
         assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3000));
         assert_eq!(SimDuration::from_micros(5), SimDuration::from_nanos(5000));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1500)
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ proptest! {
         impl Handler<u64> for H {
             fn handle(&mut self, now: SimTime, ev: u64, sched: &mut Scheduler<'_, u64>) {
                 self.observed.push(now);
-                if self.spawn_budget > 0 && ev % 3 == 0 {
+                if self.spawn_budget > 0 && ev.is_multiple_of(3) {
                     self.spawn_budget -= 1;
                     sched.after(SimDuration::from_millis(ev % 500), ev / 3);
                 }

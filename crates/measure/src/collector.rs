@@ -193,16 +193,13 @@ mod tests {
     fn picks_tier1s_and_strided_transits() {
         let (topo, _) = generate(&GenConfig::tiny(), &RngFactory::new(2));
         let peers = pick_collector_peers(&topo, 3);
-        let tier1s = topo
-            .nodes()
-            .filter(|n| n.kind == NodeKind::Tier1)
-            .count();
-        let transits = topo
-            .nodes()
-            .filter(|n| n.kind == NodeKind::Transit)
-            .count();
+        let tier1s = topo.nodes().filter(|n| n.kind == NodeKind::Tier1).count();
+        let transits = topo.nodes().filter(|n| n.kind == NodeKind::Transit).count();
         let edges = topo.nodes().filter(|n| n.kind.hosts_clients()).count();
-        assert_eq!(peers.len(), tier1s + transits.div_ceil(3) + edges.div_ceil(9));
+        assert_eq!(
+            peers.len(),
+            tier1s + transits.div_ceil(3) + edges.div_ceil(9)
+        );
         // Deterministic.
         assert_eq!(peers, pick_collector_peers(&topo, 3));
     }

@@ -151,9 +151,9 @@ mod tests {
     fn per_peer_convergence_takes_last_update_in_window() {
         let event = SimTime::from_secs(100);
         let feed = vec![
-            upd(100_500, 1, false), // exploration
-            upd(130_000, 1, true),  // final withdrawal: convergence at 30 s
-            upd(105_000, 2, true),  // peer 2 converges at 5 s
+            upd(100_500, 1, false),  // exploration
+            upd(130_000, 1, true),   // final withdrawal: convergence at 30 s
+            upd(105_000, 2, true),   // peer 2 converges at 5 s
             upd(2_000_000, 3, true), // outside the 1000 s window: ignored
         ];
         let conv = per_peer_convergence(&feed, event);

@@ -25,8 +25,8 @@ pub mod visibility;
 pub use cdf::Cdf;
 pub use collector::{pick_collector_peers, Collector, CollectorUpdate};
 pub use convergence::{
-    estimate_event_time, per_peer_convergence, per_peer_propagation, ANNOUNCE_BURST,
-    BURST_WINDOW, CONVERGENCE_WINDOW,
+    estimate_event_time, per_peer_convergence, per_peer_propagation, ANNOUNCE_BURST, BURST_WINDOW,
+    CONVERGENCE_WINDOW,
 };
 pub use report::{cdf_row, cdf_table, markdown_table, percent};
 pub use visibility::{covered_fraction, daily_visibility, flag_potential_withdrawals, RibEntry};

@@ -27,11 +27,7 @@ pub struct RibEntry {
 /// `[0, num_days)`, the fraction of `peers` that had a route to the prefix
 /// at any point during that day (matching RIPEstat's day aggregation, which
 /// the paper notes can show non-zero visibility on the withdrawal day).
-pub fn daily_visibility(
-    feed: &[CollectorUpdate],
-    peers: &[NodeId],
-    num_days: usize,
-) -> Vec<f64> {
+pub fn daily_visibility(feed: &[CollectorUpdate], peers: &[NodeId], num_days: usize) -> Vec<f64> {
     const DAY_NS: u64 = 86_400 * 1_000_000_000;
     if peers.is_empty() {
         return vec![0.0; num_days];
@@ -41,10 +37,9 @@ pub fn daily_visibility(
     let mut state: HashMap<NodeId, bool> = peers.iter().map(|p| (*p, false)).collect();
     let mut days = vec![0.0; num_days];
     let mut idx = 0usize;
-    for day in 0..num_days {
+    for (day, slot) in days.iter_mut().enumerate() {
         let day_end = SimTime::from_nanos((day as u64 + 1) * DAY_NS);
-        let mut had_route: HashMap<NodeId, bool> =
-            state.iter().map(|(p, s)| (*p, *s)).collect();
+        let mut had_route: HashMap<NodeId, bool> = state.iter().map(|(p, s)| (*p, *s)).collect();
         while idx < feed.len() && feed[idx].time < day_end {
             let u = &feed[idx];
             if let Some(s) = state.get_mut(&u.peer) {
@@ -55,7 +50,7 @@ pub fn daily_visibility(
             }
             idx += 1;
         }
-        days[day] = had_route.values().filter(|v| **v).count() as f64 / peers.len() as f64;
+        *slot = had_route.values().filter(|v| **v).count() as f64 / peers.len() as f64;
     }
     days
 }
@@ -86,9 +81,7 @@ pub fn covered_fraction(rib: &[RibEntry]) -> (usize, usize, f64) {
     for prefixes in by_origin.values() {
         for p in prefixes {
             // Most specific: no other prefix of this origin is inside p.
-            let is_most_specific = !prefixes
-                .iter()
-                .any(|q| q != p && p.covers(q));
+            let is_most_specific = !prefixes.iter().any(|q| q != p && p.covers(q));
             if !is_most_specific {
                 continue;
             }
@@ -164,13 +157,25 @@ mod tests {
         let p = |s: &str| s.parse::<Prefix>().unwrap();
         let rib = vec![
             // o1: /24 covered by its own /23 -> covered most-specific.
-            RibEntry { prefix: p("184.164.244.0/24"), origin: o1 },
-            RibEntry { prefix: p("184.164.244.0/23"), origin: o1 },
+            RibEntry {
+                prefix: p("184.164.244.0/24"),
+                origin: o1,
+            },
+            RibEntry {
+                prefix: p("184.164.244.0/23"),
+                origin: o1,
+            },
             // o1: another /24 with no cover.
-            RibEntry { prefix: p("10.0.0.0/24"), origin: o1 },
+            RibEntry {
+                prefix: p("10.0.0.0/24"),
+                origin: o1,
+            },
             // o2: /24 whose covering /23 belongs to o1 -> NOT covered
             // (different origin).
-            RibEntry { prefix: p("184.164.245.0/24"), origin: o2 },
+            RibEntry {
+                prefix: p("184.164.245.0/24"),
+                origin: o2,
+            },
         ];
         let (covered, total, frac) = covered_fraction(&rib);
         // Most-specifics: o1's two /24s + o2's /24 = 3; covered = 1.

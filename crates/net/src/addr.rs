@@ -93,8 +93,9 @@ impl Prefix {
         self.bits
     }
 
-    /// The mask length.
+    /// The mask length. (Not a container length, so no `is_empty` pair.)
     #[inline]
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -264,11 +265,26 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert_eq!("1.2.3/24".parse::<Prefix>(), Err(PrefixParseError::Malformed));
-        assert_eq!("1.2.3.4.5/24".parse::<Prefix>(), Err(PrefixParseError::Malformed));
-        assert_eq!("1.2.3.400/24".parse::<Prefix>(), Err(PrefixParseError::BadOctet));
-        assert_eq!("1.2.3.0/33".parse::<Prefix>(), Err(PrefixParseError::BadLength));
-        assert_eq!("1.2.3.1/24".parse::<Prefix>(), Err(PrefixParseError::HostBitsSet));
+        assert_eq!(
+            "1.2.3/24".parse::<Prefix>(),
+            Err(PrefixParseError::Malformed)
+        );
+        assert_eq!(
+            "1.2.3.4.5/24".parse::<Prefix>(),
+            Err(PrefixParseError::Malformed)
+        );
+        assert_eq!(
+            "1.2.3.400/24".parse::<Prefix>(),
+            Err(PrefixParseError::BadOctet)
+        );
+        assert_eq!(
+            "1.2.3.0/33".parse::<Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
+        assert_eq!(
+            "1.2.3.1/24".parse::<Prefix>(),
+            Err(PrefixParseError::HostBitsSet)
+        );
         assert_eq!("".parse::<Prefix>(), Err(PrefixParseError::Malformed));
     }
 

@@ -156,7 +156,9 @@ mod tests {
 
     #[test]
     fn prepended_puts_new_hops_first() {
-        let p = AsPath::originate(Asn(1), 0).prepended(Asn(2), 1).prepended(Asn(3), 2);
+        let p = AsPath::originate(Asn(1), 0)
+            .prepended(Asn(2), 1)
+            .prepended(Asn(3), 2);
         assert_eq!(p.hops(), &[Asn(3), Asn(3), Asn(2), Asn(1)]);
         assert_eq!(p.first(), Some(Asn(3)));
         assert_eq!(p.origin(), Some(Asn(1)));

@@ -328,7 +328,12 @@ mod tests {
     #[test]
     fn iter_is_sorted_and_complete() {
         let mut t = PrefixTrie::new();
-        let prefixes = ["10.0.0.0/8", "184.164.244.0/24", "184.164.244.0/23", "0.0.0.0/0"];
+        let prefixes = [
+            "10.0.0.0/8",
+            "184.164.244.0/24",
+            "184.164.244.0/23",
+            "0.0.0.0/0",
+        ];
         for (i, s) in prefixes.iter().enumerate() {
             t.insert(p(s), i);
         }

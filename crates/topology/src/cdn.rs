@@ -114,23 +114,44 @@ pub fn paper_sites() -> Vec<SiteSpec> {
         SiteSpec::new(
             "ams",
             "amsterdam",
-            vec![TransitProviders(2), Tier1Providers(1), EyeballPeers(6), TransitPeers(4)],
+            vec![
+                TransitProviders(2),
+                Tier1Providers(1),
+                EyeballPeers(6),
+                TransitPeers(4),
+            ],
         ),
-        SiteSpec::new("ath", "athens", vec![ResearchEduProviders(1), EyeballPeers(1)]),
+        SiteSpec::new(
+            "ath",
+            "athens",
+            vec![ResearchEduProviders(1), EyeballPeers(1)],
+        ),
         SiteSpec::new("bos", "boston", vec![TransitProviders(1), EyeballPeers(2)]),
         SiteSpec::new(
             "atl",
             "atlanta",
             vec![TransitProviders(1), ResearchEduProviders(1)],
         ),
-        SiteSpec::new("sea1", "seattle", vec![RemoteTransitProviders(1), TransitPeers(5)]),
-        SiteSpec::new("slc", "salt-lake-city", vec![TransitProviders(1), EyeballPeers(1)]),
+        SiteSpec::new(
+            "sea1",
+            "seattle",
+            vec![RemoteTransitProviders(1), TransitPeers(5)],
+        ),
+        SiteSpec::new(
+            "slc",
+            "salt-lake-city",
+            vec![TransitProviders(1), EyeballPeers(1)],
+        ),
         SiteSpec::new(
             "sea2",
             "seattle",
             vec![ResearchEduProviders(2), EyeballPeers(1)],
         ),
-        SiteSpec::new("msn", "madison", vec![ResearchEduProviders(1), TransitProviders(1)]),
+        SiteSpec::new(
+            "msn",
+            "madison",
+            vec![ResearchEduProviders(1), TransitProviders(1)],
+        ),
     ]
 }
 
@@ -208,7 +229,10 @@ mod tests {
     fn paper_sites_match_table1_columns() {
         let sites = paper_sites();
         let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, vec!["ams", "ath", "bos", "atl", "sea1", "slc", "sea2", "msn"]);
+        assert_eq!(
+            names,
+            vec!["ams", "ath", "bos", "atl", "sea1", "slc", "sea2", "msn"]
+        );
         // Every site must be globally reachable (has a provider).
         for s in &sites {
             assert!(s.has_provider(), "{} lacks a provider", s.name);

@@ -243,7 +243,10 @@ pub fn generate(cfg: &GenConfig, rng: &RngFactory) -> (Topology, CdnDeployment) 
     // peering mesh, a few long-line cross-region peers. ---
     let mut transits = Vec::with_capacity(cfg.transit);
     for i in 0..cfg.transit {
-        let region = b.rng.stream("transit-region", i as u64).gen_range(0..nregions);
+        let region = b
+            .rng
+            .stream("transit-region", i as u64)
+            .gen_range(0..nregions);
         let id = b.add(NodeKind::Transit, region, "transit-coords", i as u64);
         let coords = b.topo.node(id).coords;
         // Nearest tier-1 is always a provider.
@@ -348,7 +351,12 @@ pub fn generate(cfg: &GenConfig, rng: &RngFactory) -> (Topology, CdnDeployment) 
             .rng
             .stream("eyeball-degree", edge_count)
             .gen_range(cfg.eyeball_providers.0..=cfg.eyeball_providers.1);
-        for p in b.nearest(coords, |n| n.kind == NodeKind::Transit, nproviders, Some(id)) {
+        for p in b.nearest(
+            coords,
+            |n| n.kind == NodeKind::Transit,
+            nproviders,
+            Some(id),
+        ) {
             b.topo.link_provider_customer(p, id);
         }
         edge_count += 1;
@@ -370,7 +378,12 @@ pub fn generate(cfg: &GenConfig, rng: &RngFactory) -> (Topology, CdnDeployment) 
                 .rng
                 .stream("stub-degree", edge_count)
                 .gen_range(cfg.stub_providers.0..=cfg.stub_providers.1);
-            for p in b.nearest(coords, |n| n.kind == NodeKind::Transit, nproviders, Some(id)) {
+            for p in b.nearest(
+                coords,
+                |n| n.kind == NodeKind::Transit,
+                nproviders,
+                Some(id),
+            ) {
                 b.topo.link_provider_customer(p, id);
             }
         }
@@ -383,9 +396,7 @@ pub fn generate(cfg: &GenConfig, rng: &RngFactory) -> (Topology, CdnDeployment) 
         let region = ix % nregions;
         let mut members: Vec<NodeId> = Vec::new();
         for n in b.topo.nodes() {
-            if n.region != region
-                || !matches!(n.kind, NodeKind::Transit | NodeKind::Eyeball)
-            {
+            if n.region != region || !matches!(n.kind, NodeKind::Transit | NodeKind::Eyeball) {
                 continue;
             }
             let roll: f64 = b
@@ -414,9 +425,12 @@ pub fn generate(cfg: &GenConfig, rng: &RngFactory) -> (Topology, CdnDeployment) 
             .unwrap_or_else(|| panic!("site {} in unknown region {}", spec.name, spec.region));
         let asn_backup = b.next_asn; // sites use CDN_ASN, not the counter
         let coords = b.coords_near(region, "site-coords", i as u64);
-        let id = b
-            .topo
-            .add_node(CDN_ASN, NodeKind::CdnSite(crate::cdn::SiteId(i as u8)), coords, region);
+        let id = b.topo.add_node(
+            CDN_ASN,
+            NodeKind::CdnSite(crate::cdn::SiteId(i as u8)),
+            coords,
+            region,
+        );
         b.next_asn = asn_backup;
         for att in &spec.attachments {
             match *att {
@@ -616,9 +630,7 @@ mod tests {
         let rne_providers = topo
             .neighbors(cdn.node(sea2))
             .iter()
-            .filter(|a| {
-                a.rel == crate::graph::Rel::Provider && topo.node(a.peer).kind.is_rne()
-            })
+            .filter(|a| a.rel == crate::graph::Rel::Provider && topo.node(a.peer).kind.is_rne())
             .count();
         assert_eq!(rne_providers, 2);
     }
@@ -632,13 +644,14 @@ mod tests {
                 .iter()
                 .filter(|a| {
                     a.rel == crate::graph::Rel::Provider
-                        && matches!(
-                            topo.node(a.peer).kind,
-                            NodeKind::Tier1 | NodeKind::Transit
-                        )
+                        && matches!(topo.node(a.peer).kind, NodeKind::Tier1 | NodeKind::Transit)
                 })
                 .count();
-            assert!(commercial_providers >= 1, "{} lacks commercial upstream", n.id);
+            assert!(
+                commercial_providers >= 1,
+                "{} lacks commercial upstream",
+                n.id
+            );
         }
     }
 

@@ -54,23 +54,71 @@ pub struct Region {
 /// plus extra population centres so that not every client is near a site
 /// (the paper's §5.1 notes PEERING lacks sites in some regions).
 pub const REGIONS: &[Region] = &[
-    Region { name: "amsterdam", center: Coords::new(52.37, 4.90) },
-    Region { name: "athens", center: Coords::new(37.98, 23.73) },
-    Region { name: "boston", center: Coords::new(42.36, -71.06) },
-    Region { name: "atlanta", center: Coords::new(33.75, -84.39) },
-    Region { name: "seattle", center: Coords::new(47.61, -122.33) },
-    Region { name: "salt-lake-city", center: Coords::new(40.76, -111.89) },
-    Region { name: "madison", center: Coords::new(43.07, -89.40) },
-    Region { name: "belo-horizonte", center: Coords::new(-19.92, -43.94) },
+    Region {
+        name: "amsterdam",
+        center: Coords::new(52.37, 4.90),
+    },
+    Region {
+        name: "athens",
+        center: Coords::new(37.98, 23.73),
+    },
+    Region {
+        name: "boston",
+        center: Coords::new(42.36, -71.06),
+    },
+    Region {
+        name: "atlanta",
+        center: Coords::new(33.75, -84.39),
+    },
+    Region {
+        name: "seattle",
+        center: Coords::new(47.61, -122.33),
+    },
+    Region {
+        name: "salt-lake-city",
+        center: Coords::new(40.76, -111.89),
+    },
+    Region {
+        name: "madison",
+        center: Coords::new(43.07, -89.40),
+    },
+    Region {
+        name: "belo-horizonte",
+        center: Coords::new(-19.92, -43.94),
+    },
     // Non-site population centres.
-    Region { name: "london", center: Coords::new(51.51, -0.13) },
-    Region { name: "frankfurt", center: Coords::new(50.11, 8.68) },
-    Region { name: "new-york", center: Coords::new(40.71, -74.01) },
-    Region { name: "chicago", center: Coords::new(41.88, -87.63) },
-    Region { name: "dallas", center: Coords::new(32.78, -96.80) },
-    Region { name: "los-angeles", center: Coords::new(34.05, -118.24) },
-    Region { name: "sao-paulo", center: Coords::new(-23.55, -46.63) },
-    Region { name: "tokyo", center: Coords::new(35.68, 139.69) },
+    Region {
+        name: "london",
+        center: Coords::new(51.51, -0.13),
+    },
+    Region {
+        name: "frankfurt",
+        center: Coords::new(50.11, 8.68),
+    },
+    Region {
+        name: "new-york",
+        center: Coords::new(40.71, -74.01),
+    },
+    Region {
+        name: "chicago",
+        center: Coords::new(41.88, -87.63),
+    },
+    Region {
+        name: "dallas",
+        center: Coords::new(32.78, -96.80),
+    },
+    Region {
+        name: "los-angeles",
+        center: Coords::new(34.05, -118.24),
+    },
+    Region {
+        name: "sao-paulo",
+        center: Coords::new(-23.55, -46.63),
+    },
+    Region {
+        name: "tokyo",
+        center: Coords::new(35.68, 139.69),
+    },
 ];
 
 /// Index of a region by name; panics on unknown names (config typo).

@@ -146,11 +146,12 @@ impl Topology {
     /// updates.
     pub fn add_link(&mut self, a: NodeId, b: NodeId, rel: Rel, delay: SimDuration) {
         assert_ne!(a, b, "self-link at {a}");
-        assert!(
-            !self.are_linked(a, b),
-            "duplicate link between {a} and {b}"
-        );
-        self.adj[a.index()].push(Adjacency { peer: b, rel, delay });
+        assert!(!self.are_linked(a, b), "duplicate link between {a} and {b}");
+        self.adj[a.index()].push(Adjacency {
+            peer: b,
+            rel,
+            delay,
+        });
         self.adj[b.index()].push(Adjacency {
             peer: a,
             rel: rel.flipped(),

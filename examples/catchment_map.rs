@@ -45,12 +45,19 @@ fn main() {
         let name = cdn.name(site).to_string();
         *per_site.entry(name.clone()).or_default() += 1;
         let region = REGIONS[topo.node(client).region].name;
-        *per_region.entry(region).or_default().entry(name).or_default() += 1;
+        *per_region
+            .entry(region)
+            .or_default()
+            .entry(name)
+            .or_default() += 1;
         *hops_hist.entry(hops).or_default() += 1;
         let _ = path;
     }
 
-    println!("== Anycast catchment census ({} client ASes) ==\n", topo.client_nodes().count());
+    println!(
+        "== Anycast catchment census ({} client ASes) ==\n",
+        topo.client_nodes().count()
+    );
     println!("{:<8} {:>8}", "site", "clients");
     for (site, n) in &per_site {
         println!("{site:<8} {n:>8}");

@@ -78,7 +78,12 @@ fn main() {
             .client_nodes()
             .filter(|c| catchment(&env, cdn, *c, prefix.addr_at(1)) == Some(attacked))
             .count();
-        println!("{:<22} {:>12} {:>15.1}%", "withdraw", kept, 100.0 * kept as f64 / total_clients as f64);
+        println!(
+            "{:<22} {:>12} {:>15.1}%",
+            "withdraw",
+            kept,
+            100.0 * kept as f64 / total_clients as f64
+        );
     }
 
     println!(

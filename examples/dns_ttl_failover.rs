@@ -6,7 +6,9 @@
 //! cargo run --release --example dns_ttl_failover
 //! ```
 
-use bobw::dns::{Authoritative, CacheStatus, ClientPopulation, DnsFailoverConfig, RecursiveResolver};
+use bobw::dns::{
+    Authoritative, CacheStatus, ClientPopulation, DnsFailoverConfig, RecursiveResolver,
+};
 use bobw::event::{RngFactory, SimDuration, SimTime};
 use bobw::measure::Cdf;
 use bobw::net::{NodeId, Prefix};
@@ -26,7 +28,11 @@ fn main() {
 
     let mut resolver = RecursiveResolver::new(client, SimDuration::ZERO);
     let (ans, _) = resolver.query(&auth, SimTime::ZERO).unwrap();
-    println!("t=0s    resolved to site{} ({})", ans.site.0, fmt_addr(ans.addr));
+    println!(
+        "t=0s    resolved to site{} ({})",
+        ans.site.0,
+        fmt_addr(ans.addr)
+    );
 
     auth.mark_failed(SiteId(0));
     println!("t=5s    site0 FAILS; CDN updates its authoritative answers");
@@ -44,7 +50,10 @@ fn main() {
                 println!("t={t}s   STALE hit  -> site{} (TTL violation)", a.site.0)
             }
             Some((a, CacheStatus::Miss)) => {
-                println!("t={t}s   re-query   -> site{} (finally a live site)", a.site.0)
+                println!(
+                    "t={t}s   re-query   -> site{} (finally a live site)",
+                    a.site.0
+                )
             }
             None => println!("t={t}s   no answer"),
         }
@@ -54,7 +63,11 @@ fn main() {
     println!("\n== Population failover (time until a client first uses a live address) ==");
     let rng = RngFactory::new(9);
     for (label, ttl, violators) in [
-        ("TTL 600s, 25% violators (typical popular domain)", 600u64, 0.25),
+        (
+            "TTL 600s, 25% violators (typical popular domain)",
+            600u64,
+            0.25,
+        ),
         ("TTL 20s,  25% violators (Akamai-style)", 20, 0.25),
         ("TTL 20s,  fully compliant (best case)", 20, 0.0),
     ] {

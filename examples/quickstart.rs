@@ -20,7 +20,10 @@ fn main() {
         testbed.topo.len(),
         testbed.topo.link_count(),
         (0..testbed.cdn.num_sites())
-            .map(|i| testbed.cdn.name(bobw::topology::SiteId(i as u8)).to_string())
+            .map(|i| testbed
+                .cdn
+                .name(bobw::topology::SiteId(i as u8))
+                .to_string())
             .collect::<Vec<_>>()
             .join(", ")
     );

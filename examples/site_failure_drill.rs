@@ -46,7 +46,9 @@ fn main() {
     let mut per_site = std::collections::BTreeMap::new();
     for o in &r.outcomes {
         if let Some(s) = o.final_site {
-            *per_site.entry(testbed.cdn.name(s).to_string()).or_insert(0u32) += 1;
+            *per_site
+                .entry(testbed.cdn.name(s).to_string())
+                .or_insert(0u32) += 1;
         }
     }
     println!("\nFinal landing sites:");
@@ -66,7 +68,11 @@ fn main() {
     }
     println!("\nSite switches after first reconnection (bounces):");
     for (b, count) in &bounce_hist {
-        let label = if *b >= 4 { "4+".to_string() } else { b.to_string() };
+        let label = if *b >= 4 {
+            "4+".to_string()
+        } else {
+            b.to_string()
+        };
         println!("  {label:<3} bounces: {count} targets");
     }
     println!(

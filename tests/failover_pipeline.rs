@@ -52,7 +52,11 @@ fn unicast_prefix_techniques_control_everything() {
     // §5.4.2: reactive-anycast and proactive-superprefix route all targets
     // to the specific site (the prefix is unicast in normal operation).
     let tb = testbed(12);
-    for t in [Technique::ReactiveAnycast, Technique::ProactiveSuperprefix, Technique::Unicast] {
+    for t in [
+        Technique::ReactiveAnycast,
+        Technique::ProactiveSuperprefix,
+        Technique::Unicast,
+    ] {
         let r = run_failover(&tb, &t, tb.site("bos"));
         assert!(r.num_selected > 0);
         assert!(
@@ -110,7 +114,11 @@ fn all_clients_eventually_served_by_survivors() {
         let r = run_failover(&tb, &t, failed);
         for o in &r.outcomes {
             if let Some(site) = o.final_site {
-                assert_ne!(site, failed, "{}: target ended at the failed site", r.technique);
+                assert_ne!(
+                    site, failed,
+                    "{}: target ended at the failed site",
+                    r.technique
+                );
             }
         }
         // And the overwhelming majority do stabilize within the window.
@@ -160,5 +168,8 @@ fn different_seeds_change_the_internet_not_the_conclusions() {
     let tb = testbed(99);
     let reactive = failover_median(&tb, &Technique::ReactiveAnycast, &["bos", "slc"]);
     let superprefix = failover_median(&tb, &Technique::ProactiveSuperprefix, &["bos", "slc"]);
-    assert!(superprefix > 2.0 * reactive, "{superprefix} !> 2x {reactive}");
+    assert!(
+        superprefix > 2.0 * reactive,
+        "{superprefix} !> 2x {reactive}"
+    );
 }

@@ -9,7 +9,13 @@ use bobw::net::Prefix;
 use bobw::topology::{generate, GenConfig, Rel};
 use proptest::prelude::*;
 
-fn converged_anycast(seed: u64) -> (bobw::topology::Topology, bobw::topology::CdnDeployment, Standalone) {
+fn converged_anycast(
+    seed: u64,
+) -> (
+    bobw::topology::Topology,
+    bobw::topology::CdnDeployment,
+    Standalone,
+) {
     let rng = RngFactory::new(seed);
     let (topo, cdn) = generate(&GenConfig::tiny(), &rng);
     let mut sim = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);

@@ -1,0 +1,658 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, `prop_oneof!`,
+//! integer/float range strategies, `any::<T>()`, `Just`, `.prop_map`, tuple
+//! strategies, and `collection::{vec, hash_map}`.
+//!
+//! Instead of upstream's shrinking machinery, the runner is deterministic and
+//! **simplest-case-first**: case 0 of every test generates each strategy's
+//! canonical simplest value (the start of a range, `false`, 0, the minimum
+//! collection size, the first `prop_oneof!` arm). The checked-in upstream
+//! regression files in this repo all say `shrinks to seed = 0`, i.e. the
+//! minimal range value — exactly what case 0 replays — so the recorded
+//! regressions are exercised on every run without cc-hash replay. Remaining
+//! cases derive their RNG seed from the test's file/name and case index, so
+//! failures reproduce across runs and machines.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Deterministic generator used during sampling (xoshiro256++ via splitmix64,
+/// self-contained so the stub has zero dependencies).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        let mut state = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Value generator. `simple == true` requests the canonical simplest value
+/// (used for case 0, standing in for upstream's shrunken regression cases).
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng, simple: bool) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng, simple: bool) -> T {
+        (**self).gen_value(rng, simple)
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng, _simple: bool) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng, simple: bool) -> O {
+        (self.f)(self.strategy.gen_value(rng, simple))
+    }
+}
+
+/// Weighted-less union of strategies, used by `prop_oneof!`. The simplest
+/// value is the first arm's simplest value.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng, simple: bool) -> T {
+        if simple {
+            self.arms[0].gen_value(rng, true)
+        } else {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].gen_value(rng, false)
+        }
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng, simple: bool) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                if simple {
+                    return self.start;
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng, simple: bool) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                if simple {
+                    return start;
+                }
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng, simple: bool) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        if simple {
+            return self.start;
+        }
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng, simple: bool) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        if simple {
+            start
+        } else {
+            start + rng.next_f64() * (end - start)
+        }
+    }
+}
+
+/// Types with a canonical strategy for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy backing `any::<T>()`; simplest value is the default.
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng, simple: bool) -> $t {
+                if simple { 0 } else { rng.next_u64() as $t }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+
+    fn gen_value(&self, rng: &mut TestRng, simple: bool) -> bool {
+        if simple {
+            false
+        } else {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng, simple: bool) -> Self::Value {
+                ($(self.$n.gen_value(rng, simple),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+/// Size specification for collection strategies (subset of `SizeRange`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng, simple: bool) -> usize {
+        if simple {
+            self.min
+        } else {
+            self.min + rng.below((self.max - self.min) as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector of `size` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng, simple: bool) -> Vec<S::Value> {
+            let len = self.size.sample(rng, simple);
+            (0..len)
+                .map(|_| self.element.gen_value(rng, simple))
+                .collect()
+        }
+    }
+
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::hash_map`. Key collisions may make the map
+    /// smaller than the sampled size, as upstream permits.
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        HashMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng, simple: bool) -> HashMap<K::Value, V::Value> {
+            let len = self.size.sample(rng, simple);
+            let mut map = HashMap::with_capacity(len);
+            // Bounded attempts: colliding keys may leave the map short, which
+            // upstream also allows for hash_map strategies.
+            for _ in 0..len.saturating_mul(4) {
+                if map.len() >= len {
+                    break;
+                }
+                let k = self.key.gen_value(rng, simple);
+                let v = self.value.gen_value(rng, simple);
+                map.insert(k, v);
+            }
+            map
+        }
+    }
+}
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this stub trades depth for wall-clock
+        // since several properties converge full BGP simulations per case.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Failure raised by `prop_assert*` macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: case 0 samples every strategy's simplest value, the
+/// remaining `cases - 1` sample pseudo-randomly from a seed derived from the
+/// test identity and case index (stable across runs and machines).
+pub fn run_cases<F>(config: ProptestConfig, file: &str, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng, bool) -> (String, Result<(), TestCaseError>),
+{
+    // Upstream honors PROPTEST_CASES as an override; keep that escape hatch
+    // so CI or a local hunt can crank the case count without code edits.
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    for case in 0..cases.max(1) {
+        let seed = fnv1a(file) ^ fnv1a(name).rotate_left(17) ^ (case as u64).wrapping_mul(0x9e37);
+        let mut rng = TestRng::new(seed);
+        let simple = case == 0;
+        let (inputs, result) = f(&mut rng, simple);
+        if let Err(e) = result {
+            panic!(
+                "proptest stub: property `{name}` failed at case {case}{}\n  inputs: {inputs}\n  {e}",
+                if simple { " (simplest values)" } else { "" }
+            );
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        // NOTE: like upstream, `#[test]` arrives via the pass-through metas —
+        // the workspace's property tests all write it explicitly.
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($cfg, file!(), stringify!($name), |__rng, __simple| {
+                $(let $arg = $crate::Strategy::gen_value(&($strat), __rng, __simple);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (__inputs, __result)
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+),
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_values_hit_range_starts() {
+        let mut rng = TestRng::new(1);
+        assert_eq!((5u64..100).gen_value(&mut rng, true), 5);
+        assert_eq!((0u8..=32).gen_value(&mut rng, true), 0);
+        let v = collection::vec(0u32..10, 3..8).gen_value(&mut rng, true);
+        assert_eq!(v, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn random_values_respect_bounds() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..500 {
+            let x = (10u64..20).gen_value(&mut rng, false);
+            assert!((10..20).contains(&x));
+            let v = collection::vec(0u32..4, 1..6).gen_value(&mut rng, false);
+            assert!(!v.is_empty() && v.len() < 6);
+            assert!(v.iter().all(|&e| e < 4));
+        }
+    }
+
+    #[test]
+    fn union_simple_prefers_first_arm() {
+        let u: Union<u32> = Union::new(vec![(7u32..9).boxed(), (100u32..200).boxed()]);
+        let mut rng = TestRng::new(3);
+        assert_eq!(u.gen_value(&mut rng, true), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Self-test: the macro surface compiles and runs.
+        #[test]
+        fn macro_roundtrip(x in 1u32..50, flip in any::<bool>()) {
+            prop_assert!(x >= 1);
+            prop_assert_ne!(x, 0, "x should never be zero, got {}", x);
+            if flip {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+}

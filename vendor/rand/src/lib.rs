@@ -1,0 +1,326 @@
+//! Minimal offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The container has no network access, so the workspace vendors the small
+//! slice of `rand` it actually uses: `SmallRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen, gen_range, gen_bool}`, and `seq::SliceRandom::{shuffle,
+//! choose}`.
+//!
+//! Fidelity matters more than breadth here: the simulator's checked-in
+//! expectations (catchment shapes, stability orderings, results/*.json) were
+//! produced against upstream `rand` 0.8 streams, so every sampling algorithm
+//! below reproduces the upstream one bit-for-bit — xoshiro256++ with
+//! rand_core's PCG32 seeding, Lemire widening-multiply integer ranges, the
+//! [1, 2) mantissa trick for float ranges, fixed-point `Bernoulli`, and the
+//! u32-path Fisher–Yates index sampling.
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::SmallRng;
+
+/// Construct a generator from a 64-bit seed (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core + convenience generator API (merged subset of `RngCore` and `Rng`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Sample a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range. Panics on an
+    /// empty range, like upstream.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p` (upstream `Bernoulli`: fixed-point
+    /// comparison against `p * 2^64`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        if p == 1.0 {
+            return true;
+        }
+        // 2^64 as f64; (p * SCALE) as u64 matches Bernoulli::new.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+}
+
+/// Types samplable by `Rng::gen` (stands in for `Standard: Distribution<T>`).
+pub trait Standard: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_from_u32 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_standard_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_from_u32!(u8, u16, u32, i8, i16, i32);
+impl_standard_from_u64!(u64, usize, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Upstream uses a sign test on the most significant u32 bit.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit "multiply" method: uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with `Rng::gen_range` (stands in for `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Lemire rejection sampling with a u32-wide multiply, as upstream uses for
+/// 8/16/32-bit integer ranges.
+fn uniform_u32<R: Rng + ?Sized>(rng: &mut R, range: u32, small: bool) -> u32 {
+    debug_assert!(range > 0);
+    let zone = if small {
+        // u8/u16: exact zone via modulus.
+        let ints_to_reject = (u32::MAX - range + 1) % range;
+        u32::MAX - ints_to_reject
+    } else {
+        (range << range.leading_zeros()).wrapping_sub(1)
+    };
+    loop {
+        let v = rng.next_u32();
+        let m = (v as u64).wrapping_mul(range as u64);
+        let (hi, lo) = ((m >> 32) as u32, m as u32);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// Lemire rejection sampling with a u64-wide multiply (64-bit ranges).
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128).wrapping_mul(range as u128);
+        let (hi, lo) = ((m >> 64) as u64, m as u64);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_range_int {
+    ($([$t:ty, $unsigned:ty, $sampler:ident, $small:expr]),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start..=self.end - 1).sample_single(rng)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let range = end.wrapping_sub(start).wrapping_add(1) as $unsigned;
+                if range == 0 {
+                    // Full domain.
+                    return <$t as Standard>::sample(rng);
+                }
+                #[allow(clippy::unnecessary_cast, clippy::cast_lossless)]
+                let hi = $sampler(rng, range as _, $small);
+                start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+// Which sampler a type uses mirrors upstream's `uniform_int_impl!`
+// pairings: 8/16/32-bit types sample u32s, 64-bit types sample u64s, and
+// u8/u16 use the exact (modulus) zone.
+fn uniform_u32_sized<R: Rng + ?Sized>(rng: &mut R, range: u32, small: bool) -> u32 {
+    uniform_u32(rng, range, small)
+}
+
+fn uniform_u64_sized<R: Rng + ?Sized>(rng: &mut R, range: u64, _small: bool) -> u64 {
+    uniform_u64(rng, range)
+}
+
+impl_range_int!(
+    [u8, u8, uniform_u32_sized, true],
+    [u16, u16, uniform_u32_sized, true],
+    [u32, u32, uniform_u32_sized, false],
+    [u64, u64, uniform_u64_sized, false],
+    [usize, usize, uniform_u64_sized, false],
+    [i8, u8, uniform_u32_sized, true],
+    [i16, u16, uniform_u32_sized, true],
+    [i32, u32, uniform_u32_sized, false],
+    [i64, u64, uniform_u64_sized, false],
+    [isize, usize, uniform_u64_sized, false]
+);
+
+/// Upstream `UniformFloat::sample_single`: generate in [1, 2) from mantissa
+/// bits, then scale — `value1_2 * scale + (low - scale)` lands in
+/// [low, high).
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let scale = self.end - self.start;
+        loop {
+            let mantissa = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | mantissa);
+            let res = value1_2 * scale + (self.start - scale);
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        if start == end {
+            return start;
+        }
+        let scale = end - start;
+        loop {
+            let mantissa = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | mantissa);
+            let res = value1_2 * scale + (start - scale);
+            if res <= end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let scale = self.end - self.start;
+        loop {
+            let mantissa = rng.next_u32() >> 9;
+            let value1_2 = f32::from_bits((127u32 << 23) | mantissa);
+            let res = value1_2 * scale + (self.start - scale);
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeding_differs_by_seed() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2u8..=5);
+            assert!((2..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let n = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&n));
+            let w = rng.gen_range(0u32..7);
+            assert!(w < 7);
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn range_distribution_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! `SmallRng`: xoshiro256++, seeded exactly like `rand` 0.8.
+//!
+//! `rand_core` 0.6's default `seed_from_u64` expands the seed with a PCG32
+//! output sequence into little-endian state words; reproducing that exactly
+//! keeps every stream in this workspace identical to what upstream `rand`
+//! would generate for the same seed.
+
+use crate::{Rng, SeedableRng};
+
+/// Small, fast, deterministic PRNG (xoshiro256++). Not cryptographically
+/// secure — simulation use only, same caveat as upstream `SmallRng`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core 0.6 `seed_from_u64`: PCG32 with the default multiplier
+        // and rand_core's increment, emitting 4-byte chunks little-endian.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+
+        let mut s = [0u64; 4];
+        for (word, bytes) in s.iter_mut().zip(seed.chunks(8)) {
+            *word = u64::from_le_bytes(bytes.try_into().unwrap());
+        }
+        SmallRng { s }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ reference step.
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        // Upstream discards the low half: the lowest xoshiro bits have
+        // linear dependencies.
+        (self.next_u64() >> 32) as u32
+    }
+}

@@ -1,0 +1,67 @@
+//! Slice helpers (subset of `rand::seq::SliceRandom`).
+
+use crate::Rng;
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle, identical traversal order to upstream.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly choose one element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+/// Upstream's `gen_index`: bounds that fit in u32 take the u32 sampling
+/// path, which matters for stream fidelity.
+fn gen_index<R: Rng + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    use crate::SampleRange;
+    if ubound <= u32::MAX as usize {
+        (0..ubound as u32).sample_single(rng) as usize
+    } else {
+        (0..ubound).sample_single(rng)
+    }
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, SmallRng};
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let v: Vec<u32> = vec![];
+        assert!(v.choose(&mut rng).is_none());
+        let w = [1, 2, 3];
+        assert!(w.choose(&mut rng).is_some());
+    }
+}

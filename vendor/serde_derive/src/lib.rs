@@ -1,0 +1,287 @@
+//! Offline stand-in for `serde_derive`, written against raw `proc_macro`
+//! token streams (no `syn`/`quote` available in this container).
+//!
+//! `#[derive(Serialize)]` lowers the item to a `serde::Value` tree following
+//! serde_json's encoding conventions. Supported shapes are exactly what this
+//! workspace declares: non-generic named/tuple/unit structs and enums with
+//! unit/newtype/tuple/struct variants, no `#[serde(...)]` attributes.
+//! Anything else produces a `compile_error!` naming the unsupported shape.
+//!
+//! `#[derive(Deserialize)]` implements the marker trait only — nothing in the
+//! workspace parses JSON.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip attributes (`#[...]`, incl. doc comments) and visibility (`pub`,
+/// `pub(crate)`, ...) at position `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1; // (crate) / (super) / ...
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token slice on commas at angle-bracket depth 0, dropping empty
+/// chunks (trailing commas).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut depth: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct(
+                parse_field_names(&g.stream().into_iter().collect::<Vec<_>>())?,
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = split_top_level(&g.stream().into_iter().collect::<Vec<_>>());
+                Shape::TupleStruct(fields.len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("serde stub: unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let chunks = split_top_level(&g.stream().into_iter().collect::<Vec<_>>());
+                let mut variants = Vec::new();
+                for chunk in chunks {
+                    variants.push(parse_variant(&chunk)?);
+                }
+                Shape::Enum(variants)
+            }
+            other => return Err(format!("serde stub: unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("serde stub: unsupported item kind `{other}`")),
+    };
+
+    Ok(Item { name, shape })
+}
+
+fn parse_field_names(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(tokens) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("serde stub: expected field name, got {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Result<Variant, String> {
+    let i = skip_attrs_and_vis(chunk, 0);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: expected variant name, got {other:?}")),
+    };
+    // After the name: nothing (unit, possibly `= discriminant`), a paren group
+    // (tuple/newtype), or a brace group (struct variant).
+    let shape = match chunk.get(i + 1) {
+        None => VariantShape::Unit,
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = split_top_level(&g.stream().into_iter().collect::<Vec<_>>());
+            VariantShape::Tuple(fields.len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantShape::Named(
+            parse_field_names(&g.stream().into_iter().collect::<Vec<_>>())?,
+        ),
+        other => {
+            return Err(format!(
+                "serde stub: unsupported variant body for `{name}`: {other:?}"
+            ))
+        }
+    };
+    Ok(Variant { name, shape })
+}
+
+fn object_literal(entries: &[(String, String)]) -> String {
+    let fields: Vec<String> = entries
+        .iter()
+        .map(|(k, expr)| format!("(::std::string::String::from({k:?}), {expr})"))
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", fields.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })
+                .collect();
+            object_literal(&entries)
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => {},",
+                            object_literal(&[(
+                                vname.clone(),
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            )])
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let inner =
+                                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "));
+                            format!(
+                                "{name}::{vname}({}) => {},",
+                                binds.join(", "),
+                                object_literal(&[(vname.clone(), inner)])
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let entries: Vec<(String, String)> = fields
+                                .iter()
+                                .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {},",
+                                fields.join(", "),
+                                object_literal(&[(vname.clone(), object_literal(&entries))])
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

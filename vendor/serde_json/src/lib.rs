@@ -1,0 +1,161 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Renders the `serde::Value` tree produced by the vendored serde stub.
+//! Output conventions match upstream where the workspace depends on them:
+//! two-space pretty indentation, `null` for non-finite floats, integral
+//! floats rendered with a trailing `.0`, empty containers as `{}`/`[]`.
+//! Rendering is fully deterministic — a requirement for the byte-identical
+//! `--jobs 1` vs `--jobs N` experiment outputs.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize with two-space indentation (matches upstream pretty output).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), 0, true, &mut out);
+    Ok(out)
+}
+
+/// Serialize compactly (no whitespace).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), 0, false, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: usize, pretty: bool, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => out.push_str(&render_float(*f)),
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent + 1, pretty, out);
+                render(item, indent + 1, pretty, out);
+            }
+            newline_indent(indent, pretty, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent + 1, pretty, out);
+                render_string(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render(val, indent + 1, pretty, out);
+            }
+            newline_indent(indent, pretty, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: usize, pretty: bool, out: &mut String) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+/// Upstream serde_json emits `null` for NaN/infinities and always keeps a
+/// fractional part for finite floats (ryu): `1.0`, not `1`.
+fn render_float(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_upstream_layout() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::UInt(1)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".to_string(), Value::Object(vec![])),
+        ]);
+        let expected = "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ],\n  \"c\": {}\n}";
+        assert_eq!(to_string_pretty(&v).unwrap(), expected);
+    }
+
+    #[test]
+    fn floats_render_like_serde_json() {
+        assert_eq!(render_float(1.0), "1.0");
+        assert_eq!(render_float(0.5), "0.5");
+        assert_eq!(render_float(-2.0), "-2.0");
+        assert_eq!(render_float(f64::NAN), "null");
+        assert_eq!(render_float(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        let mut out = String::new();
+        render_string("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}
