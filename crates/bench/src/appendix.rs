@@ -10,7 +10,7 @@
 //! convergence/propagation) is identical to the paper's.
 
 use bobw_bgp::{BgpTimingConfig, OriginConfig, Standalone};
-use bobw_core::ExperimentConfig;
+use bobw_core::{CellPerf, ExperimentConfig};
 use bobw_event::RngFactory;
 use bobw_measure::{
     estimate_event_time, per_peer_convergence, per_peer_propagation, pick_collector_peers,
@@ -48,10 +48,23 @@ pub fn withdrawal_convergence(
     profile: OriginProfile,
     instances: usize,
 ) -> StudyOutput {
+    withdrawal_convergence_instrumented(cfg, timing, profile, instances, 1).0
+}
+
+/// [`withdrawal_convergence`] with the instance loop fanned over `jobs`
+/// runner threads, plus per-instance perf counters. Instances are folded
+/// in index order, so the output is identical for any `jobs` value.
+pub fn withdrawal_convergence_instrumented(
+    cfg: &ExperimentConfig,
+    timing: &BgpTimingConfig,
+    profile: OriginProfile,
+    instances: usize,
+    jobs: usize,
+) -> (StudyOutput, Vec<CellPerf>) {
     let prefix = study_prefix();
-    let mut samples = Vec::new();
-    let mut errors = Vec::new();
-    for i in 0..instances {
+    let idx: Vec<usize> = (0..instances).collect();
+    let per_instance = crate::runner::run_cells(&idx, jobs, |_, &i| {
+        let wall_start = std::time::Instant::now();
         let rng = RngFactory::new(cfg.seed).derive("fig3", i as u64);
         let (mut topo, _cdn) = generate(&cfg.gen, &rng);
         let origin = attach_origin(&mut topo, profile, &rng, i as u64);
@@ -74,21 +87,37 @@ pub fn withdrawal_convergence(
         // is validated on the side. In our denser-multihomed topologies the
         // burst estimator runs late (withdrawals only surface once path
         // exploration exhausts) — see EXPERIMENTS.md.
-        if let Some(est) = estimate_event_time(&feed, true) {
-            errors.push((est.as_nanos() as f64 - t_withdraw.as_nanos() as f64).abs() / 1e9);
-        }
-        samples.extend(
-            per_peer_convergence(&feed, t_withdraw)
-                .into_iter()
-                .map(|(_, d)| d.as_secs_f64()),
-        );
+        let error = estimate_event_time(&feed, true)
+            .map(|est| (est.as_nanos() as f64 - t_withdraw.as_nanos() as f64).abs() / 1e9);
+        let samples: Vec<f64> = per_peer_convergence(&feed, t_withdraw)
+            .into_iter()
+            .map(|(_, d)| d.as_secs_f64())
+            .collect();
+        let perf = CellPerf {
+            events_processed: sim.events_processed(),
+            peak_queue_depth: sim.peak_queue_depth(),
+            wall_micros: wall_start.elapsed().as_micros() as u64,
+        };
+        (samples, error, perf)
+    });
+
+    let mut samples = Vec::new();
+    let mut errors = Vec::new();
+    let mut perfs = Vec::with_capacity(instances);
+    for (s, e, p) in per_instance {
+        samples.extend(s);
+        errors.extend(e);
+        perfs.push(p);
     }
-    StudyOutput {
-        population: format!("{profile:?}"),
-        samples,
-        estimator_error_secs: errors,
-        instances,
-    }
+    (
+        StudyOutput {
+            population: format!("{profile:?}"),
+            samples,
+            estimator_error_secs: errors,
+            instances,
+        },
+        perfs,
+    )
 }
 
 /// Appendix B (Figure 4): anycast announcement propagation.
@@ -104,10 +133,25 @@ pub fn announcement_propagation(
     origins_per_instance: usize,
     instances: usize,
 ) -> StudyOutput {
+    announcement_propagation_instrumented(cfg, timing, profile, origins_per_instance, instances, 1)
+        .0
+}
+
+/// [`announcement_propagation`] with the instance loop fanned over `jobs`
+/// runner threads, plus per-instance perf counters. Instances are folded
+/// in index order, so the output is identical for any `jobs` value.
+pub fn announcement_propagation_instrumented(
+    cfg: &ExperimentConfig,
+    timing: &BgpTimingConfig,
+    profile: OriginProfile,
+    origins_per_instance: usize,
+    instances: usize,
+    jobs: usize,
+) -> (StudyOutput, Vec<CellPerf>) {
     let prefix = study_prefix();
-    let mut samples = Vec::new();
-    let mut errors = Vec::new();
-    for i in 0..instances {
+    let idx: Vec<usize> = (0..instances).collect();
+    let per_instance = crate::runner::run_cells(&idx, jobs, |_, &i| {
+        let wall_start = std::time::Instant::now();
         let rng = RngFactory::new(cfg.seed).derive("fig4", i as u64);
         let (mut topo, _cdn) = generate(&cfg.gen, &rng);
         let origins: Vec<_> = (0..origins_per_instance)
@@ -129,21 +173,37 @@ pub fn announcement_propagation(
         // burst estimator (which the paper must rely on) is validated
         // separately — for fresh announcements it is accurate, because the
         // first updates cluster tightly.
-        if let Some(est) = estimate_event_time(&feed, false) {
-            errors.push((est.as_nanos() as f64 - t_announce.as_nanos() as f64).abs() / 1e9);
-        }
-        samples.extend(
-            per_peer_propagation(&feed, t_announce)
-                .into_iter()
-                .map(|(_, d)| d.as_secs_f64()),
-        );
+        let error = estimate_event_time(&feed, false)
+            .map(|est| (est.as_nanos() as f64 - t_announce.as_nanos() as f64).abs() / 1e9);
+        let samples: Vec<f64> = per_peer_propagation(&feed, t_announce)
+            .into_iter()
+            .map(|(_, d)| d.as_secs_f64())
+            .collect();
+        let perf = CellPerf {
+            events_processed: sim.events_processed(),
+            peak_queue_depth: sim.peak_queue_depth(),
+            wall_micros: wall_start.elapsed().as_micros() as u64,
+        };
+        (samples, error, perf)
+    });
+
+    let mut samples = Vec::new();
+    let mut errors = Vec::new();
+    let mut perfs = Vec::with_capacity(instances);
+    for (s, e, p) in per_instance {
+        samples.extend(s);
+        errors.extend(e);
+        perfs.push(p);
     }
-    StudyOutput {
-        population: format!("{profile:?}x{origins_per_instance}"),
-        samples,
-        estimator_error_secs: errors,
-        instances,
-    }
+    (
+        StudyOutput {
+            population: format!("{profile:?}x{origins_per_instance}"),
+            samples,
+            estimator_error_secs: errors,
+            instances,
+        },
+        perfs,
+    )
 }
 
 #[cfg(test)]

@@ -20,9 +20,10 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin ablation [--scale quick]`
 
-use bobw_bench::{parse_cli, run_cells, write_json};
+use bobw_bench::{parse_cli, run_or_exit, write_json, Dispatch};
 use bobw_bgp::DampingConfig;
 use bobw_core::{FailureMode, ReactionFault, Technique, Testbed};
+use bobw_dist::{CellOutput, CellSpec};
 use bobw_event::SimDuration;
 use bobw_measure::Cdf;
 use serde::Serialize;
@@ -38,17 +39,32 @@ struct AblationRow {
     failover_p90: f64,
 }
 
-/// Runs `technique` against each named site on `jobs` workers; results are
-/// folded in site order, so the aggregate is jobs-independent.
+/// Runs `technique` against each named site through the dispatcher (local
+/// threads or remote workers); results are folded in site order, so the
+/// aggregate is independent of scheduling and dispatch mode.
 fn site_results(
     testbed: &Testbed,
     technique: &Technique,
     sites: &[&str],
-    jobs: usize,
+    dispatch: &mut Dispatch,
 ) -> Vec<bobw_core::FailoverResult> {
-    run_cells(sites, jobs, |_, s| {
-        bobw_core::run_failover(testbed, technique, testbed.site(s))
-    })
+    let cells: Vec<CellSpec> = sites
+        .iter()
+        .map(|s| CellSpec::Failover {
+            technique: technique.name(),
+            site: s.to_string(),
+        })
+        .collect();
+    run_or_exit(dispatch.run(testbed, &cells))
+        .into_iter()
+        .map(|o| match o {
+            CellOutput::Failover(r, _) => r,
+            CellOutput::Control(..) => {
+                eprintln!("error: control output for a failover cell");
+                std::process::exit(1);
+            }
+        })
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -59,12 +75,12 @@ fn measure(
     testbed: &Testbed,
     technique: &Technique,
     sites: &[&str],
-    jobs: usize,
+    dispatch: &mut Dispatch,
 ) {
     let mut recon = Vec::new();
     let mut fail = Vec::new();
     let mut ctrl = 0.0;
-    for r in site_results(testbed, technique, sites, jobs) {
+    for r in site_results(testbed, technique, sites, dispatch) {
         recon.extend(r.reconnection_secs());
         fail.extend(r.failover_secs());
         ctrl += r.control_fraction();
@@ -95,6 +111,7 @@ fn measure(
 
 fn main() {
     let cli = parse_cli();
+    let mut dispatch = cli.dispatch();
     let sites = ["bos", "slc", "msn"];
     let mut rows = Vec::new();
 
@@ -115,7 +132,7 @@ fn main() {
             &tb,
             &Technique::ProactiveSuperprefix,
             &sites,
-            cli.jobs,
+            &mut dispatch,
         );
         measure(
             &mut rows,
@@ -124,7 +141,7 @@ fn main() {
             &tb,
             &Technique::Anycast,
             &sites,
-            cli.jobs,
+            &mut dispatch,
         );
     }
 
@@ -145,7 +162,7 @@ fn main() {
             &tb,
             &Technique::ProactiveSuperprefix,
             &sites,
-            cli.jobs,
+            &mut dispatch,
         );
     }
 
@@ -161,7 +178,7 @@ fn main() {
             &tb,
             &Technique::ReactiveAnycast,
             &sites,
-            cli.jobs,
+            &mut dispatch,
         );
     }
 
@@ -187,7 +204,7 @@ fn main() {
                 &tb,
                 &t,
                 &sites,
-                cli.jobs,
+                &mut dispatch,
             );
         }
     }
@@ -209,7 +226,7 @@ fn main() {
             &tb,
             &Technique::Anycast,
             &sites,
-            cli.jobs,
+            &mut dispatch,
         );
         measure(
             &mut rows,
@@ -218,7 +235,7 @@ fn main() {
             &tb,
             &Technique::ReactiveAnycast,
             &sites,
-            cli.jobs,
+            &mut dispatch,
         );
     }
 
@@ -245,7 +262,7 @@ fn main() {
             &tb,
             &Technique::ReactiveAnycast,
             &sites,
-            cli.jobs,
+            &mut dispatch,
         );
     }
 
@@ -264,7 +281,7 @@ fn main() {
         let mut never = 0usize;
         let mut total = 0usize;
         let mut fail = Vec::new();
-        for r in site_results(&tb, &Technique::ReactiveAnycast, &sites, cli.jobs) {
+        for r in site_results(&tb, &Technique::ReactiveAnycast, &sites, &mut dispatch) {
             never += r
                 .outcomes
                 .iter()
@@ -296,4 +313,5 @@ fn main() {
     }
 
     write_json(&cli, "ablation", &rows);
+    dispatch.finish();
 }

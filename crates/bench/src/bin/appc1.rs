@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin appc1 [--scale quick]`
 
-use bobw_bench::{compute_appc1, parse_cli, write_json};
+use bobw_bench::{compute_appc1, parse_cli, run_cells, write_json};
 use bobw_core::Testbed;
 use bobw_measure::percent;
 
@@ -14,14 +14,16 @@ fn main() {
     let cli = parse_cli();
     let testbed = Testbed::new(cli.scale.config(cli.seed));
 
-    let mut reports = Vec::new();
     println!("Appendix C.1 — diverging-AS classification (prepend 5)");
     println!(
         "{:<6} {:>6} {:>12} {:>14} {:>8}",
         "site", "pairs", "to-intended", "business-pref", "via-R&E"
     );
-    for site in ["sea1", "sea2", "ams", "msn"] {
-        let r = compute_appc1(&testbed, site, 5);
+    // Sites fan over --jobs runner threads; results come back in site
+    // order, so the report (and JSON) is identical for any --jobs value.
+    let sites = ["sea1", "sea2", "ams", "msn"];
+    let reports = run_cells(&sites, cli.jobs, |_, site| compute_appc1(&testbed, site, 5));
+    for r in &reports {
         println!(
             "{:<6} {:>6} {:>12} {:>14} {:>8}",
             r.site_name,
@@ -30,7 +32,6 @@ fn main() {
             percent(r.frac_business_pref()),
             percent(r.frac_via_rne()),
         );
-        reports.push(r);
     }
     println!(
         "(paper, sea1: 36.2% of measured targets selected sea1 for a5; of the rest, 82% \

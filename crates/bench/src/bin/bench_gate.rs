@@ -1,0 +1,224 @@
+//! Perf regression gate: diffs a fresh `BENCH_repro_all.json` against the
+//! checked-in `BENCH_baseline.json`.
+//!
+//! Three aggregate metrics are compared, each within a configurable
+//! relative tolerance (regressions fail, improvements always pass):
+//!
+//! - **events/sec** — total simulator events over batch wall time; the
+//!   headline throughput of the runner.
+//! - **wall time** — end-to-end elapsed micros across all batches.
+//! - **peak queue depth** — max event-queue high-water mark over all
+//!   cells; deterministic for a fixed scale/seed, so a change means the
+//!   simulation itself changed shape, not just the host.
+//!
+//! Exit status: 0 when every metric is within tolerance, 1 on regression,
+//! 2 on usage/parse errors. CI runs this as a *non-fatal* step — shared
+//! runners are too noisy for a hard wall-time gate — so the gate's value
+//! is the printed delta table in the log, plus a hard signal available
+//! locally via `cargo run --release --bin bench_gate`.
+//!
+//! Regenerate the baseline after an intentional perf change:
+//!
+//! ```text
+//! cargo run --release --bin repro_all -- --quick 10 --seed 42
+//! cargo run --release --bin bench_gate -- --write-baseline
+//! ```
+
+use std::process::exit;
+
+use serde::Value;
+
+struct Args {
+    bench: String,
+    baseline: String,
+    /// Relative tolerance, e.g. 0.5 = a metric may regress by up to 50%.
+    tolerance: f64,
+    write_baseline: bool,
+}
+
+const USAGE: &str =
+    "usage: bench_gate [--bench FILE] [--baseline FILE] [--tolerance FRAC] [--write-baseline]";
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bench: "BENCH_repro_all.json".to_string(),
+        baseline: "BENCH_baseline.json".to_string(),
+        tolerance: 0.5,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value\n{USAGE}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--bench" => args.bench = val("--bench"),
+            "--baseline" => args.baseline = val("--baseline"),
+            "--tolerance" => {
+                let raw = val("--tolerance");
+                args.tolerance = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --tolerance must be a fraction, got '{raw}'");
+                    exit(2);
+                });
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The aggregate metrics of one `PerfLog` dump.
+struct Metrics {
+    cells: usize,
+    total_events: u64,
+    wall_micros: u64,
+    peak_queue_depth: u64,
+}
+
+impl Metrics {
+    fn events_per_sec(&self) -> f64 {
+        let secs = self.wall_micros as f64 / 1e6;
+        if secs > 0.0 {
+            self.total_events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn load_metrics(path: &str) -> Result<Metrics, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let wall_micros = root
+        .get("elapsed_micros")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{path}: missing 'elapsed_micros'"))?;
+    let cells = root
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: missing 'cells' array"))?;
+    let mut total_events = 0u64;
+    let mut peak_queue_depth = 0u64;
+    for (i, cell) in cells.iter().enumerate() {
+        total_events += cell
+            .get("events_processed")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{path}: cell {i} missing 'events_processed'"))?;
+        let depth = cell
+            .get("peak_queue_depth")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{path}: cell {i} missing 'peak_queue_depth'"))?;
+        peak_queue_depth = peak_queue_depth.max(depth);
+    }
+    Ok(Metrics {
+        cells: cells.len(),
+        total_events,
+        wall_micros,
+        peak_queue_depth,
+    })
+}
+
+/// One gate line. `higher_is_better` picks the regression direction; a
+/// metric only fails when it moves the *bad* way by more than `tol`.
+fn check(name: &str, base: f64, cur: f64, higher_is_better: bool, tol: f64) -> bool {
+    let delta = if base != 0.0 {
+        (cur - base) / base
+    } else {
+        0.0
+    };
+    let regressed = if higher_is_better {
+        delta < -tol
+    } else {
+        delta > tol
+    };
+    let verdict = if regressed { "FAIL" } else { "ok" };
+    println!(
+        "{name:<18} baseline {base:>14.1}  current {cur:>14.1}  delta {delta:>+8.1}%  {verdict}",
+        delta = delta * 100.0
+    );
+    !regressed
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.write_baseline {
+        match std::fs::copy(&args.bench, &args.baseline) {
+            Ok(_) => {
+                println!("baseline updated: {} -> {}", args.bench, args.baseline);
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: cannot write baseline: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    let base = load_metrics(&args.baseline).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2);
+    });
+    let cur = load_metrics(&args.bench).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2);
+    });
+
+    println!(
+        "bench gate: {} ({} cells) vs {} ({} cells), tolerance {:.0}%",
+        args.bench,
+        cur.cells,
+        args.baseline,
+        base.cells,
+        args.tolerance * 100.0
+    );
+    if cur.cells != base.cells {
+        // Different grid shapes make the wall-time comparison meaningless;
+        // call that out but still print the table for the log.
+        println!(
+            "warning: cell count differs ({} vs {}) — was the scale changed without refreshing the baseline?",
+            cur.cells, base.cells
+        );
+    }
+
+    let mut ok = true;
+    ok &= check(
+        "events/sec",
+        base.events_per_sec(),
+        cur.events_per_sec(),
+        true,
+        args.tolerance,
+    );
+    ok &= check(
+        "wall micros",
+        base.wall_micros as f64,
+        cur.wall_micros as f64,
+        false,
+        args.tolerance,
+    );
+    ok &= check(
+        "peak queue depth",
+        base.peak_queue_depth as f64,
+        cur.peak_queue_depth as f64,
+        false,
+        args.tolerance,
+    );
+
+    if ok {
+        println!("bench gate: PASS");
+    } else {
+        println!("bench gate: FAIL (regenerate the baseline with --write-baseline if intentional)");
+        exit(1);
+    }
+}

@@ -7,12 +7,13 @@
 //! `--extended` behaviour of `repro_all`; here it is always included as a
 //! fifth series since it costs one more run.
 
-use bobw_bench::{parse_cli, run_failover_grid, write_json, TechniqueSeries};
+use bobw_bench::{parse_cli, run_failover_grid_dispatch, run_or_exit, write_json, TechniqueSeries};
 use bobw_core::{Technique, Testbed};
 use bobw_measure::cdf_table;
 
 fn main() {
     let cli = parse_cli();
+    let mut dispatch = cli.dispatch();
     let testbed = Testbed::new(cli.scale.config(cli.seed));
     eprintln!(
         "fig2: topology {} nodes / {} links, {} sites, {} jobs",
@@ -26,8 +27,13 @@ fn main() {
     techniques.push(Technique::Combined);
 
     // All ⟨technique, site⟩ cells share one work queue; the result order
-    // (and hence the JSON) is identical for any --jobs value.
-    let (grouped, perf) = run_failover_grid(&testbed, &techniques, cli.jobs);
+    // (and hence the JSON) is identical for any --jobs value and any
+    // dispatch mode.
+    let (grouped, perf) = run_or_exit(run_failover_grid_dispatch(
+        &testbed,
+        &techniques,
+        &mut dispatch,
+    ));
     let mut series = Vec::new();
     for (t, results) in techniques.iter().zip(&grouped) {
         let s = TechniqueSeries::from_results(t, results);
@@ -73,4 +79,5 @@ fn main() {
     );
 
     write_json(&cli, "fig2", &series);
+    dispatch.finish();
 }

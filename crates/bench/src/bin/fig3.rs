@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin fig3 [--scale quick]`
 
-use bobw_bench::appendix::withdrawal_convergence;
+use bobw_bench::appendix::withdrawal_convergence_instrumented;
 use bobw_bench::{parse_cli, write_json, Scale};
 use bobw_measure::{cdf_table, Cdf};
 use bobw_topology::OriginProfile;
@@ -18,9 +18,22 @@ fn main() {
         Scale::Large => 24,
     };
 
-    let hyper = withdrawal_convergence(&cfg, &cfg.timing, OriginProfile::Hypergiant, instances);
-    let peering =
-        withdrawal_convergence(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, instances);
+    // Instances fan over --jobs threads; the fold is in instance order, so
+    // the JSON is identical for any --jobs value.
+    let (hyper, _) = withdrawal_convergence_instrumented(
+        &cfg,
+        &cfg.timing,
+        OriginProfile::Hypergiant,
+        instances,
+        cli.jobs,
+    );
+    let (peering, _) = withdrawal_convergence_instrumented(
+        &cfg,
+        &cfg.timing,
+        OriginProfile::PeeringTestbed,
+        instances,
+        cli.jobs,
+    );
 
     let hc = Cdf::new(hyper.samples.clone());
     let pc = Cdf::new(peering.samples.clone());

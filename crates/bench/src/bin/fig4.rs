@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin fig4 [--scale quick]`
 
-use bobw_bench::appendix::announcement_propagation;
+use bobw_bench::appendix::announcement_propagation_instrumented;
 use bobw_bench::{parse_cli, write_json, Scale};
 use bobw_measure::{cdf_table, Cdf};
 use bobw_topology::OriginProfile;
@@ -20,15 +20,24 @@ fn main() {
     };
 
     // Manycast2-like: 3 hypergiant-profile origins anycasting one prefix.
-    let manycast =
-        announcement_propagation(&cfg, &cfg.timing, OriginProfile::Hypergiant, 3, instances);
+    // Instances fan over --jobs threads; the fold is in instance order, so
+    // the JSON is identical for any --jobs value.
+    let (manycast, _) = announcement_propagation_instrumented(
+        &cfg,
+        &cfg.timing,
+        OriginProfile::Hypergiant,
+        3,
+        instances,
+        cli.jobs,
+    );
     // PEERING-like: a single testbed-profile origin.
-    let peering = announcement_propagation(
+    let (peering, _) = announcement_propagation_instrumented(
         &cfg,
         &cfg.timing,
         OriginProfile::PeeringTestbed,
         1,
         instances,
+        cli.jobs,
     );
 
     let mc = Cdf::new(manycast.samples.clone());

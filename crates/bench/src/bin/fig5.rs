@@ -4,12 +4,13 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin fig5 [--scale quick]`
 
-use bobw_bench::{parse_cli, run_failover_grid, write_json, TechniqueSeries};
+use bobw_bench::{parse_cli, run_failover_grid_dispatch, run_or_exit, write_json, TechniqueSeries};
 use bobw_core::{Technique, Testbed};
 use bobw_measure::cdf_table;
 
 fn main() {
     let cli = parse_cli();
+    let mut dispatch = cli.dispatch();
     let testbed = Testbed::new(cli.scale.config(cli.seed));
 
     let techniques: Vec<Technique> = [3u8, 5u8]
@@ -19,7 +20,11 @@ fn main() {
             selective: false,
         })
         .collect();
-    let (grouped, _) = run_failover_grid(&testbed, &techniques, cli.jobs);
+    let (grouped, _) = run_or_exit(run_failover_grid_dispatch(
+        &testbed,
+        &techniques,
+        &mut dispatch,
+    ));
     let series: Vec<TechniqueSeries> = techniques
         .iter()
         .zip(&grouped)
@@ -57,4 +62,5 @@ fn main() {
     );
 
     write_json(&cli, "fig5", &series);
+    dispatch.finish();
 }

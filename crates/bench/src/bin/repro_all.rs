@@ -6,25 +6,48 @@
 
 use std::fmt::Write as _;
 
-use bobw_bench::appendix::{announcement_propagation, withdrawal_convergence};
+use bobw_bench::appendix::{
+    announcement_propagation_instrumented, withdrawal_convergence_instrumented,
+};
 use bobw_bench::{
-    compute_appc1, compute_table1, parse_cli, run_failover_grid, write_json, PerfLog, Scale,
-    TechniqueSeries,
+    compute_appc1, compute_table1_dispatch, parse_cli, run_cells, run_failover_grid_dispatch,
+    run_or_exit, write_json, CellRecord, PerfLog, Scale, TechniqueSeries,
 };
 use bobw_core::{
-    derive_tradeoffs, run_unicast_dns_failover, DnsClientConfig, MeasuredTechnique, Technique,
-    Testbed,
+    derive_tradeoffs, run_unicast_dns_failover, CellPerf, DnsClientConfig, MeasuredTechnique,
+    Technique, Testbed,
 };
 use bobw_dns::{ClientPopulation, DnsFailoverConfig};
 use bobw_event::RngFactory;
 use bobw_measure::{cdf_row, markdown_table, percent, Cdf};
 use bobw_topology::OriginProfile;
 
+/// Appends one appendix study's per-instance counters to the perf log.
+fn push_study_cells(
+    perf: &mut PerfLog,
+    study: &str,
+    population: &str,
+    seed: u64,
+    ps: Vec<CellPerf>,
+) {
+    for p in ps {
+        perf.cells.push(CellRecord {
+            technique: study.to_string(),
+            site: population.to_string(),
+            seed,
+            events_processed: p.events_processed,
+            peak_queue_depth: p.peak_queue_depth,
+            wall_micros: p.wall_micros,
+        });
+    }
+}
+
 fn main() {
     let cli = parse_cli();
+    let mut dispatch = cli.dispatch();
     let cfg = cli.scale.config(cli.seed);
     let testbed = Testbed::new(cfg.clone());
-    // Perf counters from every failover grid; summarized at the end of
+    // Perf counters from every stage; summarized at the end of
     // SUMMARY.md and dumped to BENCH_repro_all.json (NOT under results/,
     // whose JSON must be byte-identical across --jobs and hosts).
     let mut perf = PerfLog::new(cli.jobs);
@@ -42,7 +65,11 @@ fn main() {
     eprintln!("[1/8] figure 2 ({} jobs) ...", cli.jobs);
     let mut techniques = Technique::figure2_set();
     techniques.push(Technique::Combined);
-    let (grouped, p) = run_failover_grid(&testbed, &techniques, cli.jobs);
+    let (grouped, p) = run_or_exit(run_failover_grid_dispatch(
+        &testbed,
+        &techniques,
+        &mut dispatch,
+    ));
     perf.merge(p);
     let mut fig2 = Vec::new();
     for (t, results) in techniques.iter().zip(&grouped) {
@@ -87,7 +114,11 @@ fn main() {
             selective: false,
         })
         .collect();
-    let (grouped, p) = run_failover_grid(&testbed, &fig5_techniques, cli.jobs);
+    let (grouped, p) = run_or_exit(run_failover_grid_dispatch(
+        &testbed,
+        &fig5_techniques,
+        &mut dispatch,
+    ));
     perf.merge(p);
     let fig5: Vec<TechniqueSeries> = fig5_techniques
         .iter()
@@ -112,7 +143,8 @@ fn main() {
 
     // ---------------- Table 1 ----------------
     eprintln!("[3/8] table 1 ...");
-    let t1 = compute_table1(&testbed, &[3, 5], cli.jobs);
+    let (t1, p) = run_or_exit(compute_table1_dispatch(&testbed, &[3, 5], &mut dispatch));
+    perf.merge(p);
     let mut rows = Vec::new();
     let mk_row = |label: &str, f: &dyn Fn(&str) -> String| -> Vec<String> {
         let mut row = vec![label.to_string()];
@@ -191,8 +223,24 @@ fn main() {
         Scale::Large => 24,
     };
     eprintln!("[5/8] figure 3 ...");
-    let f3h = withdrawal_convergence(&cfg, &cfg.timing, OriginProfile::Hypergiant, instances);
-    let f3p = withdrawal_convergence(&cfg, &cfg.timing, OriginProfile::PeeringTestbed, instances);
+    let stage = std::time::Instant::now();
+    let (f3h, ph) = withdrawal_convergence_instrumented(
+        &cfg,
+        &cfg.timing,
+        OriginProfile::Hypergiant,
+        instances,
+        cli.jobs,
+    );
+    let (f3p, pp) = withdrawal_convergence_instrumented(
+        &cfg,
+        &cfg.timing,
+        OriginProfile::PeeringTestbed,
+        instances,
+        cli.jobs,
+    );
+    perf.elapsed_micros += stage.elapsed().as_micros() as u64;
+    push_study_cells(&mut perf, "fig3-withdrawal", &f3h.population, cli.seed, ph);
+    push_study_cells(&mut perf, "fig3-withdrawal", &f3p.population, cli.seed, pp);
     let _ = writeln!(md, "## Figure 3 — withdrawal convergence\n```");
     let _ = writeln!(
         md,
@@ -204,14 +252,26 @@ fn main() {
     write_json(&cli, "fig3", &vec![f3h, f3p]);
 
     eprintln!("[6/8] figure 4 ...");
-    let f4m = announcement_propagation(&cfg, &cfg.timing, OriginProfile::Hypergiant, 3, instances);
-    let f4p = announcement_propagation(
+    let stage = std::time::Instant::now();
+    let (f4m, pm) = announcement_propagation_instrumented(
+        &cfg,
+        &cfg.timing,
+        OriginProfile::Hypergiant,
+        3,
+        instances,
+        cli.jobs,
+    );
+    let (f4p, pp) = announcement_propagation_instrumented(
         &cfg,
         &cfg.timing,
         OriginProfile::PeeringTestbed,
         1,
         instances,
+        cli.jobs,
     );
+    perf.elapsed_micros += stage.elapsed().as_micros() as u64;
+    push_study_cells(&mut perf, "fig4-propagation", &f4m.population, cli.seed, pm);
+    push_study_cells(&mut perf, "fig4-propagation", &f4p.population, cli.seed, pp);
     let _ = writeln!(md, "## Figure 4 — announcement propagation\n```");
     let _ = writeln!(
         md,
@@ -224,20 +284,27 @@ fn main() {
 
     // ---------------- Appendix C.1 ----------------
     eprintln!("[7/8] appendix C.1 ...");
-    let mut c1 = Vec::new();
     let _ = writeln!(md, "## Appendix C.1 — divergence classification\n");
-    let mut c1_rows = Vec::new();
-    for site in ["sea1", "sea2", "ams", "msn"] {
-        let r = compute_appc1(&testbed, site, 5);
-        c1_rows.push(vec![
-            r.site_name.clone(),
-            r.measured_pairs.to_string(),
-            percent(r.frac_to_intended()),
-            percent(r.frac_business_pref()),
-            percent(r.frac_via_rne()),
-        ]);
-        c1.push(r);
-    }
+    // Sites fan over --jobs runner threads; run_cells returns them in
+    // site order, so the table (and JSON) is jobs-independent.
+    let stage = std::time::Instant::now();
+    let c1_sites = ["sea1", "sea2", "ams", "msn"];
+    let c1 = run_cells(&c1_sites, cli.jobs, |_, site| {
+        compute_appc1(&testbed, site, 5)
+    });
+    perf.elapsed_micros += stage.elapsed().as_micros() as u64;
+    let c1_rows: Vec<Vec<String>> = c1
+        .iter()
+        .map(|r| {
+            vec![
+                r.site_name.clone(),
+                r.measured_pairs.to_string(),
+                percent(r.frac_to_intended()),
+                percent(r.frac_business_pref()),
+                percent(r.frac_via_rne()),
+            ]
+        })
+        .collect();
     let _ = writeln!(
         md,
         "{}",
@@ -285,4 +352,5 @@ fn main() {
     std::fs::write(&path, &md).expect("write summary");
     println!("{md}");
     eprintln!("summary written to {}", path.display());
+    dispatch.finish();
 }

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin stability [--scale quick]`
 
-use bobw_bench::{parse_cli, run_failover_grid, write_json, TechniqueSeries};
+use bobw_bench::{parse_cli, run_failover_grid_dispatch, run_or_exit, write_json, TechniqueSeries};
 use bobw_core::{Technique, Testbed};
 use bobw_measure::Cdf;
 use serde::Serialize;
@@ -24,6 +24,7 @@ struct SeedRow {
 
 fn main() {
     let cli = parse_cli();
+    let mut dispatch = cli.dispatch();
     let seeds: Vec<u64> = (0..5).map(|i| cli.seed + i * 1000).collect();
     let techniques = [
         Technique::Anycast,
@@ -35,7 +36,13 @@ fn main() {
     for &seed in &seeds {
         let testbed = Testbed::new(cli.scale.config(seed));
         // One shared work queue per seed: all ⟨technique, site⟩ cells.
-        let (grouped, _) = run_failover_grid(&testbed, &techniques, cli.jobs);
+        // Each seed is a separate batch; distributed workers rebuild their
+        // testbed from the config shipped with the batch.
+        let (grouped, _) = run_or_exit(run_failover_grid_dispatch(
+            &testbed,
+            &techniques,
+            &mut dispatch,
+        ));
         for (t, results) in techniques.iter().zip(&grouped) {
             let s = TechniqueSeries::from_results(t, results);
             rows.push(SeedRow {
@@ -118,4 +125,5 @@ fn main() {
     );
 
     write_json(&cli, "stability", &rows);
+    dispatch.finish();
 }

@@ -5,14 +5,15 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin table1 [--scale quick]`
 
-use bobw_bench::{compute_table1, parse_cli, write_json};
+use bobw_bench::{compute_table1_dispatch, parse_cli, run_or_exit, write_json};
 use bobw_core::Testbed;
 use bobw_measure::percent;
 
 fn main() {
     let cli = parse_cli();
+    let mut dispatch = cli.dispatch();
     let testbed = Testbed::new(cli.scale.config(cli.seed));
-    let table = compute_table1(&testbed, &[3, 5], cli.jobs);
+    let (table, _) = run_or_exit(compute_table1_dispatch(&testbed, &[3, 5], &mut dispatch));
 
     // Paper-style layout: sites as columns.
     let names = &table.site_order;
@@ -28,4 +29,5 @@ fn main() {
     row("prepend 5", &|n| percent(table.rows[n].1[1].1));
 
     write_json(&cli, "table1", &table);
+    dispatch.finish();
 }

@@ -4,17 +4,22 @@
 //!
 //! Run: `cargo run --release -p bobw-bench --bin table2 [--scale quick]`
 
-use bobw_bench::{compute_table1, parse_cli, run_technique_all_sites, write_json, TechniqueSeries};
+use bobw_bench::{
+    compute_table1_dispatch, parse_cli, run_or_exit, run_technique_all_sites_dispatch, write_json,
+    TechniqueSeries,
+};
 use bobw_core::{derive_tradeoffs, MeasuredTechnique, Technique, Testbed};
 use bobw_measure::markdown_table;
 
 fn main() {
     let cli = parse_cli();
+    let mut dispatch = cli.dispatch();
     let testbed = Testbed::new(cli.scale.config(cli.seed));
 
     // Failover medians per technique (Figure 2 machinery).
-    let failover_median = |t: &Technique| -> f64 {
-        let results = run_technique_all_sites(&testbed, t, cli.jobs);
+    let mut failover_median = |t: &Technique| -> f64 {
+        let (results, _) =
+            run_or_exit(run_technique_all_sites_dispatch(&testbed, t, &mut dispatch));
         TechniqueSeries::from_results(t, &results)
             .failover_cdf()
             .median()
@@ -31,7 +36,7 @@ fn main() {
 
     // Control fraction for prepending: mean over sites of the Table 1
     // steered fraction at 3 prepends.
-    let t1 = compute_table1(&testbed, &[3], cli.jobs);
+    let (t1, _) = run_or_exit(compute_table1_dispatch(&testbed, &[3], &mut dispatch));
     let prepending_control =
         t1.rows.values().map(|(_, s)| s[0].1).sum::<f64>() / t1.rows.len().max(1) as f64;
 
@@ -92,4 +97,5 @@ fn main() {
     );
 
     write_json(&cli, "table2", &rows);
+    dispatch.finish();
 }

@@ -18,24 +18,28 @@
 //! | `calibrate` | raw timing-model calibration check |
 //!
 //! Every binary accepts `--scale quick|eval|large` (default `eval`),
-//! `--seed N` and `--jobs N` (worker threads, default: available
-//! parallelism), and writes machine-readable JSON next to its stdout
-//! report (under `results/`). Results are byte-identical for any `--jobs`
-//! value — see the [`runner`] module for how that is guaranteed.
+//! `--seed N`, `--jobs N` (worker threads, default: available
+//! parallelism) and `--dispatch local|tcp://…|unix://…` (serve the cell
+//! grid to remote `bobw-worker` processes — see EXPERIMENTS.md), and
+//! writes machine-readable JSON next to its stdout report (under
+//! `results/`). Results are byte-identical for any `--jobs` value and any
+//! dispatch mode — see the [`runner`] module for how that is guaranteed.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use bobw_core::{
-    analyze_divergence, measure_control, ExperimentConfig, FailoverResult, Technique, Testbed,
-};
+use bobw_core::{analyze_divergence, ExperimentConfig, FailoverResult, Technique, Testbed};
+use bobw_dist::{CellOutput, CellSpec};
 use bobw_measure::Cdf;
 use serde::Serialize;
 
 pub mod appendix;
 pub mod runner;
 
-pub use runner::{default_jobs, run_cells, run_failover_grid, CellRecord, PerfLog};
+pub use runner::{
+    default_jobs, run_cells, run_failover_grid, run_failover_grid_dispatch, run_or_exit,
+    CellRecord, Dispatch, PerfLog,
+};
 
 /// Experiment scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +76,10 @@ pub struct Cli {
     /// Worker threads for the experiment runner (default: available
     /// parallelism). Any value produces byte-identical result JSON.
     pub jobs: usize,
+    /// Endpoint to serve cells on (`--dispatch tcp://…|unix://…` or
+    /// `--listen …`). `None` (or `--dispatch local`) runs cells on `jobs`
+    /// local threads. Either way the result JSON is byte-identical.
+    pub listen: Option<String>,
 }
 
 impl Default for Cli {
@@ -81,6 +89,31 @@ impl Default for Cli {
             seed: 42,
             out_dir: PathBuf::from("results"),
             jobs: default_jobs(),
+            listen: None,
+        }
+    }
+}
+
+impl Cli {
+    /// Builds the dispatch mode selected on the command line. With
+    /// `--dispatch <url>` this binds the coordinator and blocks batches on
+    /// worker availability, so a hint telling the operator how to attach
+    /// workers is printed. Exits on a malformed URL or a failed bind.
+    pub fn dispatch(&self) -> Dispatch {
+        match &self.listen {
+            None => Dispatch::local(self.jobs),
+            Some(url) => {
+                let d = Dispatch::serve(url).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+                let ep = d.endpoint().expect("serve mode has an endpoint");
+                eprintln!(
+                    "serving cells on {ep} — attach workers with: \
+                     bobw-worker --connect {ep}  (or: bobw worker --connect {ep})"
+                );
+                d
+            }
         }
     }
 }
@@ -126,8 +159,24 @@ pub fn parse_cli() -> Cli {
                         std::process::exit(2);
                     });
             }
+            "--dispatch" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--dispatch needs `local` or an endpoint URL (tcp://…|unix://…)");
+                    std::process::exit(2);
+                });
+                cli.listen = if v == "local" { None } else { Some(v) };
+            }
+            "--listen" => {
+                cli.listen = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--listen needs an endpoint URL (tcp://…|unix://…)");
+                    std::process::exit(2);
+                }));
+            }
             other => {
-                eprintln!("unknown flag {other:?}; supported: --scale --seed --out --jobs");
+                eprintln!(
+                    "unknown flag {other:?}; supported: --scale --seed --out --jobs \
+                     --dispatch --listen"
+                );
                 std::process::exit(2);
             }
         }
@@ -164,6 +213,18 @@ pub fn run_technique_all_sites(
 ) -> Vec<FailoverResult> {
     let (mut grouped, _) = run_failover_grid(testbed, std::slice::from_ref(technique), jobs);
     grouped.pop().expect("one technique in, one group out")
+}
+
+/// [`run_technique_all_sites`] over an explicit [`Dispatch`], also
+/// returning the perf log.
+pub fn run_technique_all_sites_dispatch(
+    testbed: &Testbed,
+    technique: &Technique,
+    dispatch: &mut Dispatch,
+) -> Result<(Vec<FailoverResult>, PerfLog), String> {
+    let (mut grouped, log) =
+        run_failover_grid_dispatch(testbed, std::slice::from_ref(technique), dispatch)?;
+    Ok((grouped.pop().expect("one technique in, one group out"), log))
 }
 
 /// Aggregated series for one technique: reconnection and failover samples
@@ -230,19 +291,54 @@ pub struct Table1 {
 
 /// Computes Table 1 across sites on `jobs` worker threads.
 pub fn compute_table1(testbed: &Testbed, prepend_counts: &[u8], jobs: usize) -> Table1 {
-    let sites: Vec<_> = testbed.cdn.sites().collect();
-    let rows = run_cells(&sites, jobs, |_, &site| {
-        let r = measure_control(testbed, site, prepend_counts);
-        (r.site_name.clone(), (r.frac_not_anycast_routed, r.steered))
-    });
-    let site_order = sites
-        .iter()
-        .map(|s| testbed.cdn.name(*s).to_string())
+    compute_table1_dispatch(testbed, prepend_counts, &mut Dispatch::local(jobs))
+        .expect("local dispatch cannot fail on well-formed cells")
+        .0
+}
+
+/// [`compute_table1`] over an explicit [`Dispatch`], also returning the
+/// perf log — control cells are counted in `PerfLog` under the pseudo
+/// technique name `control`, mirroring the failover grid's records.
+pub fn compute_table1_dispatch(
+    testbed: &Testbed,
+    prepend_counts: &[u8],
+    dispatch: &mut Dispatch,
+) -> Result<(Table1, PerfLog), String> {
+    let site_order: Vec<String> = testbed
+        .cdn
+        .sites()
+        .map(|s| testbed.cdn.name(s).to_string())
         .collect();
-    Table1 {
-        site_order,
-        rows: rows.into_iter().collect(),
+    let cells: Vec<CellSpec> = site_order
+        .iter()
+        .map(|name| CellSpec::Control {
+            site: name.clone(),
+            prepends: prepend_counts.to_vec(),
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let outputs = dispatch.run(testbed, &cells)?;
+    let mut log = PerfLog::new(dispatch.workers());
+    log.elapsed_micros = started.elapsed().as_micros() as u64;
+    let mut rows = BTreeMap::new();
+    for (i, out) in outputs.into_iter().enumerate() {
+        let (r, perf) = match out {
+            CellOutput::Control(r, perf) => (r, perf),
+            CellOutput::Failover(..) => {
+                return Err(format!("cell {i}: failover output for a control cell"));
+            }
+        };
+        log.cells.push(CellRecord {
+            technique: "control".to_string(),
+            site: r.site_name.clone(),
+            seed: testbed.cfg.seed,
+            events_processed: perf.events_processed,
+            peak_queue_depth: perf.peak_queue_depth,
+            wall_micros: perf.wall_micros,
+        });
+        rows.insert(r.site_name, (r.frac_not_anycast_routed, r.steered));
     }
+    Ok((Table1 { site_order, rows }, log))
 }
 
 /// Convenience: the Appendix C.1 report for a named site.

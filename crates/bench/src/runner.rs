@@ -22,7 +22,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use bobw_core::{run_failover_instrumented, FailoverResult, Technique, Testbed};
+use bobw_core::{FailoverResult, Technique, Testbed};
+use bobw_dist::{
+    execute_cell, install_sigint_handler, CellOutput, CellSpec, Coordinator, CoordinatorConfig,
+    Endpoint,
+};
 use serde::Serialize;
 
 /// Number of worker threads to use when `--jobs` is not given.
@@ -84,6 +88,94 @@ where
     })
 }
 
+/// Where experiment cells execute: on local worker threads or on remote
+/// `bobw-worker` processes served by a socket [`Coordinator`].
+///
+/// Both variants run the *same* per-cell code ([`bobw_dist::execute_cell`])
+/// over the *same* enumerated [`CellSpec`] list and merge results by cell
+/// index, so `--dispatch local` and `--dispatch tcp://…` produce
+/// byte-identical `results/*.json`.
+pub enum Dispatch {
+    /// Run cells on `jobs` threads in this process (the default).
+    Local { jobs: usize },
+    /// Serve cells to connected workers over TCP / Unix sockets.
+    Serve { coordinator: Coordinator },
+}
+
+impl Dispatch {
+    /// Local execution on `jobs` worker threads.
+    pub fn local(jobs: usize) -> Dispatch {
+        Dispatch::Local { jobs: jobs.max(1) }
+    }
+
+    /// Binds a coordinator on `url` (`tcp://host:port` or `unix://path`)
+    /// and serves cells to any `bobw-worker` that connects. Also installs
+    /// the SIGINT handler so Ctrl-C drains workers instead of killing them
+    /// mid-cell.
+    pub fn serve(url: &str) -> Result<Dispatch, String> {
+        let ep = Endpoint::parse(url)?;
+        let coordinator = Coordinator::bind(&ep, CoordinatorConfig::default())
+            .map_err(|e| format!("cannot bind {ep}: {e}"))?;
+        install_sigint_handler();
+        Ok(Dispatch::Serve { coordinator })
+    }
+
+    /// The endpoint workers should connect to, if serving.
+    pub fn endpoint(&self) -> Option<&Endpoint> {
+        match self {
+            Dispatch::Local { .. } => None,
+            Dispatch::Serve { coordinator } => Some(coordinator.endpoint()),
+        }
+    }
+
+    /// Worker count for [`PerfLog::jobs`]: local threads, or currently
+    /// connected remote workers (at least 1 — workers may still be
+    /// connecting when a batch starts).
+    pub fn workers(&self) -> usize {
+        match self {
+            Dispatch::Local { jobs } => *jobs,
+            Dispatch::Serve { coordinator } => coordinator.num_workers().max(1),
+        }
+    }
+
+    /// Executes one batch of cells, returning outputs in cell order.
+    pub fn run(
+        &mut self,
+        testbed: &Testbed,
+        cells: &[CellSpec],
+    ) -> Result<Vec<CellOutput>, String> {
+        match self {
+            Dispatch::Local { jobs } => {
+                let jobs = *jobs;
+                run_cells(cells, jobs, |_, cell| execute_cell(testbed, cell))
+                    .into_iter()
+                    .collect()
+            }
+            Dispatch::Serve { coordinator } => coordinator.run_batch(&testbed.cfg, cells),
+        }
+    }
+
+    /// Releases the dispatcher; a serving coordinator tells its workers to
+    /// shut down. Call once at the end of a binary so remote workers exit
+    /// instead of waiting for more batches.
+    pub fn finish(self) {
+        if let Dispatch::Serve { coordinator } = self {
+            coordinator.shutdown();
+        }
+    }
+}
+
+/// Unwraps a dispatch result or exits with a diagnostic — batch errors
+/// (interrupt drain, every worker gone, a cell failing repeatedly) are
+/// operational conditions, not bugs, so bench binaries report them without
+/// a panic backtrace.
+pub fn run_or_exit<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Perf counters for one executed cell, keyed by what the cell was.
 #[derive(Debug, Clone, Serialize)]
 pub struct CellRecord {
@@ -116,8 +208,11 @@ impl PerfLog {
         }
     }
 
-    /// Folds another batch into this log (cells append, elapsed adds).
+    /// Folds another batch into this log (cells append, elapsed adds,
+    /// worker count takes the max — distributed workers may still be
+    /// attaching when the first batch starts).
     pub fn merge(&mut self, other: PerfLog) {
+        self.jobs = self.jobs.max(other.jobs);
         self.elapsed_micros += other.elapsed_micros;
         self.cells.extend(other.cells);
     }
@@ -206,20 +301,41 @@ pub fn run_failover_grid(
     techniques: &[Technique],
     jobs: usize,
 ) -> (Vec<Vec<FailoverResult>>, PerfLog) {
+    run_failover_grid_dispatch(testbed, techniques, &mut Dispatch::local(jobs))
+        .expect("local dispatch cannot fail on well-formed cells")
+}
+
+/// [`run_failover_grid`] over an explicit [`Dispatch`] — the same cell
+/// enumeration and index-ordered merge whether cells run on local threads
+/// or on remote workers.
+pub fn run_failover_grid_dispatch(
+    testbed: &Testbed,
+    techniques: &[Technique],
+    dispatch: &mut Dispatch,
+) -> Result<(Vec<Vec<FailoverResult>>, PerfLog), String> {
     let sites: Vec<_> = testbed.cdn.sites().collect();
-    let cells: Vec<(usize, bobw_topology::SiteId)> = techniques
+    let cells: Vec<CellSpec> = techniques
         .iter()
-        .enumerate()
-        .flat_map(|(ti, _)| sites.iter().map(move |s| (ti, *s)))
+        .flat_map(|t| {
+            sites.iter().map(move |s| CellSpec::Failover {
+                technique: t.name(),
+                site: testbed.cdn.name(*s).to_string(),
+            })
+        })
         .collect();
     let started = std::time::Instant::now();
-    let ran = run_cells(&cells, jobs, |_, &(ti, site)| {
-        run_failover_instrumented(testbed, &techniques[ti], site)
-    });
-    let mut log = PerfLog::new(jobs.max(1));
+    let outputs = dispatch.run(testbed, &cells)?;
+    let mut log = PerfLog::new(dispatch.workers());
     log.elapsed_micros = started.elapsed().as_micros() as u64;
     let mut grouped: Vec<Vec<FailoverResult>> = techniques.iter().map(|_| Vec::new()).collect();
-    for (&(ti, _), (result, perf)) in cells.iter().zip(ran) {
+    for (i, out) in outputs.into_iter().enumerate() {
+        let ti = i / sites.len().max(1);
+        let (result, perf) = match out {
+            CellOutput::Failover(result, perf) => (result, perf),
+            CellOutput::Control(..) => {
+                return Err(format!("cell {i}: control output for a failover cell"));
+            }
+        };
         log.cells.push(CellRecord {
             technique: techniques[ti].name(),
             site: result.site_name.clone(),
@@ -230,7 +346,7 @@ pub fn run_failover_grid(
         });
         grouped[ti].push(result);
     }
-    (grouped, log)
+    Ok((grouped, log))
 }
 
 #[cfg(test)]

@@ -345,8 +345,22 @@ pub struct Standalone {
 
 impl Standalone {
     pub fn new(topo: &Topology, timing: BgpTimingConfig, rng: &RngFactory) -> Standalone {
+        Standalone::with_queue_capacity(topo, timing, rng, 0)
+    }
+
+    /// Like [`Standalone::new`] but with the engine queue preallocated for
+    /// `cap` pending events — feed back a comparable run's
+    /// [`peak_queue_depth`]. Allocation only; behavior is identical.
+    ///
+    /// [`peak_queue_depth`]: Standalone::peak_queue_depth
+    pub fn with_queue_capacity(
+        topo: &Topology,
+        timing: BgpTimingConfig,
+        rng: &RngFactory,
+        cap: usize,
+    ) -> Standalone {
         Standalone {
-            engine: Engine::new(),
+            engine: Engine::with_capacity(cap),
             sim: BgpSim::new(topo, timing, rng),
             scratch: Vec::with_capacity(64),
         }

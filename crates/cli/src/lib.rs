@@ -94,40 +94,11 @@ impl Options {
     }
 }
 
-/// Parses a technique name as used in the paper's tables.
+/// Parses a technique name as used in the paper's tables. The logic lives
+/// in [`Technique::parse`] (the wire protocol needs it without a CLI
+/// dependency); this alias keeps the CLI's historical API.
 pub fn parse_technique(name: &str) -> Result<Technique, String> {
-    match name {
-        "unicast" => Ok(Technique::Unicast),
-        "anycast" => Ok(Technique::Anycast),
-        "proactive-superprefix" | "superprefix" => Ok(Technique::ProactiveSuperprefix),
-        "reactive-anycast" | "reactive" => Ok(Technique::ReactiveAnycast),
-        "combined" => Ok(Technique::Combined),
-        other => {
-            if let Some(rest) = other.strip_prefix("proactive-prepending-") {
-                let (n, selective) = match rest.strip_suffix("-selective") {
-                    Some(n) => (n, true),
-                    None => (rest, false),
-                };
-                let prepends: u8 = n.parse().map_err(|_| format!("bad prepend count {n:?}"))?;
-                return Ok(Technique::ProactivePrepending {
-                    prepends,
-                    selective,
-                });
-            }
-            if let Some(n) = other.strip_prefix("proactive-med-") {
-                let med: u32 = n.parse().map_err(|_| format!("bad MED {n:?}"))?;
-                return Ok(Technique::ProactiveMed { med });
-            }
-            if let Some(n) = other.strip_prefix("proactive-noexport-") {
-                let prepends: u8 = n.parse().map_err(|_| format!("bad prepend count {n:?}"))?;
-                return Ok(Technique::ProactiveNoExport { prepends });
-            }
-            Err(format!(
-                "unknown technique {other:?}; try unicast, anycast, proactive-superprefix, \
-                 reactive-anycast, proactive-prepending-3[-selective], proactive-med-100, combined"
-            ))
-        }
-    }
+    Technique::parse(name)
 }
 
 pub const USAGE: &str = "\
@@ -137,6 +108,9 @@ USAGE:
   bobw topology   [--scale quick|eval|large] [--seed N] [--json]
   bobw failover   [--technique T] [--site NAME|all] [--scale S] [--seed N]
                   [--failure graceful|crash] [--hold SECS] [--jobs N]
+                  [--dispatch local|tcp://HOST:PORT|unix://PATH]
+  bobw worker     --connect tcp://HOST:PORT|unix://PATH [--threads N]
+                  [--name S]
   bobw catchment  [--scale S] [--seed N] [--prepend K]
   bobw inspect    --node N --prefix P [--scale S] [--seed N]
   bobw traceroute --from N --prefix P [--scale S] [--seed N]
@@ -145,6 +119,10 @@ USAGE:
 Techniques: unicast, anycast, proactive-superprefix, reactive-anycast,
 proactive-prepending-<k>[-selective], proactive-med-<m>, combined.
 Sites: ams ath bos atl sea1 slc sea2 msn.
+
+`failover --site all --dispatch tcp://…` serves the per-site cells to
+remote `bobw worker` processes instead of local threads; results are
+byte-identical either way (see EXPERIMENTS.md, \"Distributed runs\").
 ";
 
 /// Runs the CLI; returns the text to print or a usage error.
@@ -157,6 +135,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "topology" => cmd_topology(&opts),
         "failover" => cmd_failover(&opts),
+        "worker" => cmd_worker(&opts),
         "catchment" => cmd_catchment(&opts),
         "inspect" => cmd_inspect(&opts),
         "traceroute" => cmd_traceroute(&opts),
@@ -236,13 +215,29 @@ fn cmd_failover(opts: &Options) -> Result<String, String> {
 }
 
 /// `failover --site all`: the drill against every site, fanned over
-/// `--jobs` workers through the deterministic experiment runner. The
-/// per-site rows come out in site order whatever the job count.
+/// `--jobs` local threads — or, with `--dispatch tcp://…|unix://…`,
+/// served to remote `bobw worker` processes — through the deterministic
+/// experiment runner. The per-site rows come out in site order whatever
+/// the job count or dispatch mode.
 fn cmd_failover_all(opts: &Options, tb: &Testbed, technique: &Technique) -> Result<String, String> {
     let jobs = opts.jobs()?;
-    let results = bobw_bench::run_technique_all_sites(tb, technique, jobs);
+    let mut dispatch = match opts.get("dispatch") {
+        None | Some("local") => bobw_bench::Dispatch::local(jobs),
+        Some(url) => {
+            let d = bobw_bench::Dispatch::serve(url)?;
+            let ep = d.endpoint().expect("serve mode has an endpoint");
+            eprintln!("serving cells on {ep} — attach workers with: bobw worker --connect {ep}");
+            d
+        }
+    };
+    let (results, _) = bobw_bench::run_technique_all_sites_dispatch(tb, technique, &mut dispatch)?;
+    let label = match dispatch.endpoint() {
+        Some(ep) => format!("dispatch {ep}"),
+        None => format!("{jobs} jobs"),
+    };
+    dispatch.finish();
     let mut out = format!(
-        "failover drill: technique={} site=all ({:?}, {jobs} jobs)\n",
+        "failover drill: technique={} site=all ({:?}, {label})\n",
         technique.name(),
         tb.cfg.failure_mode,
     );
@@ -271,6 +266,35 @@ fn cmd_failover_all(opts: &Options, tb: &Testbed, technique: &Technique) -> Resu
         fc.max().unwrap_or(f64::NAN),
     ));
     Ok(out)
+}
+
+/// `bobw worker`: attach to a coordinator (`bench --dispatch URL` or
+/// `bobw failover --site all --dispatch URL`) and execute cells until it
+/// shuts down. Blocks for the life of the connection.
+fn cmd_worker(opts: &Options) -> Result<String, String> {
+    let url = opts
+        .get("connect")
+        .ok_or("--connect is required (tcp://HOST:PORT or unix://PATH)")?;
+    let mut cfg = bobw_dist::WorkerConfig::new(bobw_dist::Endpoint::parse(url)?);
+    if let Some(t) = opts.get("threads") {
+        cfg.threads = t
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --threads {t:?} (integer >= 1)"))?;
+    }
+    if let Some(n) = opts.get("name") {
+        cfg.name = n.to_string();
+    }
+    eprintln!(
+        "worker {}: connecting to {} ({} thread(s))",
+        cfg.name, cfg.connect, cfg.threads
+    );
+    let done = bobw_dist::run_worker(&cfg)?;
+    Ok(format!(
+        "worker {}: coordinator closed, {done} cell(s) executed\n",
+        cfg.name
+    ))
 }
 
 fn cmd_catchment(opts: &Options) -> Result<String, String> {

@@ -13,7 +13,7 @@ use bobw_net::NodeId;
 use bobw_topology::SiteId;
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::Testbed;
+use crate::experiment::{CellPerf, Testbed};
 use crate::technique::Technique;
 
 /// Table 1 numbers for one site.
@@ -33,13 +33,31 @@ pub struct ControlResult {
 
 /// Measures Table 1 for one site across the given prepend counts.
 pub fn measure_control(testbed: &Testbed, site: SiteId, prepend_counts: &[u8]) -> ControlResult {
+    measure_control_instrumented(testbed, site, prepend_counts).0
+}
+
+/// [`measure_control`] plus the cell's perf counters (event count, peak
+/// queue depth, wall time) — the control-cell analogue of
+/// `run_failover_instrumented`, so Table 1 cells show up in `PerfLog` and
+/// can be dispatched to distributed workers.
+pub fn measure_control_instrumented(
+    testbed: &Testbed,
+    site: SiteId,
+    prepend_counts: &[u8],
+) -> (ControlResult, CellPerf) {
+    let wall_start = std::time::Instant::now();
     let cfg = &testbed.cfg;
     let topo = &testbed.topo;
     let cdn = &testbed.cdn;
     let plan = &cfg.plan;
     let site_node = cdn.node(site);
 
-    let mut sim = Standalone::new(topo, cfg.timing.clone(), &testbed.rng);
+    let mut sim = Standalone::with_queue_capacity(
+        topo,
+        cfg.timing.clone(),
+        &testbed.rng,
+        testbed.queue_capacity_hint(),
+    );
     // Measurement prefixes: unicast RTT probe from the site, anycast probe
     // from every site.
     sim.announce(site_node, plan.rtt_probe, OriginConfig::plain());
@@ -105,13 +123,20 @@ pub fn measure_control(testbed: &Testbed, site: SiteId, prepend_counts: &[u8]) -
         steered.push((k, frac));
     }
 
-    ControlResult {
+    let result = ControlResult {
         site_name: cdn.name(site).to_string(),
         site,
         num_near: near.len(),
         frac_not_anycast_routed,
         steered,
-    }
+    };
+    testbed.note_peak_queue_depth(sim.peak_queue_depth());
+    let perf = CellPerf {
+        events_processed: sim.events_processed(),
+        peak_queue_depth: sim.peak_queue_depth(),
+        wall_micros: wall_start.elapsed().as_micros() as u64,
+    };
+    (result, perf)
 }
 
 #[cfg(test)]

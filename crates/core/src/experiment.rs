@@ -25,6 +25,7 @@ use bobw_event::{Engine, Handler, RngFactory, Scheduler, SimDuration, SimTime};
 use bobw_net::NodeId;
 use bobw_topology::{generate, CdnDeployment, GenConfig, SiteId, Topology};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::metrics::{analyze_target, TargetOutcome};
 use crate::plan::AddressPlan;
@@ -136,6 +137,12 @@ pub struct Testbed {
     pub topo: Topology,
     pub cdn: CdnDeployment,
     pub rng: RngFactory,
+    /// High-water mark of event-queue depth over every cell run on this
+    /// testbed so far; later cells preallocate their queues to this depth.
+    /// Purely an allocation hint — results never depend on it (cells on the
+    /// same testbed are statistically alike, so one cell's peak is a good
+    /// starting capacity for the next).
+    queue_hint: AtomicUsize,
 }
 
 impl Testbed {
@@ -147,7 +154,23 @@ impl Testbed {
             topo,
             cdn,
             rng,
+            queue_hint: AtomicUsize::new(0),
         }
+    }
+
+    /// Starting capacity for the next cell's event queue (0 until a cell
+    /// has completed).
+    pub fn queue_capacity_hint(&self) -> usize {
+        self.queue_hint.load(Ordering::Relaxed)
+    }
+
+    /// Folds a finished cell's [`Engine::peak_pending`] into the hint.
+    /// Relaxed atomics: the hint is monotone and approximate by design —
+    /// racing cells at worst preallocate a little less.
+    ///
+    /// [`Engine::peak_pending`]: bobw_event::Engine::peak_pending
+    pub(crate) fn note_peak_queue_depth(&self, depth: usize) {
+        self.queue_hint.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Site id by paper name (`"sea1"`), panicking on typos.
@@ -423,7 +446,7 @@ pub fn run_failover_instrumented(
     let plan = &cfg.plan;
     let failed_node = cdn.node(failed);
 
-    let mut engine: Engine<SimEvent> = Engine::new();
+    let mut engine: Engine<SimEvent> = Engine::with_capacity(testbed.queue_capacity_hint());
     let mut run = Run {
         topo,
         cdn,
@@ -573,6 +596,7 @@ pub fn run_failover_instrumented(
         outcomes,
         t_fail,
     };
+    testbed.note_peak_queue_depth(engine.peak_pending());
     let perf = CellPerf {
         events_processed: engine.processed(),
         peak_queue_depth: engine.peak_pending(),
@@ -662,5 +686,28 @@ mod tests {
         let b = run_failover(&tb, &Technique::Anycast, site);
         assert_eq!(a.num_controllable, b.num_controllable);
         assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn queue_preallocation_hint_does_not_change_results() {
+        // A cold testbed (hint 0) and a warm one (hint fed by a previous
+        // cell) must produce byte-identical results — the hint is a pure
+        // allocation optimization.
+        let cold = quick_testbed();
+        let warm = quick_testbed();
+        let site = warm.site("bos");
+        assert_eq!(warm.queue_capacity_hint(), 0);
+        let (first, perf) = run_failover_instrumented(&warm, &Technique::Anycast, site);
+        assert_eq!(
+            warm.queue_capacity_hint(),
+            perf.peak_queue_depth,
+            "the finished cell's peak must become the hint"
+        );
+        // Second run on the warm testbed starts with a preallocated queue.
+        let (second, _) = run_failover_instrumented(&warm, &Technique::Anycast, site);
+        let (reference, _) = run_failover_instrumented(&cold, &Technique::Anycast, site);
+        let dump = |r: &FailoverResult| format!("{r:?}");
+        assert_eq!(dump(&second), dump(&first));
+        assert_eq!(dump(&second), dump(&reference));
     }
 }

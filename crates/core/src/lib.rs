@@ -38,7 +38,7 @@ pub mod targets;
 pub mod technique;
 pub mod tradeoffs;
 
-pub use control::{measure_control, ControlResult};
+pub use control::{measure_control, measure_control_instrumented, ControlResult};
 pub use divergence::{analyze_divergence, DivergenceReport};
 pub use dns_experiment::{run_unicast_dns_failover, DnsClientConfig};
 pub use experiment::{

@@ -101,6 +101,45 @@ impl Technique {
         }
     }
 
+    /// Parses a technique from its [`Technique::name`] rendering (the
+    /// paper-table spelling the CLI and the distributed wire protocol
+    /// use). `parse(t.name())` round-trips for every technique.
+    pub fn parse(name: &str) -> Result<Technique, String> {
+        match name {
+            "unicast" => Ok(Technique::Unicast),
+            "anycast" => Ok(Technique::Anycast),
+            "proactive-superprefix" | "superprefix" => Ok(Technique::ProactiveSuperprefix),
+            "reactive-anycast" | "reactive" => Ok(Technique::ReactiveAnycast),
+            "combined" => Ok(Technique::Combined),
+            other => {
+                if let Some(rest) = other.strip_prefix("proactive-prepending-") {
+                    let (n, selective) = match rest.strip_suffix("-selective") {
+                        Some(n) => (n, true),
+                        None => (rest, false),
+                    };
+                    let prepends: u8 = n.parse().map_err(|_| format!("bad prepend count {n:?}"))?;
+                    return Ok(Technique::ProactivePrepending {
+                        prepends,
+                        selective,
+                    });
+                }
+                if let Some(n) = other.strip_prefix("proactive-med-") {
+                    let med: u32 = n.parse().map_err(|_| format!("bad MED {n:?}"))?;
+                    return Ok(Technique::ProactiveMed { med });
+                }
+                if let Some(n) = other.strip_prefix("proactive-noexport-") {
+                    let prepends: u8 = n.parse().map_err(|_| format!("bad prepend count {n:?}"))?;
+                    return Ok(Technique::ProactiveNoExport { prepends });
+                }
+                Err(format!(
+                    "unknown technique {other:?}; try unicast, anycast, proactive-superprefix, \
+                     reactive-anycast, proactive-prepending-3[-selective], proactive-med-100, \
+                     combined"
+                ))
+            }
+        }
+    }
+
     /// The four techniques of Figure 2, with the paper's default prepend
     /// count (3, §5.2).
     pub fn figure2_set() -> Vec<Technique> {

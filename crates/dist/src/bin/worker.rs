@@ -1,0 +1,90 @@
+//! `bobw-worker` — a standalone worker process for distributed runs.
+//!
+//! ```text
+//! bobw-worker --connect tcp://coordinator:9999 [--threads N] [--name S]
+//! ```
+//!
+//! Equivalent to `bobw worker …`; this thin binary exists so worker hosts
+//! need only the one executable.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bobw_dist::{run_worker, Endpoint, WorkerConfig};
+
+const USAGE: &str = "\
+bobw-worker — distributed cell-execution worker
+
+USAGE:
+  bobw-worker --connect tcp://HOST:PORT|unix://PATH
+              [--threads N] [--name NAME] [--connect-timeout SECS]
+";
+
+fn parse(args: &[String]) -> Result<WorkerConfig, String> {
+    let mut connect: Option<Endpoint> = None;
+    let mut threads = 1usize;
+    let mut name: Option<String> = None;
+    let mut timeout = Duration::from_secs(10);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("--{flag} expects a value"))
+        };
+        match a.as_str() {
+            "--connect" => connect = Some(Endpoint::parse(&value("connect")?)?),
+            "--threads" => {
+                let v = value("threads")?;
+                threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad --threads {v:?} (integer >= 1)"))?;
+            }
+            "--name" => name = Some(value("name")?),
+            "--connect-timeout" => {
+                let v = value("connect-timeout")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --connect-timeout {v:?}"))?;
+                timeout = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    let connect = connect.ok_or_else(|| format!("--connect is required\n\n{USAGE}"))?;
+    let mut cfg = WorkerConfig::new(connect);
+    cfg.threads = threads;
+    cfg.connect_timeout = timeout;
+    if let Some(n) = name {
+        cfg.name = n;
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "[{}] connecting to {} with {} thread(s)",
+        cfg.name, cfg.connect, cfg.threads
+    );
+    match run_worker(&cfg) {
+        Ok(cells) => {
+            eprintln!("[{}] done: {cells} cell(s) computed", cfg.name);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[{}] error: {e}", cfg.name);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! The coordinator: serves the cell grid to workers and merges results.
+//!
+//! ## Threading model
+//!
+//! One accept thread takes connections off the listener and hands each to
+//! a per-connection thread. That thread performs the handshake (rejecting
+//! mismatched fingerprints before any work flows), then forwards every
+//! decoded [`FromWorker`] frame into a single `mpsc` channel. The batch
+//! loop ([`Coordinator::run_batch`]) is therefore strictly
+//! single-threaded: all scheduling state — the pending queue, leases,
+//! result slots — lives on one thread, and the writers (one per worker)
+//! are only touched from it.
+//!
+//! ## Robustness rules
+//!
+//! * **Leases + heartbeats** — every assigned cell has a lease refreshed
+//!   by worker heartbeats; a lease not renewed within the configured
+//!   timeout is revoked and the cell re-queued.
+//! * **First completion wins** — after a revocation two workers may both
+//!   finish the same cell; the first `Done` per index is merged, later
+//!   duplicates are discarded.
+//! * **Dead workers** — a disconnect re-queues all that worker's leased
+//!   cells. Each cell has a bounded number of (re)assignments so a cell
+//!   that kills every worker it touches fails the run instead of looping.
+//! * **Ctrl-C** — the batch loop polls [`crate::interrupt::interrupted`];
+//!   on interrupt it drains workers (they finish or abandon cleanly, no
+//!   torn frames) and returns an error instead of partial results.
+//!
+//! ## Determinism
+//!
+//! Scheduling decides only *where* a cell runs, never what it computes:
+//! results are merged into index-keyed slots, so the output vector is in
+//! cell-index order — byte-identical to a local sequential run.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use bobw_core::ExperimentConfig;
+
+use crate::endpoint::{Conn, Endpoint, Listener};
+use crate::interrupt::interrupted;
+use crate::proto::{
+    build_fingerprint, config_fingerprint, CellOutput, CellSpec, FromWorker, Hello, HelloReply,
+    ToWorker, PROTOCOL_VERSION,
+};
+use crate::wire::{recv, send};
+
+/// Maximum times one cell may be (re)assigned before the run fails — a
+/// cell that crashes or stalls every worker it touches must not loop
+/// forever.
+pub const MAX_ASSIGNMENTS: u32 = 5;
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Revoke a cell's lease when no heartbeat (or completion) arrived for
+    /// this long. Workers heartbeat every ~2 s, so the default tolerates
+    /// ~15 missed beats before declaring a worker dead.
+    pub lease_timeout: Duration,
+    /// Batch-loop tick: how often leases are checked for expiry.
+    pub tick: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            lease_timeout: Duration::from_secs(30),
+            tick: Duration::from_millis(100),
+        }
+    }
+}
+
+type WorkerId = u64;
+
+/// What the connection threads report to the batch loop.
+enum Event {
+    /// Handshake succeeded; `writer` is the batch loop's handle for
+    /// sending to this worker.
+    Connected {
+        id: WorkerId,
+        name: String,
+        writer: Conn,
+    },
+    Msg {
+        id: WorkerId,
+        msg: FromWorker,
+    },
+    Disconnected {
+        id: WorkerId,
+    },
+}
+
+/// Coordinator-side view of one connected worker.
+struct WorkerHandle {
+    writer: Conn,
+    name: String,
+    /// Ready for an assignment (acked the current batch, not computing).
+    idle: bool,
+    /// The batch this worker has acknowledged with `Ready`.
+    acked_batch: Option<u64>,
+}
+
+/// A listening coordinator. Bind once, run any number of batches, then
+/// [`Coordinator::shutdown`].
+pub struct Coordinator {
+    events: mpsc::Receiver<Event>,
+    workers: HashMap<WorkerId, WorkerHandle>,
+    local: Endpoint,
+    stop: Arc<AtomicBool>,
+    cfg: CoordinatorConfig,
+    next_batch: u64,
+    /// Kept so `bind` on `tcp://…:0` can report the real port.
+    _accept: std::thread::JoinHandle<()>,
+}
+
+impl Coordinator {
+    /// Binds the endpoint and starts accepting workers in the background.
+    pub fn bind(endpoint: &Endpoint, cfg: CoordinatorConfig) -> io::Result<Coordinator> {
+        let listener = endpoint.bind()?;
+        let local = listener.local_endpoint()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<Event>();
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            std::thread::spawn(move || accept_loop(listener, tx, stop))
+        };
+        Ok(Coordinator {
+            events: rx,
+            workers: HashMap::new(),
+            local,
+            stop,
+            cfg,
+            next_batch: 0,
+            _accept: accept,
+        })
+    }
+
+    /// The bound endpoint (with the real port for `tcp://…:0` binds).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.local
+    }
+
+    /// Number of workers currently connected and handshaken.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Serves `cells` under `config` to the connected workers (and any
+    /// that connect mid-batch), returning outputs in cell-index order.
+    ///
+    /// Blocks until every cell completed, a cell exhausted its
+    /// [`MAX_ASSIGNMENTS`], or Ctrl-C interrupted the run. Workers that
+    /// die mid-cell have their cells reassigned transparently.
+    pub fn run_batch(
+        &mut self,
+        config: &ExperimentConfig,
+        cells: &[CellSpec],
+    ) -> Result<Vec<CellOutput>, String> {
+        let batch_id = self.next_batch;
+        self.next_batch += 1;
+        let config_print = config_fingerprint(config);
+        let n = cells.len();
+
+        let mut done: Vec<Option<CellOutput>> = Vec::with_capacity(n);
+        done.resize_with(n, || None);
+        let mut completed = 0usize;
+        let mut pending: VecDeque<usize> = (0..n).collect();
+        let mut assignments = vec![0u32; n];
+        // cell index -> (owner, last heartbeat).
+        let mut leases: HashMap<usize, (WorkerId, Instant)> = HashMap::new();
+
+        // Announce the batch to everyone already connected; workers ack
+        // with `Ready` once their testbed is up.
+        let ids: Vec<WorkerId> = self.workers.keys().copied().collect();
+        for id in ids {
+            self.send_batch(id, batch_id, config_print, config);
+        }
+
+        while completed < n {
+            if interrupted() {
+                self.broadcast(&ToWorker::Drain);
+                return Err(format!(
+                    "interrupted: {completed}/{n} cells finished; results discarded"
+                ));
+            }
+
+            // Hand pending cells to idle workers that acked this batch.
+            while !pending.is_empty() {
+                let Some(&id) = self
+                    .workers
+                    .iter()
+                    .find(|(_, w)| w.idle && w.acked_batch == Some(batch_id))
+                    .map(|(id, _)| id)
+                else {
+                    break;
+                };
+                let cell = pending.pop_front().expect("checked non-empty");
+                let msg = ToWorker::Assign {
+                    batch_id,
+                    cell_index: cell as u64,
+                    cell: cells[cell].clone(),
+                };
+                let w = self.workers.get_mut(&id).expect("found above");
+                if send(&mut w.writer, &msg).is_err() {
+                    // Dead on arrival; the reader thread will report the
+                    // disconnect, but don't lose the cell meanwhile.
+                    self.workers.remove(&id);
+                    pending.push_front(cell);
+                    continue;
+                }
+                w.idle = false;
+                leases.insert(cell, (id, Instant::now()));
+            }
+
+            // One event or one tick.
+            match self.events.recv_timeout(self.cfg.tick) {
+                Ok(Event::Connected { id, name, writer }) => {
+                    self.workers.insert(
+                        id,
+                        WorkerHandle {
+                            writer,
+                            name,
+                            idle: false,
+                            acked_batch: None,
+                        },
+                    );
+                    self.send_batch(id, batch_id, config_print, config);
+                }
+                Ok(Event::Msg { id, msg }) => match msg {
+                    FromWorker::Ready => {
+                        if let Some(w) = self.workers.get_mut(&id) {
+                            w.idle = true;
+                            w.acked_batch = Some(batch_id);
+                        }
+                    }
+                    FromWorker::Heartbeat {
+                        batch_id: b,
+                        cell_index,
+                    } => {
+                        if b == batch_id {
+                            if let Some(lease) = leases.get_mut(&(cell_index as usize)) {
+                                if lease.0 == id {
+                                    lease.1 = Instant::now();
+                                }
+                            }
+                        }
+                    }
+                    FromWorker::Done {
+                        batch_id: b,
+                        cell_index,
+                        output,
+                    } => {
+                        if let Some(w) = self.workers.get_mut(&id) {
+                            w.idle = true;
+                        }
+                        let cell = cell_index as usize;
+                        // First completion wins; duplicates (from a worker
+                        // whose lease was revoked but that finished anyway)
+                        // and stale-batch strays are discarded by index.
+                        if b == batch_id && cell < n && done[cell].is_none() {
+                            done[cell] = Some(output);
+                            completed += 1;
+                            leases.remove(&cell);
+                        }
+                    }
+                    FromWorker::Failed {
+                        batch_id: b,
+                        cell_index,
+                        error,
+                    } => {
+                        if let Some(w) = self.workers.get_mut(&id) {
+                            w.idle = true;
+                        }
+                        let cell = cell_index as usize;
+                        if b == batch_id && cell < n && done[cell].is_none() {
+                            eprintln!(
+                                "[coordinator] worker {} failed cell {cell}: {error}",
+                                self.worker_name(id)
+                            );
+                            if leases.get(&cell).map(|l| l.0) == Some(id) {
+                                leases.remove(&cell);
+                            }
+                            requeue(cell, &mut assignments, &mut pending)?;
+                        }
+                    }
+                },
+                Ok(Event::Disconnected { id }) => {
+                    let name = self.worker_name(id);
+                    self.workers.remove(&id);
+                    let lost: Vec<usize> = leases
+                        .iter()
+                        .filter(|(_, (owner, _))| *owner == id)
+                        .map(|(&cell, _)| cell)
+                        .collect();
+                    if !lost.is_empty() {
+                        eprintln!(
+                            "[coordinator] worker {name} disconnected; requeueing {} cell(s)",
+                            lost.len()
+                        );
+                    }
+                    for cell in lost {
+                        leases.remove(&cell);
+                        requeue(cell, &mut assignments, &mut pending)?;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err("coordinator accept loop died".into());
+                }
+            }
+
+            // Revoke expired leases: the owner is alive-but-silent (stuck,
+            // paused, or wedged); someone else gets the cell.
+            let now = Instant::now();
+            let expired: Vec<usize> = leases
+                .iter()
+                .filter(|(_, (_, heard))| now.duration_since(*heard) > self.cfg.lease_timeout)
+                .map(|(&cell, _)| cell)
+                .collect();
+            for cell in expired {
+                let (owner, _) = leases.remove(&cell).expect("just listed");
+                eprintln!(
+                    "[coordinator] lease on cell {cell} expired (worker {}); reassigning",
+                    self.worker_name(owner)
+                );
+                requeue(cell, &mut assignments, &mut pending)?;
+            }
+        }
+
+        // Batch done: let workers idle until the next one.
+        self.broadcast(&ToWorker::Drain);
+        Ok(done
+            .into_iter()
+            .map(|o| o.expect("completed == n implies every slot filled"))
+            .collect())
+    }
+
+    /// Sends `Shutdown` to every worker and stops the accept loop.
+    pub fn shutdown(mut self) {
+        self.broadcast(&ToWorker::Shutdown);
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept thread with a throwaway connection so it sees
+        // the stop flag and releases the listener.
+        let _ = self.local.connect();
+    }
+
+    fn worker_name(&self, id: WorkerId) -> String {
+        self.workers
+            .get(&id)
+            .map(|w| w.name.clone())
+            .unwrap_or_else(|| format!("#{id}"))
+    }
+
+    fn send_batch(
+        &mut self,
+        id: WorkerId,
+        batch_id: u64,
+        config_print: u64,
+        config: &ExperimentConfig,
+    ) {
+        let msg = ToWorker::Batch {
+            batch_id,
+            config_print,
+            config: Box::new(config.clone()),
+        };
+        if let Some(w) = self.workers.get_mut(&id) {
+            w.idle = false;
+            w.acked_batch = None;
+            if send(&mut w.writer, &msg).is_err() {
+                self.workers.remove(&id);
+            }
+        }
+    }
+
+    fn broadcast(&mut self, msg: &ToWorker) {
+        let mut dead = Vec::new();
+        for (&id, w) in self.workers.iter_mut() {
+            if send(&mut w.writer, msg).is_err() {
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            self.workers.remove(&id);
+        }
+    }
+}
+
+/// Re-queues a cell after a failure/expiry, failing the run once the cell
+/// burned through its assignment budget.
+fn requeue(
+    cell: usize,
+    assignments: &mut [u32],
+    pending: &mut VecDeque<usize>,
+) -> Result<(), String> {
+    assignments[cell] += 1;
+    if assignments[cell] >= MAX_ASSIGNMENTS {
+        return Err(format!(
+            "cell {cell} failed {MAX_ASSIGNMENTS} assignments; aborting the run"
+        ));
+    }
+    pending.push_front(cell);
+    Ok(())
+}
+
+/// Accepts connections until the stop flag flips; each connection gets its
+/// own handshake/reader thread.
+fn accept_loop(listener: Listener, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool>) {
+    let mut next_id: WorkerId = 0;
+    loop {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let id = next_id;
+        next_id += 1;
+        let tx = tx.clone();
+        std::thread::spawn(move || serve_worker_connection(conn, id, tx));
+    }
+}
+
+/// Handshakes one connection, then pumps its frames into the event channel.
+fn serve_worker_connection(conn: Conn, id: WorkerId, tx: mpsc::Sender<Event>) {
+    conn.set_nodelay();
+    let Ok(mut writer) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = conn;
+
+    let hello: Hello = match recv(&mut reader) {
+        Ok(Some(h)) => h,
+        _ => return, // never handshook; nothing to report
+    };
+    let expected = build_fingerprint();
+    if hello.protocol != PROTOCOL_VERSION || hello.fingerprint != expected {
+        let reason = if hello.protocol != PROTOCOL_VERSION {
+            format!(
+                "protocol version mismatch (coordinator {PROTOCOL_VERSION}, worker {})",
+                hello.protocol
+            )
+        } else {
+            format!(
+                "build fingerprint mismatch (coordinator {expected:#x}, worker {:#x}): \
+                 the worker binary would compute different worlds",
+                hello.fingerprint
+            )
+        };
+        eprintln!(
+            "[coordinator] rejecting worker {}: {reason}",
+            hello.worker_name
+        );
+        let _ = send(&mut writer, &HelloReply::Rejected { reason });
+        return;
+    }
+    if send(&mut writer, &HelloReply::Welcome).is_err() {
+        return;
+    }
+    if tx
+        .send(Event::Connected {
+            id,
+            name: hello.worker_name,
+            writer,
+        })
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match recv::<_, FromWorker>(&mut reader) {
+            Ok(Some(msg)) => {
+                if tx.send(Event::Msg { id, msg }).is_err() {
+                    return;
+                }
+            }
+            Ok(None) | Err(_) => {
+                let _ = tx.send(Event::Disconnected { id });
+                return;
+            }
+        }
+    }
+}

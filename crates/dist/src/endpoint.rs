@@ -1,0 +1,274 @@
+//! Socket endpoints: `tcp://host:port` and `unix://path`.
+//!
+//! One enum covers both transports so the coordinator and worker code is
+//! transport-agnostic; everything above this module reads and writes
+//! frames through [`Conn`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// A parsed endpoint URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `tcp://host:port` (bind or connect address).
+    Tcp(String),
+    /// `unix:///path/to.sock`.
+    Unix(String),
+}
+
+impl Endpoint {
+    /// Parses `tcp://addr:port` or `unix://path`.
+    pub fn parse(url: &str) -> Result<Endpoint, String> {
+        if let Some(addr) = url.strip_prefix("tcp://") {
+            if addr.is_empty() {
+                return Err(format!("empty tcp endpoint {url:?}"));
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else if let Some(path) = url.strip_prefix("unix://") {
+            if path.is_empty() {
+                return Err(format!("empty unix endpoint {url:?}"));
+            }
+            if cfg!(not(unix)) {
+                return Err("unix:// endpoints are not supported on this platform".into());
+            }
+            Ok(Endpoint::Unix(path.to_string()))
+        } else {
+            Err(format!(
+                "bad endpoint {url:?} (expected tcp://host:port or unix://path)"
+            ))
+        }
+    }
+
+    /// Binds a listener on this endpoint. A pre-existing Unix socket file
+    /// is removed first (the usual stale-socket dance).
+    pub fn bind(&self) -> io::Result<Listener> {
+        match self {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets unavailable",
+            )),
+        }
+    }
+
+    /// Connects to this endpoint.
+    pub fn connect(&self) -> io::Result<Conn> {
+        match self {
+            Endpoint::Tcp(addr) => Ok(Conn::Tcp(TcpStream::connect(addr)?)),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets unavailable",
+            )),
+        }
+    }
+
+    /// Connects, retrying for up to `deadline` while the coordinator may
+    /// still be starting up (workers usually race the coordinator's bind).
+    pub fn connect_with_retry(&self, deadline: Duration) -> io::Result<Conn> {
+        let start = std::time::Instant::now();
+        loop {
+            match self.connect() {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix://{path}"),
+        }
+    }
+}
+
+/// A bound listener on either transport.
+pub enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, String),
+}
+
+impl Listener {
+    /// Accepts one connection, blocking.
+    pub fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => Ok(Conn::Tcp(l.accept()?.0)),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => Ok(Conn::Unix(l.accept()?.0)),
+        }
+    }
+
+    /// The locally bound address, URL-formatted. For `tcp://host:0` binds
+    /// this reports the real port — the loopback tests depend on it.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Ok(Endpoint::Unix(path.clone())),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One established connection on either transport. Cloning duplicates the
+/// OS handle (both clones address the same socket), which lets a reader
+/// thread and a writer thread share a connection.
+pub enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
+
+    /// Shuts down both directions, unblocking any thread mid-read.
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Disables Nagle's algorithm on TCP (frames are small and latency
+    /// matters for heartbeats); a no-op for Unix sockets.
+    pub fn set_nodelay(&self) {
+        if let Conn::Tcp(s) = self {
+            let _ = s.set_nodelay(true);
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_both_schemes() {
+        assert_eq!(
+            Endpoint::parse("tcp://127.0.0.1:9000").unwrap(),
+            Endpoint::Tcp("127.0.0.1:9000".into())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:///tmp/x.sock").unwrap(),
+            Endpoint::Unix("/tmp/x.sock".into())
+        );
+        assert!(Endpoint::parse("http://nope").is_err());
+        assert!(Endpoint::parse("tcp://").is_err());
+        assert!(Endpoint::parse("unix://").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for url in ["tcp://127.0.0.1:1234", "unix:///tmp/a.sock"] {
+            assert_eq!(Endpoint::parse(url).unwrap().to_string(), url);
+        }
+    }
+
+    #[test]
+    fn tcp_loopback_frames() {
+        use crate::wire::{read_frame, write_frame};
+        let listener = Endpoint::parse("tcp://127.0.0.1:0")
+            .unwrap()
+            .bind()
+            .unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut c = listener.accept().unwrap();
+            let got = read_frame(&mut c).unwrap().unwrap();
+            write_frame(&mut c, &got).unwrap();
+        });
+        let mut c = ep.connect().unwrap();
+        write_frame(&mut c, b"ping").unwrap();
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"ping");
+        t.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_loopback_frames() {
+        use crate::wire::{read_frame, write_frame};
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bobw-dist-test-{}.sock", std::process::id()));
+        let url = format!("unix://{}", path.display());
+        let listener = Endpoint::parse(&url).unwrap().bind().unwrap();
+        let ep = listener.local_endpoint().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut c = listener.accept().unwrap();
+            let got = read_frame(&mut c).unwrap().unwrap();
+            write_frame(&mut c, &got).unwrap();
+        });
+        let mut c = ep.connect().unwrap();
+        write_frame(&mut c, b"pong").unwrap();
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"pong");
+        t.join().unwrap();
+        assert!(!path.exists(), "socket file cleaned up on drop");
+    }
+}

@@ -1,0 +1,63 @@
+//! Minimal Ctrl-C detection without a libc dependency.
+//!
+//! The coordinator polls [`interrupted`] from its event loop and drains
+//! gracefully (workers get `Drain`, partial results are kept) instead of
+//! dying mid-merge. The handler only flips an `AtomicBool` — the one
+//! thing that is async-signal-safe — and the default disposition is
+//! restored after the first delivery so a second Ctrl-C force-kills.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::INTERRUPTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        // Restore the default handler: the *next* Ctrl-C terminates.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT handler (idempotent; a no-op off Unix).
+pub fn install_sigint_handler() {
+    imp::install();
+}
+
+/// Has Ctrl-C been pressed since the handler was installed?
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Test hook: simulates a received SIGINT.
+pub fn simulate_interrupt() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Test hook: clears the flag (tests share the static).
+pub fn reset_interrupt() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}

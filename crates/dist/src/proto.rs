@@ -1,0 +1,696 @@
+//! Protocol messages and [`Wire`] encodings for the experiment types.
+//!
+//! The coordinator ships the **full `ExperimentConfig`** in each batch
+//! header rather than asking workers to reconstruct it from CLI flags:
+//! ablation studies mutate a dozen config knobs (MRAI bands, detection
+//! delay, flap damping, reaction faults, …) that no flag set could
+//! express, and a worker building even a slightly different config would
+//! silently produce different — deterministically wrong — results.
+//!
+//! The *handshake* fingerprint guards against a subtler hazard: two
+//! builds that parse the same config but whose topology generators (or
+//! RNG streams) diverged. [`build_fingerprint`] hashes the protocol
+//! version together with the JSON rendering of a topology generated from
+//! a fixed canonical config; any semantic drift in the generator changes
+//! the hash and the coordinator rejects the worker at `Hello` time
+//! instead of merging corrupt cells.
+
+use std::sync::OnceLock;
+
+use bobw_core::{
+    CellPerf, ControlResult, ExperimentConfig, FailoverResult, FailureMode, ReactionFault,
+};
+use bobw_event::{RngFactory, SimDuration, SimTime};
+use bobw_net::Prefix;
+use bobw_topology::{generate, GenConfig, SiteAttachment, SiteId, SiteSpec};
+
+use crate::wire::{wire_struct, Wire, WireError};
+
+/// Bump on any incompatible change to the message set or an encoding.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+/// FNV-1a, the same construction the vendored proptest stub uses — small,
+/// stable, and plenty for equality fingerprints (this is not security).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of this *build's* experiment semantics: protocol version
+/// plus the JSON of a topology generated from a fixed canonical config.
+/// Two binaries agree iff their generators (and the RNG streams beneath
+/// them) produce identical worlds.
+pub fn build_fingerprint() -> u64 {
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(|| {
+        let cfg = GenConfig::tiny();
+        let rng = RngFactory::new(0xb0b3_d157);
+        let (topo, _) = generate(&cfg, &rng);
+        let json = serde_json::to_string(&topo).expect("topology serializes");
+        fnv1a(json.as_bytes()) ^ ((PROTOCOL_VERSION as u64) << 56)
+    })
+}
+
+/// Fingerprint of one experiment config — the worker's testbed cache key
+/// and a per-batch sanity check.
+pub fn config_fingerprint(cfg: &ExperimentConfig) -> u64 {
+    let json = serde_json::to_string(cfg).expect("config serializes");
+    fnv1a(json.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Cell descriptions and outputs
+// ---------------------------------------------------------------------------
+
+/// One unit of distributable work. Sites travel by *name* (the grids in
+/// `ablation.rs` and friends are written in site names) and techniques by
+/// their paper name, which round-trips through `Technique::parse`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellSpec {
+    /// A §5.2 failover experiment: run `technique`, fail `site`.
+    Failover { technique: String, site: String },
+    /// A Table 1 control measurement of `site` across `prepends`.
+    Control { site: String, prepends: Vec<u8> },
+}
+
+/// The result of one executed cell, mirroring [`CellSpec`].
+#[derive(Debug, Clone)]
+pub enum CellOutput {
+    Failover(FailoverResult, CellPerf),
+    Control(ControlResult, CellPerf),
+}
+
+impl CellOutput {
+    pub fn perf(&self) -> CellPerf {
+        match self {
+            CellOutput::Failover(_, p) | CellOutput::Control(_, p) => *p,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// First frame a worker sends after connecting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    pub protocol: u32,
+    /// [`build_fingerprint`] of the worker's binary.
+    pub fingerprint: u64,
+    /// Human-readable worker name for logs (hostname/pid by default).
+    pub worker_name: String,
+}
+
+/// Coordinator's answer to a [`Hello`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HelloReply {
+    Welcome,
+    /// The worker must exit; `reason` is for its log.
+    Rejected {
+        reason: String,
+    },
+}
+
+/// Coordinator → worker after the handshake.
+#[derive(Debug, Clone)]
+pub enum ToWorker {
+    /// Announces a batch: workers (re)build their testbed for `config`
+    /// (cached across batches by [`config_fingerprint`]).
+    Batch {
+        batch_id: u64,
+        config_print: u64,
+        /// Boxed to keep the enum lease-message-sized (the config dwarfs
+        /// every other variant).
+        config: Box<ExperimentConfig>,
+    },
+    /// Assigns one cell of the current batch.
+    Assign {
+        batch_id: u64,
+        cell_index: u64,
+        cell: CellSpec,
+    },
+    /// No more cells in this batch; idle until the next `Batch`.
+    Drain,
+    /// The run is over; the worker exits.
+    Shutdown,
+}
+
+/// Worker → coordinator after the handshake.
+#[derive(Debug, Clone)]
+pub enum FromWorker {
+    /// Ready for (more) work — sent after the handshake, after finishing a
+    /// cell, and in answer to `Batch`.
+    Ready,
+    /// Still alive and still computing `cell_index` (lease renewal).
+    Heartbeat { batch_id: u64, cell_index: u64 },
+    /// A finished cell.
+    Done {
+        batch_id: u64,
+        cell_index: u64,
+        output: CellOutput,
+    },
+    /// The worker could not run the cell (bad technique name, unknown
+    /// site, …). The coordinator treats the worker as poisoned for this
+    /// cell and reassigns elsewhere.
+    Failed {
+        batch_id: u64,
+        cell_index: u64,
+        error: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Wire impls — protocol messages
+// ---------------------------------------------------------------------------
+
+wire_struct!(Hello {
+    protocol,
+    fingerprint,
+    worker_name
+});
+
+impl Wire for HelloReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            HelloReply::Welcome => 0u32.encode(out),
+            HelloReply::Rejected { reason } => {
+                1u32.encode(out);
+                reason.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u32::decode(buf)? {
+            0 => Ok(HelloReply::Welcome),
+            1 => Ok(HelloReply::Rejected {
+                reason: String::decode(buf)?,
+            }),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for CellSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CellSpec::Failover { technique, site } => {
+                0u32.encode(out);
+                technique.encode(out);
+                site.encode(out);
+            }
+            CellSpec::Control { site, prepends } => {
+                1u32.encode(out);
+                site.encode(out);
+                prepends.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u32::decode(buf)? {
+            0 => Ok(CellSpec::Failover {
+                technique: String::decode(buf)?,
+                site: String::decode(buf)?,
+            }),
+            1 => Ok(CellSpec::Control {
+                site: String::decode(buf)?,
+                prepends: Vec::decode(buf)?,
+            }),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for CellOutput {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CellOutput::Failover(r, p) => {
+                0u32.encode(out);
+                r.encode(out);
+                p.encode(out);
+            }
+            CellOutput::Control(r, p) => {
+                1u32.encode(out);
+                r.encode(out);
+                p.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u32::decode(buf)? {
+            0 => Ok(CellOutput::Failover(
+                FailoverResult::decode(buf)?,
+                CellPerf::decode(buf)?,
+            )),
+            1 => Ok(CellOutput::Control(
+                ControlResult::decode(buf)?,
+                CellPerf::decode(buf)?,
+            )),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for ToWorker {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ToWorker::Batch {
+                batch_id,
+                config_print,
+                config,
+            } => {
+                0u32.encode(out);
+                batch_id.encode(out);
+                config_print.encode(out);
+                config.encode(out);
+            }
+            ToWorker::Assign {
+                batch_id,
+                cell_index,
+                cell,
+            } => {
+                1u32.encode(out);
+                batch_id.encode(out);
+                cell_index.encode(out);
+                cell.encode(out);
+            }
+            ToWorker::Drain => 2u32.encode(out),
+            ToWorker::Shutdown => 3u32.encode(out),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u32::decode(buf)? {
+            0 => Ok(ToWorker::Batch {
+                batch_id: u64::decode(buf)?,
+                config_print: u64::decode(buf)?,
+                config: Box::new(ExperimentConfig::decode(buf)?),
+            }),
+            1 => Ok(ToWorker::Assign {
+                batch_id: u64::decode(buf)?,
+                cell_index: u64::decode(buf)?,
+                cell: CellSpec::decode(buf)?,
+            }),
+            2 => Ok(ToWorker::Drain),
+            3 => Ok(ToWorker::Shutdown),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for FromWorker {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FromWorker::Ready => 0u32.encode(out),
+            FromWorker::Heartbeat {
+                batch_id,
+                cell_index,
+            } => {
+                1u32.encode(out);
+                batch_id.encode(out);
+                cell_index.encode(out);
+            }
+            FromWorker::Done {
+                batch_id,
+                cell_index,
+                output,
+            } => {
+                2u32.encode(out);
+                batch_id.encode(out);
+                cell_index.encode(out);
+                output.encode(out);
+            }
+            FromWorker::Failed {
+                batch_id,
+                cell_index,
+                error,
+            } => {
+                3u32.encode(out);
+                batch_id.encode(out);
+                cell_index.encode(out);
+                error.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u32::decode(buf)? {
+            0 => Ok(FromWorker::Ready),
+            1 => Ok(FromWorker::Heartbeat {
+                batch_id: u64::decode(buf)?,
+                cell_index: u64::decode(buf)?,
+            }),
+            2 => Ok(FromWorker::Done {
+                batch_id: u64::decode(buf)?,
+                cell_index: u64::decode(buf)?,
+                output: CellOutput::decode(buf)?,
+            }),
+            3 => Ok(FromWorker::Failed {
+                batch_id: u64::decode(buf)?,
+                cell_index: u64::decode(buf)?,
+                error: String::decode(buf)?,
+            }),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire impls — simulator time, ids, prefixes
+// ---------------------------------------------------------------------------
+
+impl Wire for SimDuration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_nanos().encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SimDuration::from_nanos(u64::decode(buf)?))
+    }
+}
+
+impl Wire for SimTime {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_nanos().encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SimTime::from_nanos(u64::decode(buf)?))
+    }
+}
+
+impl Wire for SiteId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SiteId(u8::decode(buf)?))
+    }
+}
+
+impl Wire for Prefix {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bits().encode(out);
+        self.len().encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let bits = u32::decode(buf)?;
+        let len = u8::decode(buf)?;
+        if len > 32 {
+            return Err(WireError::Invalid("prefix length > 32"));
+        }
+        Ok(Prefix::new(bits, len))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire impls — experiment configuration
+// ---------------------------------------------------------------------------
+
+impl Wire for SiteAttachment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let (d, n) = match self {
+            SiteAttachment::TransitProviders(n) => (0u32, *n),
+            SiteAttachment::RemoteTransitProviders(n) => (1, *n),
+            SiteAttachment::Tier1Providers(n) => (2, *n),
+            SiteAttachment::ResearchEduProviders(n) => (3, *n),
+            SiteAttachment::EyeballPeers(n) => (4, *n),
+            SiteAttachment::TransitPeers(n) => (5, *n),
+        };
+        d.encode(out);
+        n.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let d = u32::decode(buf)?;
+        let n = usize::decode(buf)?;
+        Ok(match d {
+            0 => SiteAttachment::TransitProviders(n),
+            1 => SiteAttachment::RemoteTransitProviders(n),
+            2 => SiteAttachment::Tier1Providers(n),
+            3 => SiteAttachment::ResearchEduProviders(n),
+            4 => SiteAttachment::EyeballPeers(n),
+            5 => SiteAttachment::TransitPeers(n),
+            d => return Err(WireError::BadDiscriminant(d)),
+        })
+    }
+}
+
+wire_struct!(SiteSpec {
+    name,
+    region,
+    attachments
+});
+
+wire_struct!(GenConfig {
+    tier1,
+    transit,
+    rne,
+    eyeballs,
+    stubs,
+    transit_peer_prob,
+    transit_cross_peers,
+    stub_rne_fraction,
+    transit_extra_tier1,
+    eyeball_providers,
+    stub_providers,
+    rne_peers,
+    ixps,
+    ixp_member_prob,
+    sites
+});
+
+wire_struct!(bobw_bgp::DampingConfig {
+    withdrawal_penalty,
+    update_penalty,
+    suppress_threshold,
+    reuse_threshold,
+    half_life,
+    max_penalty
+});
+
+wire_struct!(bobw_bgp::BgpTimingConfig {
+    mrai_min_s,
+    mrai_max_s,
+    mrai_jitter_lo,
+    mrai_jitter_hi,
+    announce_proc_median_s,
+    announce_proc_sigma,
+    withdraw_proc_median_s,
+    withdraw_proc_sigma,
+    mrai_slow_fraction,
+    mrai_slow_multiplier,
+    hold_time_s,
+    flap_damping,
+    withdrawal_rate_limiting
+});
+
+wire_struct!(bobw_dataplane::ProbeConfig {
+    interval,
+    duration,
+    source_offset
+});
+
+wire_struct!(bobw_core::AddressPlan {
+    covering,
+    specific,
+    rtt_probe,
+    anycast_probe,
+    source_offset,
+    site_block
+});
+
+impl Wire for FailureMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FailureMode::GracefulWithdrawal => 0u32.encode(out),
+            FailureMode::SilentCrash => 1u32.encode(out),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u32::decode(buf)? {
+            0 => Ok(FailureMode::GracefulWithdrawal),
+            1 => Ok(FailureMode::SilentCrash),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for ReactionFault {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ReactionFault::SkipSites(n) => {
+                0u32.encode(out);
+                n.encode(out);
+            }
+            ReactionFault::WrongPrefix => 1u32.encode(out),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u32::decode(buf)? {
+            0 => Ok(ReactionFault::SkipSites(usize::decode(buf)?)),
+            1 => Ok(ReactionFault::WrongPrefix),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+wire_struct!(ExperimentConfig {
+    gen,
+    timing,
+    probe,
+    plan,
+    targets_per_site,
+    proximity_ms,
+    detection_delay,
+    failure_mode,
+    reaction_fault,
+    pre_failure_flaps,
+    seed,
+    max_events
+});
+
+// ---------------------------------------------------------------------------
+// Wire impls — results
+// ---------------------------------------------------------------------------
+
+wire_struct!(bobw_core::TargetOutcome {
+    reconnection,
+    failover,
+    final_site,
+    bounces,
+    losses_after_reconnect
+});
+
+wire_struct!(FailoverResult {
+    technique,
+    site_name,
+    failed_site,
+    num_candidates,
+    num_selected,
+    num_controllable,
+    outcomes,
+    t_fail
+});
+
+wire_struct!(ControlResult {
+    site_name,
+    site,
+    num_near,
+    frac_not_anycast_routed,
+    steered
+});
+
+wire_struct!(CellPerf {
+    events_processed,
+    peak_queue_depth,
+    wall_micros
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_exact, encode_vec};
+
+    #[test]
+    fn experiment_config_round_trips_exactly() {
+        // A config with every optional knob exercised — the ablation bins'
+        // mutations must survive the wire bit-for-bit.
+        let mut cfg = ExperimentConfig::quick(99);
+        cfg.timing.flap_damping = Some(bobw_bgp::DampingConfig::default());
+        cfg.timing.withdrawal_rate_limiting = true;
+        cfg.timing.mrai_min_s *= 0.25;
+        cfg.failure_mode = FailureMode::SilentCrash;
+        cfg.reaction_fault = Some(ReactionFault::SkipSites(3));
+        cfg.pre_failure_flaps = 4;
+        cfg.detection_delay = SimDuration::from_nanos(123_456_789);
+        let bytes = encode_vec(&cfg);
+        let back: ExperimentConfig = decode_exact(&bytes).unwrap();
+        // The vendored serde can't derive PartialEq-able configs, but JSON
+        // rendering is canonical: equal JSON ⇒ equal config.
+        assert_eq!(
+            serde_json::to_string(&cfg).unwrap(),
+            serde_json::to_string(&back).unwrap()
+        );
+        assert_eq!(config_fingerprint(&cfg), config_fingerprint(&back));
+    }
+
+    #[test]
+    fn cell_messages_round_trip() {
+        let spec = CellSpec::Failover {
+            technique: "proactive-prepending-3-selective".into(),
+            site: "sea1".into(),
+        };
+        let bytes = encode_vec(&spec);
+        assert_eq!(decode_exact::<CellSpec>(&bytes).unwrap(), spec);
+
+        let spec = CellSpec::Control {
+            site: "ams".into(),
+            prepends: vec![3, 5],
+        };
+        let bytes = encode_vec(&spec);
+        assert_eq!(decode_exact::<CellSpec>(&bytes).unwrap(), spec);
+
+        let hello = Hello {
+            protocol: PROTOCOL_VERSION,
+            fingerprint: build_fingerprint(),
+            worker_name: "w-1".into(),
+        };
+        let bytes = encode_vec(&hello);
+        assert_eq!(decode_exact::<Hello>(&bytes).unwrap(), hello);
+
+        let reply = HelloReply::Rejected {
+            reason: "fingerprint mismatch".into(),
+        };
+        let bytes = encode_vec(&reply);
+        assert_eq!(decode_exact::<HelloReply>(&bytes).unwrap(), reply);
+    }
+
+    #[test]
+    fn failover_result_round_trips_via_execution() {
+        use bobw_core::{run_failover_instrumented, Technique, Testbed};
+        let mut cfg = ExperimentConfig::quick(7);
+        cfg.targets_per_site = 20;
+        let tb = Testbed::new(cfg);
+        let site = tb.site("bos");
+        let (r, perf) = run_failover_instrumented(&tb, &Technique::ReactiveAnycast, site);
+        let out = CellOutput::Failover(r.clone(), perf);
+        let bytes = encode_vec(&out);
+        let back: CellOutput = decode_exact(&bytes).unwrap();
+        let CellOutput::Failover(r2, p2) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(r.outcomes, r2.outcomes);
+        assert_eq!(r.site_name, r2.site_name);
+        assert_eq!(r.t_fail, r2.t_fail);
+        assert_eq!(r.num_candidates, r2.num_candidates);
+        assert_eq!(perf.events_processed, p2.events_processed);
+        // JSON rendering — what actually lands in results/*.json — must be
+        // identical after a wire round trip.
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            serde_json::to_string(&r2).unwrap()
+        );
+    }
+
+    #[test]
+    fn build_fingerprint_is_stable_within_a_build() {
+        assert_eq!(build_fingerprint(), build_fingerprint());
+        assert_ne!(build_fingerprint(), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The worker side: connect, handshake, pull cells, push results.
+//!
+//! A worker process runs [`run_worker`], which opens `threads` independent
+//! connections to the coordinator — one per OS thread — so a multi-core
+//! worker host contributes one work stream per core with zero shared
+//! state between them. Each connection:
+//!
+//! 1. sends [`Hello`] with this build's fingerprint and waits for
+//!    [`HelloReply::Welcome`] (a `Rejected` reply ends the worker with an
+//!    error — a version-skewed binary must not compute cells);
+//! 2. answers every [`ToWorker::Batch`] by (re)building a [`Testbed`] —
+//!    cached across batches keyed by the config fingerprint, since most
+//!    multi-batch runs (`repro_all`) reuse one config — and replying
+//!    `Ready` (`Ready` *always* means "batch acknowledged, give me work");
+//! 3. executes every [`ToWorker::Assign`] and streams back `Done`, with a
+//!    background heartbeat renewing the cell's lease while it computes;
+//! 4. exits on `Shutdown` or a closed socket.
+//!
+//! Determinism: the cell computation is exactly the same
+//! `run_failover_instrumented` / `measure_control_instrumented` call a
+//! local run makes, against a `Testbed` built from the coordinator's own
+//! config — so a cell's bytes are identical no matter which process ran
+//! it.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use bobw_core::{measure_control_instrumented, run_failover_instrumented, Technique, Testbed};
+
+use crate::endpoint::{Conn, Endpoint};
+use crate::proto::{
+    build_fingerprint, config_fingerprint, CellOutput, CellSpec, FromWorker, Hello, HelloReply,
+    ToWorker, PROTOCOL_VERSION,
+};
+use crate::wire::{recv, send};
+
+/// How often a busy worker renews its lease on the cell it is computing.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_secs(2);
+
+/// Worker configuration.
+pub struct WorkerConfig {
+    /// Coordinator endpoint to connect to.
+    pub connect: Endpoint,
+    /// Parallel work streams (connections) this process contributes.
+    pub threads: usize,
+    /// Name reported in the handshake (logs only).
+    pub name: String,
+    /// How long to keep retrying the initial connect (workers usually
+    /// race the coordinator's bind).
+    pub connect_timeout: Duration,
+}
+
+impl WorkerConfig {
+    pub fn new(connect: Endpoint) -> WorkerConfig {
+        WorkerConfig {
+            connect,
+            threads: 1,
+            name: format!("worker-{}", std::process::id()),
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Runs a worker until the coordinator shuts it down or disconnects.
+/// Returns the number of cells this process completed.
+pub fn run_worker(cfg: &WorkerConfig) -> Result<u64, String> {
+    let threads = cfg.threads.max(1);
+    let completed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let name = if threads == 1 {
+                cfg.name.clone()
+            } else {
+                format!("{}.{t}", cfg.name)
+            };
+            let completed = &completed;
+            let connect = &cfg.connect;
+            let timeout = cfg.connect_timeout;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let conn = connect
+                    .connect_with_retry(timeout)
+                    .map_err(|e| format!("connect {connect}: {e}"))?;
+                let n = serve_connection(conn, &name)?;
+                completed.fetch_add(n, Ordering::Relaxed);
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| "worker thread panicked".to_string())??;
+        }
+        Ok(completed.load(Ordering::Relaxed))
+    })
+}
+
+/// One connection's work loop. Public for in-process tests, which drive a
+/// worker against a coordinator over a loopback socket without spawning a
+/// subprocess.
+pub fn serve_connection(conn: Conn, name: &str) -> Result<u64, String> {
+    conn.set_nodelay();
+    let writer = Arc::new(Mutex::new(
+        conn.try_clone().map_err(|e| format!("clone conn: {e}"))?,
+    ));
+    let mut reader = conn;
+
+    // Handshake.
+    send(
+        &mut *writer.lock().unwrap(),
+        &Hello {
+            protocol: PROTOCOL_VERSION,
+            fingerprint: build_fingerprint(),
+            worker_name: name.to_string(),
+        },
+    )
+    .map_err(|e| format!("handshake send: {e}"))?;
+    match recv::<_, HelloReply>(&mut reader).map_err(|e| format!("handshake recv: {e}"))? {
+        Some(HelloReply::Welcome) => {}
+        Some(HelloReply::Rejected { reason }) => {
+            return Err(format!("coordinator rejected worker {name}: {reason}"));
+        }
+        None => return Err("coordinator closed during handshake".into()),
+    }
+
+    // Testbed cache: most runs send many batches with one config.
+    let mut testbed: Option<(u64, Testbed)> = None;
+    let mut completed = 0u64;
+
+    loop {
+        let msg = match recv::<_, ToWorker>(&mut reader) {
+            Ok(Some(m)) => m,
+            // Clean EOF or a torn connection both mean "no more work".
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(format!("recv: {e}")),
+        };
+        match msg {
+            ToWorker::Batch {
+                batch_id,
+                config_print,
+                config,
+            } => {
+                let local_print = config_fingerprint(&config);
+                if local_print != config_print {
+                    // The config decoded differently than the coordinator
+                    // encoded it — a codec bug; refuse loudly rather than
+                    // compute wrong cells.
+                    return Err(format!(
+                        "batch {batch_id}: config fingerprint mismatch \
+                         (coordinator {config_print:#x}, local {local_print:#x})"
+                    ));
+                }
+                if testbed.as_ref().map(|(p, _)| *p) != Some(local_print) {
+                    testbed = Some((local_print, Testbed::new(*config)));
+                }
+                send(&mut *writer.lock().unwrap(), &FromWorker::Ready)
+                    .map_err(|e| format!("send: {e}"))?;
+            }
+            ToWorker::Assign {
+                batch_id,
+                cell_index,
+                cell,
+            } => {
+                let Some((_, tb)) = testbed.as_ref() else {
+                    return Err(format!("assigned cell {cell_index} before any batch"));
+                };
+                let _beat = heartbeat_guard(Arc::clone(&writer), batch_id, cell_index);
+                let reply = match execute_cell(tb, &cell) {
+                    Ok(output) => {
+                        completed += 1;
+                        FromWorker::Done {
+                            batch_id,
+                            cell_index,
+                            output,
+                        }
+                    }
+                    Err(error) => FromWorker::Failed {
+                        batch_id,
+                        cell_index,
+                        error,
+                    },
+                };
+                send(&mut *writer.lock().unwrap(), &reply).map_err(|e| format!("send: {e}"))?;
+            }
+            ToWorker::Drain => {
+                // Nothing to do: stay connected for the next batch.
+            }
+            ToWorker::Shutdown => break,
+        }
+    }
+    Ok(completed)
+}
+
+/// A live heartbeat for one cell: a background thread sends
+/// [`FromWorker::Heartbeat`] every [`HEARTBEAT_INTERVAL`] until dropped.
+/// The thread waits on a condvar (not a plain sleep) so dropping the
+/// guard after a short cell returns immediately instead of stalling the
+/// work loop for the rest of the interval.
+struct HeartbeatGuard {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+fn heartbeat_guard(writer: Arc<Mutex<Conn>>, batch_id: u64, cell_index: u64) -> HeartbeatGuard {
+    let state = Arc::new((Mutex::new(false), Condvar::new()));
+    let state2 = Arc::clone(&state);
+    let handle = std::thread::spawn(move || {
+        let (stopped, wake) = &*state2;
+        let mut stopped = stopped.lock().unwrap();
+        loop {
+            let (guard, timeout) = wake.wait_timeout(stopped, HEARTBEAT_INTERVAL).unwrap();
+            stopped = guard;
+            if *stopped {
+                return;
+            }
+            if timeout.timed_out() {
+                let beat = FromWorker::Heartbeat {
+                    batch_id,
+                    cell_index,
+                };
+                if send(&mut *writer.lock().unwrap(), &beat).is_err() {
+                    return; // connection gone; the main loop will notice too
+                }
+            }
+        }
+    });
+    HeartbeatGuard {
+        state,
+        handle: Some(handle),
+    }
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        let (stopped, wake) = &*self.state;
+        *stopped.lock().unwrap() = true;
+        wake.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs one cell against a local testbed. Errors (unknown technique or
+/// site name) are reported, not panicked: over the wire the coordinator
+/// decides whether to retry elsewhere. Public because the `Dispatch::Local`
+/// path in `bobw-bench` shares this exact code, so local and distributed
+/// execution cannot drift apart.
+pub fn execute_cell(tb: &Testbed, cell: &CellSpec) -> Result<CellOutput, String> {
+    match cell {
+        CellSpec::Failover { technique, site } => {
+            let technique = Technique::parse(technique)?;
+            let site = tb
+                .cdn
+                .by_name(site)
+                .ok_or_else(|| format!("unknown site {site:?}"))?;
+            let (result, perf) = run_failover_instrumented(tb, &technique, site);
+            Ok(CellOutput::Failover(result, perf))
+        }
+        CellSpec::Control { site, prepends } => {
+            let site = tb
+                .cdn
+                .by_name(site)
+                .ok_or_else(|| format!("unknown site {site:?}"))?;
+            let (result, perf) = measure_control_instrumented(tb, site, prepends);
+            Ok(CellOutput::Control(result, perf))
+        }
+    }
+}

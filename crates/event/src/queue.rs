@@ -58,6 +58,24 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// A queue with room for `cap` events before the heap reallocates.
+    /// Capacity is invisible to ordering — callers feed a previous run's
+    /// high-water mark (e.g. [`Engine::peak_pending`]) to skip the doubling
+    /// growth of a cold heap.
+    ///
+    /// [`Engine::peak_pending`]: crate::Engine::peak_pending
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `payload` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
@@ -139,6 +157,17 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_preallocates_without_changing_order() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! regressions are exercised on every run without cc-hash replay. Remaining
 //! cases derive their RNG seed from the test's file/name and case index, so
 //! failures reproduce across runs and machines.
+//!
+//! Failures of random cases are additionally persisted to the sibling
+//! `<file>.proptest-regressions` file as replayable `cc <16-hex-seed>`
+//! lines (same location and shape as upstream, different hash length) and
+//! replayed before any novel cases on later runs — check them in so every
+//! machine replays them.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -469,13 +475,104 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
-/// Drive one property: case 0 samples every strategy's simplest value, the
-/// remaining `cases - 1` sample pseudo-randomly from a seed derived from the
-/// test identity and case index (stable across runs and machines).
-pub fn run_cases<F>(config: ProptestConfig, file: &str, name: &str, mut f: F)
+const REGRESSION_HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+/// Where the regression file for `file` lives: next to the source file,
+/// `foo.rs` → `foo.proptest-regressions` (upstream's layout).
+///
+/// `file` comes from `file!()`, which is relative to the *workspace* root,
+/// while `manifest_dir` is the absolute path of the test's own crate — so
+/// walk up from the manifest until the joined path exists. Returns `None`
+/// when the source cannot be located (e.g. a vendored build outside the
+/// original tree); persistence is then skipped, never wrong.
+pub fn regression_path(manifest_dir: &str, file: &str) -> Option<std::path::PathBuf> {
+    let rel = std::path::Path::new(file);
+    let source = if rel.is_absolute() {
+        rel.exists().then(|| rel.to_path_buf())?
+    } else {
+        let mut base = std::path::Path::new(manifest_dir).to_path_buf();
+        loop {
+            let candidate = base.join(rel);
+            if candidate.exists() {
+                break candidate;
+            }
+            if !base.pop() {
+                return None;
+            }
+        }
+    };
+    Some(source.with_extension("proptest-regressions"))
+}
+
+/// Replayable seeds from a regression file: `cc <16-hex>` lines written by
+/// this stub. Upstream's 64-hex shrink hashes cannot seed our RNG; they are
+/// covered by the simplest-value case 0 instead (see module docs) and are
+/// skipped here.
+fn read_regressions(path: &std::path::Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| line.trim().strip_prefix("cc "))
+        .filter_map(|rest| {
+            let token = rest.split_whitespace().next()?;
+            (token.len() == 16).then(|| u64::from_str_radix(token, 16).ok())?
+        })
+        .collect()
+}
+
+/// Appends a newly found failing seed (best-effort: IO errors only cost the
+/// persistence, never the test verdict — the panic still happens).
+fn persist_regression(path: &std::path::Path, seed: u64, name: &str, inputs: &str) {
+    if read_regressions(path).contains(&seed) {
+        return;
+    }
+    let mut text = std::fs::read_to_string(path).unwrap_or_default();
+    if text.is_empty() {
+        text.push_str(REGRESSION_HEADER);
+    }
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    // One line, upstream-shaped: seed first, context as a comment.
+    let inputs_one_line = inputs.replace('\n', " ");
+    text.push_str(&format!(
+        "cc {seed:016x} # property `{name}` failed with {inputs_one_line}\n"
+    ));
+    let _ = std::fs::write(path, text);
+}
+
+/// Drive one property: persisted regression seeds replay first, then case 0
+/// samples every strategy's simplest value, and the remaining `cases - 1`
+/// sample pseudo-randomly from a seed derived from the test identity and
+/// case index (stable across runs and machines). A failure of a random case
+/// appends its seed to the sibling `.proptest-regressions` file so later
+/// runs (and other machines, once checked in) replay it up front.
+pub fn run_cases<F>(config: ProptestConfig, manifest_dir: &str, file: &str, name: &str, mut f: F)
 where
     F: FnMut(&mut TestRng, bool) -> (String, Result<(), TestCaseError>),
 {
+    let reg_path = regression_path(manifest_dir, file);
+    if let Some(path) = &reg_path {
+        for seed in read_regressions(path) {
+            let mut rng = TestRng::new(seed);
+            let (inputs, result) = f(&mut rng, false);
+            if let Err(e) = result {
+                panic!(
+                    "proptest stub: property `{name}` failed replaying persisted regression \
+                     cc {seed:016x} (from {})\n  inputs: {inputs}\n  {e}",
+                    path.display()
+                );
+            }
+        }
+    }
     // Upstream honors PROPTEST_CASES as an override; keep that escape hatch
     // so CI or a local hunt can crank the case count without code edits.
     let cases = std::env::var("PROPTEST_CASES")
@@ -488,6 +585,14 @@ where
         let simple = case == 0;
         let (inputs, result) = f(&mut rng, simple);
         if let Err(e) = result {
+            // Case 0 is not seed-replayable (it asks for simplest values,
+            // not RNG draws) and reruns every time anyway; persist only the
+            // random cases.
+            if !simple {
+                if let Some(path) = &reg_path {
+                    persist_regression(path, seed, name, &inputs);
+                }
+            }
             panic!(
                 "proptest stub: property `{name}` failed at case {case}{}\n  inputs: {inputs}\n  {e}",
                 if simple { " (simplest values)" } else { "" }
@@ -519,7 +624,12 @@ macro_rules! __proptest_items {
         // the workspace's property tests all write it explicitly.
         $(#[$meta])*
         fn $name() {
-            $crate::run_cases($cfg, file!(), stringify!($name), |__rng, __simple| {
+            $crate::run_cases(
+                $cfg,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__rng, __simple| {
                 $(let $arg = $crate::Strategy::gen_value(&($strat), __rng, __simple);)+
                 let __inputs = format!(
                     concat!($(stringify!($arg), " = {:?}; "),+),
@@ -528,7 +638,8 @@ macro_rules! __proptest_items {
                 let __result: ::std::result::Result<(), $crate::TestCaseError> =
                     (|| { $body ::std::result::Result::Ok(()) })();
                 (__inputs, __result)
-            });
+            },
+            );
         }
         $crate::__proptest_items! { ($cfg); $($rest)* }
     };
@@ -654,5 +765,97 @@ mod tests {
                 prop_assert_eq!(x, x);
             }
         }
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bobw-proptest-stub-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn regression_file_round_trips_and_dedups() {
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("demo.proptest-regressions");
+        let _ = std::fs::remove_file(&path);
+
+        persist_regression(&path, 0xdead_beef_0123_4567, "prop_x", "x = 3;");
+        persist_regression(&path, 0xdead_beef_0123_4567, "prop_x", "x = 3;");
+        persist_regression(&path, 42, "prop_y", "y = 1;\nz = 2;");
+
+        assert_eq!(read_regressions(&path), vec![0xdead_beef_0123_4567, 42]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# Seeds for failure cases"));
+        assert_eq!(text.matches("\ncc ").count(), 2, "{text}");
+        assert!(!text.contains("z = 2\n"), "inputs must stay on one line");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn upstream_shrink_hashes_are_not_replayed_as_seeds() {
+        let dir = scratch_dir("upstream");
+        let path = dir.join("upstream.proptest-regressions");
+        std::fs::write(
+            &path,
+            "cc acc5a3bfe675f7185eef1fb1730cc0b86bd487ad233e33005b96867831f1dead # shrinks to seed = 0\n",
+        )
+        .unwrap();
+        // 64-hex upstream hashes are covered by case 0, not seed replay.
+        assert!(read_regressions(&path).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failing_case_is_persisted_then_replayed_first() {
+        let dir = scratch_dir("e2e");
+        let src = dir.join("prop_demo.rs");
+        std::fs::write(&src, "// stand-in source file\n").unwrap();
+        let reg = dir.join("prop_demo.proptest-regressions");
+        let _ = std::fs::remove_file(&reg);
+        let manifest = dir.to_str().unwrap().to_string();
+        let cfg = || ProptestConfig::with_cases(4);
+
+        // First run: the first *random* case fails, so its seed must land
+        // in the sibling regression file.
+        let failed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cases(cfg(), &manifest, "prop_demo.rs", "demo", |_rng, simple| {
+                let result = if simple {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("boom".into()))
+                };
+                ("x = 1;".to_string(), result)
+            });
+        }));
+        assert!(failed.is_err());
+        let seeds = read_regressions(&reg);
+        assert_eq!(seeds.len(), 1, "the failing seed must be persisted");
+
+        // Second run: the persisted seed replays before any fresh case —
+        // the property sees exactly one (non-simple) invocation.
+        let mut order = Vec::new();
+        let replayed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cases(cfg(), &manifest, "prop_demo.rs", "demo", |_rng, simple| {
+                order.push(simple);
+                (String::new(), Err(TestCaseError::fail("still boom".into())))
+            });
+        }));
+        assert!(replayed.is_err());
+        assert_eq!(order, vec![false], "regression must replay before case 0");
+        // A replay failure must not duplicate the entry.
+        assert_eq!(read_regressions(&reg), seeds);
+
+        // Once fixed, the full ladder runs again: replay + all 4 cases.
+        let mut invocations = 0;
+        run_cases(cfg(), &manifest, "prop_demo.rs", "demo", |_rng, _simple| {
+            invocations += 1;
+            (String::new(), Ok(()))
+        });
+        assert_eq!(invocations, 5);
+
+        let _ = std::fs::remove_file(&reg);
+        let _ = std::fs::remove_file(&src);
     }
 }

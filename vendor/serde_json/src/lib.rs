@@ -6,6 +6,10 @@
 //! floats rendered with a trailing `.0`, empty containers as `{}`/`[]`.
 //! Rendering is fully deterministic — a requirement for the byte-identical
 //! `--jobs 1` vs `--jobs N` experiment outputs.
+//!
+//! [`from_str`] parses JSON text back into a [`Value`] tree (untyped — the
+//! stub has no `Deserialize` machinery). This is enough for tools that read
+//! the workspace's own output, e.g. `bench_gate` diffing `BENCH_*.json`.
 
 use serde::{Serialize, Value};
 use std::fmt;
@@ -107,6 +111,253 @@ fn render_float(f: f64) -> String {
     }
 }
 
+/// Parse JSON text into an untyped [`Value`] tree.
+///
+/// Accepts exactly the grammar of RFC 8259 with one relaxation matching
+/// upstream serde_json: any amount of leading/trailing whitespace. Numbers
+/// without a fraction or exponent become `Int`/`UInt` (sign-dependent),
+/// everything else becomes `Float` — mirroring what [`to_string`] renders.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error(format!(
+                "unexpected character '{}' at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".to_string())),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid utf-8 in string".to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                _ => return Err(Error("unterminated string".to_string())),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char> {
+        let c = self
+            .peek()
+            .ok_or_else(|| Error("unterminated escape".to_string()))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xd800..0xdc00).contains(&hi) {
+                    // Surrogate pair: the low half must follow immediately.
+                    self.expect(b'\\')?;
+                    self.expect(b'u')?;
+                    let lo = self.hex4()?;
+                    0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00) & 0x3ff)
+                } else {
+                    hi
+                };
+                char::from_u32(code)
+                    .ok_or_else(|| Error(format!("invalid unicode escape u+{code:04x}")))?
+            }
+            other => {
+                return Err(Error(format!(
+                    "invalid escape '\\{}' at byte {}",
+                    other as char,
+                    self.pos - 1
+                )))
+            }
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error("truncated \\u escape".to_string()));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error("invalid \\u escape".to_string()))?;
+        let code = u32::from_str_radix(digits, 16)
+            .map_err(|_| Error(format!("invalid \\u escape '{digits}'")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number spans are ascii by construction");
+        if !fractional {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(n) = stripped.parse::<u64>() {
+                    // `-0` and magnitudes beyond i64 fall through to Float.
+                    if n != 0 && n <= i64::MAX as u64 + 1 {
+                        return Ok(Value::Int((n as i64).wrapping_neg()));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number '{text}' at byte {start}")))
+    }
+}
+
 fn render_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -157,5 +408,84 @@ mod tests {
         let mut out = String::new();
         render_string("a\"b\\c\nd", &mut out);
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(from_str("2e3").unwrap(), Value::Float(2000.0));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            from_str(r#""a\"b\\c\ndAé""#).unwrap(),
+            Value::Str("a\"b\\c\ndAé".into())
+        );
+        // Surrogate pair → one astral-plane char.
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::Str("\u{1f600}".into()));
+    }
+
+    #[test]
+    fn parse_containers_preserve_order() {
+        let v = from_str(r#"{"b": [1, 2], "a": {}, "c": [true, null]}"#).unwrap();
+        let Value::Object(entries) = &v else {
+            panic!("expected object")
+        };
+        assert_eq!(entries[0].0, "b");
+        assert_eq!(entries[1].0, "a");
+        assert_eq!(
+            entries[2].1,
+            Value::Array(vec![Value::Bool(true), Value::Null])
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("sea-1\n\"x\"".into())),
+            ("count".to_string(), Value::UInt(12)),
+            ("delta".to_string(), Value::Int(-3)),
+            ("ratio".to_string(), Value::Float(0.25)),
+            (
+                "samples".to_string(),
+                Value::Array(vec![Value::Float(1.0), Value::Null]),
+            ),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        // `1.0` re-parses as Float(1.0) so the tree matches exactly.
+        assert_eq!(back, v);
+        // And the re-render is byte-identical.
+        assert_eq!(to_string_pretty(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "tru", "[1,", "{\"a\"}", "{\"a\":}", "1 2", "\"oops", "{,}", "[1 2]", "nul",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = from_str(r#"{"n": 3, "f": 1.5, "s": "x", "xs": [1]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_array).map(<[Value]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("s").and_then(Value::as_u64), None);
     }
 }
