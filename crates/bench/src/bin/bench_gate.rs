@@ -78,12 +78,33 @@ fn parse_args() -> Args {
     args
 }
 
+/// Aggregates for one technique's cells (summed cell wall time, not batch
+/// elapsed — per-technique cells interleave inside shared batches).
+#[derive(Default, Clone)]
+struct TechMetrics {
+    cells: usize,
+    events: u64,
+    cell_micros: u64,
+}
+
+impl TechMetrics {
+    fn events_per_sec(&self) -> f64 {
+        let secs = self.cell_micros as f64 / 1e6;
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The aggregate metrics of one `PerfLog` dump.
 struct Metrics {
     cells: usize,
     total_events: u64,
     wall_micros: u64,
     peak_queue_depth: u64,
+    by_technique: std::collections::BTreeMap<String, TechMetrics>,
 }
 
 impl Metrics {
@@ -110,22 +131,37 @@ fn load_metrics(path: &str) -> Result<Metrics, String> {
         .ok_or_else(|| format!("{path}: missing 'cells' array"))?;
     let mut total_events = 0u64;
     let mut peak_queue_depth = 0u64;
+    let mut by_technique: std::collections::BTreeMap<String, TechMetrics> = Default::default();
     for (i, cell) in cells.iter().enumerate() {
-        total_events += cell
+        let events = cell
             .get("events_processed")
             .and_then(Value::as_u64)
             .ok_or_else(|| format!("{path}: cell {i} missing 'events_processed'"))?;
+        total_events += events;
         let depth = cell
             .get("peak_queue_depth")
             .and_then(Value::as_u64)
             .ok_or_else(|| format!("{path}: cell {i} missing 'peak_queue_depth'"))?;
         peak_queue_depth = peak_queue_depth.max(depth);
+        let technique = cell
+            .get("technique")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: cell {i} missing 'technique'"))?;
+        let micros = cell
+            .get("wall_micros")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{path}: cell {i} missing 'wall_micros'"))?;
+        let t = by_technique.entry(technique.to_string()).or_default();
+        t.cells += 1;
+        t.events += events;
+        t.cell_micros += micros;
     }
     Ok(Metrics {
         cells: cells.len(),
         total_events,
         wall_micros,
         peak_queue_depth,
+        by_technique,
     })
 }
 
@@ -214,6 +250,49 @@ fn main() {
         false,
         args.tolerance,
     );
+
+    // Per-technique drill-down: a regression above is localized here to
+    // one simulator path (a technique maps onto the announcement shapes
+    // and reaction machinery it exercises). Events/sec uses summed
+    // per-cell wall time, since cells of different techniques interleave
+    // within one batch.
+    println!("\nper-technique drill-down:");
+    for (tech, b) in &base.by_technique {
+        let Some(c) = cur.by_technique.get(tech) else {
+            println!(
+                "{tech:<26} gone from current run ({} baseline cells)",
+                b.cells
+            );
+            continue;
+        };
+        if c.cells != b.cells {
+            println!(
+                "{tech:<26} cell count changed ({} -> {}), skipping comparison",
+                b.cells, c.cells
+            );
+            continue;
+        }
+        ok &= check(
+            &format!("{tech} ev/s"),
+            b.events_per_sec(),
+            c.events_per_sec(),
+            true,
+            args.tolerance,
+        );
+        ok &= check(
+            &format!("{tech} wall us"),
+            b.cell_micros as f64,
+            c.cell_micros as f64,
+            false,
+            args.tolerance,
+        );
+    }
+    for tech in cur.by_technique.keys() {
+        if !base.by_technique.contains_key(tech) {
+            println!("{tech:<26} new since baseline (no comparison)");
+        }
+    }
+    println!();
 
     if ok {
         println!("bench gate: PASS");

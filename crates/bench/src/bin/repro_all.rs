@@ -10,12 +10,13 @@ use bobw_bench::appendix::{
     announcement_propagation_instrumented, withdrawal_convergence_instrumented,
 };
 use bobw_bench::{
-    compute_appc1, compute_table1_dispatch, parse_cli, run_cells, run_failover_grid_dispatch,
-    run_or_exit, write_json, CellRecord, PerfLog, Scale, TechniqueSeries,
+    compute_appc1, compute_table1_dispatch, parse_cli, primed_testbed, run_cells,
+    run_failover_grid_dispatch, run_or_exit, write_json, CellRecord, PerfLog, Scale,
+    TechniqueSeries,
 };
 use bobw_core::{
     derive_tradeoffs, run_unicast_dns_failover, CellPerf, DnsClientConfig, MeasuredTechnique,
-    Technique, Testbed,
+    Technique,
 };
 use bobw_dns::{ClientPopulation, DnsFailoverConfig};
 use bobw_event::RngFactory;
@@ -46,11 +47,12 @@ fn main() {
     let cli = parse_cli();
     let mut dispatch = cli.dispatch();
     let cfg = cli.scale.config(cli.seed);
-    let testbed = Testbed::new(cfg.clone());
+    let testbed = primed_testbed(&cli);
     // Perf counters from every stage; summarized at the end of
     // SUMMARY.md and dumped to BENCH_repro_all.json (NOT under results/,
     // whose JSON must be byte-identical across --jobs and hosts).
     let mut perf = PerfLog::new(cli.jobs);
+    perf.scale = cli.scale.name().to_string();
     let mut md = String::new();
     let _ = writeln!(
         md,

@@ -1,0 +1,200 @@
+//! Scenario grid: every technique under every catalog scenario.
+//!
+//! Loads the `scenarios/` catalog (see EXPERIMENTS.md "Scenario catalog"),
+//! then runs the ⟨technique × scenario⟩ grid — each scenario across the
+//! measured sites it names (`"$site"` fans over every site) — through the
+//! same parallel/distributed runner as the paper figures (`--jobs N`,
+//! `--dispatch tcp://…|unix://…`, byte-identical either way).
+//!
+//! Outputs, per scenario, `results/scenario_<name>.json` with the
+//! per-technique reconnection/failover series, plus a cross-scenario
+//! resilience matrix in `results/scenario_matrix.json` and a markdown
+//! rendering appended to `results/SUMMARY.md`.
+//!
+//! Run: `cargo run --release -p bobw-bench --bin scenarios -- --scale quick`
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use bobw_bench::{
+    load_queue_hints, parse_cli, run_or_exit, write_json, CellRecord, PerfLog, TechniqueSeries,
+    BASELINE_FILE,
+};
+use bobw_core::{FailoverResult, Technique, Testbed};
+use bobw_dist::{CellOutput, CellSpec};
+use bobw_measure::{cdf_row, percent};
+use bobw_scenario::{catalog_files, load_file};
+use serde::Serialize;
+
+/// One ⟨scenario, technique⟩ cell of the resilience matrix.
+#[derive(Debug, Clone, Serialize)]
+struct MatrixCell {
+    /// Controllable targets probed through the scenario.
+    targets: usize,
+    /// Fraction of them that reconnected within the probing window.
+    reconnected_fraction: f64,
+    median_reconnection_s: Option<f64>,
+    median_failover_s: Option<f64>,
+}
+
+impl MatrixCell {
+    fn from_series(s: &TechniqueSeries) -> MatrixCell {
+        MatrixCell {
+            targets: s.num_targets,
+            reconnected_fraction: if s.num_targets == 0 {
+                0.0
+            } else {
+                1.0 - s.never_reconnected as f64 / s.num_targets as f64
+            },
+            median_reconnection_s: s.reconnection_cdf().median(),
+            median_failover_s: s.failover_cdf().median(),
+        }
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let mut dispatch = cli.dispatch();
+    let files = run_or_exit(catalog_files(&cli.catalog));
+    if files.is_empty() {
+        eprintln!("no *.json scenarios in {}", cli.catalog.display());
+        std::process::exit(2);
+    }
+    let mut techniques = Technique::figure2_set();
+    techniques.push(Technique::Combined);
+    let hints = load_queue_hints(BASELINE_FILE, cli.scale);
+
+    let mut perf = PerfLog::new(cli.jobs);
+    perf.scale = cli.scale.name().to_string();
+    // Scenario name → technique name → matrix cell.
+    let mut matrix: BTreeMap<String, BTreeMap<String, MatrixCell>> = BTreeMap::new();
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "\n## Scenario resilience matrix (scale {}, seed {})\n",
+        cli.scale.name(),
+        cli.seed
+    );
+    let _ = writeln!(md, "Reconnected fraction / median reconnection seconds.\n");
+    let mut header = "| scenario |".to_string();
+    let mut rule = "|---|".to_string();
+    for t in &techniques {
+        let _ = write!(header, " {} |", t.name());
+        rule.push_str("---|");
+    }
+    let mut detail = String::new();
+
+    for (si, path) in files.iter().enumerate() {
+        let scenario = run_or_exit(load_file(path));
+        eprintln!(
+            "[{}/{}] scenario {} ({} jobs) ...",
+            si + 1,
+            files.len(),
+            scenario.name,
+            cli.jobs
+        );
+        let mut cfg = cli.scale.config(cli.seed);
+        cfg.scenario = Some(scenario.clone());
+        let mut tb = Testbed::new(cfg);
+        tb.prime_queue_hints(hints.clone());
+        // "$site" fans the scenario over every site, like the paper grid;
+        // a concrete site name pins it (e.g. a regional partition around
+        // one deployment).
+        let sites: Vec<String> = if scenario.site == "$site" {
+            tb.cdn.sites().map(|s| tb.cdn.name(s).to_string()).collect()
+        } else {
+            vec![scenario.site.clone()]
+        };
+        let cells: Vec<CellSpec> = techniques
+            .iter()
+            .flat_map(|t| {
+                sites.iter().map(move |s| CellSpec::Failover {
+                    technique: t.name(),
+                    site: s.clone(),
+                })
+            })
+            .collect();
+        let started = std::time::Instant::now();
+        let outputs = run_or_exit(dispatch.run(&tb, &cells));
+        perf.elapsed_micros += started.elapsed().as_micros() as u64;
+        let mut grouped: Vec<Vec<FailoverResult>> = techniques.iter().map(|_| Vec::new()).collect();
+        for (i, out) in outputs.into_iter().enumerate() {
+            let ti = i / sites.len().max(1);
+            let CellOutput::Failover(result, p) = out else {
+                run_or_exit::<()>(Err(format!("cell {i}: control output for a failover cell")));
+                unreachable!();
+            };
+            perf.cells.push(CellRecord {
+                technique: techniques[ti].name(),
+                site: result.site_name.clone(),
+                seed: tb.cfg.seed,
+                events_processed: p.events_processed,
+                peak_queue_depth: p.peak_queue_depth,
+                wall_micros: p.wall_micros,
+            });
+            grouped[ti].push(result);
+        }
+        let series: Vec<TechniqueSeries> = techniques
+            .iter()
+            .zip(&grouped)
+            .map(|(t, results)| TechniqueSeries::from_results(t, results))
+            .collect();
+        write_json(&cli, &format!("scenario_{}", scenario.name), &series);
+
+        let mut row = format!("| {} |", scenario.name);
+        let _ = writeln!(detail, "### {} — {}\n", scenario.name, scenario.description);
+        let _ = writeln!(detail, "```");
+        for s in &series {
+            let cell = MatrixCell::from_series(s);
+            let _ = write!(
+                row,
+                " {} / {} |",
+                percent(cell.reconnected_fraction),
+                cell.median_reconnection_s
+                    .map(|m| format!("{m:.1}s"))
+                    .unwrap_or_else(|| "—".to_string())
+            );
+            let _ = writeln!(
+                detail,
+                "{}",
+                cdf_row(&format!("{} recon", s.technique), &s.reconnection_cdf())
+            );
+            matrix
+                .entry(scenario.name.clone())
+                .or_default()
+                .insert(s.technique.clone(), cell);
+        }
+        let _ = writeln!(detail, "```\n");
+        if si == 0 {
+            let _ = writeln!(md, "{header}");
+            let _ = writeln!(md, "{rule}");
+        }
+        let _ = writeln!(md, "{row}");
+    }
+    md.push('\n');
+    md.push_str(&detail);
+    let _ = writeln!(md, "{}", perf.markdown_section());
+
+    write_json(&cli, "scenario_matrix", &matrix);
+    match serde_json::to_string_pretty(&perf) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write("BENCH_scenarios.json", s) {
+                eprintln!("warning: cannot write BENCH_scenarios.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_scenarios.json");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize perf log: {e}"),
+    }
+
+    // Append to the summary (repro_all rewrites it wholesale; the scenario
+    // matrix rides behind whatever is there).
+    let _ = std::fs::create_dir_all(&cli.out_dir);
+    let path = cli.out_dir.join("SUMMARY.md");
+    let mut summary = std::fs::read_to_string(&path).unwrap_or_default();
+    summary.push_str(&md);
+    std::fs::write(&path, &summary).expect("write summary");
+    println!("{md}");
+    eprintln!("summary appended to {}", path.display());
+    dispatch.finish();
+}

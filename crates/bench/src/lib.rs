@@ -53,6 +53,16 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// The scale's command-line name (also the `scale` field of
+    /// `BENCH_*.json` perf logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Eval => "eval",
+            Scale::Large => "large",
+        }
+    }
+
     pub fn config(self, seed: u64) -> ExperimentConfig {
         match self {
             Scale::Quick => ExperimentConfig::quick(seed),
@@ -80,6 +90,8 @@ pub struct Cli {
     /// `--listen …`). `None` (or `--dispatch local`) runs cells on `jobs`
     /// local threads. Either way the result JSON is byte-identical.
     pub listen: Option<String>,
+    /// Fault-scenario catalog directory (`scenarios` bin only).
+    pub catalog: PathBuf,
 }
 
 impl Default for Cli {
@@ -90,6 +102,7 @@ impl Default for Cli {
             out_dir: PathBuf::from("results"),
             jobs: default_jobs(),
             listen: None,
+            catalog: PathBuf::from(bobw_scenario::CATALOG_DIR),
         }
     }
 }
@@ -172,16 +185,66 @@ pub fn parse_cli() -> Cli {
                     std::process::exit(2);
                 }));
             }
+            "--catalog" => {
+                cli.catalog = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--catalog needs a directory");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "unknown flag {other:?}; supported: --scale --seed --out --jobs \
-                     --dispatch --listen"
+                     --dispatch --listen --catalog"
                 );
                 std::process::exit(2);
             }
         }
     }
     cli
+}
+
+/// The checked-in perf baseline consulted for queue-preallocation hints.
+pub const BASELINE_FILE: &str = "BENCH_baseline.json";
+
+/// Reads per-technique queue-depth peaks from a `BENCH_*.json` perf log,
+/// ignoring it entirely when it was measured at a different scale (a
+/// quick-scale peak would under-allocate an eval run; an eval peak would
+/// waste memory on a quick one). Missing or malformed files yield an
+/// empty map — hints are an optimization, never a requirement.
+pub fn load_queue_hints(path: &str, scale: Scale) -> BTreeMap<String, usize> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let Ok(root) = serde_json::from_str(&text) else {
+        return BTreeMap::new();
+    };
+    if root.get("scale").and_then(serde::Value::as_str) != Some(scale.name()) {
+        return BTreeMap::new();
+    }
+    let Some(cells) = root.get("cells").and_then(serde::Value::as_array) else {
+        return BTreeMap::new();
+    };
+    let mut hints = BTreeMap::new();
+    for cell in cells {
+        let (Some(technique), Some(depth)) = (
+            cell.get("technique").and_then(serde::Value::as_str),
+            cell.get("peak_queue_depth").and_then(serde::Value::as_u64),
+        ) else {
+            continue;
+        };
+        let e = hints.entry(technique.to_string()).or_insert(0usize);
+        *e = (*e).max(depth as usize);
+    }
+    hints
+}
+
+/// Builds the testbed for a CLI invocation, primed with the checked-in
+/// baseline's per-technique queue peaks so the first cell of the run
+/// preallocates its event queue too.
+pub fn primed_testbed(cli: &Cli) -> Testbed {
+    let mut tb = Testbed::new(cli.scale.config(cli.seed));
+    tb.prime_queue_hints(load_queue_hints(BASELINE_FILE, cli.scale));
+    tb
 }
 
 /// Writes a JSON result file under the CLI's output directory.

@@ -195,6 +195,9 @@ pub struct CellRecord {
 pub struct PerfLog {
     /// Worker threads the batches ran with.
     pub jobs: usize,
+    /// Experiment scale the cells ran at (`quick`/`eval`/`large`); lets a
+    /// baseline consumer refuse hints measured at a different scale.
+    pub scale: String,
     /// Wall time of the batches end to end (elapsed, not summed per cell).
     pub elapsed_micros: u64,
     pub cells: Vec<CellRecord>,
@@ -227,6 +230,17 @@ impl PerfLog {
             .map(|c| c.peak_queue_depth)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Per-technique queue-depth peaks — what `Testbed::prime_queue_hints`
+    /// consumes on the next run so its first cell preallocates.
+    pub fn queue_hints(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut hints = std::collections::BTreeMap::new();
+        for c in &self.cells {
+            let e = hints.entry(c.technique.clone()).or_insert(0usize);
+            *e = (*e).max(c.peak_queue_depth);
+        }
+        hints
     }
 
     /// Sum of per-cell wall times. The ratio against `elapsed_micros` is

@@ -265,6 +265,24 @@ impl BgpSim {
         }
     }
 
+    /// Bounces the BGP session on a link: down and immediately back up
+    /// (an RFC 4271 session reset / operator `clear bgp` on both ends).
+    /// The hold timers armed by the teardown find the session up again
+    /// when they fire and so never purge; both ends clear their outbound
+    /// state and re-advertise their full tables with MRAI pacing — the
+    /// observable effect is a burst of duplicate UPDATEs and any
+    /// route-flap-damping penalty they earn.
+    pub fn reset_link(
+        &mut self,
+        now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        self.fail_link(now, a, b, out);
+        self.restore_link(now, a, b, out);
+    }
+
     /// Fails every link of `node` (a whole-site crash).
     pub fn fail_node_links(
         &mut self,
@@ -424,6 +442,13 @@ impl Standalone {
     pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
         let now = self.engine.now();
         self.sim.restore_link(now, a, b, &mut self.scratch);
+        self.flush_scratch();
+    }
+
+    /// Bounces the session on a link (see [`BgpSim::reset_link`]).
+    pub fn reset_link(&mut self, a: NodeId, b: NodeId) {
+        let now = self.engine.now();
+        self.sim.reset_link(now, a, b, &mut self.scratch);
         self.flush_scratch();
     }
 

@@ -234,3 +234,82 @@ fn double_site_crash_is_idempotent() {
         "only the restored link arms fresh hold timers"
     );
 }
+
+#[test]
+fn overlapping_link_failure_and_site_crash_is_idempotent() {
+    // The scenario engine can script `LinkDown` on a link and then a
+    // `SiteFail` that crashes every link of the same node. The overlap
+    // must behave per-session: the crash only arms timers on the link
+    // that is still alive, and the end state matches a direct crash.
+    let (topo, _t1, p1, p2, origin) = diamond();
+    let rng = RngFactory::new(1);
+    let mut s = Standalone::new(&topo, timing(90.0), &rng);
+    let pre = p("184.164.244.0/24");
+    s.announce(origin, pre, OriginConfig::plain());
+    s.run_to_idle(1_000_000);
+
+    s.fail_link(origin, p1);
+    let armed = s.pending_events();
+    assert_eq!(armed, 2, "one HoldExpire per end of the failed link");
+    s.fail_all_links(origin, &[p1, p2]);
+    assert_eq!(
+        s.pending_events(),
+        armed + 2,
+        "the crash arms timers only on the still-alive link"
+    );
+    s.run_to_idle(1_000_000);
+
+    let direct = {
+        let rng = RngFactory::new(1);
+        let mut reference = Standalone::new(&topo, timing(90.0), &rng);
+        reference.announce(origin, pre, OriginConfig::plain());
+        reference.run_to_idle(1_000_000);
+        reference.fail_all_links(origin, &[p1, p2]);
+        reference.run_to_idle(1_000_000);
+        reference
+    };
+    for n in [NodeId(0), NodeId(1), NodeId(2), NodeId(3)] {
+        assert_eq!(
+            bobw_bgp::dump_rib(s.sim(), n, &pre),
+            bobw_bgp::dump_rib(direct.sim(), n, &pre),
+            "RIB at {n} diverges between overlapped and direct crash"
+        );
+    }
+}
+
+#[test]
+fn flap_sequence_restores_full_rib_equivalence() {
+    // A scenario `Flap` compiles to withdraw/re-announce cycles. After
+    // the last re-announce converges, every node's full RIB (candidates
+    // and best) must be indistinguishable from a run that never flapped
+    // — flap residue (stale candidates, lingering timers) would poison
+    // any measurement taken after the churn.
+    let (topo, t1, p1, p2, origin) = diamond();
+    let pre = p("184.164.244.0/24");
+
+    let rng = RngFactory::new(1);
+    let mut flapped = Standalone::new(&topo, timing(90.0), &rng);
+    flapped.announce(origin, pre, OriginConfig::plain());
+    flapped.run_to_idle(1_000_000);
+    for _ in 0..3 {
+        flapped.withdraw(origin, pre);
+        flapped.run_until(flapped.now() + SimDuration::from_secs(5), 1_000_000);
+        flapped.announce(origin, pre, OriginConfig::plain());
+        flapped.run_until(flapped.now() + SimDuration::from_secs(25), 1_000_000);
+    }
+    flapped.run_to_idle(1_000_000);
+
+    let rng = RngFactory::new(1);
+    let mut calm = Standalone::new(&topo, timing(90.0), &rng);
+    calm.announce(origin, pre, OriginConfig::plain());
+    calm.run_to_idle(1_000_000);
+
+    assert_eq!(flapped.pending_events(), 0, "flap left timers armed");
+    for n in [t1, p1, p2, origin] {
+        assert_eq!(
+            bobw_bgp::dump_rib(flapped.sim(), n, &pre),
+            bobw_bgp::dump_rib(calm.sim(), n, &pre),
+            "RIB at {n} retains flap residue"
+        );
+    }
+}

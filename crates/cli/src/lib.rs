@@ -114,6 +114,10 @@ USAGE:
   bobw catchment  [--scale S] [--seed N] [--prepend K]
   bobw inspect    --node N --prefix P [--scale S] [--seed N]
   bobw traceroute --from N --prefix P [--scale S] [--seed N]
+  bobw scenario   list     [--catalog DIR]
+  bobw scenario   validate [FILE ...|--catalog DIR] [--scale S] [--seed N]
+  bobw scenario   run      FILE [--technique T] [--site NAME] [--scale S]
+                  [--seed N] [--failure graceful|crash]
   bobw help
 
 Techniques: unicast, anycast, proactive-superprefix, reactive-anycast,
@@ -139,6 +143,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "catchment" => cmd_catchment(&opts),
         "inspect" => cmd_inspect(&opts),
         "traceroute" => cmd_traceroute(&opts),
+        "scenario" => cmd_scenario(&opts),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
 }
@@ -295,6 +300,125 @@ fn cmd_worker(opts: &Options) -> Result<String, String> {
         "worker {}: coordinator closed, {done} cell(s) executed\n",
         cfg.name
     ))
+}
+
+/// `bobw scenario list|validate|run`: the declarative fault-scenario
+/// catalog (see EXPERIMENTS.md, "Scenario catalog").
+fn cmd_scenario(opts: &Options) -> Result<String, String> {
+    let Some((verb, rest)) = opts.positional.split_first() else {
+        return Err(format!("scenario expects list|validate|run\n\n{USAGE}"));
+    };
+    let catalog =
+        || std::path::PathBuf::from(opts.get("catalog").unwrap_or(bobw_scenario::CATALOG_DIR));
+    match verb.as_str() {
+        "list" => {
+            let dir = catalog();
+            let mut out = format!("scenario catalog at {}:\n", dir.display());
+            for path in bobw_scenario::catalog_files(&dir)? {
+                let s = bobw_scenario::load_file(&path)?;
+                out.push_str(&format!(
+                    "  {:<22} site {:<6} {:>2} events  {}\n",
+                    s.name,
+                    s.site,
+                    s.events.len(),
+                    s.description
+                ));
+            }
+            Ok(out)
+        }
+        "validate" => {
+            let files: Vec<std::path::PathBuf> = if rest.is_empty() {
+                bobw_scenario::catalog_files(&catalog())?
+            } else {
+                rest.iter().map(std::path::PathBuf::from).collect()
+            };
+            if files.is_empty() {
+                return Err("no scenario files to validate".into());
+            }
+            let cfg = opts.scale_config()?;
+            let graceful = matches!(cfg.failure_mode, FailureMode::GracefulWithdrawal);
+            let tb = Testbed::new(cfg);
+            let mut out = String::new();
+            for path in &files {
+                let s = bobw_scenario::load_file(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                // "$site" scenarios must compile for every grid cell, so
+                // check each binding; pinned ones get their named site.
+                let measured: Vec<SiteId> = if s.site == "$site" {
+                    tb.cdn.sites().collect()
+                } else {
+                    vec![tb
+                        .cdn
+                        .by_name(&s.site)
+                        .ok_or_else(|| format!("{}: unknown site {:?}", path.display(), s.site))?]
+                };
+                let mut ops = 0;
+                for site in measured {
+                    let compiled =
+                        bobw_scenario::compile(&s, &tb.topo, &tb.cdn, &tb.rng, site, graceful)
+                            .map_err(|e| {
+                                format!("{}: site {}: {e}", path.display(), tb.cdn.name(site))
+                            })?;
+                    ops = compiled.events.len();
+                }
+                out.push_str(&format!(
+                    "  {:<40} ok ({} events -> {} ops)\n",
+                    path.display(),
+                    s.events.len(),
+                    ops
+                ));
+            }
+            out.push_str(&format!("{} scenario(s) valid\n", files.len()));
+            Ok(out)
+        }
+        "run" => {
+            let [file] = rest else {
+                return Err("scenario run expects exactly one FILE".into());
+            };
+            let scenario = bobw_scenario::load_file(&std::path::PathBuf::from(file))?;
+            let mut cfg = opts.scale_config()?;
+            cfg.scenario = Some(scenario.clone());
+            let tb = Testbed::new(cfg);
+            let technique = opts.technique()?;
+            let site_name = match opts.get("site") {
+                Some(n) => n.to_string(),
+                None if scenario.site != "$site" => scenario.site.clone(),
+                None => "bos".to_string(),
+            };
+            let site = tb
+                .cdn
+                .by_name(&site_name)
+                .ok_or_else(|| format!("unknown site {site_name:?}"))?;
+            let r = run_failover(&tb, &technique, site);
+            let recon = Cdf::new(r.reconnection_secs());
+            let fail = Cdf::new(r.failover_secs());
+            Ok(format!(
+                "scenario {}: {}\n\
+                 technique={} site={} scale={}\n\
+                 targets: {} selected, {} controllable\n\
+                 reconnection: p50 {:.1}s  p90 {:.1}s  max {:.1}s\n\
+                 failover:     p50 {:.1}s  p90 {:.1}s  max {:.1}s\n\
+                 never reconnected: {}\n",
+                scenario.name,
+                scenario.description,
+                r.technique,
+                r.site_name,
+                opts.get("scale").unwrap_or("quick"),
+                r.num_selected,
+                r.num_controllable,
+                recon.median().unwrap_or(f64::NAN),
+                recon.quantile(0.9).unwrap_or(f64::NAN),
+                recon.max().unwrap_or(f64::NAN),
+                fail.median().unwrap_or(f64::NAN),
+                fail.quantile(0.9).unwrap_or(f64::NAN),
+                fail.max().unwrap_or(f64::NAN),
+                percent(r.never_reconnected_fraction()),
+            ))
+        }
+        other => Err(format!(
+            "unknown scenario verb {other:?} (list|validate|run)"
+        )),
+    }
 }
 
 fn cmd_catchment(opts: &Options) -> Result<String, String> {
@@ -536,6 +660,51 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--jobs"));
+    }
+
+    #[test]
+    fn scenario_verbs() {
+        assert!(run(&s(&["scenario"])).is_err());
+        assert!(run(&s(&["scenario", "teleport"])).is_err());
+        // An inline catalog exercises list + validate + run end to end.
+        let dir = std::env::temp_dir().join("bobw-cli-scenario-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("crash.json");
+        let scenario = bobw_scenario::Scenario::site_failure(2.0, 0);
+        std::fs::write(&file, serde_json::to_string_pretty(&scenario).unwrap()).unwrap();
+        let listed = run(&s(&[
+            "scenario",
+            "list",
+            "--catalog",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(listed.contains("site-failure"), "{listed}");
+        let validated = run(&s(&[
+            "scenario",
+            "validate",
+            "--catalog",
+            dir.to_str().unwrap(),
+            "--scale",
+            "quick",
+        ]))
+        .unwrap();
+        assert!(validated.contains("1 scenario(s) valid"), "{validated}");
+        let ran = run(&s(&[
+            "scenario",
+            "run",
+            file.to_str().unwrap(),
+            "--technique",
+            "anycast",
+            "--site",
+            "bos",
+            "--scale",
+            "quick",
+        ]))
+        .unwrap();
+        assert!(ran.contains("scenario site-failure"), "{ran}");
+        assert!(ran.contains("site=bos"), "{ran}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

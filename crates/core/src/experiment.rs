@@ -21,9 +21,12 @@ use bobw_dataplane::walk;
 use bobw_dataplane::{
     probe_once, ForwardEnv, ProbeConfig, ProbeLog, ProbeOutcome, ProbeRecord, SiteCapture,
 };
+use bobw_dns::Authoritative;
 use bobw_event::{Engine, Handler, RngFactory, Scheduler, SimDuration, SimTime};
 use bobw_net::NodeId;
+use bobw_scenario::{compile as compile_scenario, FaultOp, Scenario};
 use bobw_topology::{generate, CdnDeployment, GenConfig, SiteId, Topology};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -86,6 +89,14 @@ pub struct ExperimentConfig {
     /// prefix's penalty toward suppression — the damping ablation's
     /// scenario.
     pub pre_failure_flaps: u32,
+    /// The fault script to run. `None` runs the paper's baseline — the
+    /// measured site fails at t=10 s (after `pre_failure_flaps`
+    /// withdraw/re-announce cycles) and the technique reacts
+    /// `detection_delay` later — which is exactly
+    /// [`Scenario::site_failure`]. Any other scenario injects its scripted
+    /// events instead; the measured site, target selection, and probing
+    /// protocol stay the same.
+    pub scenario: Option<Scenario>,
     pub seed: u64,
     /// Event budget per engine phase (runaway protection).
     pub max_events: u64,
@@ -106,6 +117,7 @@ impl ExperimentConfig {
             failure_mode: FailureMode::GracefulWithdrawal,
             reaction_fault: None,
             pre_failure_flaps: 0,
+            scenario: None,
             seed,
             max_events: 50_000_000,
         }
@@ -124,6 +136,7 @@ impl ExperimentConfig {
             failure_mode: FailureMode::GracefulWithdrawal,
             reaction_fault: None,
             pre_failure_flaps: 0,
+            scenario: None,
             seed,
             max_events: 200_000_000,
         }
@@ -143,6 +156,10 @@ pub struct Testbed {
     /// same testbed are statistically alike, so one cell's peak is a good
     /// starting capacity for the next).
     queue_hint: AtomicUsize,
+    /// Per-technique queue-depth peaks persisted by a *previous* run
+    /// (`BENCH_baseline.json`), so even the first cell preallocates.
+    /// Same contract as `queue_hint`: allocation only, never results.
+    primed_hints: std::collections::BTreeMap<String, usize>,
 }
 
 impl Testbed {
@@ -155,13 +172,28 @@ impl Testbed {
             cdn,
             rng,
             queue_hint: AtomicUsize::new(0),
+            primed_hints: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Seeds per-technique queue hints from a persisted baseline (peak
+    /// queue depth by technique name). Call before the first cell runs.
+    pub fn prime_queue_hints(&mut self, hints: impl IntoIterator<Item = (String, usize)>) {
+        self.primed_hints.extend(hints);
     }
 
     /// Starting capacity for the next cell's event queue (0 until a cell
     /// has completed).
     pub fn queue_capacity_hint(&self) -> usize {
         self.queue_hint.load(Ordering::Relaxed)
+    }
+
+    /// Starting capacity for a cell running `technique`: whatever this
+    /// run has observed so far, or the primed baseline peak for that
+    /// technique — whichever is larger.
+    pub fn queue_capacity_hint_for(&self, technique: &str) -> usize {
+        self.queue_capacity_hint()
+            .max(self.primed_hints.get(technique).copied().unwrap_or(0))
     }
 
     /// Folds a finished cell's [`Engine::peak_pending`] into the hint.
@@ -240,16 +272,23 @@ impl FailoverResult {
     }
 }
 
-/// Composite simulation events: BGP plus the experiment's own actions.
+/// Composite simulation events: BGP plus the scenario's injected faults
+/// and the measurement schedule.
 enum SimEvent {
     Bgp(BgpEvent),
-    /// Pre-failure churn: the site withdraws everything it announces...
-    FlapDown,
-    /// ...and re-announces it shortly after.
-    FlapUp,
-    FailSite,
-    React,
+    /// One compiled scenario op (withdrawal, crash, link cut, drain, …).
+    Fault(FaultOp),
     ProbeRound(u32),
+}
+
+/// DNS de-steering state for maintenance-drain scenarios: the CDN's
+/// authoritative resolver plus, per target, the instant its cached record
+/// expires and it re-resolves (drawn uniformly within the drain TTL).
+/// Until then the target keeps connecting to the technique's probe
+/// address; after, it connects to whatever the authoritative answers.
+struct DrainState {
+    auth: Authoritative,
+    resolve_at: Vec<Option<SimTime>>,
 }
 
 struct Run<'a> {
@@ -260,12 +299,13 @@ struct Run<'a> {
     down: Vec<NodeId>,
     targets: Vec<NodeId>,
     prober: NodeId,
-    failed_node: NodeId,
-    failure_mode: FailureMode,
     reactions: Vec<Action>,
-    /// The failed site's own before-failure announcements, re-played by
-    /// `FlapUp` events.
-    site_announcements: Vec<Action>,
+    /// Every phase-1 advertisement; `Announce`/`SiteRestore` ops replay a
+    /// node's subset of these.
+    initial_actions: Vec<Action>,
+    /// Present only when the scenario contains a `Drain` op.
+    drain: Option<DrainState>,
+    rng: &'a RngFactory,
     log: ProbeLog,
     capture: SiteCapture,
     scratch: Vec<(SimDuration, BgpEvent)>,
@@ -277,6 +317,125 @@ impl Run<'_> {
             sched.after(d, SimEvent::Bgp(e));
         }
     }
+
+    fn withdraw_all(&mut self, now: SimTime, node: NodeId) {
+        for prefix in self.bgp.node(node).originated_prefixes() {
+            self.bgp.withdraw(now, node, prefix, &mut self.scratch);
+        }
+    }
+
+    fn replay_initial(&mut self, now: SimTime, node: NodeId) {
+        let actions: Vec<Action> = self
+            .initial_actions
+            .iter()
+            .filter(|a| a.node == node)
+            .cloned()
+            .collect();
+        for a in &actions {
+            self.bgp
+                .announce(now, a.node, a.prefix, a.cfg.clone(), &mut self.scratch);
+        }
+    }
+
+    /// Tells the drain authoritative (if any) that a site's status changed.
+    fn mark_site(&mut self, node: NodeId, failed: bool) {
+        if let Some(d) = &mut self.drain {
+            if let Some(site) = self.cdn.site_at(node) {
+                if failed {
+                    d.auth.mark_failed(site);
+                } else {
+                    d.auth.mark_recovered(site);
+                }
+            }
+        }
+    }
+
+    /// Applies one compiled scenario op. BGP fallout lands in `scratch`;
+    /// the caller drains it onto the event queue.
+    fn apply(&mut self, now: SimTime, op: FaultOp) {
+        match op {
+            FaultOp::Withdraw { node } => self.withdraw_all(now, node),
+            FaultOp::Announce { node } => self.replay_initial(now, node),
+            FaultOp::SiteFail { node, graceful } => {
+                // The site dies: data plane drops everything arriving there.
+                if !self.down.contains(&node) {
+                    self.down.push(node);
+                }
+                if graceful {
+                    // Its router withdraws all announcements (§4).
+                    self.withdraw_all(now, node);
+                } else {
+                    // Every link drops with no goodbye; the neighbors'
+                    // hold timers do the discovering.
+                    let peers: Vec<NodeId> =
+                        self.topo.neighbors(node).iter().map(|a| a.peer).collect();
+                    self.bgp
+                        .fail_node_links(now, node, &peers, &mut self.scratch);
+                }
+                self.mark_site(node, true);
+            }
+            FaultOp::SiteRestore { node } => {
+                self.down.retain(|&n| n != node);
+                let peers: Vec<NodeId> = self.topo.neighbors(node).iter().map(|a| a.peer).collect();
+                for peer in peers {
+                    self.bgp.restore_link(now, node, peer, &mut self.scratch);
+                }
+                self.replay_initial(now, node);
+                self.mark_site(node, false);
+            }
+            FaultOp::CutLinks { pairs } => {
+                for (a, b) in pairs {
+                    self.bgp.fail_link(now, a, b, &mut self.scratch);
+                }
+            }
+            FaultOp::RestoreLinks { pairs } => {
+                for (a, b) in pairs {
+                    self.bgp.restore_link(now, a, b, &mut self.scratch);
+                }
+            }
+            FaultOp::SessionReset { node, peer } => {
+                self.bgp.reset_link(now, node, peer, &mut self.scratch);
+            }
+            FaultOp::Drain { node, site, ttl } => {
+                // Withdraw the routes, de-steer the clients. Each target's
+                // cached record expires at an independent uniform point in
+                // the TTL window (the paper's §2 DNS-failover model).
+                self.withdraw_all(now, node);
+                if let Some(d) = &mut self.drain {
+                    d.auth.mark_failed(site);
+                    let ttl_s = ttl.as_secs_f64();
+                    for i in 0..d.resolve_at.len() {
+                        if d.resolve_at[i].is_none() {
+                            let wait = if ttl_s > 0.0 {
+                                self.rng
+                                    .stream("scenario-desteer", i as u64)
+                                    .gen_range(0.0..ttl_s)
+                            } else {
+                                0.0
+                            };
+                            d.resolve_at[i] = Some(now + SimDuration::from_secs_f64(wait));
+                        }
+                    }
+                }
+            }
+            FaultOp::SiteDark { node } => {
+                // Machines power off at the end of a drain: data plane
+                // down, nothing left to withdraw.
+                if !self.down.contains(&node) {
+                    self.down.push(node);
+                }
+                self.mark_site(node, true);
+            }
+            FaultOp::React { skip } => {
+                let mut reactions = std::mem::take(&mut self.reactions);
+                reactions.drain(..skip.min(reactions.len()));
+                for a in &reactions {
+                    self.bgp
+                        .announce(now, a.node, a.prefix, a.cfg.clone(), &mut self.scratch);
+                }
+            }
+        }
+    }
 }
 
 impl Handler<SimEvent> for Run<'_> {
@@ -286,52 +445,8 @@ impl Handler<SimEvent> for Run<'_> {
                 self.bgp.handle(now, e, &mut self.scratch);
                 self.drain_bgp(sched);
             }
-            SimEvent::FlapDown => {
-                for prefix in self.bgp.node(self.failed_node).originated_prefixes() {
-                    self.bgp
-                        .withdraw(now, self.failed_node, prefix, &mut self.scratch);
-                }
-                self.drain_bgp(sched);
-            }
-            SimEvent::FlapUp => {
-                for a in &self.site_announcements.clone() {
-                    self.bgp
-                        .announce(now, a.node, a.prefix, a.cfg.clone(), &mut self.scratch);
-                }
-                self.drain_bgp(sched);
-            }
-            SimEvent::FailSite => {
-                // The site dies: data plane drops everything arriving there.
-                self.down.push(self.failed_node);
-                match self.failure_mode {
-                    FailureMode::GracefulWithdrawal => {
-                        // Its router withdraws all announcements (§4).
-                        for prefix in self.bgp.node(self.failed_node).originated_prefixes() {
-                            self.bgp
-                                .withdraw(now, self.failed_node, prefix, &mut self.scratch);
-                        }
-                    }
-                    FailureMode::SilentCrash => {
-                        // Every link drops with no goodbye; the neighbors'
-                        // hold timers do the discovering.
-                        let peers: Vec<NodeId> = self
-                            .topo
-                            .neighbors(self.failed_node)
-                            .iter()
-                            .map(|a| a.peer)
-                            .collect();
-                        self.bgp
-                            .fail_node_links(now, self.failed_node, &peers, &mut self.scratch);
-                    }
-                }
-                self.drain_bgp(sched);
-            }
-            SimEvent::React => {
-                let reactions = std::mem::take(&mut self.reactions);
-                for a in &reactions {
-                    self.bgp
-                        .announce(now, a.node, a.prefix, a.cfg.clone(), &mut self.scratch);
-                }
+            SimEvent::Fault(op) => {
+                self.apply(now, op);
                 self.drain_bgp(sched);
             }
             SimEvent::ProbeRound(seq) => {
@@ -342,16 +457,24 @@ impl Handler<SimEvent> for Run<'_> {
                         bgp: &self.bgp,
                         down: &self.down,
                     };
-                    for &target in &self.targets {
-                        outcomes.push(probe_once(
-                            &env,
-                            self.cdn,
-                            self.topo,
-                            self.prober,
-                            target,
-                            self.plan.probe_addr(),
-                            now,
-                        ));
+                    for (i, &target) in self.targets.iter().enumerate() {
+                        // A de-steered target connects to the address its
+                        // fresh DNS answer names; everyone else to the
+                        // technique's probe address.
+                        let dst = match &self.drain {
+                            Some(d) if d.resolve_at[i].is_some_and(|t| now >= t) => {
+                                d.auth.resolve(target, now).map(|answer| answer.addr)
+                            }
+                            _ => Some(self.plan.probe_addr()),
+                        };
+                        outcomes.push(match dst {
+                            Some(dst) => {
+                                probe_once(&env, self.cdn, self.topo, self.prober, target, dst, now)
+                            }
+                            // Every candidate site is failed: no answer,
+                            // nowhere to connect.
+                            None => ProbeOutcome::Lost,
+                        });
                     }
                 }
                 for (i, outcome) in outcomes.into_iter().enumerate() {
@@ -433,11 +556,24 @@ pub fn run_failover(testbed: &Testbed, technique: &Technique, failed: SiteId) ->
 
 /// [`run_failover`] plus the cell's perf counters (event count, peak queue
 /// depth, wall time). The experiment result itself is unaffected.
+///
+/// Panics on an invalid scenario; [`try_run_failover_instrumented`] is the
+/// fallible variant remote workers use.
 pub fn run_failover_instrumented(
     testbed: &Testbed,
     technique: &Technique,
     failed: SiteId,
 ) -> (FailoverResult, CellPerf) {
+    try_run_failover_instrumented(testbed, technique, failed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_failover_instrumented`] that reports scenario compilation errors
+/// instead of panicking.
+pub fn try_run_failover_instrumented(
+    testbed: &Testbed,
+    technique: &Technique,
+    failed: SiteId,
+) -> Result<(FailoverResult, CellPerf), String> {
     let wall_start = std::time::Instant::now();
     let cfg = &testbed.cfg;
     cfg.plan.validate();
@@ -446,7 +582,29 @@ pub fn run_failover_instrumented(
     let plan = &cfg.plan;
     let failed_node = cdn.node(failed);
 
-    let mut engine: Engine<SimEvent> = Engine::with_capacity(testbed.queue_capacity_hint());
+    // The fault script: the config's scenario, or the built-in baseline
+    // (which compiles to exactly the schedule the loop used to hard-code).
+    let default_scenario;
+    let scenario: &Scenario = match &cfg.scenario {
+        Some(s) => s,
+        None => {
+            default_scenario =
+                Scenario::site_failure(cfg.detection_delay.as_secs_f64(), cfg.pre_failure_flaps);
+            &default_scenario
+        }
+    };
+    let compiled = compile_scenario(
+        scenario,
+        topo,
+        cdn,
+        &testbed.rng,
+        failed,
+        matches!(cfg.failure_mode, FailureMode::GracefulWithdrawal),
+    )
+    .map_err(|e| format!("scenario {:?}: {e}", scenario.name))?;
+
+    let mut engine: Engine<SimEvent> =
+        Engine::with_capacity(testbed.queue_capacity_hint_for(&technique.name()));
     let mut run = Run {
         topo,
         cdn,
@@ -455,14 +613,14 @@ pub fn run_failover_instrumented(
         down: Vec::new(),
         targets: Vec::new(),
         prober: NodeId(0), // set after target selection
-        failed_node,
-        failure_mode: cfg.failure_mode,
         reactions: apply_reaction_fault(
             technique.after(plan, topo, cdn, failed),
             cfg.reaction_fault,
             plan,
         ),
-        site_announcements: Vec::new(),
+        initial_actions: Vec::new(),
+        drain: None,
+        rng: &testbed.rng,
         log: ProbeLog::new(0),
         capture: SiteCapture::new(cdn.num_sites()),
         scratch: Vec::with_capacity(64),
@@ -483,6 +641,17 @@ pub fn run_failover_instrumented(
             prefix: plan.anycast_probe,
             cfg: bobw_bgp::OriginConfig::plain(),
         });
+    }
+    // Drain scenarios steer clients onto per-site unicast service
+    // prefixes; those must be routable before the drain begins.
+    if compiled.has_drain() {
+        for (i, site) in cdn.sites().enumerate() {
+            initial.push(Action {
+                node: cdn.node(site),
+                prefix: plan.site_prefix(i),
+                cfg: bobw_bgp::OriginConfig::plain(),
+            });
+        }
     }
     for a in &initial {
         run.bgp.announce(
@@ -551,26 +720,49 @@ pub fn run_failover_instrumented(
         .next()
         .expect("at least two sites");
 
-    // The failed site's own announcements (replayed by pre-failure flaps).
-    run.site_announcements = initial
-        .iter()
-        .filter(|a| a.node == failed_node)
-        .cloned()
-        .collect();
+    // The original advertisements (replayed by Announce/SiteRestore ops).
+    run.initial_actions = initial;
 
-    // --- Phase 3: (optional churn,) fail the site, react, probe. ---
-    let mut t_fail = engine.now() + SimDuration::from_secs(10);
-    for k in 0..cfg.pre_failure_flaps {
-        let down = engine.now() + SimDuration::from_secs(10 + 30 * k as u64);
-        engine.schedule_at(down, SimEvent::FlapDown);
-        engine.schedule_at(down + SimDuration::from_secs(10), SimEvent::FlapUp);
-    }
-    if cfg.pre_failure_flaps > 0 {
-        t_fail = engine.now() + SimDuration::from_secs(10 + 30 * cfg.pre_failure_flaps as u64);
-    }
-    engine.schedule_at(t_fail, SimEvent::FailSite);
-    if !run.reactions.is_empty() {
-        engine.schedule_at(t_fail + cfg.detection_delay, SimEvent::React);
+    // DNS de-steering state, only when the scenario drains a site.
+    run.drain = if compiled.has_drain() {
+        let ttl = compiled
+            .events
+            .iter()
+            .find_map(|e| match &e.op {
+                FaultOp::Drain { ttl, .. } => Some(*ttl),
+                _ => None,
+            })
+            .expect("has_drain");
+        let mut auth = Authoritative::new(
+            (0..cdn.num_sites()).map(|i| plan.site_prefix(i)).collect(),
+            ttl,
+        );
+        // Every target is mapped to the measured site; on failure the
+        // authoritative walks the remaining sites in deployment order.
+        let ranking: Vec<SiteId> = cdn.sites().collect();
+        for &t in &run.targets {
+            auth.assign(t, failed);
+            auth.set_fallback(t, ranking.clone());
+        }
+        Some(DrainState {
+            auth,
+            resolve_at: vec![None; run.targets.len()],
+        })
+    } else {
+        None
+    };
+
+    // --- Phase 3: run the fault script, probing through it. ---
+    // Ops are scheduled in compiled order; the engine breaks timestamp
+    // ties FIFO, so the script author controls same-instant ordering.
+    let t0 = engine.now();
+    let t_fail = t0 + compiled.t_fail_offset;
+    for ev in &compiled.events {
+        // A technique with no reaction has nothing for React to fire.
+        if matches!(ev.op, FaultOp::React { .. }) && run.reactions.is_empty() {
+            continue;
+        }
+        engine.schedule_at(t0 + ev.at, SimEvent::Fault(ev.op.clone()));
     }
     let rounds = cfg.probe.probes_per_target();
     for k in 0..rounds {
@@ -602,7 +794,7 @@ pub fn run_failover_instrumented(
         peak_queue_depth: engine.peak_pending(),
         wall_micros: wall_start.elapsed().as_micros() as u64,
     };
-    (result, perf)
+    Ok((result, perf))
 }
 
 #[cfg(test)]
@@ -689,6 +881,103 @@ mod tests {
     }
 
     #[test]
+    fn explicit_baseline_scenario_reproduces_the_legacy_default() {
+        // `scenario: None` and an explicit `Scenario::site_failure` must be
+        // the same experiment down to the event count — the scenario path
+        // IS the legacy path, not an approximation of it.
+        let legacy = quick_testbed();
+        let mut cfg = ExperimentConfig::quick(7);
+        cfg.targets_per_site = 40;
+        cfg.pre_failure_flaps = 1;
+        cfg.scenario = None;
+        let mut scripted_cfg = cfg.clone();
+        scripted_cfg.scenario = Some(Scenario::site_failure(
+            cfg.detection_delay.as_secs_f64(),
+            cfg.pre_failure_flaps,
+        ));
+        let mut legacy_cfg = legacy.cfg.clone();
+        legacy_cfg.pre_failure_flaps = 1;
+        let legacy = Testbed::new(legacy_cfg);
+        let scripted = Testbed::new(scripted_cfg);
+        let site = legacy.site("bos");
+        for t in [&Technique::ReactiveAnycast, &Technique::Anycast] {
+            let (a, pa) = run_failover_instrumented(&legacy, t, site);
+            let (b, pb) = run_failover_instrumented(&scripted, t, site);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            assert_eq!(pa.events_processed, pb.events_processed);
+        }
+    }
+
+    /// Eval-scale variant of the parity check above, driven by the actual
+    /// checked-in catalog file: `scenarios/site-failure.json` must
+    /// reproduce the hard-coded failure path byte-for-byte (it is the
+    /// acceptance gate for replacing the hard-coded failure with the
+    /// scenario engine). Several minutes; run explicitly:
+    /// `cargo test --release -p bobw-core -- --ignored eval_scale`.
+    #[test]
+    #[ignore = "eval scale; run explicitly with -- --ignored"]
+    fn eval_scale_catalog_baseline_matches_legacy() {
+        let file = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../scenarios/site-failure.json");
+        let scenario = bobw_scenario::load_file(&file).expect("catalog file loads");
+        let cfg = ExperimentConfig::eval(42);
+        let mut scripted_cfg = cfg.clone();
+        scripted_cfg.scenario = Some(scenario);
+        let legacy = Testbed::new(cfg);
+        let scripted = Testbed::new(scripted_cfg);
+        let site = legacy.site("bos");
+        let t = Technique::ReactiveAnycast;
+        let (a, pa) = run_failover_instrumented(&legacy, &t, site);
+        let (b, pb) = run_failover_instrumented(&scripted, &t, site);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "results/*.json rendering differs between catalog file and legacy path"
+        );
+        assert_eq!(pa.events_processed, pb.events_processed);
+    }
+
+    #[test]
+    fn maintenance_drain_resteers_clients_via_dns() {
+        use bobw_scenario::{ScenarioAction, ScenarioEvent};
+        let mut cfg = ExperimentConfig::quick(7);
+        cfg.targets_per_site = 40;
+        cfg.scenario = Some(Scenario {
+            name: "drain".into(),
+            description: String::new(),
+            site: "$site".into(),
+            measure_from_s: None,
+            events: vec![ScenarioEvent {
+                at_s: 10.0,
+                action: ScenarioAction::Drain {
+                    site: "$site".into(),
+                    ttl_s: 30.0,
+                    shutdown_after_s: 60.0,
+                },
+            }],
+        });
+        let tb = Testbed::new(cfg);
+        let site = tb.site("bos");
+        // ReactiveAnycast with no React event: after the drain withdraws
+        // the site's unicast prefix, DNS re-resolution is the only way
+        // back — every reconnection observed is the drain machinery.
+        let r = run_failover(&tb, &Technique::ReactiveAnycast, site);
+        assert!(r.num_controllable > 0);
+        assert_eq!(
+            r.never_reconnected_fraction(),
+            0.0,
+            "drained clients must all re-steer within the TTL"
+        );
+        for s in r.reconnection_secs() {
+            // TTL 30 s plus probe quantization and path RTT.
+            assert!((0.0..=35.0).contains(&s), "reconnection took {s}s");
+        }
+        for o in &r.outcomes {
+            assert_ne!(o.final_site, Some(site), "still on the drained site");
+        }
+    }
+
+    #[test]
     fn queue_preallocation_hint_does_not_change_results() {
         // A cold testbed (hint 0) and a warm one (hint fed by a previous
         // cell) must produce byte-identical results — the hint is a pure
@@ -709,5 +998,23 @@ mod tests {
         let dump = |r: &FailoverResult| format!("{r:?}");
         assert_eq!(dump(&second), dump(&first));
         assert_eq!(dump(&second), dump(&reference));
+    }
+
+    #[test]
+    fn primed_queue_hints_do_not_change_results() {
+        // A testbed primed from a persisted baseline (so its FIRST cell
+        // preallocates) must match a cold testbed byte for byte.
+        let cold = quick_testbed();
+        let mut primed = quick_testbed();
+        primed.prime_queue_hints([("anycast".to_string(), 4096)]);
+        assert_eq!(primed.queue_capacity_hint_for("anycast"), 4096);
+        assert_eq!(primed.queue_capacity_hint_for("unicast"), 0);
+        let site = cold.site("bos");
+        let (a, _) = run_failover_instrumented(&cold, &Technique::Anycast, site);
+        let (b, _) = run_failover_instrumented(&primed, &Technique::Anycast, site);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // The in-run high-water mark still wins once it exceeds the prime.
+        primed.prime_queue_hints([("anycast".to_string(), 1)]);
+        assert!(primed.queue_capacity_hint_for("anycast") >= primed.queue_capacity_hint());
     }
 }

@@ -27,7 +27,8 @@ use bobw_topology::{generate, GenConfig, SiteAttachment, SiteId, SiteSpec};
 use crate::wire::{wire_struct, Wire, WireError};
 
 /// Bump on any incompatible change to the message set or an encoding.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2: `ExperimentConfig` carries an optional fault scenario.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Fingerprints
@@ -550,6 +551,22 @@ impl Wire for ReactionFault {
     }
 }
 
+// Scenarios cross the wire as their canonical JSON and are re-parsed with
+// the *typed* deserializer on arrival, so a worker rejects a structurally
+// invalid scenario at decode time — before it can build a testbed from it.
+impl Wire for bobw_scenario::Scenario {
+    fn encode(&self, out: &mut Vec<u8>) {
+        serde_json::to_string(self)
+            .expect("scenario serializes")
+            .encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let json = String::decode(buf)?;
+        serde_json::from_str_typed(&json).map_err(|_| WireError::Invalid("malformed scenario"))
+    }
+}
+
 wire_struct!(ExperimentConfig {
     gen,
     timing,
@@ -561,6 +578,7 @@ wire_struct!(ExperimentConfig {
     failure_mode,
     reaction_fault,
     pre_failure_flaps,
+    scenario,
     seed,
     max_events
 });
@@ -619,6 +637,7 @@ mod tests {
         cfg.reaction_fault = Some(ReactionFault::SkipSites(3));
         cfg.pre_failure_flaps = 4;
         cfg.detection_delay = SimDuration::from_nanos(123_456_789);
+        cfg.scenario = Some(bobw_scenario::Scenario::site_failure(2.5, 3));
         let bytes = encode_vec(&cfg);
         let back: ExperimentConfig = decode_exact(&bytes).unwrap();
         // The vendored serde can't derive PartialEq-able configs, but JSON
@@ -692,5 +711,51 @@ mod tests {
     fn build_fingerprint_is_stable_within_a_build() {
         assert_eq!(build_fingerprint(), build_fingerprint());
         assert_ne!(build_fingerprint(), 0);
+    }
+
+    /// A scenario that crossed the wire must compile to a byte-identical
+    /// event list on the worker — including the RNG-jittered flap cycles,
+    /// which is what coordinator/worker byte-identity of results rests on.
+    #[test]
+    fn scenario_compiles_identically_after_wire_round_trip() {
+        use bobw_core::Testbed;
+        use bobw_scenario::{compile, Scenario, ScenarioAction, ScenarioEvent};
+
+        let mut scenario = Scenario::site_failure(2.0, 0);
+        scenario.events.insert(
+            0,
+            ScenarioEvent {
+                at_s: 1.0,
+                action: ScenarioAction::Flap {
+                    site: "$site".into(),
+                    count: 3,
+                    period_s: 3.0,
+                    down_s: 1.0,
+                    jitter_s: 1.5,
+                },
+            },
+        );
+        let bytes = encode_vec(&scenario);
+        let back: Scenario = decode_exact(&bytes).unwrap();
+        assert_eq!(back, scenario);
+
+        let tb = Testbed::new(ExperimentConfig::quick(7));
+        let site = tb.site("bos");
+        let local = compile(&scenario, &tb.topo, &tb.cdn, &tb.rng, site, true).unwrap();
+        let remote = compile(&back, &tb.topo, &tb.cdn, &tb.rng, site, true).unwrap();
+        assert_eq!(local, remote);
+        assert_eq!(
+            serde_json::to_string(&local).unwrap(),
+            serde_json::to_string(&remote).unwrap()
+        );
+    }
+
+    /// Malformed scenario JSON is rejected at decode time, before a
+    /// worker could try to build a testbed from it.
+    #[test]
+    fn malformed_scenario_is_rejected_at_decode() {
+        let bytes = encode_vec(&"{\"name\": \"x\"}".to_string());
+        let err = decode_exact::<bobw_scenario::Scenario>(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::Invalid("malformed scenario")));
     }
 }

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use bobw_core::{measure_control_instrumented, run_failover_instrumented, Technique, Testbed};
+use bobw_core::{measure_control_instrumented, try_run_failover_instrumented, Technique, Testbed};
 
 use crate::endpoint::{Conn, Endpoint};
 use crate::proto::{
@@ -256,7 +256,7 @@ pub fn execute_cell(tb: &Testbed, cell: &CellSpec) -> Result<CellOutput, String>
                 .cdn
                 .by_name(site)
                 .ok_or_else(|| format!("unknown site {site:?}"))?;
-            let (result, perf) = run_failover_instrumented(tb, &technique, site);
+            let (result, perf) = try_run_failover_instrumented(tb, &technique, site)?;
             Ok(CellOutput::Failover(result, perf))
         }
         CellSpec::Control { site, prepends } => {

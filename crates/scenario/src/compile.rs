@@ -1,0 +1,470 @@
+//! Scenario compilation: declarative script → flat, concrete fault ops.
+//!
+//! Compilation resolves site names against the CDN deployment, link
+//! indices against the topology's adjacency lists, and regions against the
+//! generator's region table; expands flap sequences (drawing jitter from
+//! the testbed RNG's named streams); and lowers every action to a
+//! [`FaultOp`] the experiment loop can apply directly. The output order is
+//! the script order (expansions in cycle order), which the experiment
+//! preserves when scheduling — the event engine breaks timestamp ties
+//! FIFO, so authors control same-instant ordering by event order.
+//!
+//! Purity: the only inputs are the scenario, the testbed (topology + CDN,
+//! themselves pure functions of the seed), the measured site, and the
+//! config's default failure mode. No clocks, no global state — the same
+//! cell compiles to the same byte sequence on every process of a
+//! distributed run.
+
+use bobw_event::{RngFactory, SimDuration};
+use bobw_net::NodeId;
+use bobw_topology::{CdnDeployment, SiteId, Topology, REGIONS};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use crate::model::{Scenario, ScenarioAction, ScenarioError};
+
+/// One concrete injectable operation, resolved against a testbed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultOp {
+    /// Withdraw every prefix the node currently originates.
+    Withdraw { node: NodeId },
+    /// Re-announce the node's original (phase-1) advertisements.
+    Announce { node: NodeId },
+    /// Data plane down; graceful → withdraw all, else silent link crash.
+    SiteFail { node: NodeId, graceful: bool },
+    /// Data plane up, links restored, original advertisements replayed.
+    SiteRestore { node: NodeId },
+    /// Silently fail each (a, b) link.
+    CutLinks { pairs: Vec<(NodeId, NodeId)> },
+    /// Restore each (a, b) link.
+    RestoreLinks { pairs: Vec<(NodeId, NodeId)> },
+    /// Bounce the BGP session on one link (down + up, same instant).
+    SessionReset { node: NodeId, peer: NodeId },
+    /// Withdraw the node's prefixes and DNS-de-steer the site's clients,
+    /// each re-resolving within `ttl`.
+    Drain {
+        node: NodeId,
+        site: SiteId,
+        ttl: SimDuration,
+    },
+    /// Data plane down with no control-plane action (the tail end of a
+    /// drain: routes are already withdrawn when the machines power off).
+    SiteDark { node: NodeId },
+    /// Fire the technique's reaction, minus its first `skip` actions.
+    React { skip: usize },
+}
+
+/// A fault op at an offset from the scenario epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledEvent {
+    pub at: SimDuration,
+    pub op: FaultOp,
+}
+
+/// A scenario resolved against one testbed cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledScenario {
+    pub name: String,
+    /// The measured site after `$site` substitution.
+    pub measure_site: SiteId,
+    /// Measurement anchor relative to the scenario epoch.
+    pub t_fail_offset: SimDuration,
+    pub events: Vec<CompiledEvent>,
+}
+
+impl CompiledScenario {
+    /// Whether any op needs the DNS drain machinery (the experiment only
+    /// builds the authoritative + per-target resolve state when so).
+    pub fn has_drain(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.op, FaultOp::Drain { .. }))
+    }
+}
+
+/// Resolves a scenario site name: `"$site"` → the cell's measured site.
+fn resolve_site(
+    event: usize,
+    name: &str,
+    measured: SiteId,
+    cdn: &CdnDeployment,
+) -> Result<SiteId, ScenarioError> {
+    if name == "$site" {
+        return Ok(measured);
+    }
+    cdn.by_name(name)
+        .ok_or_else(|| ScenarioError::at(event, format!("unknown site {name:?}")))
+}
+
+/// Resolves a link index into the site node's adjacency list.
+fn resolve_link(
+    event: usize,
+    topo: &Topology,
+    node: NodeId,
+    link: usize,
+) -> Result<NodeId, ScenarioError> {
+    let neighbors = topo.neighbors(node);
+    neighbors.get(link).map(|a| a.peer).ok_or_else(|| {
+        ScenarioError::at(
+            event,
+            format!(
+                "link index {link} out of range: node {node} has {} links",
+                neighbors.len()
+            ),
+        )
+    })
+}
+
+/// Every topology link with exactly one endpoint in the named region,
+/// as (low, high) node pairs in sorted order — the deterministic cut set
+/// of a regional partition.
+fn region_cut(
+    event: usize,
+    topo: &Topology,
+    region: &str,
+) -> Result<Vec<(NodeId, NodeId)>, ScenarioError> {
+    let idx = REGIONS
+        .iter()
+        .position(|r| r.name == region)
+        .ok_or_else(|| ScenarioError::at(event, format!("unknown region {region:?}")))?;
+    let mut pairs = BTreeSet::new();
+    for node in topo.nodes() {
+        let a_in = node.region == idx;
+        for adj in topo.neighbors(node.id) {
+            let b_in = topo.node(adj.peer).region == idx;
+            if a_in != b_in {
+                let (lo, hi) = if node.id <= adj.peer {
+                    (node.id, adj.peer)
+                } else {
+                    (adj.peer, node.id)
+                };
+                pairs.insert((lo, hi));
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return Err(ScenarioError::at(
+            event,
+            format!("region {region:?} has no crossing links in this topology"),
+        ));
+    }
+    Ok(pairs.into_iter().collect())
+}
+
+/// Compiles a scenario against one testbed cell.
+///
+/// `measured` is the cell's failed/measured site (binds `"$site"`);
+/// `default_graceful` is the experiment config's failure mode, used by
+/// `SiteFail` events that leave `graceful` unset.
+pub fn compile(
+    scenario: &Scenario,
+    topo: &Topology,
+    cdn: &CdnDeployment,
+    rng: &RngFactory,
+    measured: SiteId,
+    default_graceful: bool,
+) -> Result<CompiledScenario, ScenarioError> {
+    scenario.validate()?;
+    let mut events = Vec::with_capacity(scenario.events.len());
+    let mut push = |at_s: f64, op: FaultOp| {
+        events.push(CompiledEvent {
+            at: SimDuration::from_secs_f64(at_s),
+            op,
+        });
+    };
+    for (i, ev) in scenario.events.iter().enumerate() {
+        match &ev.action {
+            ScenarioAction::Withdraw { site } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                push(ev.at_s, FaultOp::Withdraw { node });
+            }
+            ScenarioAction::Announce { site } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                push(ev.at_s, FaultOp::Announce { node });
+            }
+            ScenarioAction::SiteFail { site, graceful } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                push(
+                    ev.at_s,
+                    FaultOp::SiteFail {
+                        node,
+                        graceful: graceful.unwrap_or(default_graceful),
+                    },
+                );
+            }
+            ScenarioAction::SiteRestore { site } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                push(ev.at_s, FaultOp::SiteRestore { node });
+            }
+            ScenarioAction::LinkDown { site, link } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                let peer = resolve_link(i, topo, node, *link)?;
+                push(
+                    ev.at_s,
+                    FaultOp::CutLinks {
+                        pairs: vec![(node, peer)],
+                    },
+                );
+            }
+            ScenarioAction::LinkUp { site, link } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                let peer = resolve_link(i, topo, node, *link)?;
+                push(
+                    ev.at_s,
+                    FaultOp::RestoreLinks {
+                        pairs: vec![(node, peer)],
+                    },
+                );
+            }
+            ScenarioAction::SessionReset { site, link } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                let peer = resolve_link(i, topo, node, *link)?;
+                push(ev.at_s, FaultOp::SessionReset { node, peer });
+            }
+            ScenarioAction::Flap {
+                site,
+                count,
+                period_s,
+                down_s,
+                jitter_s,
+            } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                // One jitter stream per scenario event, advanced per cycle:
+                // deterministic in ⟨seed, event index, cycle⟩, identical on
+                // every process of a distributed run.
+                let mut r = rng.stream("scenario-flap", i as u64);
+                for cycle in 0..*count {
+                    let jitter = if *jitter_s > 0.0 {
+                        r.gen_range(0.0..*jitter_s)
+                    } else {
+                        0.0
+                    };
+                    let down = ev.at_s + *period_s * cycle as f64 + jitter;
+                    push(down, FaultOp::Withdraw { node });
+                    push(down + *down_s, FaultOp::Announce { node });
+                }
+            }
+            ScenarioAction::Partition { region } => {
+                let pairs = region_cut(i, topo, region)?;
+                push(ev.at_s, FaultOp::CutLinks { pairs });
+            }
+            ScenarioAction::HealPartition { region } => {
+                let pairs = region_cut(i, topo, region)?;
+                push(ev.at_s, FaultOp::RestoreLinks { pairs });
+            }
+            ScenarioAction::Drain {
+                site,
+                ttl_s,
+                shutdown_after_s,
+            } => {
+                let site_id = resolve_site(i, site, measured, cdn)?;
+                let node = cdn.node(site_id);
+                push(
+                    ev.at_s,
+                    FaultOp::Drain {
+                        node,
+                        site: site_id,
+                        ttl: SimDuration::from_secs_f64(*ttl_s),
+                    },
+                );
+                push(ev.at_s + *shutdown_after_s, FaultOp::SiteDark { node });
+            }
+            ScenarioAction::React { skip } => {
+                push(ev.at_s, FaultOp::React { skip: *skip });
+            }
+        }
+    }
+    Ok(CompiledScenario {
+        name: scenario.name.clone(),
+        measure_site: measured,
+        t_fail_offset: SimDuration::from_secs_f64(scenario.t_fail_s()),
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ScenarioEvent;
+    use bobw_topology::{generate, GenConfig};
+
+    fn testbed() -> (Topology, CdnDeployment, RngFactory) {
+        let rng = RngFactory::new(7);
+        let (topo, cdn) = generate(&GenConfig::small(), &rng);
+        (topo, cdn, rng)
+    }
+
+    #[test]
+    fn baseline_compiles_to_the_legacy_schedule() {
+        let (topo, cdn, rng) = testbed();
+        let site = cdn.by_name("bos").unwrap();
+        let c = compile(
+            &Scenario::site_failure(2.0, 1),
+            &topo,
+            &cdn,
+            &rng,
+            site,
+            true,
+        )
+        .unwrap();
+        assert_eq!(c.measure_site, site);
+        assert_eq!(c.t_fail_offset, SimDuration::from_secs(40));
+        let node = cdn.node(site);
+        assert_eq!(c.events.len(), 4);
+        assert_eq!(c.events[0].at, SimDuration::from_secs(10));
+        assert_eq!(c.events[0].op, FaultOp::Withdraw { node });
+        assert_eq!(c.events[1].at, SimDuration::from_secs(20));
+        assert_eq!(c.events[1].op, FaultOp::Announce { node });
+        assert_eq!(c.events[2].at, SimDuration::from_secs(40));
+        assert_eq!(
+            c.events[2].op,
+            FaultOp::SiteFail {
+                node,
+                graceful: true
+            }
+        );
+        assert_eq!(c.events[3].at, SimDuration::from_secs(42));
+        assert_eq!(c.events[3].op, FaultOp::React { skip: 0 });
+    }
+
+    #[test]
+    fn compilation_is_deterministic_across_independent_testbeds() {
+        // Two separately-built same-seed testbeds (as a coordinator and a
+        // remote worker would hold) compile any scenario, including one
+        // with RNG-jittered flaps, to byte-identical event lists.
+        let mut scenario = Scenario::site_failure(2.0, 0);
+        scenario.events.insert(
+            0,
+            ScenarioEvent {
+                at_s: 2.0,
+                action: ScenarioAction::Flap {
+                    site: "$site".into(),
+                    count: 3,
+                    period_s: 20.0,
+                    down_s: 5.0,
+                    jitter_s: 4.0,
+                },
+            },
+        );
+        let dump = |c: &CompiledScenario| serde_json::to_string(c).unwrap();
+        let (topo_a, cdn_a, rng_a) = testbed();
+        let (topo_b, cdn_b, rng_b) = testbed();
+        let site = cdn_a.by_name("sea1").unwrap();
+        let a = compile(&scenario, &topo_a, &cdn_a, &rng_a, site, true).unwrap();
+        let b = compile(&scenario, &topo_b, &cdn_b, &rng_b, site, true).unwrap();
+        assert_eq!(dump(&a), dump(&b));
+        // And the jitter actually jittered: cycles are not exactly 20 s apart.
+        let downs: Vec<f64> = a
+            .events
+            .iter()
+            .filter(|e| matches!(e.op, FaultOp::Withdraw { .. }))
+            .map(|e| e.at.as_secs_f64())
+            .collect();
+        assert_eq!(downs.len(), 3);
+        assert!(
+            (downs[1] - downs[0] - 20.0).abs() > 1e-9 || (downs[2] - downs[1] - 20.0).abs() > 1e-9,
+            "jitter drew zero twice: {downs:?}"
+        );
+    }
+
+    #[test]
+    fn partition_cuts_exactly_the_region_crossing_links() {
+        let (topo, cdn, rng) = testbed();
+        let scenario = Scenario {
+            name: "p".into(),
+            description: String::new(),
+            site: "sea1".into(),
+            measure_from_s: Some(10.0),
+            events: vec![ScenarioEvent {
+                at_s: 10.0,
+                action: ScenarioAction::Partition {
+                    region: "seattle".into(),
+                },
+            }],
+        };
+        let site = cdn.by_name("sea1").unwrap();
+        let c = compile(&scenario, &topo, &cdn, &rng, site, true).unwrap();
+        let FaultOp::CutLinks { pairs } = &c.events[0].op else {
+            panic!("expected CutLinks, got {:?}", c.events[0].op);
+        };
+        let idx = REGIONS.iter().position(|r| r.name == "seattle").unwrap();
+        assert!(!pairs.is_empty());
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(&sorted, pairs, "pairs must be sorted and unique");
+        for &(a, b) in pairs {
+            let cross = (topo.node(a).region == idx) != (topo.node(b).region == idx);
+            assert!(cross, "({a}, {b}) does not cross the seattle boundary");
+        }
+    }
+
+    #[test]
+    fn compile_errors_name_the_event() {
+        let (topo, cdn, rng) = testbed();
+        let site = cdn.by_name("bos").unwrap();
+        let mut s = Scenario::site_failure(2.0, 0);
+        s.events[0] = ScenarioEvent {
+            at_s: 10.0,
+            action: ScenarioAction::SiteFail {
+                site: "atlantis".into(),
+                graceful: None,
+            },
+        };
+        let err = compile(&s, &topo, &cdn, &rng, site, true)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("events[0]") && err.contains("atlantis"),
+            "{err}"
+        );
+
+        s.events[0] = ScenarioEvent {
+            at_s: 10.0,
+            action: ScenarioAction::LinkDown {
+                site: "bos".into(),
+                link: 10_000,
+            },
+        };
+        let err = compile(&s, &topo, &cdn, &rng, site, true)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn drain_expands_to_desteer_plus_shutdown() {
+        let (topo, cdn, rng) = testbed();
+        let site = cdn.by_name("ams").unwrap();
+        let s = Scenario {
+            name: "drain".into(),
+            description: String::new(),
+            site: "ams".into(),
+            measure_from_s: None,
+            events: vec![ScenarioEvent {
+                at_s: 10.0,
+                action: ScenarioAction::Drain {
+                    site: "$site".into(),
+                    ttl_s: 30.0,
+                    shutdown_after_s: 60.0,
+                },
+            }],
+        };
+        let c = compile(&s, &topo, &cdn, &rng, site, true).unwrap();
+        assert!(c.has_drain());
+        assert_eq!(c.t_fail_offset, SimDuration::from_secs(10));
+        assert_eq!(c.events.len(), 2);
+        let node = cdn.node(site);
+        assert_eq!(
+            c.events[0].op,
+            FaultOp::Drain {
+                node,
+                site,
+                ttl: SimDuration::from_secs(30)
+            }
+        );
+        assert_eq!(c.events[1].at, SimDuration::from_secs(70));
+        assert_eq!(c.events[1].op, FaultOp::SiteDark { node });
+    }
+}

@@ -1,0 +1,358 @@
+//! The declarative scenario model: what a JSON scenario file contains.
+//!
+//! Times are seconds relative to the experiment's scenario epoch — the
+//! instant after the pre-failure network has converged and targets have
+//! been selected (the legacy hard-coded failure fired 10 s after that
+//! epoch). Site names are the paper's (`"ams"`, `"bos"`, …) or the
+//! placeholder `"$site"`, which binds to the cell's measured site at
+//! compile time so one scenario file serves the whole per-site grid.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named, timestamped script of injectable fault events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    pub name: String,
+    pub description: String,
+    /// The measured site: which site's targets are selected and probed.
+    /// `"$site"` defers to the grid cell (the common case).
+    pub site: String,
+    /// Measurement anchor in seconds: reconnection/failover times count
+    /// from here. Defaults to the first impactful event's time (site
+    /// failure, drain shutdown, link cut, …), falling back to the first
+    /// event, falling back to 10 s.
+    pub measure_from_s: Option<f64>,
+    pub events: Vec<ScenarioEvent>,
+}
+
+/// One scripted event: an action at a time offset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioEvent {
+    /// Seconds after the scenario epoch.
+    pub at_s: f64,
+    pub action: ScenarioAction,
+}
+
+/// The injectable actions. Each compiles to one or more `FaultOp`s applied
+/// through the BGP simulator, the DNS authoritative, or the technique
+/// reaction path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioAction {
+    /// The site withdraws everything it announces (control plane only —
+    /// the data plane stays up). The legacy pre-failure "flap down".
+    Withdraw { site: String },
+    /// The site re-announces its original advertisements (flap up).
+    Announce { site: String },
+    /// The site dies: data plane down, and either a graceful withdrawal
+    /// of all its announcements or a silent crash of all its links
+    /// (neighbors discover via hold timers). `graceful: null` defers to
+    /// the experiment config's `failure_mode`.
+    SiteFail {
+        site: String,
+        graceful: Option<bool>,
+    },
+    /// The site comes back: data plane up, links restored, original
+    /// announcements replayed.
+    SiteRestore { site: String },
+    /// One of the site's links drops silently (index into the site
+    /// node's adjacency list). Data plane drops packets crossing it at
+    /// once; BGP discovers via the hold timer.
+    LinkDown { site: String, link: usize },
+    /// The link comes back and sessions re-establish.
+    LinkUp { site: String, link: usize },
+    /// BGP session reset on one link: down and immediately up again, so
+    /// the hold-timer purge never fires but both ends re-advertise
+    /// (a soft reset / RFC 4271 session bounce).
+    SessionReset { site: String, link: usize },
+    /// A periodic withdraw/re-announce sequence: `count` cycles starting
+    /// here, one every `period_s`, each staying down `down_s`, with
+    /// per-cycle jitter drawn uniformly from `[0, jitter_s)` out of the
+    /// cell RNG (deterministic per seed).
+    Flap {
+        site: String,
+        count: u32,
+        period_s: f64,
+        down_s: f64,
+        jitter_s: f64,
+    },
+    /// Regional partition: silently fail every topology link with exactly
+    /// one endpoint in the named region (a geo cut).
+    Partition { region: String },
+    /// Restore every link the matching `Partition` cut.
+    HealPartition { region: String },
+    /// Maintenance drain: the site withdraws its announcements and the
+    /// DNS authoritative steers its clients elsewhere (each re-resolves
+    /// within `ttl_s`); the data plane stays up until `shutdown_after_s`
+    /// later, when the machines actually power off.
+    Drain {
+        site: String,
+        ttl_s: f64,
+        shutdown_after_s: f64,
+    },
+    /// The technique's reactive reconfiguration fires, minus its first
+    /// `skip` actions (partial rollout). The legacy path is `skip: 0` at
+    /// failure + detection delay; scheduling it later models slow
+    /// detection, twice models a retry.
+    React { skip: usize },
+}
+
+impl ScenarioAction {
+    /// Whether this event is a measurement anchor candidate: something
+    /// that takes capacity away (not churn, not recovery).
+    pub fn is_impactful(&self) -> bool {
+        matches!(
+            self,
+            ScenarioAction::SiteFail { .. }
+                | ScenarioAction::LinkDown { .. }
+                | ScenarioAction::Partition { .. }
+                | ScenarioAction::Drain { .. }
+        )
+    }
+}
+
+/// A scenario that fails validation or compilation; points at the
+/// offending event by index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioError {
+    /// Index into `events`, if the problem is tied to one event.
+    pub event: Option<usize>,
+    pub msg: String,
+}
+
+impl ScenarioError {
+    pub fn new(msg: impl Into<String>) -> ScenarioError {
+        ScenarioError {
+            event: None,
+            msg: msg.into(),
+        }
+    }
+
+    pub fn at(event: usize, msg: impl Into<String>) -> ScenarioError {
+        ScenarioError {
+            event: Some(event),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.event {
+            Some(i) => write!(f, "events[{i}]: {}", self.msg),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn finite_nonneg(event: usize, what: &str, v: f64) -> Result<(), ScenarioError> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(())
+    } else {
+        Err(ScenarioError::at(
+            event,
+            format!("{what} must be finite and >= 0, got {v}"),
+        ))
+    }
+}
+
+impl Scenario {
+    /// Structural validation that needs no testbed: names, times, counts.
+    /// Site/region names and link indices are checked at [`compile`] time
+    /// against a concrete topology.
+    ///
+    /// [`compile`]: crate::compile
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.name.is_empty() {
+            return Err(ScenarioError::new("scenario name must not be empty"));
+        }
+        if self.site.is_empty() {
+            return Err(ScenarioError::new("scenario site must not be empty"));
+        }
+        if let Some(m) = self.measure_from_s {
+            if !m.is_finite() || m < 0.0 {
+                return Err(ScenarioError::new(format!(
+                    "measure_from_s must be finite and >= 0, got {m}"
+                )));
+            }
+        }
+        if self.events.is_empty() {
+            return Err(ScenarioError::new(
+                "scenario must contain at least one event",
+            ));
+        }
+        for (i, ev) in self.events.iter().enumerate() {
+            finite_nonneg(i, "at_s", ev.at_s)?;
+            match &ev.action {
+                ScenarioAction::Flap {
+                    count,
+                    period_s,
+                    down_s,
+                    jitter_s,
+                    ..
+                } => {
+                    if *count == 0 {
+                        return Err(ScenarioError::at(i, "flap count must be >= 1"));
+                    }
+                    finite_nonneg(i, "period_s", *period_s)?;
+                    finite_nonneg(i, "down_s", *down_s)?;
+                    finite_nonneg(i, "jitter_s", *jitter_s)?;
+                    if *down_s + *jitter_s > *period_s {
+                        return Err(ScenarioError::at(
+                            i,
+                            format!(
+                                "flap cycles overlap: down_s + jitter_s = {} > period_s = {period_s}",
+                                down_s + jitter_s
+                            ),
+                        ));
+                    }
+                }
+                ScenarioAction::Drain {
+                    ttl_s,
+                    shutdown_after_s,
+                    ..
+                } => {
+                    finite_nonneg(i, "ttl_s", *ttl_s)?;
+                    finite_nonneg(i, "shutdown_after_s", *shutdown_after_s)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The measurement anchor in seconds (see `measure_from_s`).
+    pub fn t_fail_s(&self) -> f64 {
+        if let Some(m) = self.measure_from_s {
+            return m;
+        }
+        self.events
+            .iter()
+            .find(|e| e.action.is_impactful())
+            .or(self.events.first())
+            .map(|e| e.at_s)
+            .unwrap_or(10.0)
+    }
+
+    /// The built-in baseline: the paper's hard-coded site failure,
+    /// expressed as a scenario. `flaps` withdraw/re-announce cycles on a
+    /// fixed 30 s cadence (down 10 s), then the site fails at
+    /// 10 s + 30 s × flaps, then the technique reacts `detection_delay_s`
+    /// later. Compiling this replicates the legacy experiment loop's
+    /// event schedule exactly — same events, same order, same timestamps.
+    pub fn site_failure(detection_delay_s: f64, flaps: u32) -> Scenario {
+        let mut events = Vec::new();
+        for k in 0..flaps {
+            let down = 10.0 + 30.0 * k as f64;
+            events.push(ScenarioEvent {
+                at_s: down,
+                action: ScenarioAction::Withdraw {
+                    site: "$site".into(),
+                },
+            });
+            events.push(ScenarioEvent {
+                at_s: down + 10.0,
+                action: ScenarioAction::Announce {
+                    site: "$site".into(),
+                },
+            });
+        }
+        let t_fail = 10.0 + 30.0 * flaps as f64;
+        events.push(ScenarioEvent {
+            at_s: t_fail,
+            action: ScenarioAction::SiteFail {
+                site: "$site".into(),
+                graceful: None,
+            },
+        });
+        events.push(ScenarioEvent {
+            at_s: t_fail + detection_delay_s,
+            action: ScenarioAction::React { skip: 0 },
+        });
+        Scenario {
+            name: "site-failure".into(),
+            description: "The paper's baseline: the measured site dies and the technique reacts \
+                          after the detection delay."
+                .into(),
+            site: "$site".into(),
+            measure_from_s: Some(t_fail),
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_failure_builder_matches_legacy_schedule() {
+        let s = Scenario::site_failure(2.0, 2);
+        s.validate().unwrap();
+        assert_eq!(s.t_fail_s(), 70.0);
+        let times: Vec<f64> = s.events.iter().map(|e| e.at_s).collect();
+        assert_eq!(times, vec![10.0, 20.0, 40.0, 50.0, 70.0, 72.0]);
+        assert!(matches!(
+            s.events[4].action,
+            ScenarioAction::SiteFail { graceful: None, .. }
+        ));
+        assert!(matches!(
+            s.events[5].action,
+            ScenarioAction::React { skip: 0 }
+        ));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_scenario() {
+        let s = Scenario::site_failure(2.0, 1);
+        let text = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str_typed(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn typed_parse_reports_field_paths() {
+        let bad = r#"{
+            "name": "x", "description": "", "site": "$site",
+            "measure_from_s": null,
+            "events": [ { "at_s": "ten", "action": { "React": { "skip": 0 } } } ]
+        }"#;
+        let err = serde_json::from_str_typed::<Scenario>(bad)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("events[0].at_s"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_bad_flaps() {
+        let mut s = Scenario::site_failure(2.0, 0);
+        s.events.insert(
+            0,
+            ScenarioEvent {
+                at_s: 5.0,
+                action: ScenarioAction::Flap {
+                    site: "$site".into(),
+                    count: 3,
+                    period_s: 10.0,
+                    down_s: 9.0,
+                    jitter_s: 2.0,
+                },
+            },
+        );
+        let err = s.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("events[0]") && err.contains("overlap"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn measurement_anchor_prefers_impactful_events() {
+        let mut s = Scenario::site_failure(2.0, 1);
+        s.measure_from_s = None;
+        // Flaps at 10/20 come first, but the anchor is the SiteFail at 40.
+        assert_eq!(s.t_fail_s(), 40.0);
+    }
+}

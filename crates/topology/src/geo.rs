@@ -44,7 +44,11 @@ pub fn propagation_delay(km: f64) -> SimDuration {
 }
 
 /// A metropolitan region where ASes and CDN sites cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: `name` borrows from the static [`REGIONS`] table, so a
+/// `Region` cannot be rebuilt from JSON (and never needs to be — regions
+/// are identified by name or index everywhere they cross a file boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct Region {
     pub name: &'static str,
     pub center: Coords,

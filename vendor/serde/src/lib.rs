@@ -15,8 +15,12 @@
 //! - `Option::None` → `null`; non-finite floats → `null`
 //! - maps → objects (HashMap keys are sorted for deterministic output)
 //!
-//! `Deserialize` exists only so `use serde::{Deserialize, Serialize}` and
-//! `#[derive(Deserialize)]` compile; nothing in the workspace parses JSON.
+//! `Deserialize` is the mirror image: [`Deserialize::from_value`] rebuilds a
+//! typed value from a [`Value`] tree (usually one produced by
+//! `serde_json::from_str`), reporting failures as a [`DeError`] that carries
+//! the JSON path of the offending node — `events[3].action: unknown variant`
+//! rather than a bare message. The derive generates `from_value` impls that
+//! accept exactly the encodings the `Serialize` derive emits.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -93,9 +97,151 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Placeholder so `#[derive(Deserialize)]` and trait imports compile; no
-/// parsing support is provided (or needed) in this workspace.
-pub trait Deserialize {}
+/// Deserializable types: the inverse of [`Serialize`], reading the same
+/// [`Value`] encodings the `Serialize` derive produces. Errors carry a
+/// field path (see [`DeError`]) so `bobw scenario validate` can point at
+/// the exact offending node in a hand-written JSON file.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization failure: a message plus the path from the root to the
+/// node that failed, accumulated as the error bubbles up through
+/// [`de::field`] / [`de::element`] calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    /// Path segments like `.events[3].action`, prepended as the error
+    /// propagates outward (innermost segment is added first).
+    path: String,
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError {
+            path: String::new(),
+            msg: msg.into(),
+        }
+    }
+
+    /// Wraps the error as occurring inside object field `name`.
+    pub fn in_field(mut self, name: &str) -> DeError {
+        self.path = format!(".{name}{}", self.path);
+        self
+    }
+
+    /// Wraps the error as occurring inside array element `idx`.
+    pub fn in_index(mut self, idx: usize) -> DeError {
+        self.path = format!("[{idx}]{}", self.path);
+        self
+    }
+
+    /// The accumulated path, e.g. `events[3].action` (empty at the root).
+    pub fn path(&self) -> &str {
+        self.path.strip_prefix('.').unwrap_or(&self.path)
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "{}: {}", self.path(), self.msg)
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Helpers used by the generated `Deserialize` impls (and hand-written
+/// ones). Public so the derive output can call them via `::serde::de::…`.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Human-readable node kind for error messages.
+    pub fn kind(v: &Value) -> &'static str {
+        match v {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Fails unless `v` is an object (the shape check for named structs).
+    pub fn expect_object(v: &Value) -> Result<(), DeError> {
+        match v {
+            Value::Object(_) => Ok(()),
+            other => Err(DeError::new(format!(
+                "expected object, got {}",
+                kind(other)
+            ))),
+        }
+    }
+
+    /// Fails unless `v` is `null` (the encoding of unit structs).
+    pub fn expect_null(v: &Value) -> Result<(), DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::new(format!("expected null, got {}", kind(other)))),
+        }
+    }
+
+    /// Reads object field `name`. A missing key is treated as `null`, so
+    /// `Option` fields may be omitted entirely; for any other type the
+    /// error says "missing field" rather than "expected X, got null".
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+        expect_object(v)?;
+        match v.get(name) {
+            Some(inner) => T::from_value(inner).map_err(|e| e.in_field(name)),
+            None => T::from_value(&Value::Null)
+                .map_err(|_| DeError::new(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Reads element `idx` of an array that must have exactly `expected`
+    /// elements (tuple structs and tuple enum variants).
+    pub fn element<T: Deserialize>(v: &Value, idx: usize, expected: usize) -> Result<T, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {}", kind(v))))?;
+        if items.len() != expected {
+            return Err(DeError::new(format!(
+                "expected {expected} elements, got {}",
+                items.len()
+            )));
+        }
+        T::from_value(&items[idx]).map_err(|e| e.in_index(idx))
+    }
+
+    /// Parses a JSON object key back into a map key type. Serialization
+    /// lowers string/integer/bool keys to strings, so try each rendering.
+    pub fn parse_key<K: Deserialize>(k: &str) -> Result<K, DeError> {
+        if let Ok(v) = K::from_value(&Value::Str(k.to_string())) {
+            return Ok(v);
+        }
+        if let Ok(n) = k.parse::<u64>() {
+            if let Ok(v) = K::from_value(&Value::UInt(n)) {
+                return Ok(v);
+            }
+        }
+        if let Ok(n) = k.parse::<i64>() {
+            if let Ok(v) = K::from_value(&Value::Int(n)) {
+                return Ok(v);
+            }
+        }
+        if let Ok(b) = k.parse::<bool>() {
+            if let Ok(v) = K::from_value(&Value::Bool(b)) {
+                return Ok(v);
+            }
+        }
+        Err(DeError::new(format!("unparseable map key {k:?}")))
+    }
+}
 
 impl Serialize for Value {
     fn to_value(&self) -> Value {
@@ -265,6 +411,199 @@ impl<T: Serialize> Serialize for HashSet<T> {
     }
 }
 
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = v.as_u64().ok_or_else(|| {
+                    DeError::new(format!(
+                        "expected unsigned integer, got {}", de::kind(v)
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "{n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n).map_err(|_| {
+                        DeError::new(format!("{n} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, got {}", de::kind(other)
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "{n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_uint!(u8, u16, u32, u64, usize);
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::new(format!("expected number, got {}", de::kind(v))))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, got {}", de::kind(v))))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!(
+                "expected single-char string, got {s:?}"
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected string, got {}", de::kind(v))))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {}", de::kind(v))))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| e.in_index(i)))
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected {N} elements, got {got}")))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr, $($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), DeError> {
+                Ok(($(de::element::<$t>(v, $n, $len)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (1, 0 A),
+    (2, 0 A, 1 B),
+    (3, 0 A, 1 B, 2 C),
+    (4, 0 A, 1 B, 2 C, 3 D),
+    (5, 0 A, 1 B, 2 C, 3 D, 4 E),
+}
+
+/// Shared body of the map impls: object entries → parsed (key, value) pairs.
+fn map_entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .map(|(k, val)| {
+                Ok((
+                    de::parse_key::<K>(k)?,
+                    V::from_value(val).map_err(|e| e.in_field(k))?,
+                ))
+            })
+            .collect(),
+        other => Err(DeError::new(format!(
+            "expected object, got {}",
+            de::kind(other)
+        ))),
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        map_entries(v).map(|e| e.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<HashMap<K, V>, DeError> {
+        map_entries(v).map(|e| e.into_iter().collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<BTreeSet<T>, DeError> {
+        Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<HashSet<T>, DeError> {
+        Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +627,56 @@ mod tests {
         };
         assert_eq!(entries[0].0, "a");
         assert_eq!(entries[1].0, "b");
+    }
+
+    #[test]
+    fn primitives_round_trip_through_from_value() {
+        assert_eq!(u32::from_value(&Value::UInt(5)).unwrap(), 5);
+        assert_eq!(i64::from_value(&Value::Int(-3)).unwrap(), -3);
+        assert_eq!(i64::from_value(&Value::UInt(3)).unwrap(), 3);
+        assert_eq!(f64::from_value(&Value::UInt(2)).unwrap(), 2.0);
+        assert!(bool::from_value(&Value::Bool(true)).unwrap());
+        assert_eq!(
+            String::from_value(&Value::Str("hi".into())).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&Value::UInt(9)).unwrap(), Some(9));
+        assert!(u8::from_value(&Value::UInt(256)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(u32::from_value(&Value::Float(1.5)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip_through_from_value() {
+        let v = Value::Array(vec![Value::UInt(1), Value::UInt(2)]);
+        assert_eq!(Vec::<u8>::from_value(&v).unwrap(), vec![1, 2]);
+        assert_eq!(<[u8; 2]>::from_value(&v).unwrap(), [1, 2]);
+        assert!(<[u8; 3]>::from_value(&v).is_err());
+        assert_eq!(<(u8, u8)>::from_value(&v).unwrap(), (1, 2));
+        let m = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        let parsed: BTreeMap<String, u8> = Deserialize::from_value(&m).unwrap();
+        assert_eq!(parsed.get("a"), Some(&1));
+        let keyed = Value::Object(vec![("7".into(), Value::Bool(true))]);
+        let parsed: BTreeMap<u32, bool> = Deserialize::from_value(&keyed).unwrap();
+        assert_eq!(parsed.get(&7), Some(&true));
+    }
+
+    #[test]
+    fn errors_carry_the_json_path() {
+        let v = Value::Object(vec![(
+            "xs".into(),
+            Value::Array(vec![Value::UInt(1), Value::Str("two".into())]),
+        )]);
+        let err = de::field::<Vec<u8>>(&v, "xs").unwrap_err();
+        assert_eq!(err.path(), "xs[1]");
+        assert_eq!(
+            err.to_string(),
+            "xs[1]: expected unsigned integer, got string"
+        );
+        let missing = de::field::<u8>(&v, "nope").unwrap_err();
+        assert_eq!(missing.to_string(), "missing field `nope`");
+        // Missing Option fields quietly become None.
+        assert_eq!(de::field::<Option<u8>>(&v, "nope").unwrap(), None);
     }
 }

@@ -7,8 +7,12 @@
 //! unit/newtype/tuple/struct variants, no `#[serde(...)]` attributes.
 //! Anything else produces a `compile_error!` naming the unsupported shape.
 //!
-//! `#[derive(Deserialize)]` implements the marker trait only — nothing in the
-//! workspace parses JSON.
+//! `#[derive(Deserialize)]` generates the inverse: a
+//! `Deserialize::from_value` impl accepting exactly the encodings the
+//! `Serialize` derive emits, with field-path error propagation through the
+//! `::serde::de` helpers. Field *types* never appear in the generated code —
+//! each `::serde::de::field`/`element` call site infers its target type from
+//! the struct literal it initializes, so the parser above only needs names.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -23,9 +27,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
-            .parse()
-            .unwrap(),
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
         Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
     }
 }
@@ -280,6 +282,117 @@ fn gen_serialize(item: &Item) -> String {
         "#[automatically_derived]\n\
          impl ::serde::Serialize for {name} {{\n\
              fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Struct-literal initializer list reading each named field via
+/// `::serde::de::field` (which handles missing-key and path wrapping).
+fn field_inits(source: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field({source}, {f:?})?"))
+        .collect();
+    inits.join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => format!(
+            "::std::result::Result::Ok({name} {{ {} }})",
+            field_inits("v", fields)
+        ),
+        // Newtype structs are transparent: parse the inner value directly.
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::map(::serde::Deserialize::from_value(v), {name})")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::element(v, {i}, {n})?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", elems.join(", "))
+        }
+        Shape::UnitStruct => {
+            format!("::serde::de::expect_null(v)?; ::std::result::Result::Ok({name})")
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let obj_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!(),
+                        VariantShape::Tuple(1) => format!(
+                            "{vname:?} => ::std::result::Result::map_err(\
+                                 ::std::result::Result::map(\
+                                     ::serde::Deserialize::from_value(inner), {name}::{vname}),\
+                                 |e| ::serde::DeError::in_field(e, {vname:?})),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::de::element(inner, {i}, {n})?"))
+                                .collect();
+                            format!(
+                                "{vname:?} => (|| ::std::result::Result::Ok({name}::{vname}({})))()\
+                                 .map_err(|e: ::serde::DeError| e.in_field({vname:?})),",
+                                elems.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => format!(
+                            "{vname:?} => (|| ::std::result::Result::Ok({name}::{vname} {{ {} }}))()\
+                             .map_err(|e: ::serde::DeError| e.in_field({vname:?})),",
+                            field_inits("inner", fields)
+                        ),
+                    }
+                })
+                .collect();
+            let inner_bind = if obj_arms.is_empty() {
+                "_inner"
+            } else {
+                "inner"
+            };
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (k, {inner_bind}) = &entries[0];\n\
+                         match k.as_str() {{\n\
+                             {obj}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"expected {name} variant (string or \
+                          single-key object), got {{}}\", ::serde::de::kind(other)))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                obj = obj_arms.join("\n"),
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
                  {body}\n\
              }}\n\
          }}"

@@ -7,11 +7,13 @@
 //! Rendering is fully deterministic — a requirement for the byte-identical
 //! `--jobs 1` vs `--jobs N` experiment outputs.
 //!
-//! [`from_str`] parses JSON text back into a [`Value`] tree (untyped — the
-//! stub has no `Deserialize` machinery). This is enough for tools that read
-//! the workspace's own output, e.g. `bench_gate` diffing `BENCH_*.json`.
+//! [`from_str`] parses JSON text back into an untyped [`Value`] tree
+//! (enough for tools that read the workspace's own output, e.g.
+//! `bench_gate` diffing `BENCH_*.json`). [`from_str_typed`] layers the
+//! vendored serde's `Deserialize` on top, so scenario files and wire
+//! configs are validated at the type level with field-path errors.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 #[derive(Debug)]
@@ -129,6 +131,21 @@ pub fn from_str(s: &str) -> Result<Value> {
         return Err(Error(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(v)
+}
+
+/// Parse JSON text into a typed value: [`from_str`] followed by
+/// [`Deserialize::from_value`]. Deserialization failures keep their JSON
+/// path in the message (`events[3].at_s: expected number, got string`).
+pub fn from_str_typed<T: Deserialize>(s: &str) -> Result<T> {
+    let v = from_str(s)?;
+    from_value(&v).map_err(|e| Error(e.to_string()))
+}
+
+/// Convert an already-parsed [`Value`] tree into a typed value, preserving
+/// the structured [`serde::DeError`] (path + message) for callers that
+/// want to report it precisely.
+pub fn from_value<T: Deserialize>(v: &Value) -> std::result::Result<T, serde::DeError> {
+    T::from_value(v)
 }
 
 struct Parser<'a> {
