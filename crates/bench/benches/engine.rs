@@ -1,6 +1,10 @@
 //! Engine microbenchmarks: raw simulator throughput underlying every
 //! experiment — prefix-trie operations, full-topology BGP convergence, and
 //! withdrawal path exploration.
+//!
+//! Unlike the experiment-level benches, these measure single-threaded
+//! primitives with no cell grid, so the `BOBW_JOBS` / `BOBW_DISPATCH`
+//! runner knobs deliberately do not apply here.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Duration;

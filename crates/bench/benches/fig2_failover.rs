@@ -2,11 +2,19 @@
 //! experiment (converge → select → fail → probe → metrics) per technique,
 //! at a reduced scale so `cargo bench` completes quickly. The full-scale
 //! reproduction lives in the `fig2` binary.
+//!
+//! Criterion owns `argv`, so the runner knobs arrive through the
+//! environment instead: `BOBW_JOBS=N` runs each iteration's cell batch on
+//! N local threads, `BOBW_DISPATCH=tcp://…|unix://…` serves it to remote
+//! `bobw-worker` processes. Default is one local thread so timings stay
+//! comparable run to run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use bobw_core::{run_failover, ExperimentConfig, Technique, Testbed};
+use bobw_bench::env_dispatch;
+use bobw_core::{ExperimentConfig, Technique, Testbed};
+use bobw_dist::{CellOutput, CellSpec};
 use bobw_event::SimDuration;
 
 fn bench_cfg() -> ExperimentConfig {
@@ -19,18 +27,27 @@ fn bench_cfg() -> ExperimentConfig {
 
 fn fig2(c: &mut Criterion) {
     let testbed = Testbed::new(bench_cfg());
+    let mut dispatch = env_dispatch();
     let mut group = c.benchmark_group("fig2_failover");
     let mut techniques = Technique::figure2_set();
     techniques.push(Technique::Combined);
     for t in techniques {
-        group.bench_with_input(BenchmarkId::from_parameter(t.name()), &t, |b, t| {
+        let cells = [CellSpec::Failover {
+            technique: t.name(),
+            site: "bos".to_string(),
+        }];
+        group.bench_with_input(BenchmarkId::from_parameter(t.name()), &t, |b, _| {
             b.iter(|| {
-                let r = run_failover(&testbed, t, testbed.site("bos"));
+                let out = dispatch.run(&testbed, &cells).expect("cell runs");
+                let CellOutput::Failover(r, _) = &out[0] else {
+                    panic!("failover cell produced control output");
+                };
                 (r.num_controllable, r.outcomes.len())
             })
         });
     }
     group.finish();
+    dispatch.finish();
 }
 
 fn config() -> Criterion {

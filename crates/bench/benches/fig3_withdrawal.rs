@@ -1,17 +1,22 @@
 //! Criterion bench for the Figure 3 (Appendix A) machinery: one withdrawal
 //! convergence study instance per origin profile. Full-scale numbers come
 //! from the `fig3` binary.
+//!
+//! Honors `BOBW_JOBS` (criterion owns `argv` — see `fig2_failover.rs`);
+//! the appendix studies run in-process, so `BOBW_DISPATCH` does not apply.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use bobw_bench::appendix::withdrawal_convergence;
+use bobw_bench::appendix::withdrawal_convergence_instrumented;
+use bobw_bench::env_jobs;
 use bobw_core::ExperimentConfig;
 use bobw_topology::OriginProfile;
 
 fn fig3(c: &mut Criterion) {
     let mut cfg = ExperimentConfig::quick(7);
     cfg.gen = bobw_topology::GenConfig::tiny();
+    let jobs = env_jobs();
     let mut group = c.benchmark_group("fig3_withdrawal");
     for profile in [OriginProfile::Hypergiant, OriginProfile::PeeringTestbed] {
         group.bench_with_input(
@@ -19,7 +24,8 @@ fn fig3(c: &mut Criterion) {
             &profile,
             |b, p| {
                 b.iter(|| {
-                    let out = withdrawal_convergence(&cfg, &cfg.timing, *p, 1);
+                    let (out, _) =
+                        withdrawal_convergence_instrumented(&cfg, &cfg.timing, *p, 1, jobs);
                     out.samples.len()
                 })
             },

@@ -1,17 +1,22 @@
 //! Criterion bench for the Figure 4 (Appendix B) machinery: one anycast
 //! announcement propagation study instance per population. Full-scale
 //! numbers come from the `fig4` binary.
+//!
+//! Honors `BOBW_JOBS` (criterion owns `argv` — see `fig2_failover.rs`);
+//! the appendix studies run in-process, so `BOBW_DISPATCH` does not apply.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use bobw_bench::appendix::announcement_propagation;
+use bobw_bench::appendix::announcement_propagation_instrumented;
+use bobw_bench::env_jobs;
 use bobw_core::ExperimentConfig;
 use bobw_topology::OriginProfile;
 
 fn fig4(c: &mut Criterion) {
     let mut cfg = ExperimentConfig::quick(7);
     cfg.gen = bobw_topology::GenConfig::tiny();
+    let jobs = env_jobs();
     let mut group = c.benchmark_group("fig4_propagation");
     for (label, profile, n) in [
         ("manycast2-like", OriginProfile::Hypergiant, 3usize),
@@ -22,7 +27,8 @@ fn fig4(c: &mut Criterion) {
             &(profile, n),
             |b, (p, n)| {
                 b.iter(|| {
-                    let out = announcement_propagation(&cfg, &cfg.timing, *p, *n, 1);
+                    let (out, _) =
+                        announcement_propagation_instrumented(&cfg, &cfg.timing, *p, *n, 1, jobs);
                     out.samples.len()
                 })
             },

@@ -1,11 +1,16 @@
 //! Criterion bench for the Figure 5 (Appendix C.2) machinery: the
 //! proactive-prepending failover experiment at prepend 3 vs 5. Full-scale
 //! numbers come from the `fig5` binary.
+//!
+//! Honors `BOBW_JOBS` / `BOBW_DISPATCH` (criterion owns `argv` — see
+//! `fig2_failover.rs`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use bobw_core::{run_failover, ExperimentConfig, Technique, Testbed};
+use bobw_bench::env_dispatch;
+use bobw_core::{ExperimentConfig, Technique, Testbed};
+use bobw_dist::{CellOutput, CellSpec};
 use bobw_event::SimDuration;
 
 fn fig5(c: &mut Criterion) {
@@ -14,20 +19,29 @@ fn fig5(c: &mut Criterion) {
     cfg.targets_per_site = 30;
     cfg.probe.duration = SimDuration::from_secs(90);
     let testbed = Testbed::new(cfg);
+    let mut dispatch = env_dispatch();
     let mut group = c.benchmark_group("fig5_prepend");
     for prepends in [3u8, 5u8] {
         let t = Technique::ProactivePrepending {
             prepends,
             selective: false,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(prepends), &t, |b, t| {
+        let cells = [CellSpec::Failover {
+            technique: t.name(),
+            site: "slc".to_string(),
+        }];
+        group.bench_with_input(BenchmarkId::from_parameter(prepends), &t, |b, _| {
             b.iter(|| {
-                let r = run_failover(&testbed, t, testbed.site("slc"));
+                let out = dispatch.run(&testbed, &cells).expect("cell runs");
+                let CellOutput::Failover(r, _) = &out[0] else {
+                    panic!("failover cell produced control output");
+                };
                 r.outcomes.len()
             })
         });
     }
     group.finish();
+    dispatch.finish();
 }
 
 fn config() -> Criterion {

@@ -1,26 +1,40 @@
 //! Criterion bench for the Table 1 machinery: anycast catchment + steered
 //! fraction under prepending for one site. Full-scale numbers come from the
 //! `table1` binary.
+//!
+//! Honors `BOBW_JOBS` / `BOBW_DISPATCH` (criterion owns `argv` — see
+//! `fig2_failover.rs`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use bobw_core::{measure_control, ExperimentConfig, Testbed};
+use bobw_bench::env_dispatch;
+use bobw_core::{ExperimentConfig, Testbed};
+use bobw_dist::{CellOutput, CellSpec};
 
 fn table1(c: &mut Criterion) {
     let mut cfg = ExperimentConfig::quick(7);
     cfg.gen = bobw_topology::GenConfig::tiny();
     let testbed = Testbed::new(cfg);
+    let mut dispatch = env_dispatch();
     let mut group = c.benchmark_group("table1_control");
     for site in ["ams", "sea1", "sea2"] {
-        group.bench_with_input(BenchmarkId::from_parameter(site), &site, |b, site| {
+        let cells = [CellSpec::Control {
+            site: site.to_string(),
+            prepends: vec![3, 5],
+        }];
+        group.bench_with_input(BenchmarkId::from_parameter(site), &site, |b, _| {
             b.iter(|| {
-                let r = measure_control(&testbed, testbed.site(site), &[3, 5]);
-                (r.num_near, r.steered.len())
+                let out = dispatch.run(&testbed, &cells).expect("cell runs");
+                let CellOutput::Control(r, _) = &out[0] else {
+                    panic!("control cell produced failover output");
+                };
+                (r.site_name.len(), r.steered.len())
             })
         });
     }
     group.finish();
+    dispatch.finish();
 }
 
 fn config() -> Criterion {

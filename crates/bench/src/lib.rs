@@ -30,7 +30,7 @@ use std::path::PathBuf;
 
 use bobw_core::{analyze_divergence, ExperimentConfig, FailoverResult, Technique, Testbed};
 use bobw_dist::{CellOutput, CellSpec};
-use bobw_measure::Cdf;
+use bobw_measure::{Cdf, WeightedCdf};
 use serde::Serialize;
 
 pub mod appendix;
@@ -129,12 +129,61 @@ impl Cli {
             }
         }
     }
+
+    /// Applies the `BOBW_JOBS` / `BOBW_DISPATCH` environment overrides —
+    /// the runner knobs for harnesses that own `argv` (the criterion
+    /// benches, examples run under `cargo run --example`). Explicit
+    /// `--jobs`/`--dispatch` flags win because [`parse_cli`] applies the
+    /// environment before parsing. Malformed values warn and are ignored
+    /// rather than aborting: a stray variable must not kill a bench run.
+    pub fn apply_env(&mut self) {
+        if let Ok(v) = std::env::var("BOBW_JOBS") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => self.jobs = n,
+                _ => eprintln!("warning: ignoring BOBW_JOBS={v:?} (need an integer >= 1)"),
+            }
+        }
+        if let Ok(v) = std::env::var("BOBW_DISPATCH") {
+            self.listen = if v == "local" || v.is_empty() {
+                None
+            } else {
+                Some(v)
+            };
+        }
+    }
+}
+
+/// [`Dispatch`] for criterion benches, honoring `BOBW_JOBS` and
+/// `BOBW_DISPATCH` (criterion owns `argv`, so the usual flags cannot reach
+/// those harnesses). Defaults to one local worker thread — not available
+/// parallelism — so microbenchmark timings stay comparable run to run
+/// unless the operator explicitly opts into parallel or remote cells.
+pub fn env_dispatch() -> Dispatch {
+    let mut cli = Cli {
+        jobs: 1,
+        ..Cli::default()
+    };
+    cli.apply_env();
+    cli.dispatch()
+}
+
+/// The jobs count criterion benches should pass to helpers that take a
+/// plain thread count (`BOBW_JOBS`, default 1 — see [`env_dispatch`]).
+pub fn env_jobs() -> usize {
+    let mut cli = Cli {
+        jobs: 1,
+        ..Cli::default()
+    };
+    cli.apply_env();
+    cli.jobs
 }
 
 /// Parses `--scale`, `--seed`, `--out`, `--jobs` from the process
-/// arguments; exits with a usage message on unknown flags.
+/// arguments; exits with a usage message on unknown flags. `BOBW_JOBS`
+/// and `BOBW_DISPATCH` seed the defaults (flags override).
 pub fn parse_cli() -> Cli {
     let mut cli = Cli::default();
+    cli.apply_env();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -343,6 +392,105 @@ impl TechniqueSeries {
     }
 }
 
+/// Demand-weighted series for one technique under the traffic layer:
+/// reconnection samples carry each target's base demand weight (from
+/// [`bobw_core::TrafficSummary::target_weights`]), so the CDFs answer
+/// "how fast did the *traffic* come back" rather than "how fast did the
+/// median probe target". Also carries the load-side observations — peak
+/// post-event utilization and shed volume — that distinguish an absorbed
+/// failure from an overload cascade.
+///
+/// This is a separate struct from [`TechniqueSeries`] on purpose: the
+/// unweighted series feeds the checked-in paper figures and must stay
+/// byte-stable.
+#[derive(Debug, Clone, Serialize)]
+pub struct WeightedTechniqueSeries {
+    pub technique: String,
+    /// `(reconnection_s, demand_weight)` per reconnected target, across
+    /// every result (⟨failed site, target⟩ cells in site order).
+    pub reconnection: Vec<(f64, f64)>,
+    pub num_targets: usize,
+    /// Total demand weight across measured targets.
+    pub total_weight: f64,
+    /// Demand weight that never reconnected within the probing window.
+    pub never_reconnected_weight: f64,
+    /// Worst post-event site utilization across results (load/capacity;
+    /// > 1 means overload). `None` when no result carried a summary.
+    pub peak_utilization: Option<f64>,
+    /// Shed demand as a fraction of offered demand, pooled across results.
+    pub shed_fraction: Option<f64>,
+    /// DNS re-steers issued by the load-aware controller, pooled.
+    pub resteers: Option<u64>,
+}
+
+impl WeightedTechniqueSeries {
+    /// Aggregates traffic-enabled results. Results without a summary
+    /// (traffic layer off) contribute unit weights, so the weighted CDF
+    /// degrades to the unweighted one instead of silently dropping data.
+    pub fn from_results(technique: &Technique, results: &[FailoverResult]) -> Self {
+        let mut reconnection = Vec::new();
+        let mut num_targets = 0;
+        let mut total_weight = 0.0;
+        let mut never_weight = 0.0;
+        let mut peak: Option<f64> = None;
+        let mut offered = 0.0;
+        let mut shed = 0.0;
+        let mut any_summary = false;
+        let mut resteers = 0u64;
+        for r in results {
+            num_targets += r.num_controllable;
+            let weights: Vec<f64> = match &r.traffic {
+                Some(s) => {
+                    any_summary = true;
+                    offered += s.offered;
+                    shed += s.shed;
+                    resteers += s.resteers;
+                    let p = s.peak_after();
+                    peak = Some(peak.map_or(p, |q| q.max(p)));
+                    s.target_weights.clone()
+                }
+                None => vec![1.0; r.outcomes.len()],
+            };
+            for (i, o) in r.outcomes.iter().enumerate() {
+                let w = weights.get(i).copied().unwrap_or(1.0);
+                total_weight += w;
+                match o.reconnection {
+                    Some(d) => reconnection.push((d.as_secs_f64(), w)),
+                    None => never_weight += w,
+                }
+            }
+        }
+        WeightedTechniqueSeries {
+            technique: technique.name(),
+            reconnection,
+            num_targets,
+            total_weight,
+            never_reconnected_weight: never_weight,
+            peak_utilization: peak,
+            shed_fraction: if any_summary && offered > 0.0 {
+                Some(shed / offered)
+            } else {
+                None
+            },
+            resteers: any_summary.then_some(resteers),
+        }
+    }
+
+    pub fn reconnection_cdf(&self) -> WeightedCdf {
+        WeightedCdf::new(self.reconnection.clone())
+    }
+
+    /// Demand-weighted reconnected fraction: the share of traffic that
+    /// found a serving site again within the window.
+    pub fn reconnected_weight_fraction(&self) -> f64 {
+        if self.total_weight <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.never_reconnected_weight / self.total_weight
+        }
+    }
+}
+
 /// Table 1 across all sites: per site, the not-anycast-routed fraction and
 /// per-prepend steered fractions, in the paper's column order.
 #[derive(Debug, Clone, Serialize)]
@@ -458,5 +606,103 @@ mod tests {
         assert_eq!(par[0].num_controllable, seq.num_controllable);
         assert_eq!(par[0].outcomes, seq.outcomes);
         assert_eq!(par.len(), tb.cdn.num_sites());
+    }
+
+    fn traffic_cfg(seed: u64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(seed);
+        cfg.targets_per_site = 10;
+        cfg.probe.duration = bobw_event::SimDuration::from_secs(45);
+        cfg.traffic = Some(bobw_core::TrafficConfig::default());
+        cfg
+    }
+
+    /// Traffic-enabled cells — summaries included — must be byte-identical
+    /// for any `--jobs` value and over the socket dispatch path (one
+    /// in-process worker attached to a loopback coordinator), same as the
+    /// paper grid. Demand sampling and controller re-steer lags all live
+    /// on named RNG streams, so scheduling must not perturb them.
+    #[test]
+    fn traffic_grid_is_byte_identical_across_jobs_and_dispatch() {
+        let tb = Testbed::new(traffic_cfg(5));
+        let t = Technique::ReactiveAnycast;
+        let serial = run_technique_all_sites(&tb, &t, 1);
+        let par = run_technique_all_sites(&tb, &t, 4);
+        let serial_json = serde_json::to_string(&serial).unwrap();
+        assert!(
+            serial.iter().all(|r| r.traffic.is_some()),
+            "traffic-enabled cells must carry summaries"
+        );
+        assert_eq!(
+            serial_json,
+            serde_json::to_string(&par).unwrap(),
+            "jobs=1 and jobs=4 must serialize identically"
+        );
+
+        let mut dispatch = Dispatch::serve("tcp://127.0.0.1:0").unwrap();
+        let ep = dispatch.endpoint().expect("serving").clone();
+        let worker = std::thread::spawn(move || {
+            let mut wc = bobw_dist::WorkerConfig::new(ep);
+            wc.name = "loopback".to_string();
+            bobw_dist::run_worker(&wc).expect("worker")
+        });
+        let (dist, _log) = run_technique_all_sites_dispatch(&tb, &t, &mut dispatch).unwrap();
+        dispatch.finish();
+        let done = worker.join().unwrap();
+        assert!(done >= 1, "the worker must have executed cells");
+        assert_eq!(
+            serial_json,
+            serde_json::to_string(&dist).unwrap(),
+            "dispatched cells must serialize identically to local ones"
+        );
+    }
+
+    /// The traffic layer is observational: with it off the unweighted
+    /// series (what feeds the checked-in `results/*.json`) must serialize
+    /// byte-identically to a run with it on, and omitting `traffic`
+    /// entirely is the checked-in baseline.
+    #[test]
+    fn traffic_none_keeps_unweighted_series_byte_identical() {
+        let t = Technique::ReactiveAnycast;
+        let mut base_cfg = traffic_cfg(5);
+        base_cfg.traffic = None;
+        let base = run_technique_all_sites(&Testbed::new(base_cfg), &t, 1);
+        let with = run_technique_all_sites(&Testbed::new(traffic_cfg(5)), &t, 1);
+        let s_base = TechniqueSeries::from_results(&t, &base);
+        let s_with = TechniqueSeries::from_results(&t, &with);
+        assert_eq!(
+            serde_json::to_string(&s_base).unwrap(),
+            serde_json::to_string(&s_with).unwrap(),
+            "enabling the traffic layer must not move a single figure sample"
+        );
+        assert!(base.iter().all(|r| r.traffic.is_none()));
+    }
+
+    /// The weighted series carries the load columns and degrades sanely.
+    #[test]
+    fn weighted_series_aggregates_demand() {
+        let tb = Testbed::new(traffic_cfg(5));
+        let t = Technique::ReactiveAnycast;
+        let results = run_technique_all_sites(&tb, &t, 2);
+        let s = WeightedTechniqueSeries::from_results(&t, &results);
+        assert_eq!(s.technique, "reactive-anycast");
+        assert!(s.total_weight > 0.0);
+        let f = s.reconnected_weight_fraction();
+        assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+        assert!(s.peak_utilization.is_some());
+        assert!(s.shed_fraction.is_some());
+        assert!(s.resteers.is_some());
+        // Weighted CDF mass matches the reconnected weight.
+        let cdf = s.reconnection_cdf();
+        assert!((cdf.total_weight() - (s.total_weight - s.never_reconnected_weight)).abs() < 1e-9);
+
+        // Without summaries the weighted series falls back to unit
+        // weights and reports no load columns.
+        let mut cfg = traffic_cfg(5);
+        cfg.traffic = None;
+        let plain = run_technique_all_sites(&Testbed::new(cfg), &t, 1);
+        let s0 = WeightedTechniqueSeries::from_results(&t, &plain);
+        assert_eq!(s0.peak_utilization, None);
+        assert_eq!(s0.shed_fraction, None);
+        assert!((s0.total_weight - s0.num_targets as f64).abs() < 1e-9);
     }
 }

@@ -7,7 +7,10 @@
 use std::collections::BTreeMap;
 
 use bobw_bgp::{dump_rib, BgpTimingConfig, OriginConfig, Standalone};
-use bobw_core::{measure_control, run_failover, ExperimentConfig, FailureMode, Technique, Testbed};
+use bobw_core::{
+    measure_control, run_failover, ExperimentConfig, FailureMode, Technique, Testbed,
+    TrafficConfig, TrafficSummary,
+};
 use bobw_dataplane::{walk_with_path, ForwardEnv};
 use bobw_event::SimDuration;
 use bobw_measure::{percent, Cdf};
@@ -73,6 +76,11 @@ impl Options {
         if let Some(h) = self.get("hold") {
             cfg.timing.hold_time_s = h.parse().map_err(|_| format!("bad --hold {h:?}"))?;
         }
+        match self.get("traffic") {
+            None | Some("off") => {}
+            Some("on") => cfg.traffic = Some(TrafficConfig::default()),
+            Some(other) => return Err(format!("unknown --traffic {other:?} (on|off)")),
+        }
         Ok(cfg)
     }
 
@@ -108,6 +116,7 @@ USAGE:
   bobw topology   [--scale quick|eval|large] [--seed N] [--json]
   bobw failover   [--technique T] [--site NAME|all] [--scale S] [--seed N]
                   [--failure graceful|crash] [--hold SECS] [--jobs N]
+                  [--traffic on|off]
                   [--dispatch local|tcp://HOST:PORT|unix://PATH]
   bobw worker     --connect tcp://HOST:PORT|unix://PATH [--threads N]
                   [--name S]
@@ -117,7 +126,7 @@ USAGE:
   bobw scenario   list     [--catalog DIR]
   bobw scenario   validate [FILE ...|--catalog DIR] [--scale S] [--seed N]
   bobw scenario   run      FILE [--technique T] [--site NAME] [--scale S]
-                  [--seed N] [--failure graceful|crash]
+                  [--seed N] [--failure graceful|crash] [--traffic on|off]
   bobw help
 
 Techniques: unicast, anycast, proactive-superprefix, reactive-anycast,
@@ -181,6 +190,24 @@ fn cmd_topology(opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
+/// Renders the traffic layer's observation of a run (one line), empty
+/// when the experiment ran without `--traffic on`.
+fn traffic_line(t: Option<&TrafficSummary>) -> String {
+    match t {
+        None => String::new(),
+        Some(s) => format!(
+            "traffic: peak util {:.2}x -> {:.2}x, shed {}, unserved {}, \
+             {} resteers over {} ticks\n",
+            s.peak_before(),
+            s.peak_after(),
+            percent(s.shed_fraction()),
+            percent(s.unserved_fraction()),
+            s.resteers,
+            s.ticks,
+        ),
+    }
+}
+
 fn cmd_failover(opts: &Options) -> Result<String, String> {
     let cfg = opts.scale_config()?;
     let tb = Testbed::new(cfg);
@@ -201,7 +228,7 @@ fn cmd_failover(opts: &Options) -> Result<String, String> {
          targets: {} candidates, {} selected, {} controllable ({} control)\n\
          reconnection: p50 {:.1}s  p90 {:.1}s  max {:.1}s\n\
          failover:     p50 {:.1}s  p90 {:.1}s  max {:.1}s\n\
-         never reconnected: {}\n",
+         never reconnected: {}\n{}",
         r.technique,
         r.site_name,
         tb.cfg.failure_mode,
@@ -216,6 +243,7 @@ fn cmd_failover(opts: &Options) -> Result<String, String> {
         fail.quantile(0.9).unwrap_or(f64::NAN),
         fail.max().unwrap_or(f64::NAN),
         percent(r.never_reconnected_fraction()),
+        traffic_line(r.traffic.as_ref()),
     ))
 }
 
@@ -246,21 +274,34 @@ fn cmd_failover_all(opts: &Options, tb: &Testbed, technique: &Technique) -> Resu
         technique.name(),
         tb.cfg.failure_mode,
     );
+    let with_traffic = results.iter().any(|r| r.traffic.is_some());
     out.push_str(&format!(
-        "{:<6} {:>6} {:>10} {:>10} {:>8}\n",
+        "{:<6} {:>6} {:>10} {:>10} {:>8}",
         "site", "ctrl", "recon p50", "fail p50", "never"
     ));
+    if with_traffic {
+        out.push_str(&format!(" {:>10} {:>6}", "peak util", "shed"));
+    }
+    out.push('\n');
     for r in &results {
         let recon = Cdf::new(r.reconnection_secs());
         let fail = Cdf::new(r.failover_secs());
         out.push_str(&format!(
-            "{:<6} {:>6} {:>9.1}s {:>9.1}s {:>8}\n",
+            "{:<6} {:>6} {:>9.1}s {:>9.1}s {:>8}",
             r.site_name,
             percent(r.control_fraction()),
             recon.median().unwrap_or(f64::NAN),
             fail.median().unwrap_or(f64::NAN),
             percent(r.never_reconnected_fraction()),
         ));
+        if let Some(t) = &r.traffic {
+            out.push_str(&format!(
+                " {:>9.2}x {:>6}",
+                t.peak_after(),
+                percent(t.shed_fraction())
+            ));
+        }
+        out.push('\n');
     }
     let all_fail: Vec<f64> = results.iter().flat_map(|r| r.failover_secs()).collect();
     let fc = Cdf::new(all_fail);
@@ -398,7 +439,7 @@ fn cmd_scenario(opts: &Options) -> Result<String, String> {
                  targets: {} selected, {} controllable\n\
                  reconnection: p50 {:.1}s  p90 {:.1}s  max {:.1}s\n\
                  failover:     p50 {:.1}s  p90 {:.1}s  max {:.1}s\n\
-                 never reconnected: {}\n",
+                 never reconnected: {}\n{}",
                 scenario.name,
                 scenario.description,
                 r.technique,
@@ -413,6 +454,7 @@ fn cmd_scenario(opts: &Options) -> Result<String, String> {
                 fail.quantile(0.9).unwrap_or(f64::NAN),
                 fail.max().unwrap_or(f64::NAN),
                 percent(r.never_reconnected_fraction()),
+                traffic_line(r.traffic.as_ref()),
             ))
         }
         other => Err(format!(
@@ -705,6 +747,41 @@ mod tests {
         assert!(ran.contains("scenario site-failure"), "{ran}");
         assert!(ran.contains("site=bos"), "{ran}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traffic_flag_adds_load_columns() {
+        let base = [
+            "failover",
+            "--site",
+            "bos",
+            "--scale",
+            "quick",
+            "--seed",
+            "5",
+            "--technique",
+            "reactive-anycast",
+        ];
+        let plain = run(&s(&base)).unwrap();
+        assert!(!plain.contains("peak util"), "{plain}");
+        let mut with = base.to_vec();
+        with.extend(["--traffic", "on"]);
+        let loaded = run(&s(&with)).unwrap();
+        assert!(loaded.contains("peak util"), "{loaded}");
+        assert!(loaded.contains("resteers"), "{loaded}");
+        // The probe-side report is identical either way: the traffic
+        // layer is observational.
+        let head = |t: &str| t.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert_eq!(head(&plain), head(&loaded));
+        let err = run(&s(&[
+            "failover",
+            "--scale",
+            "quick",
+            "--traffic",
+            "sideways",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--traffic"), "{err}");
     }
 
     #[test]

@@ -296,6 +296,7 @@ pub fn run_unicast_dns_failover(
         num_controllable: run.targets.len(),
         outcomes,
         t_fail,
+        traffic: None,
     }
 }
 

@@ -26,6 +26,7 @@ use bobw_event::{Engine, Handler, RngFactory, Scheduler, SimDuration, SimTime};
 use bobw_net::NodeId;
 use bobw_scenario::{compile as compile_scenario, FaultOp, Scenario};
 use bobw_topology::{generate, CdnDeployment, GenConfig, SiteId, Topology};
+use bobw_traffic::{Steering, Surge, TrafficConfig, TrafficSim, TrafficSummary};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -97,6 +98,13 @@ pub struct ExperimentConfig {
     /// events instead; the measured site, target selection, and probing
     /// protocol stay the same.
     pub scenario: Option<Scenario>,
+    /// The demand-driven data plane (site capacity, overload, load-aware
+    /// DNS shedding). `None` — the default everywhere — runs the
+    /// experiment exactly as before the traffic layer existed: the layer
+    /// is strictly observational, so enabling it changes no probe
+    /// outcome, but `None` skips even the observation so legacy results
+    /// stay byte-identical.
+    pub traffic: Option<TrafficConfig>,
     pub seed: u64,
     /// Event budget per engine phase (runaway protection).
     pub max_events: u64,
@@ -118,6 +126,7 @@ impl ExperimentConfig {
             reaction_fault: None,
             pre_failure_flaps: 0,
             scenario: None,
+            traffic: None,
             seed,
             max_events: 50_000_000,
         }
@@ -137,6 +146,7 @@ impl ExperimentConfig {
             reaction_fault: None,
             pre_failure_flaps: 0,
             scenario: None,
+            traffic: None,
             seed,
             max_events: 200_000_000,
         }
@@ -229,6 +239,10 @@ pub struct FailoverResult {
     /// Per-controllable-target outcomes (same order as `controllable`).
     pub outcomes: Vec<TargetOutcome>,
     pub t_fail: SimTime,
+    /// The traffic layer's observation of the run (peak utilization, shed
+    /// volume, demand weights). `None` when the experiment ran without
+    /// the traffic layer.
+    pub traffic: Option<TrafficSummary>,
 }
 
 impl FailoverResult {
@@ -279,6 +293,9 @@ enum SimEvent {
     /// One compiled scenario op (withdrawal, crash, link cut, drain, …).
     Fault(FaultOp),
     ProbeRound(u32),
+    /// One traffic-layer demand tick (only scheduled when the config
+    /// enables the traffic layer).
+    TrafficTick,
 }
 
 /// DNS de-steering state for maintenance-drain scenarios: the CDN's
@@ -305,10 +322,17 @@ struct Run<'a> {
     initial_actions: Vec<Action>,
     /// Present only when the scenario contains a `Drain` op.
     drain: Option<DrainState>,
+    /// Present only when the config enables the traffic layer.
+    traffic: Option<TrafficSim>,
+    /// The measurement anchor (traffic splits peak utilization around it).
+    t_fail: SimTime,
     rng: &'a RngFactory,
     log: ProbeLog,
     capture: SiteCapture,
     scratch: Vec<(SimDuration, BgpEvent)>,
+    /// Fault ops an op application wants scheduled later (staged React
+    /// rollouts); drained onto the event queue by the handler.
+    pending_faults: Vec<(SimDuration, FaultOp)>,
 }
 
 impl Run<'_> {
@@ -337,15 +361,24 @@ impl Run<'_> {
         }
     }
 
-    /// Tells the drain authoritative (if any) that a site's status changed.
+    /// Tells the drain authoritative and the traffic layer (when present)
+    /// that a site's status changed.
     fn mark_site(&mut self, node: NodeId, failed: bool) {
+        let Some(site) = self.cdn.site_at(node) else {
+            return;
+        };
         if let Some(d) = &mut self.drain {
-            if let Some(site) = self.cdn.site_at(node) {
-                if failed {
-                    d.auth.mark_failed(site);
-                } else {
-                    d.auth.mark_recovered(site);
-                }
+            if failed {
+                d.auth.mark_failed(site);
+            } else {
+                d.auth.mark_recovered(site);
+            }
+        }
+        if let Some(tr) = &mut self.traffic {
+            if failed {
+                tr.site_down(site);
+            } else {
+                tr.site_up(site);
             }
         }
     }
@@ -401,6 +434,11 @@ impl Run<'_> {
                 // cached record expires at an independent uniform point in
                 // the TTL window (the paper's §2 DNS-failover model).
                 self.withdraw_all(now, node);
+                // The traffic controller steers demand off the draining
+                // site the same way DNS steers the probed targets.
+                if let Some(tr) = &mut self.traffic {
+                    tr.site_down(site);
+                }
                 if let Some(d) = &mut self.drain {
                     d.auth.mark_failed(site);
                     let ttl_s = ttl.as_secs_f64();
@@ -426,12 +464,69 @@ impl Run<'_> {
                 }
                 self.mark_site(node, true);
             }
-            FaultOp::React { skip } => {
+            FaultOp::React { skip, stagger } => {
                 let mut reactions = std::mem::take(&mut self.reactions);
                 reactions.drain(..skip.min(reactions.len()));
-                for a in &reactions {
-                    self.bgp
-                        .announce(now, a.node, a.prefix, a.cfg.clone(), &mut self.scratch);
+                match stagger {
+                    None => {
+                        // Legacy path: the whole reconfiguration lands at
+                        // once.
+                        for a in &reactions {
+                            self.bgp.announce(
+                                now,
+                                a.node,
+                                a.prefix,
+                                a.cfg.clone(),
+                                &mut self.scratch,
+                            );
+                        }
+                    }
+                    Some(stagger) => {
+                        // Staged rollout: one site's action fires now, the
+                        // rest keep rolling out one per `stagger`.
+                        if reactions.is_empty() {
+                            return;
+                        }
+                        let a = reactions.remove(0);
+                        self.bgp
+                            .announce(now, a.node, a.prefix, a.cfg.clone(), &mut self.scratch);
+                        if !reactions.is_empty() {
+                            self.reactions = reactions;
+                            self.pending_faults.push((
+                                stagger,
+                                FaultOp::React {
+                                    skip: 0,
+                                    stagger: Some(stagger),
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            FaultOp::Surge {
+                region,
+                factor,
+                ramp,
+                duration,
+            } => {
+                if let Some(tr) = &mut self.traffic {
+                    tr.add_surge(Surge {
+                        region,
+                        factor,
+                        start_s: now.as_secs_f64(),
+                        ramp_s: ramp.as_secs_f64(),
+                        duration_s: duration.as_secs_f64(),
+                    });
+                }
+            }
+            FaultOp::DemandShift { region, factor } => {
+                if let Some(tr) = &mut self.traffic {
+                    tr.shift_region(region, factor);
+                }
+            }
+            FaultOp::CapacityChange { site, factor } => {
+                if let Some(tr) = &mut self.traffic {
+                    tr.change_capacity(site, factor);
                 }
             }
         }
@@ -448,6 +543,9 @@ impl Handler<SimEvent> for Run<'_> {
             SimEvent::Fault(op) => {
                 self.apply(now, op);
                 self.drain_bgp(sched);
+                for (after, op) in self.pending_faults.drain(..) {
+                    sched.after(after, SimEvent::Fault(op));
+                }
             }
             SimEvent::ProbeRound(seq) => {
                 let mut outcomes = Vec::with_capacity(self.targets.len());
@@ -489,6 +587,29 @@ impl Handler<SimEvent> for Run<'_> {
                             outcome,
                         },
                     );
+                }
+            }
+            SimEvent::TrafficTick => {
+                // Strictly observational: reads the FIBs through the same
+                // ForwardEnv the prober uses, mutates only traffic state.
+                let Run {
+                    traffic,
+                    topo,
+                    bgp,
+                    down,
+                    cdn,
+                    plan,
+                    rng,
+                    t_fail,
+                    ..
+                } = self;
+                if let Some(tr) = traffic {
+                    let env = ForwardEnv { topo, bgp, down };
+                    tr.on_tick(now, *t_fail, rng, |client| {
+                        walk(&env, client, plan.probe_addr())
+                            .delivered_to()
+                            .and_then(|n| cdn.site_at(n))
+                    });
                 }
             }
         }
@@ -620,10 +741,13 @@ pub fn try_run_failover_instrumented(
         ),
         initial_actions: Vec::new(),
         drain: None,
+        traffic: None,
+        t_fail: SimTime::ZERO,
         rng: &testbed.rng,
         log: ProbeLog::new(0),
         capture: SiteCapture::new(cdn.num_sites()),
         scratch: Vec::with_capacity(64),
+        pending_faults: Vec::new(),
     };
 
     // --- Phase 1: announce and converge. ---
@@ -757,6 +881,18 @@ pub fn try_run_failover_instrumented(
     // ties FIFO, so the script author controls same-instant ordering.
     let t0 = engine.now();
     let t_fail = t0 + compiled.t_fail_offset;
+    run.t_fail = t_fail;
+    // The traffic layer (when enabled): pure anycast follows the
+    // catchment — nothing can shed its load — while every DNS-controlled
+    // technique gets the load-aware controller.
+    run.traffic = cfg.traffic.as_ref().map(|tc| {
+        let steering = if matches!(technique, Technique::Anycast) {
+            Steering::Catchment
+        } else {
+            Steering::Dns
+        };
+        TrafficSim::new(tc, topo, cdn, &testbed.rng, steering)
+    });
     for ev in &compiled.events {
         // A technique with no reaction has nothing for React to fire.
         if matches!(ev.op, FaultOp::React { .. }) && run.reactions.is_empty() {
@@ -770,6 +906,22 @@ pub fn try_run_failover_instrumented(
             t_fail + cfg.probe.interval.saturating_mul(k as u64),
             SimEvent::ProbeRound(k),
         );
+    }
+    // Demand ticks span the whole run — pre-failure baseline included —
+    // and are scheduled after the fault ops so same-instant faults apply
+    // first (FIFO ties): a tick always observes the post-fault world.
+    if let Some(tr) = &run.traffic {
+        let interval = tr.tick_interval();
+        let end = t_fail + cfg.probe.duration;
+        let mut k = 0u32;
+        loop {
+            let at = t0 + interval.saturating_mul(k as u64);
+            if at > end {
+                break;
+            }
+            engine.schedule_at(at, SimEvent::TrafficTick);
+            k += 1;
+        }
     }
     engine.run_until(&mut run, t_fail + cfg.probe.duration, cfg.max_events);
 
@@ -787,6 +939,7 @@ pub fn try_run_failover_instrumented(
         num_controllable: run.targets.len(),
         outcomes,
         t_fail,
+        traffic: run.traffic.as_ref().map(|t| t.summary(&run.targets)),
     };
     testbed.note_peak_queue_depth(engine.peak_pending());
     let perf = CellPerf {
@@ -975,6 +1128,145 @@ mod tests {
         for o in &r.outcomes {
             assert_ne!(o.final_site, Some(site), "still on the drained site");
         }
+    }
+
+    #[test]
+    fn traffic_layer_is_strictly_observational() {
+        // Enabling traffic must change NOTHING the probing experiment
+        // measures: same outcomes, same t_fail, same control counts. The
+        // only difference is the attached summary.
+        let mut with_cfg = ExperimentConfig::quick(7);
+        with_cfg.targets_per_site = 40;
+        with_cfg.traffic = Some(TrafficConfig::default());
+        let without = quick_testbed();
+        let with = Testbed::new(with_cfg);
+        let site = without.site("bos");
+        for t in [&Technique::Anycast, &Technique::ReactiveAnycast] {
+            let a = run_failover(&without, t, site);
+            let b = run_failover(&with, t, site);
+            assert!(a.traffic.is_none());
+            let summary = b.traffic.as_ref().expect("traffic enabled");
+            assert!(summary.ticks > 0);
+            assert_eq!(summary.target_weights.len(), b.outcomes.len());
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.t_fail, b.t_fail);
+            assert_eq!(a.num_candidates, b.num_candidates);
+            assert_eq!(a.num_selected, b.num_selected);
+            assert_eq!(a.num_controllable, b.num_controllable);
+        }
+    }
+
+    #[test]
+    fn overload_cascade_anycast_overloads_weighted_dns_stabilizes() {
+        // The Sinha et al. qualitative result. Calibration pass: measure
+        // the pre-failure anycast catchment's peak load (as a multiple of
+        // the fair share) with absurd headroom, so `peak × headroom` gives
+        // the raw load ratio.
+        let calibration_headroom = 1000.0;
+        let mut cfg = ExperimentConfig::quick(7);
+        cfg.targets_per_site = 40;
+        let mut tc = TrafficConfig {
+            diurnal_amplitude: 0.0,
+            capacity_headroom: calibration_headroom,
+            ..Default::default()
+        };
+        cfg.traffic = Some(tc.clone());
+        // atl's catchment lands almost wholly on ams when it dies, and ams
+        // already carries the second-heaviest catchment — the absorber.
+        let site = Testbed::new(cfg.clone()).site("atl");
+        let calib = run_failover(&Testbed::new(cfg.clone()), &Technique::Anycast, site)
+            .traffic
+            .unwrap();
+        let ratio_before = calib.peak_before() * calibration_headroom;
+        let ratio_after = calib.peak_after() * calibration_headroom;
+        assert!(
+            ratio_after > ratio_before,
+            "failing atl must push the absorber past the old peak: {ratio_before} -> {ratio_after}"
+        );
+
+        // Provision every site just above the pre-failure anycast peak
+        // (utilization ≈ 0.95 at the hottest site) — Sinha's setting.
+        tc.capacity_headroom = ratio_before * 1.05;
+        cfg.traffic = Some(tc.clone());
+
+        // Pure anycast: BGP dumps the dead site's catchment onto
+        // neighbors and nothing can shed it — somewhere goes over 1.0.
+        let anycast = run_failover(&Testbed::new(cfg.clone()), &Technique::Anycast, site)
+            .traffic
+            .unwrap();
+        assert!(
+            anycast.peak_before() < 1.0,
+            "mis-calibrated: overloaded before the failure ({})",
+            anycast.peak_before()
+        );
+        assert!(
+            anycast.peak_after() > 1.0,
+            "anycast failover must overload a surviving site, peak {}",
+            anycast.peak_after()
+        );
+        assert!(anycast.shed > 0.0, "overload must shed demand");
+
+        // The DNS-weight controller re-packs the displaced demand within
+        // every site's ceiling instead.
+        let dns = run_failover(&Testbed::new(cfg), &Technique::ReactiveAnycast, site)
+            .traffic
+            .unwrap();
+        assert!(
+            dns.peak_after() <= tc.utilization_ceiling + 1e-9,
+            "weighted DNS must keep every site under its ceiling, peak {}",
+            dns.peak_after()
+        );
+        assert_eq!(dns.shed, 0.0, "nothing sheds under the ceiling");
+        assert!(dns.resteers > 0, "the controller must have re-steered");
+    }
+
+    #[test]
+    fn staged_react_rolls_out_and_still_recovers() {
+        use bobw_scenario::{ScenarioAction, ScenarioEvent};
+        let scripted = |stagger_s: Option<f64>| {
+            let mut cfg = ExperimentConfig::quick(7);
+            cfg.targets_per_site = 40;
+            cfg.scenario = Some(Scenario {
+                name: "staged".into(),
+                description: String::new(),
+                site: "$site".into(),
+                measure_from_s: Some(10.0),
+                events: vec![
+                    ScenarioEvent {
+                        at_s: 10.0,
+                        action: ScenarioAction::SiteFail {
+                            site: "$site".into(),
+                            graceful: None,
+                        },
+                    },
+                    ScenarioEvent {
+                        at_s: 12.0,
+                        action: ScenarioAction::React { skip: 0, stagger_s },
+                    },
+                ],
+            });
+            let tb = Testbed::new(cfg);
+            let site = tb.site("bos");
+            run_failover_instrumented(&tb, &Technique::ReactiveAnycast, site)
+        };
+        let (all_at_once, pa) = scripted(None);
+        let (staged, pb) = scripted(Some(5.0));
+        // The staged rollout schedules one React event per remaining
+        // site, so it strictly processes more events...
+        assert!(pb.events_processed > pa.events_processed);
+        // ...recovery still completes within the window...
+        assert!(
+            staged.never_reconnected_fraction() < 0.1,
+            "staged rollout must still recover: {}",
+            staged.never_reconnected_fraction()
+        );
+        // ...but no faster than the instantaneous reconfiguration.
+        let max_rec = |r: &FailoverResult| {
+            r.reconnection_secs()
+                .into_iter()
+                .fold(0.0f64, |a, b| a.max(b))
+        };
+        assert!(max_rec(&staged) >= max_rec(&all_at_once));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod targets;
 pub mod technique;
 pub mod tradeoffs;
 
+pub use bobw_traffic::{Steering, TrafficConfig, TrafficSim, TrafficSummary};
 pub use control::{measure_control, measure_control_instrumented, ControlResult};
 pub use divergence::{analyze_divergence, DivergenceReport};
 pub use dns_experiment::{run_unicast_dns_failover, DnsClientConfig};

@@ -262,7 +262,7 @@ impl Coordinator {
                         // whose lease was revoked but that finished anyway)
                         // and stale-batch strays are discarded by index.
                         if b == batch_id && cell < n && done[cell].is_none() {
-                            done[cell] = Some(output);
+                            done[cell] = Some(*output);
                             completed += 1;
                             leases.remove(&cell);
                         }

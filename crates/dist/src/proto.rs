@@ -28,7 +28,9 @@ use crate::wire::{wire_struct, Wire, WireError};
 
 /// Bump on any incompatible change to the message set or an encoding.
 /// v2: `ExperimentConfig` carries an optional fault scenario.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3: `ExperimentConfig` carries an optional traffic layer; results
+/// carry its summary.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------------
 // Fingerprints
@@ -153,11 +155,12 @@ pub enum FromWorker {
     Ready,
     /// Still alive and still computing `cell_index` (lease renewal).
     Heartbeat { batch_id: u64, cell_index: u64 },
-    /// A finished cell.
+    /// A finished cell. Boxed to keep the enum heartbeat-sized (the
+    /// result dwarfs every other variant).
     Done {
         batch_id: u64,
         cell_index: u64,
-        output: CellOutput,
+        output: Box<CellOutput>,
     },
     /// The worker could not run the cell (bad technique name, unknown
     /// site, …). The coordinator treats the worker as poisoned for this
@@ -355,7 +358,7 @@ impl Wire for FromWorker {
             2 => Ok(FromWorker::Done {
                 batch_id: u64::decode(buf)?,
                 cell_index: u64::decode(buf)?,
-                output: CellOutput::decode(buf)?,
+                output: Box::new(CellOutput::decode(buf)?),
             }),
             3 => Ok(FromWorker::Failed {
                 batch_id: u64::decode(buf)?,
@@ -579,8 +582,19 @@ wire_struct!(ExperimentConfig {
     reaction_fault,
     pre_failure_flaps,
     scenario,
+    traffic,
     seed,
     max_events
+});
+
+wire_struct!(bobw_core::TrafficConfig {
+    capacity_headroom,
+    utilization_ceiling,
+    tick_interval_s,
+    control_every,
+    resteer_ttl_s,
+    diurnal_amplitude,
+    diurnal_period_s
 });
 
 // ---------------------------------------------------------------------------
@@ -603,7 +617,20 @@ wire_struct!(FailoverResult {
     num_selected,
     num_controllable,
     outcomes,
-    t_fail
+    t_fail,
+    traffic
+});
+
+wire_struct!(bobw_core::TrafficSummary {
+    ticks,
+    peak_utilization_before,
+    peak_utilization_after,
+    offered,
+    served,
+    shed,
+    unserved,
+    resteers,
+    target_weights
 });
 
 wire_struct!(ControlResult {
@@ -638,6 +665,11 @@ mod tests {
         cfg.pre_failure_flaps = 4;
         cfg.detection_delay = SimDuration::from_nanos(123_456_789);
         cfg.scenario = Some(bobw_scenario::Scenario::site_failure(2.5, 3));
+        cfg.traffic = Some(bobw_core::TrafficConfig {
+            capacity_headroom: 1.25,
+            control_every: 5,
+            ..Default::default()
+        });
         let bytes = encode_vec(&cfg);
         let back: ExperimentConfig = decode_exact(&bytes).unwrap();
         // The vendored serde can't derive PartialEq-able configs, but JSON
@@ -701,6 +733,31 @@ mod tests {
         assert_eq!(perf.events_processed, p2.events_processed);
         // JSON rendering — what actually lands in results/*.json — must be
         // identical after a wire round trip.
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            serde_json::to_string(&r2).unwrap()
+        );
+    }
+
+    /// A traffic-enabled cell's summary (peak utilizations, shed volume,
+    /// demand weights) must survive the wire bit-for-bit — the extended
+    /// resilience matrix is computed on the coordinator from these.
+    #[test]
+    fn traffic_summary_round_trips_via_execution() {
+        use bobw_core::{run_failover_instrumented, Technique, Testbed};
+        let mut cfg = ExperimentConfig::quick(7);
+        cfg.targets_per_site = 20;
+        cfg.traffic = Some(bobw_core::TrafficConfig::default());
+        let tb = Testbed::new(cfg);
+        let site = tb.site("bos");
+        let (r, perf) = run_failover_instrumented(&tb, &Technique::ReactiveAnycast, site);
+        assert!(r.traffic.is_some(), "traffic layer must have observed");
+        let bytes = encode_vec(&CellOutput::Failover(r.clone(), perf));
+        let back: CellOutput = decode_exact(&bytes).unwrap();
+        let CellOutput::Failover(r2, _) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(r.traffic, r2.traffic);
         assert_eq!(
             serde_json::to_string(&r).unwrap(),
             serde_json::to_string(&r2).unwrap()

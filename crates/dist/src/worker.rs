@@ -173,7 +173,7 @@ pub fn serve_connection(conn: Conn, name: &str) -> Result<u64, String> {
                         FromWorker::Done {
                             batch_id,
                             cell_index,
-                            output,
+                            output: Box::new(output),
                         }
                     }
                     Err(error) => FromWorker::Failed {

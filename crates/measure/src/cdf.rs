@@ -88,6 +88,130 @@ impl Cdf {
     }
 }
 
+/// A demand-weighted empirical CDF: each sample carries a weight, and
+/// quantiles/fractions are over total weight rather than sample count.
+/// This is what makes reconnection CDFs answer "how fast did the *traffic*
+/// come back" instead of "how fast did the median probe target" — a
+/// heavy-tailed client population makes the two very different.
+///
+/// ```
+/// use bobw_measure::WeightedCdf;
+///
+/// // One huge client reconnects slowly; many tiny ones are fast.
+/// let c = WeightedCdf::new(vec![(2.0, 1.0), (3.0, 1.0), (30.0, 8.0)]);
+/// assert_eq!(c.median(), Some(30.0));
+/// assert_eq!(c.fraction_leq(5.0), 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WeightedCdf {
+    /// (value, weight), sorted by value ascending.
+    sorted: Vec<(f64, f64)>,
+    total: f64,
+}
+
+impl WeightedCdf {
+    /// Builds a weighted CDF from `(value, weight)` samples. Non-finite
+    /// values/weights and negative weights are rejected loudly;
+    /// zero-weight samples are kept (they influence nothing).
+    pub fn new(mut samples: Vec<(f64, f64)>) -> WeightedCdf {
+        assert!(
+            samples.iter().all(|(v, w)| v.is_finite() && w.is_finite()),
+            "non-finite sample in weighted CDF input"
+        );
+        assert!(
+            samples.iter().all(|(_, w)| *w >= 0.0),
+            "negative weight in weighted CDF input"
+        );
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let total = samples.iter().map(|(_, w)| w).sum();
+        WeightedCdf {
+            sorted: samples,
+            total,
+        }
+    }
+
+    /// Uniform weights: equivalent to [`Cdf`] over the same values.
+    pub fn uniform(samples: Vec<f64>) -> WeightedCdf {
+        WeightedCdf::new(samples.into_iter().map(|v| (v, 1.0)).collect())
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Total weight across samples.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// The `q`-quantile by weight: the smallest value whose cumulative
+    /// weight reaches `q × total`. `None` when empty or weightless.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || self.total <= 0.0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total;
+        let mut acc = 0.0;
+        for (v, w) in &self.sorted {
+            acc += w;
+            if acc >= target {
+                return Some(*v);
+            }
+        }
+        Some(self.sorted.last().expect("non-empty").0)
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Weight fraction of samples ≤ `x`.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (v, w) in &self.sorted {
+            if *v > x {
+                break;
+            }
+            acc += w;
+        }
+        acc / self.total
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().map(|(v, _)| *v)
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().map(|(v, _)| *v)
+    }
+
+    /// All `(value, weight)` samples, ascending by value.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.sorted
+    }
+
+    /// Merges two weighted CDFs (union of samples).
+    pub fn merged(&self, other: &WeightedCdf) -> WeightedCdf {
+        let mut v = self.sorted.clone();
+        v.extend_from_slice(&other.sorted);
+        WeightedCdf::new(v)
+    }
+
+    /// `(x, F(x))` points at the given x-values.
+    pub fn series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|x| (*x, self.fraction_leq(*x))).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +277,56 @@ mod tests {
         let c = Cdf::new(vec![1.0, 2.0]);
         assert_eq!(c.quantile(-0.3), Some(1.0));
         assert_eq!(c.quantile(7.0), Some(2.0));
+    }
+
+    #[test]
+    fn weighted_uniform_matches_unweighted() {
+        let values = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let plain = Cdf::new(values.clone());
+        let weighted = WeightedCdf::uniform(values);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(weighted.quantile(q), plain.quantile(q), "q = {q}");
+        }
+        for x in [0.5, 1.0, 2.5, 5.0, 9.0] {
+            assert_eq!(weighted.fraction_leq(x), plain.fraction_leq(x), "x = {x}");
+        }
+        assert_eq!(weighted.total_weight(), 5.0);
+    }
+
+    #[test]
+    fn heavy_sample_dominates_the_weighted_median() {
+        let c = WeightedCdf::new(vec![(2.0, 1.0), (3.0, 1.0), (30.0, 8.0)]);
+        assert_eq!(c.median(), Some(30.0));
+        assert_eq!(c.fraction_leq(5.0), 0.2);
+        assert_eq!(c.fraction_leq(30.0), 1.0);
+        assert_eq!(c.min(), Some(2.0));
+        assert_eq!(c.max(), Some(30.0));
+    }
+
+    #[test]
+    fn weighted_empty_and_weightless_are_graceful() {
+        let c = WeightedCdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.median(), None);
+        assert_eq!(c.fraction_leq(1.0), 0.0);
+        let z = WeightedCdf::new(vec![(1.0, 0.0)]);
+        assert_eq!(z.median(), None, "zero total weight has no quantiles");
+        assert_eq!(z.fraction_leq(2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn weighted_rejects_negative_weight() {
+        WeightedCdf::new(vec![(1.0, -2.0)]);
+    }
+
+    #[test]
+    fn weighted_merge_accumulates_weight() {
+        let a = WeightedCdf::new(vec![(1.0, 2.0)]);
+        let b = WeightedCdf::new(vec![(3.0, 6.0)]);
+        let m = a.merged(&b);
+        assert_eq!(m.total_weight(), 8.0);
+        assert_eq!(m.quantile(0.24), Some(1.0));
+        assert_eq!(m.quantile(0.9), Some(3.0));
     }
 }

@@ -22,7 +22,7 @@ pub mod convergence;
 pub mod report;
 pub mod visibility;
 
-pub use cdf::Cdf;
+pub use cdf::{Cdf, WeightedCdf};
 pub use collector::{pick_collector_peers, Collector, CollectorUpdate};
 pub use convergence::{
     estimate_event_time, per_peer_convergence, per_peer_propagation, ANNOUNCE_BURST, BURST_WINDOW,

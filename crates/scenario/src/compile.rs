@@ -52,7 +52,26 @@ pub enum FaultOp {
     /// drain: routes are already withdrawn when the machines power off).
     SiteDark { node: NodeId },
     /// Fire the technique's reaction, minus its first `skip` actions.
-    React { skip: usize },
+    /// With `stagger` set, one action fires now and the rest roll out one
+    /// every `stagger` (a staged rollout); `None` fires all at once.
+    React {
+        skip: usize,
+        stagger: Option<SimDuration>,
+    },
+    /// Demand surge starting at the event time (region is an index into
+    /// [`REGIONS`], `None` = global). Traffic layer only; a no-op when the
+    /// experiment runs without traffic.
+    Surge {
+        region: Option<usize>,
+        factor: f64,
+        ramp: SimDuration,
+        duration: SimDuration,
+    },
+    /// Permanent multiplicative demand shift for one region (index into
+    /// [`REGIONS`]). Traffic layer only.
+    DemandShift { region: usize, factor: f64 },
+    /// Scale a site's serving capacity by `factor`. Traffic layer only.
+    CapacityChange { site: SiteId, factor: f64 },
 }
 
 /// A fault op at an offset from the scenario epoch.
@@ -95,6 +114,14 @@ fn resolve_site(
     }
     cdn.by_name(name)
         .ok_or_else(|| ScenarioError::at(event, format!("unknown site {name:?}")))
+}
+
+/// Resolves a region name into its [`REGIONS`] index.
+fn resolve_region(event: usize, name: &str) -> Result<usize, ScenarioError> {
+    REGIONS
+        .iter()
+        .position(|r| r.name == name)
+        .ok_or_else(|| ScenarioError::at(event, format!("unknown region {name:?}")))
 }
 
 /// Resolves a link index into the site node's adjacency list.
@@ -270,8 +297,54 @@ pub fn compile(
                 );
                 push(ev.at_s + *shutdown_after_s, FaultOp::SiteDark { node });
             }
-            ScenarioAction::React { skip } => {
-                push(ev.at_s, FaultOp::React { skip: *skip });
+            ScenarioAction::React { skip, stagger_s } => {
+                push(
+                    ev.at_s,
+                    FaultOp::React {
+                        skip: *skip,
+                        stagger: stagger_s.map(SimDuration::from_secs_f64),
+                    },
+                );
+            }
+            ScenarioAction::Surge {
+                region,
+                factor,
+                ramp_s,
+                duration_s,
+            } => {
+                let region = match region {
+                    None => None,
+                    Some(name) => Some(resolve_region(i, name)?),
+                };
+                push(
+                    ev.at_s,
+                    FaultOp::Surge {
+                        region,
+                        factor: *factor,
+                        ramp: SimDuration::from_secs_f64(*ramp_s),
+                        duration: SimDuration::from_secs_f64(*duration_s),
+                    },
+                );
+            }
+            ScenarioAction::DemandShift { region, factor } => {
+                let region = resolve_region(i, region)?;
+                push(
+                    ev.at_s,
+                    FaultOp::DemandShift {
+                        region,
+                        factor: *factor,
+                    },
+                );
+            }
+            ScenarioAction::CapacityChange { site, factor } => {
+                let site = resolve_site(i, site, measured, cdn)?;
+                push(
+                    ev.at_s,
+                    FaultOp::CapacityChange {
+                        site,
+                        factor: *factor,
+                    },
+                );
             }
         }
     }
@@ -325,7 +398,13 @@ mod tests {
             }
         );
         assert_eq!(c.events[3].at, SimDuration::from_secs(42));
-        assert_eq!(c.events[3].op, FaultOp::React { skip: 0 });
+        assert_eq!(
+            c.events[3].op,
+            FaultOp::React {
+                skip: 0,
+                stagger: None
+            }
+        );
     }
 
     #[test]
@@ -431,6 +510,94 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn traffic_actions_compile_to_resolved_ops() {
+        let (topo, cdn, rng) = testbed();
+        let site = cdn.by_name("bos").unwrap();
+        let s = Scenario {
+            name: "traffic".into(),
+            description: String::new(),
+            site: "$site".into(),
+            measure_from_s: Some(10.0),
+            events: vec![
+                ScenarioEvent {
+                    at_s: 10.0,
+                    action: ScenarioAction::Surge {
+                        region: Some("seattle".into()),
+                        factor: 3.0,
+                        ramp_s: 20.0,
+                        duration_s: 120.0,
+                    },
+                },
+                ScenarioEvent {
+                    at_s: 20.0,
+                    action: ScenarioAction::DemandShift {
+                        region: "boston".into(),
+                        factor: 1.5,
+                    },
+                },
+                ScenarioEvent {
+                    at_s: 30.0,
+                    action: ScenarioAction::CapacityChange {
+                        site: "$site".into(),
+                        factor: 0.5,
+                    },
+                },
+                ScenarioEvent {
+                    at_s: 40.0,
+                    action: ScenarioAction::React {
+                        skip: 1,
+                        stagger_s: Some(5.0),
+                    },
+                },
+            ],
+        };
+        let c = compile(&s, &topo, &cdn, &rng, site, true).unwrap();
+        let sea = REGIONS.iter().position(|r| r.name == "seattle").unwrap();
+        let bos = REGIONS.iter().position(|r| r.name == "boston").unwrap();
+        assert_eq!(
+            c.events[0].op,
+            FaultOp::Surge {
+                region: Some(sea),
+                factor: 3.0,
+                ramp: SimDuration::from_secs(20),
+                duration: SimDuration::from_secs(120),
+            }
+        );
+        assert_eq!(
+            c.events[1].op,
+            FaultOp::DemandShift {
+                region: bos,
+                factor: 1.5
+            }
+        );
+        assert_eq!(
+            c.events[2].op,
+            FaultOp::CapacityChange { site, factor: 0.5 }
+        );
+        assert_eq!(
+            c.events[3].op,
+            FaultOp::React {
+                skip: 1,
+                stagger: Some(SimDuration::from_secs(5)),
+            }
+        );
+
+        // Unknown regions are named in the error.
+        let mut bad = s.clone();
+        bad.events[1] = ScenarioEvent {
+            at_s: 20.0,
+            action: ScenarioAction::DemandShift {
+                region: "oz".into(),
+                factor: 1.5,
+            },
+        };
+        let err = compile(&bad, &topo, &cdn, &rng, site, true)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("events[1]") && err.contains("oz"), "{err}");
     }
 
     #[test]

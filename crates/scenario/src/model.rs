@@ -93,13 +93,34 @@ pub enum ScenarioAction {
     /// The technique's reactive reconfiguration fires, minus its first
     /// `skip` actions (partial rollout). The legacy path is `skip: 0` at
     /// failure + detection delay; scheduling it later models slow
-    /// detection, twice models a retry.
-    React { skip: usize },
+    /// detection, twice models a retry. With `stagger_s` set, the actions
+    /// roll out one every `stagger_s` seconds (a staged rollout) instead
+    /// of all at once; `null` (or omitted) keeps the legacy all-at-once
+    /// behavior.
+    React { skip: usize, stagger_s: Option<f64> },
+    /// Demand surge (flash crowd / volumetric DDoS): demand ramps from 1×
+    /// to `factor`× over `ramp_s`, holds until `duration_s` past the
+    /// event time, then ramps back down. `region: null` surges globally.
+    /// Only observed when the experiment enables the traffic layer.
+    Surge {
+        region: Option<String>,
+        factor: f64,
+        ramp_s: f64,
+        duration_s: f64,
+    },
+    /// Permanent multiplicative shift of a region's demand (population
+    /// moves, sustained regional event). Traffic layer only.
+    DemandShift { region: String, factor: f64 },
+    /// The site's serving capacity scales by `factor` (partial hardware
+    /// failure at factor < 1, emergency provisioning at factor > 1).
+    /// Traffic layer only.
+    CapacityChange { site: String, factor: f64 },
 }
 
 impl ScenarioAction {
     /// Whether this event is a measurement anchor candidate: something
-    /// that takes capacity away (not churn, not recovery).
+    /// that takes capacity away — or, for the traffic layer, throws
+    /// demand at it (not churn, not recovery).
     pub fn is_impactful(&self) -> bool {
         matches!(
             self,
@@ -107,6 +128,8 @@ impl ScenarioAction {
                 | ScenarioAction::LinkDown { .. }
                 | ScenarioAction::Partition { .. }
                 | ScenarioAction::Drain { .. }
+                | ScenarioAction::Surge { .. }
+                | ScenarioAction::CapacityChange { .. }
         )
     }
 }
@@ -217,6 +240,29 @@ impl Scenario {
                     finite_nonneg(i, "ttl_s", *ttl_s)?;
                     finite_nonneg(i, "shutdown_after_s", *shutdown_after_s)?;
                 }
+                ScenarioAction::React {
+                    stagger_s: Some(st),
+                    ..
+                } => {
+                    finite_nonneg(i, "stagger_s", *st)?;
+                }
+                ScenarioAction::React {
+                    stagger_s: None, ..
+                } => {}
+                ScenarioAction::Surge {
+                    factor,
+                    ramp_s,
+                    duration_s,
+                    ..
+                } => {
+                    finite_nonneg(i, "factor", *factor)?;
+                    finite_nonneg(i, "ramp_s", *ramp_s)?;
+                    finite_nonneg(i, "duration_s", *duration_s)?;
+                }
+                ScenarioAction::DemandShift { factor, .. }
+                | ScenarioAction::CapacityChange { factor, .. } => {
+                    finite_nonneg(i, "factor", *factor)?;
+                }
                 _ => {}
             }
         }
@@ -269,7 +315,10 @@ impl Scenario {
         });
         events.push(ScenarioEvent {
             at_s: t_fail + detection_delay_s,
-            action: ScenarioAction::React { skip: 0 },
+            action: ScenarioAction::React {
+                skip: 0,
+                stagger_s: None,
+            },
         });
         Scenario {
             name: "site-failure".into(),
@@ -300,7 +349,7 @@ mod tests {
         ));
         assert!(matches!(
             s.events[5].action,
-            ScenarioAction::React { skip: 0 }
+            ScenarioAction::React { skip: 0, .. }
         ));
     }
 

@@ -1,0 +1,107 @@
+//! Traffic-layer configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the demand/capacity/controller model. Carried inside
+/// `ExperimentConfig` (as `traffic: Option<TrafficConfig>`) and across the
+/// distributed-dispatch wire, so every field must be deterministic data —
+/// no handles, no host state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Per-site capacity as a multiple of the fair share of total base
+    /// demand (`capacity = headroom × total / num_sites`). Sinha et al.'s
+    /// provisioning knob: low headroom makes catchment shifts cascade.
+    pub capacity_headroom: f64,
+    /// The controller packs demand to at most this fraction of each
+    /// site's capacity (the "weighted DNS" utilization ceiling).
+    pub utilization_ceiling: f64,
+    /// Demand-sampling tick interval, seconds of simulated time.
+    pub tick_interval_s: f64,
+    /// The DNS-weight controller runs every `control_every` ticks.
+    pub control_every: u32,
+    /// DNS record TTL for controller re-steers: a moved client adopts its
+    /// new site a uniform-random fraction of this many seconds later
+    /// (clients re-resolve when their cached record expires).
+    pub resteer_ttl_s: f64,
+    /// Diurnal modulation amplitude (0 = flat demand).
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in seconds. The default compresses a "day" into an
+    /// hour so the curve is visible within a 600 s probing window.
+    pub diurnal_period_s: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            capacity_headroom: 1.6,
+            utilization_ceiling: 0.9,
+            tick_interval_s: 10.0,
+            control_every: 3,
+            resteer_ttl_s: 30.0,
+            diurnal_amplitude: 0.2,
+            diurnal_period_s: 3600.0,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// Structural sanity check; bench binaries call this before running.
+    pub fn validate(&self) -> Result<(), String> {
+        let pos = [
+            ("capacity_headroom", self.capacity_headroom),
+            ("utilization_ceiling", self.utilization_ceiling),
+            ("tick_interval_s", self.tick_interval_s),
+            ("diurnal_period_s", self.diurnal_period_s),
+        ];
+        for (name, v) in pos {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and > 0, got {v}"));
+            }
+        }
+        for (name, v) in [
+            ("resteer_ttl_s", self.resteer_ttl_s),
+            ("diurnal_amplitude", self.diurnal_amplitude),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and >= 0, got {v}"));
+            }
+        }
+        if self.control_every == 0 {
+            return Err("control_every must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_round_trips() {
+        let cfg = TrafficConfig::default();
+        cfg.validate().unwrap();
+        let text = serde_json::to_string(&cfg).unwrap();
+        let back: TrafficConfig = serde_json::from_str_typed(&text).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let cfg = TrafficConfig {
+            tick_interval_s: 0.0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = TrafficConfig {
+            control_every: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = TrafficConfig {
+            diurnal_amplitude: f64::NAN,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Time-varying demand: the static [`LoadModel`] sample modulated by a
+//! diurnal curve, flash-crowd surges, and permanent regional shifts.
+//!
+//! Everything here is a pure function of ⟨seed, config, event schedule⟩:
+//! the base sample draws from the same `"load-demand"` RNG streams the
+//! static model always used, and the modulations are closed-form in
+//! simulated time — so two processes of a distributed run evaluating the
+//! same tick get bit-identical demand.
+
+use bobw_event::RngFactory;
+use bobw_net::NodeId;
+use bobw_topology::{Topology, REGIONS};
+use serde::{Deserialize, Serialize};
+
+use crate::assign::LoadModel;
+use crate::config::TrafficConfig;
+
+/// A transient demand surge (flash crowd / volumetric attack): demand in
+/// scope ramps linearly from 1× to `factor`× over `ramp_s`, holds until
+/// `start_s + duration_s`, then ramps back down over another `ramp_s`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Surge {
+    /// Region index into [`REGIONS`], or `None` for a global surge.
+    pub region: Option<usize>,
+    pub factor: f64,
+    pub start_s: f64,
+    pub ramp_s: f64,
+    pub duration_s: f64,
+}
+
+impl Surge {
+    /// The multiplicative factor this surge applies at time `t` (seconds).
+    pub fn factor_at(&self, t: f64) -> f64 {
+        let since = t - self.start_s;
+        if since < 0.0 || since >= self.duration_s + self.ramp_s {
+            return 1.0;
+        }
+        let gain = self.factor - 1.0;
+        if since < self.ramp_s {
+            // Ramp up (ramp_s = 0 jumps straight to the plateau).
+            1.0 + gain * (since / self.ramp_s.max(f64::MIN_POSITIVE)).min(1.0)
+        } else if since < self.duration_s {
+            self.factor
+        } else {
+            // Ramp down past the plateau's end.
+            let fall = (since - self.duration_s) / self.ramp_s.max(f64::MIN_POSITIVE);
+            1.0 + gain * (1.0 - fall.min(1.0))
+        }
+    }
+
+    fn applies_to(&self, region: usize) -> bool {
+        self.region.is_none() || self.region == Some(region)
+    }
+}
+
+struct DemandEntry {
+    node: NodeId,
+    base: f64,
+    region: usize,
+}
+
+/// Per-client time-varying demand.
+pub struct DemandModel {
+    entries: Vec<DemandEntry>,
+    diurnal_amplitude: f64,
+    diurnal_period_s: f64,
+    /// Permanent multiplicative factor per [`REGIONS`] index
+    /// (`DemandShift` events compose multiplicatively).
+    region_factor: Vec<f64>,
+    surges: Vec<Surge>,
+}
+
+impl DemandModel {
+    /// Samples the base population — byte-identical to
+    /// [`LoadModel::sample`] (same streams, same parameters) — and wires
+    /// in the config's diurnal curve.
+    pub fn sample(topo: &Topology, rng: &RngFactory, cfg: &TrafficConfig) -> DemandModel {
+        let base = LoadModel::sample(topo, rng);
+        let entries = base
+            .demands()
+            .iter()
+            .map(|&(node, d)| DemandEntry {
+                node,
+                base: d,
+                region: topo.node(node).region,
+            })
+            .collect();
+        DemandModel {
+            entries,
+            diurnal_amplitude: cfg.diurnal_amplitude,
+            diurnal_period_s: cfg.diurnal_period_s,
+            region_factor: vec![1.0; REGIONS.len()],
+            surges: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn node(&self, i: usize) -> NodeId {
+        self.entries[i].node
+    }
+
+    pub fn base(&self, i: usize) -> f64 {
+        self.entries[i].base
+    }
+
+    /// Index of a client node in this model, if it hosts demand.
+    pub fn index_of(&self, node: NodeId) -> Option<usize> {
+        self.entries.iter().position(|e| e.node == node)
+    }
+
+    pub fn total_base(&self) -> f64 {
+        self.entries.iter().map(|e| e.base).sum()
+    }
+
+    pub fn add_surge(&mut self, surge: Surge) {
+        self.surges.push(surge);
+    }
+
+    /// Permanently scales a region's demand (composes multiplicatively
+    /// with previous shifts).
+    pub fn shift_region(&mut self, region: usize, factor: f64) {
+        self.region_factor[region] *= factor;
+    }
+
+    fn diurnal(&self, t: f64) -> f64 {
+        if self.diurnal_amplitude == 0.0 {
+            return 1.0;
+        }
+        1.0 + self.diurnal_amplitude
+            * (2.0 * std::f64::consts::PI * t / self.diurnal_period_s).sin()
+    }
+
+    /// Client `i`'s demand at time `t` (seconds of simulated time).
+    pub fn at(&self, i: usize, t: f64) -> f64 {
+        let e = &self.entries[i];
+        let mut d = e.base * self.diurnal(t) * self.region_factor[e.region];
+        for s in &self.surges {
+            if s.applies_to(e.region) {
+                d *= s.factor_at(t);
+            }
+        }
+        d
+    }
+
+    /// Total demand across clients at time `t`.
+    pub fn total_at(&self, t: f64) -> f64 {
+        (0..self.len()).map(|i| self.at(i, t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bobw_topology::{generate, GenConfig};
+
+    fn model(cfg: &TrafficConfig) -> DemandModel {
+        let rng = RngFactory::new(8);
+        let (topo, _) = generate(&GenConfig::small(), &rng);
+        DemandModel::sample(&topo, &rng, cfg)
+    }
+
+    #[test]
+    fn base_matches_the_static_load_model() {
+        let rng = RngFactory::new(8);
+        let (topo, _) = generate(&GenConfig::small(), &rng);
+        let stat = LoadModel::sample(&topo, &rng);
+        let dyn_ = DemandModel::sample(&topo, &rng, &TrafficConfig::default());
+        assert_eq!(dyn_.len(), stat.demands().len());
+        for (i, &(node, d)) in stat.demands().iter().enumerate() {
+            assert_eq!(dyn_.node(i), node);
+            assert_eq!(dyn_.base(i), d);
+        }
+        assert!((dyn_.total_base() - stat.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_oscillates_around_base() {
+        let cfg = TrafficConfig {
+            diurnal_amplitude: 0.5,
+            diurnal_period_s: 100.0,
+            ..Default::default()
+        };
+        let m = model(&cfg);
+        let base = m.base(0);
+        assert!((m.at(0, 0.0) - base).abs() < 1e-9, "sin(0) = 0");
+        assert!(m.at(0, 25.0) > base * 1.49, "peak at quarter period");
+        assert!(m.at(0, 75.0) < base * 0.51, "trough at three quarters");
+    }
+
+    #[test]
+    fn surge_ramps_plateaus_and_decays() {
+        let s = Surge {
+            region: None,
+            factor: 4.0,
+            start_s: 10.0,
+            ramp_s: 10.0,
+            duration_s: 30.0,
+        };
+        assert_eq!(s.factor_at(0.0), 1.0);
+        assert_eq!(s.factor_at(10.0), 1.0);
+        assert!((s.factor_at(15.0) - 2.5).abs() < 1e-9, "mid-ramp");
+        assert_eq!(s.factor_at(20.0), 4.0);
+        assert_eq!(s.factor_at(39.9), 4.0);
+        assert!((s.factor_at(45.0) - 2.5).abs() < 1e-9, "mid-decay");
+        assert_eq!(s.factor_at(50.0), 1.0);
+        assert_eq!(s.factor_at(1000.0), 1.0);
+    }
+
+    #[test]
+    fn zero_ramp_surge_is_a_step() {
+        let s = Surge {
+            region: None,
+            factor: 3.0,
+            start_s: 5.0,
+            ramp_s: 0.0,
+            duration_s: 10.0,
+        };
+        assert_eq!(s.factor_at(4.9), 1.0);
+        assert_eq!(s.factor_at(5.0), 3.0);
+        assert_eq!(s.factor_at(14.9), 3.0);
+        assert_eq!(s.factor_at(15.0), 1.0);
+    }
+
+    #[test]
+    fn regional_scopes_compose() {
+        let cfg = TrafficConfig {
+            diurnal_amplitude: 0.0,
+            ..Default::default()
+        };
+        let mut m = model(&cfg);
+        // Find a region that actually has clients.
+        let region = (0..m.len()).map(|i| m.entries[i].region).next().unwrap();
+        let i_in = (0..m.len())
+            .find(|&i| m.entries[i].region == region)
+            .unwrap();
+        let other = (0..m.len()).find(|&i| m.entries[i].region != region);
+        m.add_surge(Surge {
+            region: Some(region),
+            factor: 2.0,
+            start_s: 0.0,
+            ramp_s: 0.0,
+            duration_s: 100.0,
+        });
+        m.shift_region(region, 1.5);
+        assert!((m.at(i_in, 50.0) - m.base(i_in) * 3.0).abs() < 1e-9);
+        if let Some(i_out) = other {
+            assert!((m.at(i_out, 50.0) - m.base(i_out)).abs() < 1e-9);
+        }
+        // Surge over: only the permanent shift remains.
+        assert!((m.at(i_in, 200.0) - m.base(i_in) * 1.5).abs() < 1e-9);
+    }
+}

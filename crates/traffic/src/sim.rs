@@ -1,0 +1,552 @@
+//! The per-experiment traffic simulation: demand accumulation on ticks,
+//! per-site overload/shedding, and the periodic load-aware DNS controller.
+//!
+//! `bobw-core` owns the event engine; it schedules a `TrafficTick` every
+//! [`TrafficConfig::tick_interval_s`] seconds and calls [`TrafficSim::on_tick`]
+//! with a catchment oracle for the current FIBs. The traffic layer is
+//! strictly observational with respect to probing: it never touches BGP,
+//! the probe schedule, or any RNG stream the rest of the experiment draws
+//! from (its only stream is `"traffic-resteer"`), which is what keeps
+//! `traffic: None` results byte-identical to pre-traffic builds.
+//!
+//! Two steering modes mirror the Sinha et al. comparison:
+//!
+//! * [`Steering::Catchment`] (pure anycast) — each client's demand lands
+//!   on whatever site the data plane currently delivers to. After a site
+//!   failure BGP dumps the whole catchment on a neighbor, and nothing can
+//!   shed it: the overload **cascade**.
+//! * [`Steering::Dns`] (every DNS-controlled technique) — demand follows
+//!   the controller's client→site assignment. Every `control_every` ticks
+//!   the controller re-packs clients (heaviest first, nearest site with
+//!   headroom) to at most `utilization_ceiling × capacity` per site;
+//!   moved clients adopt the new site after a TTL-uniform lag, exactly
+//!   like the drain machinery's DNS model.
+
+use bobw_event::{RngFactory, SimDuration, SimTime};
+use bobw_net::NodeId;
+use bobw_topology::{CdnDeployment, SiteId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::config::TrafficConfig;
+use crate::demand::{DemandModel, Surge};
+
+/// Who decides where a client's demand goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steering {
+    /// BGP's catchment (pure anycast): no load awareness, no shedding.
+    Catchment,
+    /// The CDN's authoritative DNS, driven by the load-aware controller.
+    Dns,
+}
+
+/// Deterministic per-cell traffic outcome, attached to `FailoverResult`
+/// (and therefore crossing the distributed-dispatch wire). Host state
+/// never enters: every field is a pure function of the experiment config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSummary {
+    /// Demand ticks evaluated.
+    pub ticks: u32,
+    /// Per-site peak utilization (load/capacity) strictly before the
+    /// measurement anchor `t_fail`.
+    pub peak_utilization_before: Vec<f64>,
+    /// Per-site peak utilization at or after `t_fail`.
+    pub peak_utilization_after: Vec<f64>,
+    /// Demand offered / served / shed (overload beyond capacity) /
+    /// unserved (no reachable or assigned-up site), summed over ticks.
+    pub offered: f64,
+    pub served: f64,
+    pub shed: f64,
+    pub unserved: f64,
+    /// Client re-steers the DNS controller issued.
+    pub resteers: u64,
+    /// Base-demand weight of each probed target, aligned with the
+    /// result's `outcomes` — what makes reconnection/failover CDFs
+    /// demand-weighted.
+    pub target_weights: Vec<f64>,
+}
+
+impl TrafficSummary {
+    /// Highest per-site utilization seen at or after the failure.
+    pub fn peak_after(&self) -> f64 {
+        self.peak_utilization_after
+            .iter()
+            .fold(0.0f64, |a, b| a.max(*b))
+    }
+
+    /// Highest per-site utilization seen before the failure.
+    pub fn peak_before(&self) -> f64 {
+        self.peak_utilization_before
+            .iter()
+            .fold(0.0f64, |a, b| a.max(*b))
+    }
+
+    /// Shed demand as a fraction of offered demand.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered > 0.0 {
+            self.shed / self.offered
+        } else {
+            0.0
+        }
+    }
+
+    /// Unserved demand as a fraction of offered demand.
+    pub fn unserved_fraction(&self) -> f64 {
+        if self.offered > 0.0 {
+            self.unserved / self.offered
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The live traffic state of one experiment cell.
+pub struct TrafficSim {
+    cfg: TrafficConfig,
+    demand: DemandModel,
+    capacities: Vec<f64>,
+    steering: Steering,
+    /// Per-client site preference (site indices, nearest geo first).
+    prefs: Vec<Vec<u8>>,
+    /// DNS mode: the assignment clients currently resolve to.
+    assignment: Vec<Option<SiteId>>,
+    /// Controller re-steers not yet adopted (TTL lag): (adopt-at, client
+    /// index, new site).
+    pending: Vec<(SimTime, u32, SiteId)>,
+    down: Vec<SiteId>,
+    ticks: u32,
+    control_rounds: u32,
+    resteers: u64,
+    peak_before: Vec<f64>,
+    peak_after: Vec<f64>,
+    offered: f64,
+    served: f64,
+    shed: f64,
+    unserved: f64,
+    load: Vec<f64>,
+}
+
+impl TrafficSim {
+    pub fn new(
+        cfg: &TrafficConfig,
+        topo: &Topology,
+        cdn: &CdnDeployment,
+        rng: &RngFactory,
+        steering: Steering,
+    ) -> TrafficSim {
+        let demand = DemandModel::sample(topo, rng, cfg);
+        let num_sites = cdn.num_sites();
+        let fair = demand.total_base() / num_sites.max(1) as f64;
+        let capacities = vec![fair * cfg.capacity_headroom; num_sites];
+        let site_coords: Vec<_> = cdn
+            .site_nodes()
+            .iter()
+            .map(|&n| topo.node(n).coords)
+            .collect();
+        let prefs: Vec<Vec<u8>> = (0..demand.len())
+            .map(|i| {
+                let c = topo.node(demand.node(i)).coords;
+                let mut order: Vec<(f64, u8)> = site_coords
+                    .iter()
+                    .enumerate()
+                    .map(|(s, sc)| (c.distance_km(sc), s as u8))
+                    .collect();
+                order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+                order.into_iter().map(|(_, s)| s).collect()
+            })
+            .collect();
+        let mut sim = TrafficSim {
+            cfg: cfg.clone(),
+            capacities,
+            steering,
+            prefs,
+            assignment: vec![None; demand.len()],
+            pending: Vec::new(),
+            down: Vec::new(),
+            ticks: 0,
+            control_rounds: 0,
+            resteers: 0,
+            peak_before: vec![0.0; num_sites],
+            peak_after: vec![0.0; num_sites],
+            offered: 0.0,
+            served: 0.0,
+            shed: 0.0,
+            unserved: 0.0,
+            load: vec![0.0; num_sites],
+            demand,
+        };
+        if steering == Steering::Dns {
+            // Initial mapping: the same greedy pack the controller runs,
+            // adopted instantly (clients resolve fresh on first connect).
+            let desired = sim.pack(0.0);
+            sim.assignment = desired;
+        }
+        sim
+    }
+
+    pub fn tick_interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.cfg.tick_interval_s)
+    }
+
+    pub fn steering(&self) -> Steering {
+        self.steering
+    }
+
+    pub fn demand(&self) -> &DemandModel {
+        &self.demand
+    }
+
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    // --- Fault-op entry points (no-ops never reach here: bobw-core only
+    // calls these when traffic is enabled). ---
+
+    pub fn site_down(&mut self, site: SiteId) {
+        if !self.down.contains(&site) {
+            self.down.push(site);
+        }
+    }
+
+    pub fn site_up(&mut self, site: SiteId) {
+        self.down.retain(|s| *s != site);
+    }
+
+    pub fn add_surge(&mut self, surge: Surge) {
+        self.demand.add_surge(surge);
+    }
+
+    pub fn shift_region(&mut self, region: usize, factor: f64) {
+        self.demand.shift_region(region, factor);
+    }
+
+    pub fn change_capacity(&mut self, site: SiteId, factor: f64) {
+        self.capacities[site.index()] *= factor;
+    }
+
+    /// Greedy capacity-constrained pack of current demand at time `t`:
+    /// heaviest clients first, each to its nearest up site whose load
+    /// stays within `utilization_ceiling × capacity`. Clients that fit
+    /// nowhere come back `None` (DNS-shed demand).
+    fn pack(&self, t: f64) -> Vec<Option<SiteId>> {
+        let caps: Vec<f64> = self
+            .capacities
+            .iter()
+            .enumerate()
+            .map(|(s, c)| {
+                if self.down.contains(&SiteId(s as u8)) {
+                    0.0
+                } else {
+                    c * self.cfg.utilization_ceiling
+                }
+            })
+            .collect();
+        let demands: Vec<f64> = (0..self.demand.len())
+            .map(|i| self.demand.at(i, t))
+            .collect();
+        let mut order: Vec<usize> = (0..self.demand.len()).collect();
+        order.sort_by(|&a, &b| {
+            demands[b]
+                .partial_cmp(&demands[a])
+                .expect("finite")
+                .then(self.demand.node(a).cmp(&self.demand.node(b)))
+        });
+        let mut load = vec![0.0; caps.len()];
+        let mut out = vec![None; self.demand.len()];
+        for i in order {
+            let d = demands[i];
+            for &s in &self.prefs[i] {
+                let s = s as usize;
+                if load[s] + d <= caps[s] {
+                    load[s] += d;
+                    out[i] = Some(SiteId(s as u8));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// One demand tick. `catchment` maps a client node to the site the
+    /// data plane currently delivers it to (`None` = black hole); it is
+    /// only consulted in [`Steering::Catchment`] mode.
+    pub fn on_tick(
+        &mut self,
+        now: SimTime,
+        t_fail: SimTime,
+        rng: &RngFactory,
+        mut catchment: impl FnMut(NodeId) -> Option<SiteId>,
+    ) {
+        // 1. Matured re-steers take effect (the client re-resolved).
+        let assignment = &mut self.assignment;
+        let mut matured = 0;
+        self.pending.retain(|&(at, i, site)| {
+            if at <= now {
+                assignment[i as usize] = Some(site);
+                matured += 1;
+                false
+            } else {
+                true
+            }
+        });
+        let _ = matured;
+
+        // 2. Demand lands on serving sites.
+        let t = now.as_secs_f64();
+        self.load.iter_mut().for_each(|l| *l = 0.0);
+        for i in 0..self.demand.len() {
+            let d = self.demand.at(i, t);
+            self.offered += d;
+            let site = match self.steering {
+                Steering::Catchment => catchment(self.demand.node(i)),
+                Steering::Dns => self.assignment[i].filter(|s| !self.down.contains(s)),
+            };
+            match site {
+                Some(s) => self.load[s.index()] += d,
+                None => self.unserved += d,
+            }
+        }
+
+        // 3. Utilization, overload, shedding.
+        let peaks = if now < t_fail {
+            &mut self.peak_before
+        } else {
+            &mut self.peak_after
+        };
+        for (s, peak) in peaks.iter_mut().enumerate() {
+            let cap = self.capacities[s].max(f64::MIN_POSITIVE);
+            let util = self.load[s] / cap;
+            if util > *peak {
+                *peak = util;
+            }
+            if self.load[s] > self.capacities[s] {
+                // Overloaded: capacity's worth is served (degraded), the
+                // excess is shed at the door.
+                self.served += self.capacities[s];
+                self.shed += self.load[s] - self.capacities[s];
+            } else {
+                self.served += self.load[s];
+            }
+        }
+        self.ticks += 1;
+
+        // 4. The DNS-weight controller (Sinha-style shedding).
+        if self.steering == Steering::Dns && self.ticks.is_multiple_of(self.cfg.control_every) {
+            self.control(now, t, rng);
+        }
+    }
+
+    fn control(&mut self, now: SimTime, t: f64, rng: &RngFactory) {
+        let desired = self.pack(t);
+        let round = self.control_rounds as u64;
+        self.control_rounds += 1;
+        for (i, want) in desired.into_iter().enumerate() {
+            let Some(want) = want else {
+                // Unplaceable within the ceiling: leave the client where
+                // it is (overload shows up in utilization, which is the
+                // honest failure mode).
+                continue;
+            };
+            if self.assignment[i] == Some(want) {
+                // Already there; cancel any stale pending move.
+                self.pending.retain(|&(_, j, _)| j as usize != i);
+                continue;
+            }
+            if self
+                .pending
+                .iter()
+                .any(|&(_, j, s)| j as usize == i && s == want)
+            {
+                continue; // Same move already in flight.
+            }
+            self.pending.retain(|&(_, j, _)| j as usize != i);
+            // The client adopts the new record when its cached one
+            // expires: uniform within the TTL, from a stream keyed by
+            // ⟨controller round, client⟩ so draws are independent of
+            // visit order and of every other stream in the experiment.
+            let wait = rng.uniform_f64(
+                "traffic-resteer",
+                (round << 32) | i as u64,
+                0.0,
+                self.cfg.resteer_ttl_s.max(0.0),
+            );
+            self.pending
+                .push((now + SimDuration::from_secs_f64(wait), i as u32, want));
+            self.resteers += 1;
+        }
+    }
+
+    /// Folds the run into its deterministic summary. `targets` is the
+    /// cell's probed target list; each target's weight is its base demand
+    /// (1.0 for a node outside the demand population — cannot happen for
+    /// client targets, but stay total).
+    pub fn summary(&self, targets: &[NodeId]) -> TrafficSummary {
+        let target_weights = targets
+            .iter()
+            .map(|&n| {
+                self.demand
+                    .index_of(n)
+                    .map(|i| self.demand.base(i))
+                    .unwrap_or(1.0)
+            })
+            .collect();
+        TrafficSummary {
+            ticks: self.ticks,
+            peak_utilization_before: self.peak_before.clone(),
+            peak_utilization_after: self.peak_after.clone(),
+            offered: self.offered,
+            served: self.served,
+            shed: self.shed,
+            unserved: self.unserved,
+            resteers: self.resteers,
+            target_weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bobw_topology::{generate, GenConfig};
+
+    fn world() -> (Topology, CdnDeployment, RngFactory) {
+        let rng = RngFactory::new(8);
+        let (topo, cdn) = generate(&GenConfig::small(), &rng);
+        (topo, cdn, rng)
+    }
+
+    fn flat_config() -> TrafficConfig {
+        TrafficConfig {
+            diurnal_amplitude: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dns_mode_serves_everything_within_capacity() {
+        let (topo, cdn, rng) = world();
+        let cfg = flat_config();
+        let mut sim = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Dns);
+        let t_fail = SimTime::from_nanos(u64::MAX);
+        for k in 0..10u64 {
+            sim.on_tick(
+                SimTime::ZERO + SimDuration::from_secs(10 * k),
+                t_fail,
+                &rng,
+                |_| None,
+            );
+        }
+        let s = sim.summary(&[]);
+        assert_eq!(s.ticks, 10);
+        assert!(s.offered > 0.0);
+        // Headroom 1.6 × ceiling 0.9 > 1: everything placeable, nothing
+        // shed, nothing over capacity.
+        assert_eq!(s.shed, 0.0);
+        assert!(s.unserved < s.offered * 1e-9, "unserved {}", s.unserved);
+        assert!(s.peak_before() <= cfg.utilization_ceiling + 1e-9);
+        assert_eq!(s.peak_after(), 0.0, "no tick at or past t_fail");
+    }
+
+    #[test]
+    fn catchment_mode_follows_the_oracle_and_overloads() {
+        let (topo, cdn, rng) = world();
+        let cfg = flat_config();
+        let mut sim = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Catchment);
+        // Adversarial catchment: everyone lands on site 0.
+        let t_fail = SimTime::ZERO;
+        sim.on_tick(SimTime::ZERO, t_fail, &rng, |_| Some(SiteId(0)));
+        let s = sim.summary(&[]);
+        // One site carrying all demand at headroom 1.6 of the fair share
+        // across 8 sites is utilization 8/1.6 = 5.
+        assert!(s.peak_after() > 4.0, "peak {}", s.peak_after());
+        assert!(s.shed > 0.0, "overload must shed");
+        assert!((s.offered - (s.served + s.shed + s.unserved)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failed_site_demand_is_resteered_by_the_controller() {
+        let (topo, cdn, rng) = world();
+        let mut cfg = flat_config();
+        cfg.control_every = 1;
+        cfg.resteer_ttl_s = 10.0;
+        let mut sim = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Dns);
+        let hot = SiteId(0);
+        sim.site_down(hot);
+        let t_fail = SimTime::ZERO;
+        let mut times = Vec::new();
+        for k in 0..20u64 {
+            let now = SimTime::ZERO + SimDuration::from_secs(10 * k);
+            sim.on_tick(now, t_fail, &rng, |_| None);
+            times.push(sim.summary(&[]).unserved);
+        }
+        let s = sim.summary(&[]);
+        assert!(s.resteers > 0, "controller must move the orphaned clients");
+        // Once the TTL window has passed, the per-tick unserved demand
+        // goes to ~zero: later ticks add nothing.
+        let last_delta = times[19] - times[18];
+        assert!(
+            last_delta < 1e-9,
+            "still unserved demand after re-steering: {last_delta}"
+        );
+        // And nobody is over the ceiling.
+        assert!(s.peak_after() <= cfg.utilization_ceiling + 1e-9);
+    }
+
+    #[test]
+    fn ticks_are_deterministic() {
+        let (topo, cdn, rng) = world();
+        let cfg = TrafficConfig::default();
+        let run = || {
+            let mut sim = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Dns);
+            sim.site_down(SiteId(2));
+            for k in 0..12u64 {
+                sim.on_tick(
+                    SimTime::ZERO + SimDuration::from_secs(10 * k),
+                    SimTime::ZERO + SimDuration::from_secs(40),
+                    &rng,
+                    |_| None,
+                );
+            }
+            sim.summary(&[topo.client_nodes().next().unwrap()])
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn capacity_change_scales_utilization() {
+        let (topo, cdn, rng) = world();
+        let cfg = flat_config();
+        let mut a = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Catchment);
+        let mut b = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Catchment);
+        b.change_capacity(SiteId(0), 0.5);
+        let t_fail = SimTime::ZERO;
+        a.on_tick(SimTime::ZERO, t_fail, &rng, |_| Some(SiteId(0)));
+        b.on_tick(SimTime::ZERO, t_fail, &rng, |_| Some(SiteId(0)));
+        let (sa, sb) = (a.summary(&[]), b.summary(&[]));
+        assert!(
+            (sb.peak_after() - 2.0 * sa.peak_after()).abs() < 1e-6,
+            "halving capacity doubles utilization"
+        );
+    }
+
+    #[test]
+    fn summary_weights_follow_base_demand() {
+        let (topo, cdn, rng) = world();
+        let cfg = TrafficConfig::default();
+        let sim = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Dns);
+        let clients: Vec<NodeId> = topo.client_nodes().take(5).collect();
+        let s = sim.summary(&clients);
+        assert_eq!(s.target_weights.len(), 5);
+        for (i, &n) in clients.iter().enumerate() {
+            let idx = sim.demand().index_of(n).unwrap();
+            assert_eq!(s.target_weights[i], sim.demand().base(idx));
+            assert!(s.target_weights[i] > 0.0);
+        }
+    }
+}

@@ -39,6 +39,7 @@
 //! | [`dataplane`] | `bobw-dataplane` | forwarding, catchment, probing |
 //! | [`dns`] | `bobw-dns` | DNS redirection and TTL violations |
 //! | [`core`] | `bobw-core` | **the paper's techniques + experiments** |
+//! | [`traffic`] | `bobw-traffic` | demand, capacity/overload, DNS shedding |
 //! | [`measure`] | `bobw-measure` | collectors, estimators, CDFs |
 
 pub use bobw_bgp as bgp;
@@ -49,3 +50,4 @@ pub use bobw_event as event;
 pub use bobw_measure as measure;
 pub use bobw_net as net;
 pub use bobw_topology as topology;
+pub use bobw_traffic as traffic;
