@@ -115,16 +115,21 @@ impl Cli {
     pub fn dispatch(&self) -> Dispatch {
         match &self.listen {
             None => Dispatch::local(self.jobs),
-            Some(url) => {
-                let d = Dispatch::serve(url).unwrap_or_else(|e| {
+            Some(arg) => {
+                let d = Dispatch::from_arg(arg, self.jobs).unwrap_or_else(|e| {
                     eprintln!("error: {e}");
                     std::process::exit(2);
                 });
-                let ep = d.endpoint().expect("serve mode has an endpoint");
-                eprintln!(
-                    "serving cells on {ep} — attach workers with: \
-                     bobw-worker --connect {ep}  (or: bobw worker --connect {ep})"
-                );
+                if let Some(ep) = d.endpoint() {
+                    eprintln!(
+                        "serving cells on {ep} — attach workers with: \
+                         bobw-worker --connect {ep}  (or: bobw worker --connect {ep})"
+                    );
+                } else if matches!(d, Dispatch::Daemon { .. }) {
+                    // Batches go to a persistent service with its own
+                    // fleet; nothing to attach here.
+                    eprintln!("submitting batches to the daemon at {arg}");
+                }
                 d
             }
         }
@@ -223,7 +228,10 @@ pub fn parse_cli() -> Cli {
             }
             "--dispatch" => {
                 let v = args.next().unwrap_or_else(|| {
-                    eprintln!("--dispatch needs `local` or an endpoint URL (tcp://…|unix://…)");
+                    eprintln!(
+                        "--dispatch needs `local`, an endpoint URL (tcp://…|unix://…), \
+                         or `daemon:<url>`"
+                    );
                     std::process::exit(2);
                 });
                 cli.listen = if v == "local" { None } else { Some(v) };
@@ -654,6 +662,40 @@ mod tests {
             serde_json::to_string(&dist).unwrap(),
             "dispatched cells must serialize identically to local ones"
         );
+    }
+
+    /// The `daemon:` dispatch path — batches submitted as jobs to a
+    /// persistent `bobw serve` daemon and streamed back — must also be
+    /// byte-identical to a sequential local run.
+    #[test]
+    fn daemon_dispatch_matches_local() {
+        let tb = Testbed::new(traffic_cfg(5));
+        let t = Technique::ReactiveAnycast;
+        let serial = run_technique_all_sites(&tb, &t, 1);
+        let serial_json = serde_json::to_string(&serial).unwrap();
+
+        let handle = bobw_serve::daemon::start(bobw_serve::ServeConfig::new(
+            bobw_dist::Endpoint::parse("tcp://127.0.0.1:0").unwrap(),
+        ))
+        .expect("daemon");
+        let ep = handle.endpoint().clone();
+        std::thread::spawn(move || {
+            let wc = bobw_dist::WorkerConfig::new(ep);
+            let _ = bobw_dist::run_worker(&wc);
+        });
+
+        let mut dispatch = Dispatch::daemon(&handle.endpoint().to_string()).unwrap();
+        let (dist, log) = run_technique_all_sites_dispatch(&tb, &t, &mut dispatch).unwrap();
+        dispatch.finish();
+        assert_eq!(
+            serial_json,
+            serde_json::to_string(&dist).unwrap(),
+            "daemon-submitted cells must serialize identically to local ones"
+        );
+        assert_eq!(log.cells.len(), tb.cdn.num_sites());
+        // The daemon and its worker are left running and detach with the
+        // test process: quitting the daemon raises the process-wide
+        // interrupt flag, which would poison concurrently running tests.
     }
 
     /// The traffic layer is observational: with it off the unweighted

@@ -24,9 +24,10 @@ use std::sync::mpsc;
 
 use bobw_core::{FailoverResult, Technique, Testbed};
 use bobw_dist::{
-    execute_cell, install_sigint_handler, CellOutput, CellSpec, Coordinator, CoordinatorConfig,
-    Endpoint,
+    execute_cell, install_sigint_handler, AuthSecret, CellOutput, CellSpec, Coordinator,
+    CoordinatorConfig, Endpoint,
 };
+use bobw_serve::{JobState, ServeClient};
 use serde::Serialize;
 
 /// Number of worker threads to use when `--jobs` is not given.
@@ -98,8 +99,13 @@ where
 pub enum Dispatch {
     /// Run cells on `jobs` threads in this process (the default).
     Local { jobs: usize },
-    /// Serve cells to connected workers over TCP / Unix sockets.
-    Serve { coordinator: Coordinator },
+    /// Serve cells to connected workers over TCP / Unix sockets. Boxed:
+    /// the coordinator is much larger than the other variants.
+    Serve { coordinator: Box<Coordinator> },
+    /// Submit each batch as a job to a persistent `bobw serve` daemon
+    /// (`--dispatch daemon:tcp://…`) and stream the results back. The
+    /// daemon's worker fleet stays warm between bench invocations.
+    Daemon { client: ServeClient, label: String },
 }
 
 impl Dispatch {
@@ -117,14 +123,39 @@ impl Dispatch {
         let coordinator = Coordinator::bind(&ep, CoordinatorConfig::default())
             .map_err(|e| format!("cannot bind {ep}: {e}"))?;
         install_sigint_handler();
-        Ok(Dispatch::Serve { coordinator })
+        Ok(Dispatch::Serve {
+            coordinator: Box::new(coordinator),
+        })
+    }
+
+    /// Connects to a persistent `bobw serve` daemon at `url` and submits
+    /// each batch as a job. Authenticates with `BOBW_SECRET` when set.
+    pub fn daemon(url: &str) -> Result<Dispatch, String> {
+        let ep = Endpoint::parse(url)?;
+        let secret = AuthSecret::from_env();
+        let label = format!("bench-{}", std::process::id());
+        let client = ServeClient::connect(&ep, &label, secret.as_ref())?;
+        Ok(Dispatch::Daemon { client, label })
+    }
+
+    /// Parses a `--dispatch` / `BOBW_DISPATCH` value: `local`, a
+    /// coordinator bind URL (`tcp://…`/`unix://…`), or `daemon:<url>` for
+    /// a persistent service.
+    pub fn from_arg(arg: &str, jobs: usize) -> Result<Dispatch, String> {
+        if arg == "local" || arg.is_empty() {
+            Ok(Dispatch::local(jobs))
+        } else if let Some(url) = arg.strip_prefix("daemon:") {
+            Dispatch::daemon(url)
+        } else {
+            Dispatch::serve(arg)
+        }
     }
 
     /// The endpoint workers should connect to, if serving.
     pub fn endpoint(&self) -> Option<&Endpoint> {
         match self {
-            Dispatch::Local { .. } => None,
-            Dispatch::Serve { coordinator } => Some(coordinator.endpoint()),
+            Dispatch::Local { .. } | Dispatch::Daemon { .. } => None,
+            Dispatch::Serve { coordinator } => coordinator.endpoint(),
         }
     }
 
@@ -135,6 +166,9 @@ impl Dispatch {
         match self {
             Dispatch::Local { jobs } => *jobs,
             Dispatch::Serve { coordinator } => coordinator.num_workers().max(1),
+            // The daemon's fleet is its own business; perf logs record the
+            // submission as one logical worker.
+            Dispatch::Daemon { .. } => 1,
         }
     }
 
@@ -152,12 +186,32 @@ impl Dispatch {
                     .collect()
             }
             Dispatch::Serve { coordinator } => coordinator.run_batch(&testbed.cfg, cells),
+            Dispatch::Daemon { client, label } => {
+                let job_id = client.submit_raw(label, &testbed.cfg, cells)?;
+                let mut slots: Vec<Option<CellOutput>> = vec![None; cells.len()];
+                let (state, error) = client.watch(job_id, |index, output| {
+                    if let Some(slot) = slots.get_mut(index as usize) {
+                        *slot = Some(output);
+                    }
+                })?;
+                if state != JobState::Done {
+                    return Err(
+                        error.unwrap_or_else(|| format!("job {job_id} ended {}", state.as_str()))
+                    );
+                }
+                slots
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, s)| s.ok_or_else(|| format!("job {job_id}: cell {i} never streamed")))
+                    .collect()
+            }
         }
     }
 
     /// Releases the dispatcher; a serving coordinator tells its workers to
     /// shut down. Call once at the end of a binary so remote workers exit
-    /// instead of waiting for more batches.
+    /// instead of waiting for more batches. A daemon connection just
+    /// closes — the service and its fleet stay up for the next run.
     pub fn finish(self) {
         if let Dispatch::Serve { coordinator } = self {
             coordinator.shutdown();

@@ -24,6 +24,11 @@ pub struct Options {
     pub positional: Vec<String>,
 }
 
+/// Flags that are presence-only switches: they never consume the next
+/// argument, so `bobw topology --json` and `bobw submit SPEC --watch`
+/// parse as expected.
+const BOOL_FLAGS: &[&str] = &["json", "status", "watch", "matrix"];
+
 /// Splits raw arguments into `--key value` pairs and positionals.
 /// Unknown keys are kept; each consumer validates its own set.
 pub fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -31,6 +36,10 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                out.flags.insert(key.to_string(), String::new());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("--{key} expects a value"))?;
@@ -119,7 +128,13 @@ USAGE:
                   [--traffic on|off]
                   [--dispatch local|tcp://HOST:PORT|unix://PATH]
   bobw worker     --connect tcp://HOST:PORT|unix://PATH [--threads N]
-                  [--name S]
+                  [--name S] [--secret-file F]
+  bobw serve      [--listen URL] [--state-dir DIR] [--secret-file F]
+                  [--catalog DIR]
+  bobw serve      --status --connect URL [--secret-file F]
+  bobw submit     SPEC.json --connect URL [--watch] [--secret-file F]
+  bobw watch      JOB_ID --connect URL [--secret-file F]
+  bobw jobs       --connect URL [--matrix] [--secret-file F]
   bobw catchment  [--scale S] [--seed N] [--prepend K]
   bobw inspect    --node N --prefix P [--scale S] [--seed N]
   bobw traceroute --from N --prefix P [--scale S] [--seed N]
@@ -136,6 +151,16 @@ Sites: ams ath bos atl sea1 slc sea2 msn.
 `failover --site all --dispatch tcp://…` serves the per-site cells to
 remote `bobw worker` processes instead of local threads; results are
 byte-identical either way (see EXPERIMENTS.md, \"Distributed runs\").
+With `--dispatch daemon:tcp://…` the cells are submitted as a job to a
+persistent `bobw serve` daemon instead.
+
+`bobw serve` runs the persistent experiment service: submit jobs with
+`bobw submit`, stream results with `bobw watch`, list with `bobw jobs`
+(add `--matrix` for the pooled resilience matrix over completed jobs),
+and query the metrics plane with `bobw serve --status --connect URL`.
+Set BOBW_SECRET (or pass --secret-file) on daemon, workers, and clients
+to require authenticated handshakes (see EXPERIMENTS.md, \"Service
+mode\").
 ";
 
 /// Runs the CLI; returns the text to print or a usage error.
@@ -149,6 +174,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "topology" => cmd_topology(&opts),
         "failover" => cmd_failover(&opts),
         "worker" => cmd_worker(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "watch" => cmd_watch(&opts),
+        "jobs" => cmd_jobs(&opts),
         "catchment" => cmd_catchment(&opts),
         "inspect" => cmd_inspect(&opts),
         "traceroute" => cmd_traceroute(&opts),
@@ -195,16 +224,23 @@ fn cmd_topology(opts: &Options) -> Result<String, String> {
 fn traffic_line(t: Option<&TrafficSummary>) -> String {
     match t {
         None => String::new(),
-        Some(s) => format!(
-            "traffic: peak util {:.2}x -> {:.2}x, shed {}, unserved {}, \
-             {} resteers over {} ticks\n",
-            s.peak_before(),
-            s.peak_after(),
-            percent(s.shed_fraction()),
-            percent(s.unserved_fraction()),
-            s.resteers,
-            s.ticks,
-        ),
+        Some(s) => {
+            let scrub = if s.scrubbed > 0.0 {
+                format!(", scrubbed {}", percent(s.scrubbed_fraction()))
+            } else {
+                String::new()
+            };
+            format!(
+                "traffic: peak util {:.2}x -> {:.2}x, shed {}, unserved {}{scrub}, \
+                 {} resteers over {} ticks\n",
+                s.peak_before(),
+                s.peak_after(),
+                percent(s.shed_fraction()),
+                percent(s.unserved_fraction()),
+                s.resteers,
+                s.ticks,
+            )
+        }
     }
 }
 
@@ -256,17 +292,21 @@ fn cmd_failover_all(opts: &Options, tb: &Testbed, technique: &Technique) -> Resu
     let jobs = opts.jobs()?;
     let mut dispatch = match opts.get("dispatch") {
         None | Some("local") => bobw_bench::Dispatch::local(jobs),
-        Some(url) => {
-            let d = bobw_bench::Dispatch::serve(url)?;
-            let ep = d.endpoint().expect("serve mode has an endpoint");
-            eprintln!("serving cells on {ep} — attach workers with: bobw worker --connect {ep}");
+        Some(arg) => {
+            let d = bobw_bench::Dispatch::from_arg(arg, jobs)?;
+            if let Some(ep) = d.endpoint() {
+                eprintln!(
+                    "serving cells on {ep} — attach workers with: bobw worker --connect {ep}"
+                );
+            }
             d
         }
     };
     let (results, _) = bobw_bench::run_technique_all_sites_dispatch(tb, technique, &mut dispatch)?;
-    let label = match dispatch.endpoint() {
-        Some(ep) => format!("dispatch {ep}"),
-        None => format!("{jobs} jobs"),
+    let label = match (dispatch.endpoint(), opts.get("dispatch")) {
+        (Some(ep), _) => format!("dispatch {ep}"),
+        (None, Some(arg)) if arg.starts_with("daemon:") => format!("dispatch {arg}"),
+        _ => format!("{jobs} jobs"),
     };
     dispatch.finish();
     let mut out = format!(
@@ -332,6 +372,9 @@ fn cmd_worker(opts: &Options) -> Result<String, String> {
     if let Some(n) = opts.get("name") {
         cfg.name = n.to_string();
     }
+    if let Some(secret) = client_secret(opts)? {
+        cfg.secret = Some(secret);
+    }
     eprintln!(
         "worker {}: connecting to {} ({} thread(s))",
         cfg.name, cfg.connect, cfg.threads
@@ -341,6 +384,172 @@ fn cmd_worker(opts: &Options) -> Result<String, String> {
         "worker {}: coordinator closed, {done} cell(s) executed\n",
         cfg.name
     ))
+}
+
+/// Resolves the shared secret for service-mode commands: `--secret-file`
+/// wins, otherwise the `BOBW_SECRET` environment variable, otherwise
+/// none (open mode).
+fn client_secret(opts: &Options) -> Result<Option<bobw_dist::AuthSecret>, String> {
+    match opts.get("secret-file") {
+        Some(path) => bobw_dist::AuthSecret::from_file(std::path::Path::new(path))
+            .map(Some)
+            .map_err(|e| format!("read --secret-file {path}: {e}")),
+        None => Ok(bobw_dist::AuthSecret::from_env()),
+    }
+}
+
+/// Connects to a daemon for the client-side service subcommands.
+fn serve_client(opts: &Options, name: &str) -> Result<bobw_serve::ServeClient, String> {
+    let url = opts
+        .get("connect")
+        .ok_or("--connect is required (tcp://HOST:PORT or unix://PATH)")?;
+    let endpoint = bobw_dist::Endpoint::parse(url)?;
+    let secret = client_secret(opts)?;
+    bobw_serve::ServeClient::connect(&endpoint, name, secret.as_ref())
+}
+
+/// One human-readable line per streamed cell, for `submit --watch` and
+/// `watch`.
+fn describe_cell(index: u64, output: &bobw_dist::CellOutput) -> String {
+    match output {
+        bobw_dist::CellOutput::Failover(r, perf) => {
+            let recon = Cdf::new(r.reconnection_secs());
+            format!(
+                "cell {index:>3}: {:<18} site {:<6} recon p50 {:>6.1}s  never {:>5}  ({:.2}s)",
+                r.technique,
+                r.site_name,
+                recon.median().unwrap_or(f64::NAN),
+                percent(r.never_reconnected_fraction()),
+                perf.wall_micros as f64 / 1e6,
+            )
+        }
+        bobw_dist::CellOutput::Control(c, perf) => format!(
+            "cell {index:>3}: control site {:<6} near {:>4}  off-anycast {:>5}  ({:.2}s)",
+            c.site_name,
+            c.num_near,
+            percent(c.frac_not_anycast_routed),
+            perf.wall_micros as f64 / 1e6,
+        ),
+    }
+}
+
+/// `bobw serve`: run the persistent experiment daemon, or with
+/// `--status --connect URL` query a running daemon's metrics plane.
+fn cmd_serve(opts: &Options) -> Result<String, String> {
+    if opts.get("status").is_some() {
+        let mut client = serve_client(opts, "status")?;
+        let json = client.status_json()?;
+        return Ok(format!("{json}\n"));
+    }
+    let listen = opts.get("listen").unwrap_or("tcp://127.0.0.1:4400");
+    let mut cfg = bobw_serve::ServeConfig::new(bobw_dist::Endpoint::parse(listen)?);
+    if let Some(dir) = opts.get("state-dir") {
+        cfg.state_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(path) = opts.get("secret-file") {
+        cfg.secret = Some(
+            bobw_dist::AuthSecret::from_file(std::path::Path::new(path))
+                .map_err(|e| format!("read --secret-file {path}: {e}"))?,
+        );
+    }
+    if let Some(dir) = opts.get("catalog") {
+        cfg.catalog = std::path::PathBuf::from(dir);
+    }
+    bobw_dist::install_sigint_handler();
+    let auth = if cfg.secret.is_some() {
+        "authenticated"
+    } else {
+        "open (no BOBW_SECRET)"
+    };
+    let handle = bobw_serve::start(cfg).map_err(|e| format!("start daemon: {e}"))?;
+    let ep = handle.endpoint().clone();
+    eprintln!("bobw serve: listening on {ep} [{auth}]");
+    eprintln!("  attach workers:  bobw worker --connect {ep}");
+    eprintln!("  submit jobs:     bobw submit SPEC.json --connect {ep}");
+    handle.join();
+    Ok(format!("bobw serve: daemon on {ep} shut down\n"))
+}
+
+/// `bobw submit SPEC.json --connect URL [--watch]`: enqueue a job from a
+/// declarative spec; with `--watch`, stream its cells to completion.
+fn cmd_submit(opts: &Options) -> Result<String, String> {
+    let Some(path) = opts.positional.first() else {
+        return Err(format!("submit expects a SPEC.json path\n\n{USAGE}"));
+    };
+    let spec_json = std::fs::read_to_string(path).map_err(|e| format!("read spec {path}: {e}"))?;
+    let mut client = serve_client(opts, "submit")?;
+    let job_id = client.submit_spec(&spec_json)?;
+    if opts.get("watch").is_none() {
+        return Ok(format!(
+            "job {job_id} queued — stream it with: bobw watch {job_id} --connect {}\n",
+            opts.get("connect").unwrap_or("URL"),
+        ));
+    }
+    eprintln!("job {job_id} queued, watching…");
+    watch_to_string(&mut client, job_id)
+}
+
+/// `bobw watch JOB_ID --connect URL`: stream a job's cells (replaying
+/// completed ones) until it reaches a terminal state.
+fn cmd_watch(opts: &Options) -> Result<String, String> {
+    let Some(raw) = opts.positional.first() else {
+        return Err(format!("watch expects a JOB_ID\n\n{USAGE}"));
+    };
+    let job_id: u64 = raw
+        .parse()
+        .map_err(|_| format!("bad JOB_ID {raw:?} (integer)"))?;
+    let mut client = serve_client(opts, "watch")?;
+    watch_to_string(&mut client, job_id)
+}
+
+fn watch_to_string(client: &mut bobw_serve::ServeClient, job_id: u64) -> Result<String, String> {
+    let mut out = String::new();
+    let mut cells = 0u64;
+    let (state, error) = client.watch(job_id, |index, output| {
+        let line = describe_cell(index, &output);
+        eprintln!("{line}");
+        out.push_str(&line);
+        out.push('\n');
+        cells += 1;
+    })?;
+    out.push_str(&format!(
+        "job {job_id}: {} ({cells} cell(s))\n",
+        state.as_str()
+    ));
+    match state {
+        bobw_serve::JobState::Done => Ok(out),
+        _ => Err(error.unwrap_or_else(|| format!("job {job_id} ended {}", state.as_str()))),
+    }
+}
+
+/// `bobw jobs --connect URL [--matrix]`: list the daemon's jobs, or with
+/// `--matrix` print the resilience matrix over completed jobs.
+fn cmd_jobs(opts: &Options) -> Result<String, String> {
+    let mut client = serve_client(opts, "jobs")?;
+    if opts.get("matrix").is_some() {
+        let json = client.matrix_json()?;
+        return Ok(format!("{json}\n"));
+    }
+    let rows = client.jobs()?;
+    if rows.is_empty() {
+        return Ok("no jobs\n".into());
+    }
+    let mut out = format!("{:<5} {:<8} {:>10}  {}\n", "id", "state", "cells", "name");
+    for row in &rows {
+        out.push_str(&format!(
+            "{:<5} {:<8} {:>4}/{:<5}  {}{}\n",
+            row.id,
+            row.state,
+            row.cells_done,
+            row.cells_total,
+            row.name,
+            row.error
+                .as_deref()
+                .map(|e| format!("  [{e}]"))
+                .unwrap_or_default(),
+        ));
+    }
+    Ok(out)
 }
 
 /// `bobw scenario list|validate|run`: the declarative fault-scenario
@@ -788,5 +997,82 @@ mod tests {
     fn inspect_requires_node() {
         let err = run(&s(&["inspect", "--prefix", "184.164.244.0/24"])).unwrap_err();
         assert!(err.contains("--node is required"));
+    }
+
+    #[test]
+    fn bool_flags_need_no_value() {
+        let o = parse_options(&s(&["--json", "--watch", "--matrix", "--status", "pos"])).unwrap();
+        for key in ["json", "watch", "matrix", "status"] {
+            assert_eq!(o.get(key), Some(""), "--{key} should parse standalone");
+        }
+        assert_eq!(o.positional, vec!["pos"]);
+    }
+
+    /// submit/watch/jobs/serve-status against a real in-process daemon.
+    /// The daemon and its worker are deliberately left running (detached):
+    /// quitting raises the process-wide interrupt flag, which would poison
+    /// concurrently running tests in this binary.
+    #[test]
+    fn service_subcommands_roundtrip() {
+        let cfg =
+            bobw_serve::ServeConfig::new(bobw_dist::Endpoint::parse("tcp://127.0.0.1:0").unwrap());
+        let handle = bobw_serve::start(cfg).unwrap();
+        let url = handle.endpoint().to_string();
+        {
+            let ep = handle.endpoint().clone();
+            std::thread::spawn(move || {
+                let _ = bobw_dist::run_worker(&bobw_dist::WorkerConfig::new(ep));
+            });
+        }
+        let site = ExperimentConfig::quick(11).gen.sites[0].name.clone();
+        let dir = std::env::temp_dir().join(format!("bobw-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.json");
+        std::fs::write(
+            &spec,
+            format!(r#"{{"techniques":["anycast"],"sites":["{site}"],"seed":11}}"#),
+        )
+        .unwrap();
+
+        let watched = run(&s(&[
+            "submit",
+            spec.to_str().unwrap(),
+            "--connect",
+            &url,
+            "--watch",
+        ]))
+        .unwrap();
+        assert!(watched.contains("done (1 cell(s))"), "{watched}");
+        assert!(watched.contains("anycast"), "{watched}");
+
+        let listed = run(&s(&["jobs", "--connect", &url])).unwrap();
+        assert!(listed.contains("done"), "{listed}");
+        let id = listed
+            .lines()
+            .nth(1)
+            .and_then(|l| l.split_whitespace().next())
+            .unwrap()
+            .to_string();
+
+        // A replay watch of the finished job streams the same cell again.
+        let replay = run(&s(&["watch", &id, "--connect", &url])).unwrap();
+        assert!(replay.contains("done (1 cell(s))"), "{replay}");
+
+        let matrix = run(&s(&["jobs", "--matrix", "--connect", &url])).unwrap();
+        assert!(matrix.contains("anycast"), "{matrix}");
+        assert!(matrix.contains(&site), "{matrix}");
+
+        let status = run(&s(&["serve", "--status", "--connect", &url])).unwrap();
+        assert!(status.contains("jobs_done"), "{status}");
+
+        // Bad specs are rejected at the door, not at run time.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"techniques":["warpdrive"]}"#).unwrap();
+        let err = run(&s(&["submit", bad.to_str().unwrap(), "--connect", &url])).unwrap_err();
+        assert!(err.contains("warpdrive"), "{err}");
+
+        assert!(run(&s(&["watch", "oops", "--connect", &url])).is_err());
+        assert!(run(&s(&["submit", "--connect", &url])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

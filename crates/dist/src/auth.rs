@@ -1,0 +1,437 @@
+//! Shared-secret worker/client authentication for the v4 handshake.
+//!
+//! The v3 socket was bare: anything that could reach the coordinator's
+//! port and knew the build fingerprint could pull cell leases or inject
+//! results. Fine on loopback, not beyond. v4 makes the server send a
+//! random [`Challenge`](crate::proto::Challenge) nonce first; the peer
+//! answers with an HMAC-SHA256 tag over the nonce, the protocol version,
+//! its build fingerprint, and its name, keyed by a shared secret
+//! (`BOBW_SECRET` or `--secret-file`). Binding the *fingerprint* into
+//! the tag means a credential minted for one build cannot be replayed to
+//! admit a semantically different binary.
+//!
+//! The primitives are hand-rolled from the FIPS 180-4 / RFC 2104 specs
+//! because the workspace vendors no crypto crate — they are small, and
+//! the test vectors below (RFC 4231 / NIST) pin them to the standards.
+//! When no secret is configured on the server, authentication is not
+//! required and empty tags are accepted — existing loopback workflows
+//! keep working unchanged.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4)
+// ---------------------------------------------------------------------------
+
+const H0: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+const K: [u32; 64] = [
+    0x428a_2f98,
+    0x7137_4491,
+    0xb5c0_fbcf,
+    0xe9b5_dba5,
+    0x3956_c25b,
+    0x59f1_11f1,
+    0x923f_82a4,
+    0xab1c_5ed5,
+    0xd807_aa98,
+    0x1283_5b01,
+    0x2431_85be,
+    0x550c_7dc3,
+    0x72be_5d74,
+    0x80de_b1fe,
+    0x9bdc_06a7,
+    0xc19b_f174,
+    0xe49b_69c1,
+    0xefbe_4786,
+    0x0fc1_9dc6,
+    0x240c_a1cc,
+    0x2de9_2c6f,
+    0x4a74_84aa,
+    0x5cb0_a9dc,
+    0x76f9_88da,
+    0x983e_5152,
+    0xa831_c66d,
+    0xb003_27c8,
+    0xbf59_7fc7,
+    0xc6e0_0bf3,
+    0xd5a7_9147,
+    0x06ca_6351,
+    0x1429_2967,
+    0x27b7_0a85,
+    0x2e1b_2138,
+    0x4d2c_6dfc,
+    0x5338_0d13,
+    0x650a_7354,
+    0x766a_0abb,
+    0x81c2_c92e,
+    0x9272_2c85,
+    0xa2bf_e8a1,
+    0xa81a_664b,
+    0xc24b_8b70,
+    0xc76c_51a3,
+    0xd192_e819,
+    0xd699_0624,
+    0xf40e_3585,
+    0x106a_a070,
+    0x19a4_c116,
+    0x1e37_6c08,
+    0x2748_774c,
+    0x34b0_bcb5,
+    0x391c_0cb3,
+    0x4ed8_aa4a,
+    0x5b9c_ca4f,
+    0x682e_6ff3,
+    0x748f_82ee,
+    0x78a5_636f,
+    0x84c8_7814,
+    0x8cc7_0208,
+    0x90be_fffa,
+    0xa450_6ceb,
+    0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = H0;
+
+    // Padded message: data ‖ 0x80 ‖ zeros ‖ 64-bit big-endian bit length,
+    // processed in 64-byte blocks without materializing the whole padded
+    // message (the tail is at most two blocks).
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut blocks = data.chunks_exact(64);
+    for block in &mut blocks {
+        compress(&mut h, block.try_into().expect("64-byte chunk"));
+    }
+    let rem = blocks.remainder();
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_blocks = if rem.len() + 9 <= 64 { 1 } else { 2 };
+    let len_at = tail_blocks * 64 - 8;
+    tail[len_at..len_at + 8].copy_from_slice(&bit_len.to_be_bytes());
+    for i in 0..tail_blocks {
+        compress(
+            &mut h,
+            tail[i * 64..(i + 1) * 64]
+                .try_into()
+                .expect("64-byte block"),
+        );
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+fn compress(h: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+    h[5] = h[5].wrapping_add(f);
+    h[6] = h[6].wrapping_add(g);
+    h[7] = h[7].wrapping_add(hh);
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA256 (RFC 2104)
+// ---------------------------------------------------------------------------
+
+/// HMAC-SHA256 of `msg` under `key`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; 64];
+    if key.len() > 64 {
+        k[..32].copy_from_slice(&sha256(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(64 + msg.len());
+    inner.extend(k.iter().map(|b| b ^ 0x36));
+    inner.extend_from_slice(msg);
+    let inner_hash = sha256(&inner);
+    let mut outer = Vec::with_capacity(64 + 32);
+    outer.extend(k.iter().map(|b| b ^ 0x5c));
+    outer.extend_from_slice(&inner_hash);
+    sha256(&outer)
+}
+
+/// Constant-time byte-slice comparison (no early exit on the first
+/// mismatching byte, so a remote peer can't binary-search the tag).
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+// ---------------------------------------------------------------------------
+// Shared secret + handshake tags
+// ---------------------------------------------------------------------------
+
+/// Environment variable both sides read the shared secret from when no
+/// `--secret-file` was given.
+pub const SECRET_ENV: &str = "BOBW_SECRET";
+
+/// A shared handshake secret. `Debug` is redacted so a secret can never
+/// leak through coordinator logs.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AuthSecret(Vec<u8>);
+
+impl fmt::Debug for AuthSecret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AuthSecret(<{} bytes>)", self.0.len())
+    }
+}
+
+impl AuthSecret {
+    pub fn new(bytes: impl Into<Vec<u8>>) -> AuthSecret {
+        AuthSecret(bytes.into())
+    }
+
+    /// Reads [`SECRET_ENV`]; `None` when unset or empty (auth disabled).
+    pub fn from_env() -> Option<AuthSecret> {
+        match std::env::var(SECRET_ENV) {
+            Ok(s) if !s.is_empty() => Some(AuthSecret(s.into_bytes())),
+            _ => None,
+        }
+    }
+
+    /// Loads the secret from a file, trimming trailing whitespace (the
+    /// usual `echo secret > file` newline).
+    pub fn from_file(path: impl AsRef<Path>) -> io::Result<AuthSecret> {
+        let raw = std::fs::read(path.as_ref())?;
+        let end = raw
+            .iter()
+            .rposition(|b| !b.is_ascii_whitespace())
+            .map_or(0, |i| i + 1);
+        if end == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("secret file {} is empty", path.as_ref().display()),
+            ));
+        }
+        Ok(AuthSecret(raw[..end].to_vec()))
+    }
+
+    /// Tag a *worker* presents: binds the challenge nonce, the protocol
+    /// version, the worker's build fingerprint, and its name.
+    pub fn worker_tag(&self, nonce: &[u8], protocol: u32, fingerprint: u64, name: &str) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(nonce.len() + 32 + name.len());
+        msg.extend_from_slice(b"bobw-worker\0");
+        msg.extend_from_slice(nonce);
+        msg.extend_from_slice(&protocol.to_le_bytes());
+        msg.extend_from_slice(&fingerprint.to_le_bytes());
+        msg.extend_from_slice(name.as_bytes());
+        hmac_sha256(&self.0, &msg).to_vec()
+    }
+
+    /// Tag a *client* (submit/watch/status) presents.
+    pub fn client_tag(&self, nonce: &[u8], protocol: u32, name: &str) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(nonce.len() + 32 + name.len());
+        msg.extend_from_slice(b"bobw-client\0");
+        msg.extend_from_slice(nonce);
+        msg.extend_from_slice(&protocol.to_le_bytes());
+        msg.extend_from_slice(name.as_bytes());
+        hmac_sha256(&self.0, &msg).to_vec()
+    }
+
+    pub fn verify_worker(
+        &self,
+        tag: &[u8],
+        nonce: &[u8],
+        protocol: u32,
+        fingerprint: u64,
+        name: &str,
+    ) -> bool {
+        constant_time_eq(tag, &self.worker_tag(nonce, protocol, fingerprint, name))
+    }
+
+    pub fn verify_client(&self, tag: &[u8], nonce: &[u8], protocol: u32, name: &str) -> bool {
+        constant_time_eq(tag, &self.client_tag(nonce, protocol, name))
+    }
+}
+
+/// A fresh 16-byte challenge nonce. Not cryptographically random — the
+/// container vendors no entropy source — but unique per handshake
+/// (pid × wall clock × monotonic counter through SHA-256), which is what
+/// the challenge needs: preventing tag replay across connections. This is
+/// runtime infrastructure; it never touches a simulation RNG stream.
+pub fn fresh_nonce() -> Vec<u8> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut seed = Vec::with_capacity(24);
+    seed.extend_from_slice(&u64::from(std::process::id()).to_le_bytes());
+    seed.extend_from_slice(&now.to_le_bytes());
+    seed.extend_from_slice(&count.to_le_bytes());
+    sha256(&seed)[..16].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// NIST FIPS 180-4 example vectors.
+    #[test]
+    fn sha256_matches_nist_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // One million 'a's: exercises many blocks and the length tail.
+        assert_eq!(
+            hex(&sha256(&vec![b'a'; 1_000_000])),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+        // 55 and 56 input bytes straddle the one-vs-two-block padding
+        // boundary ("a" × 55/56, digests from the NIST byte-oriented
+        // test suite).
+        assert_eq!(
+            hex(&sha256(&[b'a'; 55])),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"
+        );
+        assert_eq!(
+            hex(&sha256(&[b'a'; 56])),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"
+        );
+    }
+
+    /// RFC 4231 test cases 1, 2, and 6 (the long-key case exercises the
+    /// key-hashing branch).
+    #[test]
+    fn hmac_sha256_matches_rfc4231_vectors() {
+        let tag = hmac_sha256(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        let tag = hmac_sha256(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn tags_bind_every_handshake_field() {
+        let secret = AuthSecret::new("s3cret");
+        let nonce = fresh_nonce();
+        let tag = secret.worker_tag(&nonce, 4, 0xabcd, "w1");
+        assert!(secret.verify_worker(&tag, &nonce, 4, 0xabcd, "w1"));
+        // Any field change invalidates the tag.
+        assert!(!secret.verify_worker(&tag, &nonce, 5, 0xabcd, "w1"));
+        assert!(!secret.verify_worker(&tag, &nonce, 4, 0xabce, "w1"));
+        assert!(!secret.verify_worker(&tag, &nonce, 4, 0xabcd, "w2"));
+        assert!(!secret.verify_worker(&tag, &fresh_nonce(), 4, 0xabcd, "w1"));
+        // A worker tag is not a client tag and vice versa.
+        assert!(!secret.verify_client(&tag, &nonce, 4, "w1"));
+        // A different secret never verifies.
+        assert!(!AuthSecret::new("other").verify_worker(&tag, &nonce, 4, 0xabcd, "w1"));
+        // Empty tags (unauthenticated peers) never verify against a secret.
+        assert!(!secret.verify_worker(&[], &nonce, 4, 0xabcd, "w1"));
+    }
+
+    #[test]
+    fn nonces_are_unique_per_handshake() {
+        let a = fresh_nonce();
+        let b = fresh_nonce();
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn secret_file_trims_trailing_newline() {
+        let dir = std::env::temp_dir().join(format!("bobw-auth-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("secret");
+        std::fs::write(&path, "hunter2\n").unwrap();
+        assert_eq!(
+            AuthSecret::from_file(&path).unwrap(),
+            AuthSecret::new("hunter2")
+        );
+        std::fs::write(&path, "\n").unwrap();
+        assert!(AuthSecret::from_file(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -10,7 +10,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use bobw_dist::{run_worker, Endpoint, WorkerConfig};
+use bobw_dist::{run_worker, AuthSecret, Endpoint, WorkerConfig};
 
 const USAGE: &str = "\
 bobw-worker — distributed cell-execution worker
@@ -18,6 +18,11 @@ bobw-worker — distributed cell-execution worker
 USAGE:
   bobw-worker --connect tcp://HOST:PORT|unix://PATH
               [--threads N] [--name NAME] [--connect-timeout SECS]
+              [--secret-file PATH]
+
+The shared handshake secret is read from BOBW_SECRET unless
+--secret-file is given; without either, the worker can only join
+coordinators that don't require authentication.
 ";
 
 fn parse(args: &[String]) -> Result<WorkerConfig, String> {
@@ -25,6 +30,7 @@ fn parse(args: &[String]) -> Result<WorkerConfig, String> {
     let mut threads = 1usize;
     let mut name: Option<String> = None;
     let mut timeout = Duration::from_secs(10);
+    let mut secret_file: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -43,6 +49,7 @@ fn parse(args: &[String]) -> Result<WorkerConfig, String> {
                     .ok_or_else(|| format!("bad --threads {v:?} (integer >= 1)"))?;
             }
             "--name" => name = Some(value("name")?),
+            "--secret-file" => secret_file = Some(value("secret-file")?),
             "--connect-timeout" => {
                 let v = value("connect-timeout")?;
                 let secs: u64 = v
@@ -60,6 +67,10 @@ fn parse(args: &[String]) -> Result<WorkerConfig, String> {
     cfg.connect_timeout = timeout;
     if let Some(n) = name {
         cfg.name = n;
+    }
+    if let Some(path) = secret_file {
+        cfg.secret =
+            Some(AuthSecret::from_file(&path).map_err(|e| format!("--secret-file {path}: {e}"))?);
     }
     Ok(cfg)
 }

@@ -3,13 +3,21 @@
 //! ## Threading model
 //!
 //! One accept thread takes connections off the listener and hands each to
-//! a per-connection thread. That thread performs the handshake (rejecting
-//! mismatched fingerprints before any work flows), then forwards every
-//! decoded [`FromWorker`] frame into a single `mpsc` channel. The batch
-//! loop ([`Coordinator::run_batch`]) is therefore strictly
-//! single-threaded: all scheduling state — the pending queue, leases,
-//! result slots — lives on one thread, and the writers (one per worker)
-//! are only touched from it.
+//! a per-connection thread. That thread performs the v4 handshake — the
+//! server sends a [`Challenge`] nonce, the peer answers with a
+//! [`Greeting`], and mismatched fingerprints or bad HMAC credentials are
+//! rejected before any work flows — then forwards every decoded
+//! [`FromWorker`] frame into a single `mpsc` channel. The batch loop
+//! ([`Coordinator::run_batch`]) is therefore strictly single-threaded:
+//! all scheduling state — the pending queue, leases, result slots — lives
+//! on one thread, and the writers (one per worker) are only touched from
+//! it.
+//!
+//! The handshake/pump machinery is factored into [`WorkerPort`] so a
+//! host that owns its own listener (the `bobw serve` daemon, which
+//! multiplexes workers *and* job-service clients on one socket) can
+//! splice accepted worker connections into a [`Coordinator::detached`]
+//! instance.
 //!
 //! ## Robustness rules
 //!
@@ -30,21 +38,25 @@
 //!
 //! Scheduling decides only *where* a cell runs, never what it computes:
 //! results are merged into index-keyed slots, so the output vector is in
-//! cell-index order — byte-identical to a local sequential run.
+//! cell-index order — byte-identical to a local sequential run. A worker
+//! now multiplexes up to `Hello::capacity` concurrent cells over its one
+//! connection; assignment is least-loaded-first, which again only moves
+//! placement, never content.
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bobw_core::ExperimentConfig;
 
+use crate::auth::{fresh_nonce, AuthSecret};
 use crate::endpoint::{Conn, Endpoint, Listener};
 use crate::interrupt::interrupted;
 use crate::proto::{
-    build_fingerprint, config_fingerprint, CellOutput, CellSpec, FromWorker, Hello, HelloReply,
-    ToWorker, PROTOCOL_VERSION,
+    build_fingerprint, config_fingerprint, CellOutput, CellSpec, Challenge, ClientHello,
+    FromWorker, Greeting, Hello, HelloReply, ToWorker, PROTOCOL_VERSION,
 };
 use crate::wire::{recv, send};
 
@@ -62,6 +74,9 @@ pub struct CoordinatorConfig {
     pub lease_timeout: Duration,
     /// Batch-loop tick: how often leases are checked for expiry.
     pub tick: Duration,
+    /// Shared handshake secret; when set, workers (and clients, on the
+    /// serve daemon) must present a valid HMAC tag or are rejected.
+    pub secret: Option<AuthSecret>,
 }
 
 impl Default for CoordinatorConfig {
@@ -69,6 +84,7 @@ impl Default for CoordinatorConfig {
         CoordinatorConfig {
             lease_timeout: Duration::from_secs(30),
             tick: Duration::from_millis(100),
+            secret: AuthSecret::from_env(),
         }
     }
 }
@@ -82,6 +98,7 @@ enum Event {
     Connected {
         id: WorkerId,
         name: String,
+        capacity: u32,
         writer: Conn,
     },
     Msg {
@@ -97,23 +114,207 @@ enum Event {
 struct WorkerHandle {
     writer: Conn,
     name: String,
-    /// Ready for an assignment (acked the current batch, not computing).
-    idle: bool,
+    /// Concurrent cells this worker accepts (its `Hello::capacity`).
+    capacity: u32,
+    /// Cells currently assigned and not yet answered.
+    inflight: u32,
     /// The batch this worker has acknowledged with `Ready`.
     acked_batch: Option<u64>,
+    /// Batches this worker served from its warm testbed cache.
+    cache_hits: u64,
+    /// Cells this worker completed (lifetime, across batches).
+    cells_done: u64,
+    /// Last frame of any kind from this worker (liveness for metrics).
+    last_heard: Instant,
 }
 
-/// A listening coordinator. Bind once, run any number of batches, then
-/// [`Coordinator::shutdown`].
+/// A point-in-time view of one connected worker, for the metrics plane.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct WorkerStat {
+    pub name: String,
+    pub capacity: u32,
+    pub inflight: u32,
+    pub cells_done: u64,
+    pub cache_hits: u64,
+    /// Seconds since the last frame from this worker.
+    pub last_heard_s: f64,
+}
+
+/// The worker-facing half of a coordinator: performs the challenge
+/// handshake on accepted connections and pumps vetted workers' frames
+/// into the batch loop. Cloneable so a daemon can hand it to any number
+/// of connection threads.
+#[derive(Clone)]
+pub struct WorkerPort {
+    tx: mpsc::Sender<Event>,
+    next_id: Arc<AtomicU64>,
+    secret: Option<AuthSecret>,
+}
+
+impl WorkerPort {
+    /// Sends the [`Challenge`] that must precede any greeting. Returns
+    /// the nonce the peer's credential has to bind.
+    pub fn send_challenge(&self, writer: &mut Conn) -> io::Result<Vec<u8>> {
+        let nonce = fresh_nonce();
+        send(
+            writer,
+            &Challenge {
+                nonce: nonce.clone(),
+                auth_required: self.secret.is_some(),
+            },
+        )?;
+        Ok(nonce)
+    }
+
+    /// Serves one freshly accepted connection end-to-end: challenge,
+    /// greeting, vetting, then pumping worker frames until disconnect.
+    /// Blocking — callers give each connection its own thread. Client
+    /// greetings are rejected (a plain coordinator runs no job service).
+    pub fn serve_connection(&self, conn: Conn) {
+        conn.set_nodelay();
+        let Ok(mut writer) = conn.try_clone() else {
+            return;
+        };
+        let mut reader = conn;
+        let Ok(nonce) = self.send_challenge(&mut writer) else {
+            return;
+        };
+        match recv::<_, Greeting>(&mut reader) {
+            Ok(Some(Greeting::Worker(hello))) => self.adopt_worker(reader, writer, hello, &nonce),
+            Ok(Some(Greeting::Client(hello))) => {
+                eprintln!(
+                    "[coordinator] rejecting client {}: not a job service",
+                    hello.client_name
+                );
+                let _ = send(
+                    &mut writer,
+                    &HelloReply::Rejected {
+                        reason: "this endpoint is a batch coordinator, not a job service \
+                                 (start one with `bobw serve`)"
+                            .into(),
+                    },
+                );
+            }
+            // Garbage or no greeting at all: drop the connection.
+            _ => {}
+        }
+    }
+
+    /// Vets a worker greeting and, if welcome, splices the connection
+    /// into the batch loop, pumping its frames until disconnect
+    /// (blocking). The `bobw serve` daemon calls this after classifying
+    /// the greeting itself.
+    pub fn adopt_worker(&self, mut reader: Conn, mut writer: Conn, hello: Hello, nonce: &[u8]) {
+        if let Err(reason) = vet_worker(&hello, nonce, self.secret.as_ref()) {
+            eprintln!(
+                "[coordinator] rejecting worker {}: {reason}",
+                hello.worker_name
+            );
+            let _ = send(&mut writer, &HelloReply::Rejected { reason });
+            return;
+        }
+        if send(&mut writer, &HelloReply::Welcome).is_err() {
+            return;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if self
+            .tx
+            .send(Event::Connected {
+                id,
+                name: hello.worker_name,
+                capacity: hello.capacity.max(1),
+                writer,
+            })
+            .is_err()
+        {
+            return;
+        }
+        loop {
+            match recv::<_, FromWorker>(&mut reader) {
+                Ok(Some(msg)) => {
+                    if self.tx.send(Event::Msg { id, msg }).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    let _ = self.tx.send(Event::Disconnected { id });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Why a worker greeting is unacceptable, or `Ok` to welcome it.
+fn vet_worker(hello: &Hello, nonce: &[u8], secret: Option<&AuthSecret>) -> Result<(), String> {
+    if hello.protocol != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version mismatch (coordinator {PROTOCOL_VERSION}, worker {})",
+            hello.protocol
+        ));
+    }
+    let expected = build_fingerprint();
+    if hello.fingerprint != expected {
+        return Err(format!(
+            "build fingerprint mismatch (coordinator {expected:#x}, worker {:#x}): \
+             the worker binary would compute different worlds",
+            hello.fingerprint
+        ));
+    }
+    if let Some(secret) = secret {
+        if !secret.verify_worker(
+            &hello.auth,
+            nonce,
+            hello.protocol,
+            hello.fingerprint,
+            &hello.worker_name,
+        ) {
+            return Err("authentication failed: bad or missing worker credential".into());
+        }
+    }
+    Ok(())
+}
+
+/// Why a client greeting is unacceptable, or `Ok` to welcome it. Shared
+/// with the serve daemon, which accepts clients on the same listener.
+pub fn vet_client(
+    hello: &ClientHello,
+    nonce: &[u8],
+    secret: Option<&AuthSecret>,
+) -> Result<(), String> {
+    if hello.protocol != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version mismatch (server {PROTOCOL_VERSION}, client {})",
+            hello.protocol
+        ));
+    }
+    if let Some(secret) = secret {
+        if !secret.verify_client(&hello.auth, nonce, hello.protocol, &hello.client_name) {
+            return Err("authentication failed: bad or missing client credential".into());
+        }
+    }
+    Ok(())
+}
+
+/// A coordinator. [`Coordinator::bind`] listens itself; a
+/// [`Coordinator::detached`] instance is fed accepted connections by an
+/// external listener through its [`WorkerPort`]. Run any number of
+/// batches, then [`Coordinator::shutdown`].
 pub struct Coordinator {
     events: mpsc::Receiver<Event>,
+    port: WorkerPort,
     workers: HashMap<WorkerId, WorkerHandle>,
-    local: Endpoint,
+    /// Bound endpoint; `None` for a detached coordinator.
+    local: Option<Endpoint>,
     stop: Arc<AtomicBool>,
     cfg: CoordinatorConfig,
     next_batch: u64,
+    /// Optional live stats mirror for a metrics plane: refreshed from the
+    /// batch loop (and [`Coordinator::pump_events`]) so other threads can
+    /// read worker liveness without touching scheduler state.
+    stats_sink: Option<Arc<Mutex<Vec<WorkerStat>>>>,
     /// Kept so `bind` on `tcp://…:0` can report the real port.
-    _accept: std::thread::JoinHandle<()>,
+    _accept: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Coordinator {
@@ -121,32 +322,84 @@ impl Coordinator {
     pub fn bind(endpoint: &Endpoint, cfg: CoordinatorConfig) -> io::Result<Coordinator> {
         let listener = endpoint.bind()?;
         let local = listener.local_endpoint()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<Event>();
-        let accept = {
-            let stop = Arc::clone(&stop);
-            let tx = tx.clone();
-            std::thread::spawn(move || accept_loop(listener, tx, stop))
-        };
-        Ok(Coordinator {
-            events: rx,
-            workers: HashMap::new(),
-            local,
-            stop,
-            cfg,
-            next_batch: 0,
-            _accept: accept,
-        })
+        let (mut coordinator, port) = Self::detached(cfg);
+        let stop = Arc::clone(&coordinator.stop);
+        coordinator.local = Some(local);
+        coordinator._accept = Some(std::thread::spawn(move || {
+            accept_loop(listener, port, stop)
+        }));
+        Ok(coordinator)
     }
 
-    /// The bound endpoint (with the real port for `tcp://…:0` binds).
-    pub fn endpoint(&self) -> &Endpoint {
-        &self.local
+    /// A coordinator with no listener of its own: the caller owns the
+    /// socket and feeds accepted worker connections through the returned
+    /// [`WorkerPort`] (see `bobw serve`).
+    pub fn detached(cfg: CoordinatorConfig) -> (Coordinator, WorkerPort) {
+        let (tx, rx) = mpsc::channel::<Event>();
+        let port = WorkerPort {
+            tx,
+            next_id: Arc::new(AtomicU64::new(0)),
+            secret: cfg.secret.clone(),
+        };
+        let coordinator = Coordinator {
+            events: rx,
+            port: port.clone(),
+            workers: HashMap::new(),
+            local: None,
+            stop: Arc::new(AtomicBool::new(false)),
+            cfg,
+            next_batch: 0,
+            stats_sink: None,
+            _accept: None,
+        };
+        (coordinator, port)
+    }
+
+    /// The bound endpoint (with the real port for `tcp://…:0` binds);
+    /// `None` for a detached coordinator.
+    pub fn endpoint(&self) -> Option<&Endpoint> {
+        self.local.as_ref()
+    }
+
+    /// This coordinator's worker port (handshake + frame pump).
+    pub fn port(&self) -> WorkerPort {
+        self.port.clone()
     }
 
     /// Number of workers currently connected and handshaken.
     pub fn num_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Installs a live mirror of [`Coordinator::worker_stats`] that the
+    /// batch loop refreshes, for a metrics plane on another thread.
+    pub fn set_stats_sink(&mut self, sink: Arc<Mutex<Vec<WorkerStat>>>) {
+        self.stats_sink = Some(sink);
+        self.publish_stats();
+    }
+
+    /// Point-in-time stats for every connected worker, by name.
+    pub fn worker_stats(&self) -> Vec<WorkerStat> {
+        let mut stats: Vec<WorkerStat> = self
+            .workers
+            .values()
+            .map(|w| WorkerStat {
+                name: w.name.clone(),
+                capacity: w.capacity,
+                inflight: w.inflight,
+                cells_done: w.cells_done,
+                cache_hits: w.cache_hits,
+                last_heard_s: w.last_heard.elapsed().as_secs_f64(),
+            })
+            .collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
+    }
+
+    fn publish_stats(&self) {
+        if let Some(sink) = &self.stats_sink {
+            *sink.lock().unwrap() = self.worker_stats();
+        }
     }
 
     /// Serves `cells` under `config` to the connected workers (and any
@@ -159,6 +412,20 @@ impl Coordinator {
         &mut self,
         config: &ExperimentConfig,
         cells: &[CellSpec],
+    ) -> Result<Vec<CellOutput>, String> {
+        self.run_batch_with(config, cells, |_, _| {})
+    }
+
+    /// [`Coordinator::run_batch`], additionally invoking `on_cell` with
+    /// `(cell_index, output)` the moment each cell's first completion
+    /// merges — the streaming hook `bobw watch` rides on. Callbacks
+    /// arrive in completion order, not index order; the returned vector
+    /// is index-ordered as always.
+    pub fn run_batch_with(
+        &mut self,
+        config: &ExperimentConfig,
+        cells: &[CellSpec],
+        mut on_cell: impl FnMut(usize, &CellOutput),
     ) -> Result<Vec<CellOutput>, String> {
         let batch_id = self.next_batch;
         self.next_batch += 1;
@@ -188,12 +455,14 @@ impl Coordinator {
                 ));
             }
 
-            // Hand pending cells to idle workers that acked this batch.
+            // Hand pending cells to the least-loaded workers that acked
+            // this batch and still have capacity headroom.
             while !pending.is_empty() {
                 let Some(&id) = self
                     .workers
                     .iter()
-                    .find(|(_, w)| w.idle && w.acked_batch == Some(batch_id))
+                    .filter(|(_, w)| w.acked_batch == Some(batch_id) && w.inflight < w.capacity)
+                    .min_by_key(|(id, w)| (w.inflight, **id))
                     .map(|(id, _)| id)
                 else {
                     break;
@@ -212,82 +481,86 @@ impl Coordinator {
                     pending.push_front(cell);
                     continue;
                 }
-                w.idle = false;
+                w.inflight += 1;
                 leases.insert(cell, (id, Instant::now()));
             }
 
             // One event or one tick.
             match self.events.recv_timeout(self.cfg.tick) {
-                Ok(Event::Connected { id, name, writer }) => {
-                    self.workers.insert(
-                        id,
-                        WorkerHandle {
-                            writer,
-                            name,
-                            idle: false,
-                            acked_batch: None,
-                        },
-                    );
+                Ok(Event::Connected {
+                    id,
+                    name,
+                    capacity,
+                    writer,
+                }) => {
+                    self.insert_worker(id, name, capacity, writer);
                     self.send_batch(id, batch_id, config_print, config);
                 }
-                Ok(Event::Msg { id, msg }) => match msg {
-                    FromWorker::Ready => {
-                        if let Some(w) = self.workers.get_mut(&id) {
-                            w.idle = true;
-                            w.acked_batch = Some(batch_id);
-                        }
+                Ok(Event::Msg { id, msg }) => {
+                    if let Some(w) = self.workers.get_mut(&id) {
+                        w.last_heard = Instant::now();
                     }
-                    FromWorker::Heartbeat {
-                        batch_id: b,
-                        cell_index,
-                    } => {
-                        if b == batch_id {
-                            if let Some(lease) = leases.get_mut(&(cell_index as usize)) {
-                                if lease.0 == id {
-                                    lease.1 = Instant::now();
+                    match msg {
+                        FromWorker::Ready { cache_hit } => {
+                            if let Some(w) = self.workers.get_mut(&id) {
+                                w.acked_batch = Some(batch_id);
+                                w.cache_hits += cache_hit as u64;
+                            }
+                        }
+                        FromWorker::Heartbeat {
+                            batch_id: b,
+                            cell_index,
+                        } => {
+                            if b == batch_id {
+                                if let Some(lease) = leases.get_mut(&(cell_index as usize)) {
+                                    if lease.0 == id {
+                                        lease.1 = Instant::now();
+                                    }
                                 }
                             }
                         }
-                    }
-                    FromWorker::Done {
-                        batch_id: b,
-                        cell_index,
-                        output,
-                    } => {
-                        if let Some(w) = self.workers.get_mut(&id) {
-                            w.idle = true;
-                        }
-                        let cell = cell_index as usize;
-                        // First completion wins; duplicates (from a worker
-                        // whose lease was revoked but that finished anyway)
-                        // and stale-batch strays are discarded by index.
-                        if b == batch_id && cell < n && done[cell].is_none() {
-                            done[cell] = Some(*output);
-                            completed += 1;
-                            leases.remove(&cell);
-                        }
-                    }
-                    FromWorker::Failed {
-                        batch_id: b,
-                        cell_index,
-                        error,
-                    } => {
-                        if let Some(w) = self.workers.get_mut(&id) {
-                            w.idle = true;
-                        }
-                        let cell = cell_index as usize;
-                        if b == batch_id && cell < n && done[cell].is_none() {
-                            eprintln!(
-                                "[coordinator] worker {} failed cell {cell}: {error}",
-                                self.worker_name(id)
-                            );
-                            if leases.get(&cell).map(|l| l.0) == Some(id) {
-                                leases.remove(&cell);
+                        FromWorker::Done {
+                            batch_id: b,
+                            cell_index,
+                            output,
+                        } => {
+                            if let Some(w) = self.workers.get_mut(&id) {
+                                w.inflight = w.inflight.saturating_sub(1);
+                                w.cells_done += 1;
                             }
-                            requeue(cell, &mut assignments, &mut pending)?;
+                            let cell = cell_index as usize;
+                            // First completion wins; duplicates (from a worker
+                            // whose lease was revoked but that finished anyway)
+                            // and stale-batch strays are discarded by index.
+                            if b == batch_id && cell < n && done[cell].is_none() {
+                                done[cell] = Some(*output);
+                                completed += 1;
+                                leases.remove(&cell);
+                                on_cell(cell, done[cell].as_ref().expect("just stored"));
+                            }
+                        }
+                        FromWorker::Failed {
+                            batch_id: b,
+                            cell_index,
+                            error,
+                        } => {
+                            if let Some(w) = self.workers.get_mut(&id) {
+                                w.inflight = w.inflight.saturating_sub(1);
+                            }
+                            let cell = cell_index as usize;
+                            if b == batch_id && cell < n && done[cell].is_none() {
+                                eprintln!(
+                                    "[coordinator] worker {} failed cell {cell}: {error}",
+                                    self.worker_name(id)
+                                );
+                                if leases.get(&cell).map(|l| l.0) == Some(id) {
+                                    leases.remove(&cell);
+                                }
+                                requeue(cell, &mut assignments, &mut pending)?;
+                            }
                         }
                     }
-                },
+                }
                 Ok(Event::Disconnected { id }) => {
                     let name = self.worker_name(id);
                     self.workers.remove(&id);
@@ -309,12 +582,14 @@ impl Coordinator {
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    return Err("coordinator accept loop died".into());
+                    return Err("coordinator event channel died".into());
                 }
             }
 
             // Revoke expired leases: the owner is alive-but-silent (stuck,
-            // paused, or wedged); someone else gets the cell.
+            // paused, or wedged); someone else gets the cell. The owner's
+            // inflight slot stays occupied until it answers or disconnects,
+            // so a wedged worker cannot hoard fresh assignments.
             let now = Instant::now();
             let expired: Vec<usize> = leases
                 .iter()
@@ -329,14 +604,66 @@ impl Coordinator {
                 );
                 requeue(cell, &mut assignments, &mut pending)?;
             }
+
+            self.publish_stats();
         }
 
         // Batch done: let workers idle until the next one.
         self.broadcast(&ToWorker::Drain);
+        self.publish_stats();
         Ok(done
             .into_iter()
             .map(|o| o.expect("completed == n implies every slot filled"))
             .collect())
+    }
+
+    /// Processes connection lifecycle events while no batch is running,
+    /// waiting up to `wait` for the first one. A long-lived daemon calls
+    /// this between jobs so idle-time connects/disconnects (and straggler
+    /// results from revoked leases) keep the worker table and metrics
+    /// fresh instead of queueing until the next batch.
+    pub fn pump_events(&mut self, wait: Duration) {
+        let mut budget = Some(wait);
+        loop {
+            let ev = match budget.take() {
+                Some(w) => match self.events.recv_timeout(w) {
+                    Ok(ev) => ev,
+                    Err(_) => break,
+                },
+                None => match self.events.try_recv() {
+                    Ok(ev) => ev,
+                    Err(_) => break,
+                },
+            };
+            match ev {
+                Event::Connected {
+                    id,
+                    name,
+                    capacity,
+                    writer,
+                } => self.insert_worker(id, name, capacity, writer),
+                Event::Msg { id, msg } => {
+                    if let Some(w) = self.workers.get_mut(&id) {
+                        w.last_heard = Instant::now();
+                        match msg {
+                            // Stragglers from a finished batch: free the slot.
+                            FromWorker::Done { .. } => {
+                                w.inflight = w.inflight.saturating_sub(1);
+                                w.cells_done += 1;
+                            }
+                            FromWorker::Failed { .. } => {
+                                w.inflight = w.inflight.saturating_sub(1);
+                            }
+                            FromWorker::Ready { .. } | FromWorker::Heartbeat { .. } => {}
+                        }
+                    }
+                }
+                Event::Disconnected { id } => {
+                    self.workers.remove(&id);
+                }
+            }
+        }
+        self.publish_stats();
     }
 
     /// Sends `Shutdown` to every worker and stops the accept loop.
@@ -345,7 +672,25 @@ impl Coordinator {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the accept thread with a throwaway connection so it sees
         // the stop flag and releases the listener.
-        let _ = self.local.connect();
+        if let Some(local) = &self.local {
+            let _ = local.connect();
+        }
+    }
+
+    fn insert_worker(&mut self, id: WorkerId, name: String, capacity: u32, writer: Conn) {
+        self.workers.insert(
+            id,
+            WorkerHandle {
+                writer,
+                name,
+                capacity,
+                inflight: 0,
+                acked_batch: None,
+                cache_hits: 0,
+                cells_done: 0,
+                last_heard: Instant::now(),
+            },
+        );
     }
 
     fn worker_name(&self, id: WorkerId) -> String {
@@ -368,7 +713,6 @@ impl Coordinator {
             config: Box::new(config.clone()),
         };
         if let Some(w) = self.workers.get_mut(&id) {
-            w.idle = false;
             w.acked_batch = None;
             if send(&mut w.writer, &msg).is_err() {
                 self.workers.remove(&id);
@@ -408,8 +752,7 @@ fn requeue(
 
 /// Accepts connections until the stop flag flips; each connection gets its
 /// own handshake/reader thread.
-fn accept_loop(listener: Listener, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool>) {
-    let mut next_id: WorkerId = 0;
+fn accept_loop(listener: Listener, port: WorkerPort, stop: Arc<AtomicBool>) {
     loop {
         let conn = match listener.accept() {
             Ok(c) => c,
@@ -423,70 +766,7 @@ fn accept_loop(listener: Listener, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let id = next_id;
-        next_id += 1;
-        let tx = tx.clone();
-        std::thread::spawn(move || serve_worker_connection(conn, id, tx));
-    }
-}
-
-/// Handshakes one connection, then pumps its frames into the event channel.
-fn serve_worker_connection(conn: Conn, id: WorkerId, tx: mpsc::Sender<Event>) {
-    conn.set_nodelay();
-    let Ok(mut writer) = conn.try_clone() else {
-        return;
-    };
-    let mut reader = conn;
-
-    let hello: Hello = match recv(&mut reader) {
-        Ok(Some(h)) => h,
-        _ => return, // never handshook; nothing to report
-    };
-    let expected = build_fingerprint();
-    if hello.protocol != PROTOCOL_VERSION || hello.fingerprint != expected {
-        let reason = if hello.protocol != PROTOCOL_VERSION {
-            format!(
-                "protocol version mismatch (coordinator {PROTOCOL_VERSION}, worker {})",
-                hello.protocol
-            )
-        } else {
-            format!(
-                "build fingerprint mismatch (coordinator {expected:#x}, worker {:#x}): \
-                 the worker binary would compute different worlds",
-                hello.fingerprint
-            )
-        };
-        eprintln!(
-            "[coordinator] rejecting worker {}: {reason}",
-            hello.worker_name
-        );
-        let _ = send(&mut writer, &HelloReply::Rejected { reason });
-        return;
-    }
-    if send(&mut writer, &HelloReply::Welcome).is_err() {
-        return;
-    }
-    if tx
-        .send(Event::Connected {
-            id,
-            name: hello.worker_name,
-            writer,
-        })
-        .is_err()
-    {
-        return;
-    }
-    loop {
-        match recv::<_, FromWorker>(&mut reader) {
-            Ok(Some(msg)) => {
-                if tx.send(Event::Msg { id, msg }).is_err() {
-                    return;
-                }
-            }
-            Ok(None) | Err(_) => {
-                let _ = tx.send(Event::Disconnected { id });
-                return;
-            }
-        }
+        let port = port.clone();
+        std::thread::spawn(move || port.serve_connection(conn));
     }
 }

@@ -27,6 +27,7 @@
 //! * [`interrupt`] — Ctrl-C detection for the coordinator's graceful
 //!   drain.
 
+pub mod auth;
 pub mod coordinator;
 pub mod endpoint;
 pub mod interrupt;
@@ -34,12 +35,15 @@ pub mod proto;
 pub mod wire;
 pub mod worker;
 
-pub use coordinator::{Coordinator, CoordinatorConfig, MAX_ASSIGNMENTS};
+pub use auth::{AuthSecret, SECRET_ENV};
+pub use coordinator::{
+    vet_client, Coordinator, CoordinatorConfig, WorkerPort, WorkerStat, MAX_ASSIGNMENTS,
+};
 pub use endpoint::{Conn, Endpoint, Listener};
 pub use interrupt::{install_sigint_handler, interrupted};
 pub use proto::{
-    build_fingerprint, config_fingerprint, CellOutput, CellSpec, FromWorker, Hello, HelloReply,
-    ToWorker, PROTOCOL_VERSION,
+    build_fingerprint, config_fingerprint, CellOutput, CellSpec, Challenge, ClientHello,
+    FromWorker, Greeting, Hello, HelloReply, ToWorker, PROTOCOL_VERSION,
 };
 pub use wire::{Wire, WireError, MAX_FRAME};
 pub use worker::{execute_cell, run_worker, WorkerConfig};

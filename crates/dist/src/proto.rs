@@ -24,13 +24,19 @@ use bobw_event::{RngFactory, SimDuration, SimTime};
 use bobw_net::Prefix;
 use bobw_topology::{generate, GenConfig, SiteAttachment, SiteId, SiteSpec};
 
-use crate::wire::{wire_struct, Wire, WireError};
+use crate::wire::{Wire, WireError};
+use crate::wire_struct;
 
 /// Bump on any incompatible change to the message set or an encoding.
 /// v2: `ExperimentConfig` carries an optional fault scenario.
 /// v3: `ExperimentConfig` carries an optional traffic layer; results
 /// carry its summary.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// v4: challenge/HMAC handshake (server sends [`Challenge`] first, peers
+/// answer with a [`Greeting`]), multiplexed workers (`Hello` advertises
+/// a capacity, `Ready` reports testbed-cache hits), client greetings for
+/// the `bobw serve` job service, and `TrafficSummary` gains scrubbed
+/// volume.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 // ---------------------------------------------------------------------------
 // Fingerprints
@@ -103,7 +109,27 @@ impl CellOutput {
 // Messages
 // ---------------------------------------------------------------------------
 
-/// First frame a worker sends after connecting.
+/// First frame the *server* (coordinator or `bobw serve` daemon) sends
+/// on every accepted connection: a fresh nonce the peer must fold into
+/// its authentication tag, plus whether a tag is required at all (no
+/// configured secret ⇒ open, the pre-v4 behavior).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Challenge {
+    pub nonce: Vec<u8>,
+    pub auth_required: bool,
+}
+
+/// First frame a peer sends after the [`Challenge`]: identifies the
+/// connection as a cell-computing worker or a job-service client. A
+/// plain batch coordinator rejects `Client` greetings; the `bobw serve`
+/// daemon accepts both on one listener.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Greeting {
+    Worker(Hello),
+    Client(ClientHello),
+}
+
+/// Worker half of a [`Greeting`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hello {
     pub protocol: u32,
@@ -111,6 +137,22 @@ pub struct Hello {
     pub fingerprint: u64,
     /// Human-readable worker name for logs (hostname/pid by default).
     pub worker_name: String,
+    /// Concurrent cells this worker computes (its `--threads`); the
+    /// coordinator assigns up to this many cells over the one connection.
+    pub capacity: u32,
+    /// HMAC tag over (nonce, protocol, fingerprint, name); empty when the
+    /// worker has no secret configured.
+    pub auth: Vec<u8>,
+}
+
+/// Client half of a [`Greeting`] (submit/watch/status connections).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientHello {
+    pub protocol: u32,
+    /// Human-readable client name for logs.
+    pub client_name: String,
+    /// HMAC tag over (nonce, protocol, name); empty when unauthenticated.
+    pub auth: Vec<u8>,
 }
 
 /// Coordinator's answer to a [`Hello`].
@@ -150,9 +192,10 @@ pub enum ToWorker {
 /// Worker → coordinator after the handshake.
 #[derive(Debug, Clone)]
 pub enum FromWorker {
-    /// Ready for (more) work — sent after the handshake, after finishing a
-    /// cell, and in answer to `Batch`.
-    Ready,
+    /// Acknowledges a `Batch`: the testbed for its config is up (either
+    /// freshly built or — `cache_hit` — served warm from the worker's
+    /// process-wide cache) and the worker will accept assignments.
+    Ready { cache_hit: bool },
     /// Still alive and still computing `cell_index` (lease renewal).
     Heartbeat { batch_id: u64, cell_index: u64 },
     /// A finished cell. Boxed to keep the enum heartbeat-sized (the
@@ -179,8 +222,44 @@ pub enum FromWorker {
 wire_struct!(Hello {
     protocol,
     fingerprint,
-    worker_name
+    worker_name,
+    capacity,
+    auth
 });
+
+wire_struct!(ClientHello {
+    protocol,
+    client_name,
+    auth
+});
+
+wire_struct!(Challenge {
+    nonce,
+    auth_required
+});
+
+impl Wire for Greeting {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Greeting::Worker(h) => {
+                0u32.encode(out);
+                h.encode(out);
+            }
+            Greeting::Client(h) => {
+                1u32.encode(out);
+                h.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u32::decode(buf)? {
+            0 => Ok(Greeting::Worker(Hello::decode(buf)?)),
+            1 => Ok(Greeting::Client(ClientHello::decode(buf)?)),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
 
 impl Wire for HelloReply {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -316,7 +395,10 @@ impl Wire for ToWorker {
 impl Wire for FromWorker {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            FromWorker::Ready => 0u32.encode(out),
+            FromWorker::Ready { cache_hit } => {
+                0u32.encode(out);
+                cache_hit.encode(out);
+            }
             FromWorker::Heartbeat {
                 batch_id,
                 cell_index,
@@ -350,7 +432,9 @@ impl Wire for FromWorker {
 
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         match u32::decode(buf)? {
-            0 => Ok(FromWorker::Ready),
+            0 => Ok(FromWorker::Ready {
+                cache_hit: bool::decode(buf)?,
+            }),
             1 => Ok(FromWorker::Heartbeat {
                 batch_id: u64::decode(buf)?,
                 cell_index: u64::decode(buf)?,
@@ -628,6 +712,7 @@ wire_struct!(bobw_core::TrafficSummary {
     offered,
     served,
     shed,
+    scrubbed,
     unserved,
     resteers,
     target_weights
@@ -701,9 +786,26 @@ mod tests {
             protocol: PROTOCOL_VERSION,
             fingerprint: build_fingerprint(),
             worker_name: "w-1".into(),
+            capacity: 8,
+            auth: vec![0xaa; 32],
         };
         let bytes = encode_vec(&hello);
         assert_eq!(decode_exact::<Hello>(&bytes).unwrap(), hello);
+
+        let challenge = Challenge {
+            nonce: crate::auth::fresh_nonce(),
+            auth_required: true,
+        };
+        let bytes = encode_vec(&challenge);
+        assert_eq!(decode_exact::<Challenge>(&bytes).unwrap(), challenge);
+
+        let greeting = Greeting::Client(ClientHello {
+            protocol: PROTOCOL_VERSION,
+            client_name: "cli".into(),
+            auth: Vec::new(),
+        });
+        let bytes = encode_vec(&greeting);
+        assert_eq!(decode_exact::<Greeting>(&bytes).unwrap(), greeting);
 
         let reply = HelloReply::Rejected {
             reason: "fingerprint mismatch".into(),

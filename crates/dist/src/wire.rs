@@ -226,7 +226,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
 
 /// Implements [`Wire`] for a struct by encoding its named fields in order.
 /// The struct's fields must all be `pub` (the impls live outside the
-/// defining crates) and themselves implement `Wire`.
+/// defining crates) and themselves implement `Wire`. Exported so sibling
+/// crates (`bobw-serve`) can define wire types of their own.
+#[macro_export]
 macro_rules! wire_struct {
     ($ty:path { $($field:ident),+ $(,)? }) => {
         impl $crate::wire::Wire for $ty {
@@ -242,8 +244,6 @@ macro_rules! wire_struct {
         }
     };
 }
-
-pub(crate) use wire_struct;
 
 // ---------------------------------------------------------------------------
 // Frame layer

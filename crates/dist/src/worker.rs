@@ -1,55 +1,75 @@
 //! The worker side: connect, handshake, pull cells, push results.
 //!
-//! A worker process runs [`run_worker`], which opens `threads` independent
-//! connections to the coordinator — one per OS thread — so a multi-core
-//! worker host contributes one work stream per core with zero shared
-//! state between them. Each connection:
+//! A worker process runs [`run_worker`], which opens **one** connection
+//! to the coordinator and multiplexes all `threads` executor threads
+//! over it (pre-v4 workers opened one connection per thread; one
+//! multiplexed connection cuts coordinator fan-in and lets all threads
+//! share a single warm testbed). The connection:
 //!
-//! 1. sends [`Hello`] with this build's fingerprint and waits for
+//! 1. receives the server's [`Challenge`], answers with a
+//!    [`Greeting::Worker`] carrying this build's fingerprint, its
+//!    capacity (`threads`), and — when a shared secret is configured —
+//!    an HMAC credential over the challenge nonce, then waits for
 //!    [`HelloReply::Welcome`] (a `Rejected` reply ends the worker with an
-//!    error — a version-skewed binary must not compute cells);
-//! 2. answers every [`ToWorker::Batch`] by (re)building a [`Testbed`] —
-//!    cached across batches keyed by the config fingerprint, since most
-//!    multi-batch runs (`repro_all`) reuse one config — and replying
-//!    `Ready` (`Ready` *always* means "batch acknowledged, give me work");
-//! 3. executes every [`ToWorker::Assign`] and streams back `Done`, with a
-//!    background heartbeat renewing the cell's lease while it computes;
+//!    error — a version-skewed or unauthenticated binary must not
+//!    compute cells);
+//! 2. answers every [`ToWorker::Batch`] by looking up a [`Testbed`] in
+//!    the **process-wide cache** keyed by the config fingerprint —
+//!    surviving across batches, jobs, and reconnects — building one on a
+//!    miss, and replying `Ready { cache_hit }` (`Ready` *always* means
+//!    "batch acknowledged, give me work");
+//! 3. fans every [`ToWorker::Assign`] out to an executor thread (the
+//!    coordinator assigns up to `capacity` cells concurrently), each
+//!    streaming back `Done` with a background heartbeat renewing the
+//!    cell's lease while it computes;
 //! 4. exits on `Shutdown` or a closed socket.
 //!
 //! Determinism: the cell computation is exactly the same
 //! `run_failover_instrumented` / `measure_control_instrumented` call a
 //! local run makes, against a `Testbed` built from the coordinator's own
-//! config — so a cell's bytes are identical no matter which process ran
-//! it.
+//! config — so a cell's bytes are identical no matter which process (or
+//! which of its threads) ran it.
 
+use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 use bobw_core::{measure_control_instrumented, try_run_failover_instrumented, Technique, Testbed};
 
+use crate::auth::AuthSecret;
 use crate::endpoint::{Conn, Endpoint};
 use crate::proto::{
-    build_fingerprint, config_fingerprint, CellOutput, CellSpec, FromWorker, Hello, HelloReply,
-    ToWorker, PROTOCOL_VERSION,
+    build_fingerprint, config_fingerprint, CellOutput, CellSpec, Challenge, FromWorker, Greeting,
+    Hello, HelloReply, ToWorker, PROTOCOL_VERSION,
 };
 use crate::wire::{recv, send};
 
 /// How often a busy worker renews its lease on the cell it is computing.
 pub const HEARTBEAT_INTERVAL: Duration = Duration::from_secs(2);
 
+/// Distinct testbeds kept warm per process. Grids cycle between a small
+/// number of configs (repro_all reuses one; ablations mutate a handful),
+/// and a testbed is the dominant memory cost — bound the cache and evict
+/// the least-recently-used config beyond it.
+pub const TESTBED_CACHE_CAPACITY: usize = 4;
+
 /// Worker configuration.
 pub struct WorkerConfig {
     /// Coordinator endpoint to connect to.
     pub connect: Endpoint,
-    /// Parallel work streams (connections) this process contributes.
+    /// Executor threads (concurrent cells) multiplexed over the one
+    /// connection; advertised to the coordinator as capacity.
     pub threads: usize,
     /// Name reported in the handshake (logs only).
     pub name: String,
     /// How long to keep retrying the initial connect (workers usually
     /// race the coordinator's bind).
     pub connect_timeout: Duration,
+    /// Shared handshake secret ([`crate::auth::SECRET_ENV`] by default);
+    /// required when the coordinator's challenge demands authentication.
+    pub secret: Option<AuthSecret>,
 }
 
 impl WorkerConfig {
@@ -59,6 +79,7 @@ impl WorkerConfig {
             threads: 1,
             name: format!("worker-{}", std::process::id()),
             connect_timeout: Duration::from_secs(10),
+            secret: AuthSecret::from_env(),
         }
     }
 }
@@ -66,54 +87,65 @@ impl WorkerConfig {
 /// Runs a worker until the coordinator shuts it down or disconnects.
 /// Returns the number of cells this process completed.
 pub fn run_worker(cfg: &WorkerConfig) -> Result<u64, String> {
-    let threads = cfg.threads.max(1);
-    let completed = AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let name = if threads == 1 {
-                cfg.name.clone()
-            } else {
-                format!("{}.{t}", cfg.name)
-            };
-            let completed = &completed;
-            let connect = &cfg.connect;
-            let timeout = cfg.connect_timeout;
-            handles.push(scope.spawn(move || -> Result<(), String> {
-                let conn = connect
-                    .connect_with_retry(timeout)
-                    .map_err(|e| format!("connect {connect}: {e}"))?;
-                let n = serve_connection(conn, &name)?;
-                completed.fetch_add(n, Ordering::Relaxed);
-                Ok(())
-            }));
-        }
-        for h in handles {
-            h.join()
-                .map_err(|_| "worker thread panicked".to_string())??;
-        }
-        Ok(completed.load(Ordering::Relaxed))
-    })
+    let conn = cfg
+        .connect
+        .connect_with_retry(cfg.connect_timeout)
+        .map_err(|e| format!("connect {}: {e}", cfg.connect))?;
+    serve_connection(conn, &cfg.name, cfg.threads.max(1), cfg.secret.as_ref())
 }
 
-/// One connection's work loop. Public for in-process tests, which drive a
+/// One assigned cell traveling from the reader loop to an executor.
+struct Job {
+    batch_id: u64,
+    cell_index: u64,
+    cell: CellSpec,
+    testbed: Arc<Testbed>,
+}
+
+/// The connection's work loop. Public for in-process tests, which drive a
 /// worker against a coordinator over a loopback socket without spawning a
 /// subprocess.
-pub fn serve_connection(conn: Conn, name: &str) -> Result<u64, String> {
+pub fn serve_connection(
+    conn: Conn,
+    name: &str,
+    threads: usize,
+    secret: Option<&AuthSecret>,
+) -> Result<u64, String> {
     conn.set_nodelay();
     let writer = Arc::new(Mutex::new(
         conn.try_clone().map_err(|e| format!("clone conn: {e}"))?,
     ));
     let mut reader = conn;
 
-    // Handshake.
+    // Handshake: challenge first, then our greeting, then the verdict.
+    let challenge: Challenge = recv(&mut reader)
+        .map_err(|e| format!("handshake recv: {e}"))?
+        .ok_or("coordinator closed during handshake")?;
+    let auth = match secret {
+        Some(s) => s.worker_tag(
+            &challenge.nonce,
+            PROTOCOL_VERSION,
+            build_fingerprint(),
+            name,
+        ),
+        None if challenge.auth_required => {
+            return Err(format!(
+                "coordinator requires authentication and worker {name} has no secret \
+                 (set {} or pass --secret-file)",
+                crate::auth::SECRET_ENV
+            ));
+        }
+        None => Vec::new(),
+    };
     send(
         &mut *writer.lock().unwrap(),
-        &Hello {
+        &Greeting::Worker(Hello {
             protocol: PROTOCOL_VERSION,
             fingerprint: build_fingerprint(),
             worker_name: name.to_string(),
-        },
+            capacity: threads as u32,
+            auth,
+        }),
     )
     .map_err(|e| format!("handshake send: {e}"))?;
     match recv::<_, HelloReply>(&mut reader).map_err(|e| format!("handshake recv: {e}"))? {
@@ -124,73 +156,153 @@ pub fn serve_connection(conn: Conn, name: &str) -> Result<u64, String> {
         None => return Err("coordinator closed during handshake".into()),
     }
 
-    // Testbed cache: most runs send many batches with one config.
-    let mut testbed: Option<(u64, Testbed)> = None;
-    let mut completed = 0u64;
+    let completed = AtomicU64::new(0);
+    let executor_error: Mutex<Option<String>> = Mutex::new(None);
 
-    loop {
-        let msg = match recv::<_, ToWorker>(&mut reader) {
-            Ok(Some(m)) => m,
-            // Clean EOF or a torn connection both mean "no more work".
-            Ok(None) => break,
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(format!("recv: {e}")),
-        };
-        match msg {
-            ToWorker::Batch {
-                batch_id,
-                config_print,
-                config,
-            } => {
-                let local_print = config_fingerprint(&config);
-                if local_print != config_print {
-                    // The config decoded differently than the coordinator
-                    // encoded it — a codec bug; refuse loudly rather than
-                    // compute wrong cells.
-                    return Err(format!(
-                        "batch {batch_id}: config fingerprint mismatch \
-                         (coordinator {config_print:#x}, local {local_print:#x})"
-                    ));
-                }
-                if testbed.as_ref().map(|(p, _)| *p) != Some(local_print) {
-                    testbed = Some((local_print, Testbed::new(*config)));
-                }
-                send(&mut *writer.lock().unwrap(), &FromWorker::Ready)
-                    .map_err(|e| format!("send: {e}"))?;
-            }
-            ToWorker::Assign {
-                batch_id,
-                cell_index,
-                cell,
-            } => {
-                let Some((_, tb)) = testbed.as_ref() else {
-                    return Err(format!("assigned cell {cell_index} before any batch"));
-                };
-                let _beat = heartbeat_guard(Arc::clone(&writer), batch_id, cell_index);
-                let reply = match execute_cell(tb, &cell) {
-                    Ok(output) => {
-                        completed += 1;
-                        FromWorker::Done {
-                            batch_id,
-                            cell_index,
-                            output: Box::new(output),
+    let reader_result: Result<(), String> = std::thread::scope(|scope| {
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        for _ in 0..threads {
+            let jobs_rx = Arc::clone(&jobs_rx);
+            let writer = Arc::clone(&writer);
+            let completed = &completed;
+            let executor_error = &executor_error;
+            scope.spawn(move || {
+                loop {
+                    // Take the next job; all executors share one receiver.
+                    let job = match jobs_rx.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // reader closed the channel: done
+                    };
+                    let _beat = heartbeat_guard(Arc::clone(&writer), job.batch_id, job.cell_index);
+                    let reply = match execute_cell(&job.testbed, &job.cell) {
+                        Ok(output) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            FromWorker::Done {
+                                batch_id: job.batch_id,
+                                cell_index: job.cell_index,
+                                output: Box::new(output),
+                            }
                         }
+                        Err(error) => FromWorker::Failed {
+                            batch_id: job.batch_id,
+                            cell_index: job.cell_index,
+                            error,
+                        },
+                    };
+                    if let Err(e) = send(&mut *writer.lock().unwrap(), &reply) {
+                        let mut slot = executor_error.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(format!("send: {e}"));
+                        }
+                        return; // connection gone; the reader will notice too
                     }
-                    Err(error) => FromWorker::Failed {
+                }
+            });
+        }
+
+        // Reader loop: dispatch assignments, manage the testbed cache.
+        // `jobs_tx` is dropped on exit, which retires the executors.
+        let mut current: Option<(u64, Arc<Testbed>)> = None;
+        loop {
+            let msg = match recv::<_, ToWorker>(&mut reader) {
+                Ok(Some(m)) => m,
+                // Clean EOF or a torn connection both mean "no more work".
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(format!("recv: {e}")),
+            };
+            match msg {
+                ToWorker::Batch {
+                    batch_id,
+                    config_print,
+                    config,
+                } => {
+                    let local_print = config_fingerprint(&config);
+                    if local_print != config_print {
+                        // The config decoded differently than the coordinator
+                        // encoded it — a codec bug; refuse loudly rather than
+                        // compute wrong cells.
+                        return Err(format!(
+                            "batch {batch_id}: config fingerprint mismatch \
+                             (coordinator {config_print:#x}, local {local_print:#x})"
+                        ));
+                    }
+                    let (testbed, cache_hit) =
+                        cached_testbed(local_print, || Testbed::new(*config));
+                    current = Some((local_print, testbed));
+                    send(
+                        &mut *writer.lock().unwrap(),
+                        &FromWorker::Ready { cache_hit },
+                    )
+                    .map_err(|e| format!("send: {e}"))?;
+                }
+                ToWorker::Assign {
+                    batch_id,
+                    cell_index,
+                    cell,
+                } => {
+                    let Some((_, testbed)) = current.as_ref() else {
+                        return Err(format!("assigned cell {cell_index} before any batch"));
+                    };
+                    let job = Job {
                         batch_id,
                         cell_index,
-                        error,
-                    },
-                };
-                send(&mut *writer.lock().unwrap(), &reply).map_err(|e| format!("send: {e}"))?;
+                        cell,
+                        testbed: Arc::clone(testbed),
+                    };
+                    if jobs_tx.send(job).is_err() {
+                        // All executors died (writer gone); surface why.
+                        break;
+                    }
+                }
+                ToWorker::Drain => {
+                    // Nothing to do: stay connected for the next batch.
+                }
+                ToWorker::Shutdown => break,
             }
-            ToWorker::Drain => {
-                // Nothing to do: stay connected for the next batch.
-            }
-            ToWorker::Shutdown => break,
         }
+        Ok(())
+    });
+
+    reader_result?;
+    if let Some(e) = executor_error.into_inner().unwrap() {
+        return Err(e);
     }
-    Ok(completed)
+    Ok(completed.load(Ordering::Relaxed))
+}
+
+/// The process-wide warm testbed cache, keyed by config fingerprint.
+/// Long-lived workers attached to a `bobw serve` daemon run many jobs;
+/// jobs reusing a config skip the (dominant) topology build + BGP
+/// convergence entirely. Holding the lock across a build also means two
+/// batches racing on the same config build it once.
+fn cached_testbed(print: u64, build: impl FnOnce() -> Testbed) -> (Arc<Testbed>, bool) {
+    struct Cache {
+        /// fingerprint -> testbed; `lru` tracks recency, oldest first.
+        entries: HashMap<u64, Arc<Testbed>>,
+        lru: Vec<u64>,
+    }
+    static CACHE: OnceLock<Mutex<Cache>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        Mutex::new(Cache {
+            entries: HashMap::new(),
+            lru: Vec::new(),
+        })
+    });
+    let mut cache = cache.lock().unwrap();
+    cache.lru.retain(|&p| p != print);
+    cache.lru.push(print);
+    if let Some(tb) = cache.entries.get(&print) {
+        return (Arc::clone(tb), true);
+    }
+    let tb = Arc::new(build());
+    cache.entries.insert(print, Arc::clone(&tb));
+    while cache.lru.len() > TESTBED_CACHE_CAPACITY {
+        let evict = cache.lru.remove(0);
+        cache.entries.remove(&evict);
+    }
+    (tb, false)
 }
 
 /// A live heartbeat for one cell: a background thread sends

@@ -72,6 +72,13 @@ pub enum FaultOp {
     DemandShift { region: usize, factor: f64 },
     /// Scale a site's serving capacity by `factor`. Traffic layer only.
     CapacityChange { site: SiteId, factor: f64 },
+    /// DDoS scrubbing online for `duration`: per-tick overload diverts to
+    /// a pool of `capacity_factor × total capacity` before shedding.
+    /// Traffic layer only.
+    Scrub {
+        capacity_factor: f64,
+        duration: SimDuration,
+    },
 }
 
 /// A fault op at an offset from the scenario epoch.
@@ -346,6 +353,18 @@ pub fn compile(
                     },
                 );
             }
+            ScenarioAction::Scrub {
+                capacity_factor,
+                duration_s,
+            } => {
+                push(
+                    ev.at_s,
+                    FaultOp::Scrub {
+                        capacity_factor: *capacity_factor,
+                        duration: SimDuration::from_secs_f64(*duration_s),
+                    },
+                );
+            }
         }
     }
     Ok(CompiledScenario {
@@ -552,6 +571,13 @@ mod tests {
                         stagger_s: Some(5.0),
                     },
                 },
+                ScenarioEvent {
+                    at_s: 50.0,
+                    action: ScenarioAction::Scrub {
+                        capacity_factor: 2.0,
+                        duration_s: 90.0,
+                    },
+                },
             ],
         };
         let c = compile(&s, &topo, &cdn, &rng, site, true).unwrap();
@@ -582,6 +608,13 @@ mod tests {
             FaultOp::React {
                 skip: 1,
                 stagger: Some(SimDuration::from_secs(5)),
+            }
+        );
+        assert_eq!(
+            c.events[4].op,
+            FaultOp::Scrub {
+                capacity_factor: 2.0,
+                duration: SimDuration::from_secs(90),
             }
         );
 

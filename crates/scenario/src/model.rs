@@ -115,6 +115,15 @@ pub enum ScenarioAction {
     /// failure at factor < 1, emergency provisioning at factor > 1).
     /// Traffic layer only.
     CapacityChange { site: String, factor: f64 },
+    /// DDoS scrubbing comes online for `duration_s`: each tick, up to
+    /// `capacity_factor × total site capacity` of overload is diverted to
+    /// the scrubbing centers (reported as `scrubbed`) instead of shed at
+    /// the door. A mitigation, not a fault — it is never a measurement
+    /// anchor. Traffic layer only.
+    Scrub {
+        capacity_factor: f64,
+        duration_s: f64,
+    },
 }
 
 impl ScenarioAction {
@@ -263,6 +272,13 @@ impl Scenario {
                 | ScenarioAction::CapacityChange { factor, .. } => {
                     finite_nonneg(i, "factor", *factor)?;
                 }
+                ScenarioAction::Scrub {
+                    capacity_factor,
+                    duration_s,
+                } => {
+                    finite_nonneg(i, "capacity_factor", *capacity_factor)?;
+                    finite_nonneg(i, "duration_s", *duration_s)?;
+                }
                 _ => {}
             }
         }
@@ -393,6 +409,39 @@ mod tests {
         let err = s.validate().unwrap_err().to_string();
         assert!(
             err.contains("events[0]") && err.contains("overlap"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn scrub_is_a_mitigation_not_an_anchor() {
+        let mut s = Scenario::site_failure(2.0, 0);
+        s.measure_from_s = None;
+        s.events.insert(
+            0,
+            ScenarioEvent {
+                at_s: 5.0,
+                action: ScenarioAction::Scrub {
+                    capacity_factor: 1.5,
+                    duration_s: 120.0,
+                },
+            },
+        );
+        s.validate().unwrap();
+        // The anchor skips the scrub and lands on the SiteFail at 10.
+        assert_eq!(s.t_fail_s(), 10.0);
+        assert!(!s.events[0].action.is_impactful());
+
+        s.events[0] = ScenarioEvent {
+            at_s: 5.0,
+            action: ScenarioAction::Scrub {
+                capacity_factor: -1.0,
+                duration_s: 120.0,
+            },
+        };
+        let err = s.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("events[0]") && err.contains("capacity_factor"),
             "{err}"
         );
     }

@@ -1,0 +1,263 @@
+//! Job specs: the JSON document `bobw submit` sends and its expansion
+//! into an `ExperimentConfig` plus a cell grid.
+//!
+//! A spec names *what* to sweep (techniques × sites at a scale/seed,
+//! optionally under a fault scenario); the daemon expands it with exactly
+//! the enumeration the local runner uses — techniques major, sites minor,
+//! sites in testbed order — so a service job's outputs line up one-to-one
+//! with a local `--jobs 1` run of the same sweep.
+
+use std::path::Path;
+
+use bobw_core::{ExperimentConfig, FailureMode, Technique, TrafficConfig};
+use bobw_dist::CellSpec;
+use serde::{Deserialize, Serialize};
+
+/// The submit document. Everything but `techniques` is optional.
+///
+/// ```json
+/// {
+///   "name": "quick sweep",
+///   "scale": "quick",
+///   "seed": 42,
+///   "techniques": ["anycast", "reactive-anycast"],
+///   "sites": ["bos", "ams"],
+///   "failure": "graceful",
+///   "traffic": "on",
+///   "scenario": "ddos-absorb-vs-shed"
+/// }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Display name; defaults to a summary of the sweep.
+    pub name: Option<String>,
+    /// `quick` (default) | `eval` | `large`.
+    pub scale: Option<String>,
+    /// Experiment seed (default 42).
+    pub seed: Option<u64>,
+    /// Technique names as in the paper's tables (required, non-empty).
+    pub techniques: Vec<String>,
+    /// Site names to fail; omitted = every site of the topology.
+    pub sites: Option<Vec<String>>,
+    /// `graceful` | `crash` (defaults to the config's failure mode).
+    pub failure: Option<String>,
+    /// `on` | `off` (default off): the observational traffic layer.
+    pub traffic: Option<String>,
+    /// Fault scenario: a catalog name (`"ddos-scrub"`) or a file path.
+    pub scenario: Option<String>,
+}
+
+/// A spec expanded against a concrete config: ready to queue.
+#[derive(Debug, Clone)]
+pub struct ExpandedJob {
+    pub name: String,
+    pub config: ExperimentConfig,
+    pub cells: Vec<CellSpec>,
+}
+
+/// Resolves a scenario reference: an existing file path wins, then
+/// `<catalog>/<name>.json`.
+fn resolve_scenario(reference: &str, catalog: &Path) -> Result<bobw_scenario::Scenario, String> {
+    let direct = Path::new(reference);
+    if direct.is_file() {
+        return bobw_scenario::load_file(direct);
+    }
+    let in_catalog = catalog.join(format!("{reference}.json"));
+    if in_catalog.is_file() {
+        return bobw_scenario::load_file(&in_catalog);
+    }
+    Err(format!(
+        "scenario {reference:?} not found (not a file, and {} does not exist)",
+        in_catalog.display()
+    ))
+}
+
+/// Parses and expands a spec JSON document. Validation is strict: unknown
+/// techniques, sites, scales, or scenario references are submit-time
+/// errors, not worker-time failures.
+pub fn expand_spec(spec_json: &str, catalog: &Path) -> Result<ExpandedJob, String> {
+    let spec: JobSpec =
+        serde_json::from_str_typed(spec_json).map_err(|e| format!("bad job spec: {e}"))?;
+    expand(&spec, catalog)
+}
+
+/// [`expand_spec`] for an already-parsed spec.
+pub fn expand(spec: &JobSpec, catalog: &Path) -> Result<ExpandedJob, String> {
+    let seed = spec.seed.unwrap_or(42);
+    let scale = spec.scale.as_deref().unwrap_or("quick");
+    let mut config = match scale {
+        "quick" => ExperimentConfig::quick(seed),
+        "eval" => ExperimentConfig::eval(seed),
+        "large" => {
+            let mut c = ExperimentConfig::eval(seed);
+            c.gen = bobw_topology::GenConfig::large();
+            c
+        }
+        other => return Err(format!("unknown scale {other:?} (quick|eval|large)")),
+    };
+    match spec.failure.as_deref() {
+        None => {}
+        Some("graceful") => config.failure_mode = FailureMode::GracefulWithdrawal,
+        Some("crash") => config.failure_mode = FailureMode::SilentCrash,
+        Some(other) => return Err(format!("unknown failure {other:?} (graceful|crash)")),
+    }
+    match spec.traffic.as_deref() {
+        None | Some("off") => {}
+        Some("on") => config.traffic = Some(TrafficConfig::default()),
+        Some(other) => return Err(format!("unknown traffic {other:?} (on|off)")),
+    }
+    if let Some(reference) = &spec.scenario {
+        let scenario = resolve_scenario(reference, catalog)?;
+        scenario
+            .validate()
+            .map_err(|e| format!("scenario {reference:?}: {e}"))?;
+        config.scenario = Some(scenario);
+    }
+
+    if spec.techniques.is_empty() {
+        return Err("job spec needs at least one technique".into());
+    }
+    for t in &spec.techniques {
+        Technique::parse(t)?;
+    }
+
+    let all_sites: Vec<String> = config.gen.sites.iter().map(|s| s.name.clone()).collect();
+    let sites: Vec<String> = match &spec.sites {
+        None => all_sites.clone(),
+        Some(picked) => {
+            if picked.is_empty() {
+                return Err("job spec `sites` must not be an empty list (omit it for all)".into());
+            }
+            for s in picked {
+                if !all_sites.iter().any(|n| n == s) {
+                    return Err(format!(
+                        "unknown site {s:?} (topology has: {})",
+                        all_sites.join(" ")
+                    ));
+                }
+            }
+            picked.clone()
+        }
+    };
+
+    let cells: Vec<CellSpec> = spec
+        .techniques
+        .iter()
+        .flat_map(|t| {
+            sites.iter().map(move |s| CellSpec::Failover {
+                technique: t.clone(),
+                site: s.clone(),
+            })
+        })
+        .collect();
+
+    let name = spec.name.clone().unwrap_or_else(|| {
+        format!(
+            "{}t x {}s @{scale} seed {seed}",
+            spec.techniques.len(),
+            sites.len()
+        )
+    });
+    Ok(ExpandedJob {
+        name,
+        config,
+        cells,
+    })
+}
+
+/// One line of the `bobw jobs` listing (JSON rows on the wire; also the
+/// `job-<id>.json` persistence format).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRow {
+    pub id: u64,
+    pub name: String,
+    /// A [`crate::proto::JobState`] as its `as_str` form.
+    pub state: String,
+    pub cells_total: usize,
+    pub cells_done: usize,
+    pub error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> std::path::PathBuf {
+        // Unit tests run from the crate dir; the checked-in catalog lives
+        // at the workspace root.
+        std::path::PathBuf::from("../../scenarios")
+    }
+
+    #[test]
+    fn expand_builds_the_technique_major_grid() {
+        let json = r#"{
+            "techniques": ["anycast", "reactive-anycast"],
+            "sites": ["bos", "ams"],
+            "seed": 7
+        }"#;
+        let job = expand_spec(json, &catalog()).unwrap();
+        assert_eq!(job.cells.len(), 4);
+        assert_eq!(
+            job.cells[0],
+            CellSpec::Failover {
+                technique: "anycast".into(),
+                site: "bos".into()
+            }
+        );
+        assert_eq!(
+            job.cells[2],
+            CellSpec::Failover {
+                technique: "reactive-anycast".into(),
+                site: "bos".into()
+            }
+        );
+        assert_eq!(job.config.seed, 7);
+        assert!(job.name.contains("2t x 2s"));
+    }
+
+    #[test]
+    fn omitted_sites_means_all_sites() {
+        let json = r#"{"techniques": ["anycast"]}"#;
+        let job = expand_spec(json, &catalog()).unwrap();
+        assert_eq!(job.cells.len(), job.config.gen.sites.len());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_at_submit_time() {
+        let c = catalog();
+        assert!(expand_spec("{", &c).unwrap_err().contains("bad job spec"));
+        assert!(expand_spec(r#"{"techniques": []}"#, &c)
+            .unwrap_err()
+            .contains("at least one technique"));
+        assert!(expand_spec(r#"{"techniques": ["warp-drive"]}"#, &c).is_err());
+        assert!(
+            expand_spec(r#"{"techniques": ["anycast"], "sites": ["atlantis"]}"#, &c)
+                .unwrap_err()
+                .contains("unknown site")
+        );
+        assert!(
+            expand_spec(r#"{"techniques": ["anycast"], "scale": "galactic"}"#, &c)
+                .unwrap_err()
+                .contains("unknown scale")
+        );
+        assert!(
+            expand_spec(r#"{"techniques": ["anycast"], "scenario": "no-such"}"#, &c)
+                .unwrap_err()
+                .contains("not found")
+        );
+    }
+
+    #[test]
+    fn scenario_resolves_by_catalog_name() {
+        let json = r#"{
+            "techniques": ["reactive-anycast"],
+            "sites": ["bos"],
+            "traffic": "on",
+            "scenario": "ddos-absorb-vs-shed"
+        }"#;
+        let job = expand_spec(json, &catalog()).unwrap();
+        let sc = job.config.scenario.expect("scenario attached");
+        assert_eq!(sc.name, "ddos-absorb-vs-shed");
+        assert!(job.config.traffic.is_some());
+    }
+}

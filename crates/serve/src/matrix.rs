@@ -1,0 +1,102 @@
+//! The resilience matrix: `bobw jobs --matrix` pools every failover cell
+//! of every *completed* job by ⟨technique, failed site⟩ and reports the
+//! paper's headline per-cell statistics — median time to failover,
+//! median time to reconnection, and the fraction of targets that never
+//! came back. Submitting the same sweep at several seeds and reading the
+//! matrix is the service-mode equivalent of the local seed-sweep CLI.
+
+use bobw_core::FailoverResult;
+use bobw_dist::CellOutput;
+use bobw_measure::Cdf;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Pooled statistics for one ⟨technique, site⟩ pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixCell {
+    pub technique: String,
+    pub site: String,
+    /// Contributing experiment cells (≥ 1; one per completed job that
+    /// swept this pair).
+    pub cells: usize,
+    /// Median seconds from failure to first packet on a survivor site,
+    /// pooled over every target of every contributing cell. `None` when
+    /// no target stabilized.
+    pub failover_p50_s: Option<f64>,
+    /// Median seconds from failure to TCP reconnection.
+    pub reconnection_p50_s: Option<f64>,
+    /// Pooled fraction of controllable targets that never reconnected.
+    pub never_reconnected_fraction: f64,
+}
+
+/// The full matrix plus how much evidence went into it.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct ResilienceMatrix {
+    pub jobs_included: usize,
+    pub cells: Vec<MatrixCell>,
+}
+
+#[derive(Default)]
+struct Pool {
+    cells: usize,
+    failover_s: Vec<f64>,
+    reconnection_s: Vec<f64>,
+    targets: usize,
+    never_reconnected: usize,
+}
+
+impl Pool {
+    fn add(&mut self, r: &FailoverResult) {
+        self.cells += 1;
+        self.failover_s.extend(r.failover_secs());
+        self.reconnection_s.extend(r.reconnection_secs());
+        self.targets += r.outcomes.len();
+        self.never_reconnected += r
+            .outcomes
+            .iter()
+            .filter(|o| o.reconnection.is_none())
+            .count();
+    }
+}
+
+/// Builds the matrix from `(job_id, is_done, outputs)` rows. Only done
+/// jobs contribute; control-plane cells and unfinished slots are skipped.
+pub fn build<'a>(
+    jobs: impl Iterator<Item = (u64, bool, &'a [Option<CellOutput>])>,
+) -> ResilienceMatrix {
+    let mut pools: BTreeMap<(String, String), Pool> = BTreeMap::new();
+    let mut jobs_included = 0usize;
+    for (_id, is_done, outputs) in jobs {
+        if !is_done {
+            continue;
+        }
+        jobs_included += 1;
+        for output in outputs.iter().flatten() {
+            if let CellOutput::Failover(r, _) = output {
+                pools
+                    .entry((r.technique.clone(), r.site_name.clone()))
+                    .or_default()
+                    .add(r);
+            }
+        }
+    }
+    let cells = pools
+        .into_iter()
+        .map(|((technique, site), pool)| MatrixCell {
+            technique,
+            site,
+            cells: pool.cells,
+            failover_p50_s: Cdf::new(pool.failover_s).quantile(0.5),
+            reconnection_p50_s: Cdf::new(pool.reconnection_s).quantile(0.5),
+            never_reconnected_fraction: if pool.targets == 0 {
+                0.0
+            } else {
+                pool.never_reconnected as f64 / pool.targets as f64
+            },
+        })
+        .collect();
+    ResilienceMatrix {
+        jobs_included,
+        cells,
+    }
+}

@@ -1,0 +1,355 @@
+//! The client half of the service wire protocol.
+//!
+//! Workers speak the unchanged `bobw_dist` coordinator protocol; this
+//! module adds what a *client* connection exchanges after its
+//! `Greeting::Client` handshake is welcomed: framed [`ClientRequest`] /
+//! [`ClientReply`] messages on the same codec. Every request gets at
+//! least one reply; `Watch` streams a [`ClientReply::Cell`] per completed
+//! cell (in completion order) and terminates with
+//! [`ClientReply::JobDone`].
+
+use bobw_core::ExperimentConfig;
+use bobw_dist::wire::{Wire, WireError};
+use bobw_dist::wire_struct;
+use bobw_dist::{CellOutput, CellSpec};
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for the scheduler (FIFO by job id).
+    Queued,
+    /// Its batch is on the coordinator now.
+    Running,
+    /// Every cell completed; outputs are available.
+    Done,
+    /// The batch errored (interrupt, poisoned cell, …); see the job error.
+    Failed,
+}
+
+impl JobState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Inverse of [`JobState::as_str`], for reloading persisted metadata.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+}
+
+impl Wire for JobState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u32).encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(match u32::decode(buf)? {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Failed,
+            d => return Err(WireError::BadDiscriminant(d)),
+        })
+    }
+}
+
+/// What a welcomed client may ask the daemon.
+#[derive(Debug, Clone)]
+pub enum ClientRequest {
+    /// Submit a job described by a [`crate::job::JobSpec`] JSON document;
+    /// the daemon expands it to a cell grid.
+    Submit { spec_json: String },
+    /// Submit an exact, pre-expanded batch — the `--dispatch daemon:…`
+    /// path, which must reproduce a local run byte-for-byte and therefore
+    /// ships its own config and cell list rather than a spec.
+    SubmitRaw {
+        name: String,
+        config: Box<ExperimentConfig>,
+        cells: Vec<CellSpec>,
+    },
+    /// List all jobs the daemon knows (including reloaded ones).
+    Jobs,
+    /// Stream the job's completed cells (replaying any that already
+    /// landed), then its terminal state.
+    Watch { job_id: u64 },
+    /// The metrics plane: queue/job counters, throughput, worker liveness.
+    Status,
+    /// The resilience matrix aggregated over all completed jobs.
+    Matrix,
+    /// Shut the daemon down (drains workers, persists state).
+    Quit,
+}
+
+/// Daemon → client replies.
+#[derive(Debug, Clone)]
+pub enum ClientReply {
+    /// The request failed; the connection stays usable.
+    Error {
+        message: String,
+    },
+    Submitted {
+        job_id: u64,
+    },
+    /// JSON array of [`crate::job::JobRow`].
+    Jobs {
+        rows_json: String,
+    },
+    /// One completed cell of a watched job (completion order). Boxed to
+    /// keep the enum small next to the result payload.
+    Cell {
+        job_id: u64,
+        cell_index: u64,
+        output: Box<CellOutput>,
+    },
+    /// Terminal frame of a watch stream.
+    JobDone {
+        job_id: u64,
+        state: JobState,
+        error: Option<String>,
+    },
+    /// JSON of [`crate::daemon::StatusSnapshot`].
+    Status {
+        json: String,
+    },
+    /// JSON of [`crate::matrix::ResilienceMatrix`].
+    Matrix {
+        json: String,
+    },
+    /// Acknowledges `Quit`.
+    Bye,
+}
+
+impl Wire for ClientRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientRequest::Submit { spec_json } => {
+                0u32.encode(out);
+                spec_json.encode(out);
+            }
+            ClientRequest::SubmitRaw {
+                name,
+                config,
+                cells,
+            } => {
+                1u32.encode(out);
+                name.encode(out);
+                config.encode(out);
+                cells.encode(out);
+            }
+            ClientRequest::Jobs => 2u32.encode(out),
+            ClientRequest::Watch { job_id } => {
+                3u32.encode(out);
+                job_id.encode(out);
+            }
+            ClientRequest::Status => 4u32.encode(out),
+            ClientRequest::Matrix => 5u32.encode(out),
+            ClientRequest::Quit => 6u32.encode(out),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(match u32::decode(buf)? {
+            0 => ClientRequest::Submit {
+                spec_json: String::decode(buf)?,
+            },
+            1 => ClientRequest::SubmitRaw {
+                name: String::decode(buf)?,
+                config: Box::new(ExperimentConfig::decode(buf)?),
+                cells: Vec::decode(buf)?,
+            },
+            2 => ClientRequest::Jobs,
+            3 => ClientRequest::Watch {
+                job_id: u64::decode(buf)?,
+            },
+            4 => ClientRequest::Status,
+            5 => ClientRequest::Matrix,
+            6 => ClientRequest::Quit,
+            d => return Err(WireError::BadDiscriminant(d)),
+        })
+    }
+}
+
+impl Wire for ClientReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientReply::Error { message } => {
+                0u32.encode(out);
+                message.encode(out);
+            }
+            ClientReply::Submitted { job_id } => {
+                1u32.encode(out);
+                job_id.encode(out);
+            }
+            ClientReply::Jobs { rows_json } => {
+                2u32.encode(out);
+                rows_json.encode(out);
+            }
+            ClientReply::Cell {
+                job_id,
+                cell_index,
+                output,
+            } => {
+                3u32.encode(out);
+                job_id.encode(out);
+                cell_index.encode(out);
+                output.encode(out);
+            }
+            ClientReply::JobDone {
+                job_id,
+                state,
+                error,
+            } => {
+                4u32.encode(out);
+                job_id.encode(out);
+                state.encode(out);
+                error.encode(out);
+            }
+            ClientReply::Status { json } => {
+                5u32.encode(out);
+                json.encode(out);
+            }
+            ClientReply::Matrix { json } => {
+                6u32.encode(out);
+                json.encode(out);
+            }
+            ClientReply::Bye => 7u32.encode(out),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(match u32::decode(buf)? {
+            0 => ClientReply::Error {
+                message: String::decode(buf)?,
+            },
+            1 => ClientReply::Submitted {
+                job_id: u64::decode(buf)?,
+            },
+            2 => ClientReply::Jobs {
+                rows_json: String::decode(buf)?,
+            },
+            3 => ClientReply::Cell {
+                job_id: u64::decode(buf)?,
+                cell_index: u64::decode(buf)?,
+                output: Box::new(CellOutput::decode(buf)?),
+            },
+            4 => ClientReply::JobDone {
+                job_id: u64::decode(buf)?,
+                state: JobState::decode(buf)?,
+                error: Option::decode(buf)?,
+            },
+            5 => ClientReply::Status {
+                json: String::decode(buf)?,
+            },
+            6 => ClientReply::Matrix {
+                json: String::decode(buf)?,
+            },
+            7 => ClientReply::Bye,
+            d => return Err(WireError::BadDiscriminant(d)),
+        })
+    }
+}
+
+/// The replayable essence of a job, persisted to `--state-dir` as wire
+/// bytes (`job-<id>.task.bin`) so a restarted daemon re-runs exactly the
+/// batch that was submitted — same config, same cell order.
+#[derive(Debug, Clone)]
+pub struct JobTask {
+    pub config: ExperimentConfig,
+    pub cells: Vec<CellSpec>,
+}
+
+wire_struct!(JobTask { config, cells });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bobw_dist::wire::{decode_exact, encode_vec};
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            ClientRequest::Submit {
+                spec_json: "{\"techniques\": [\"anycast\"]}".into(),
+            },
+            ClientRequest::SubmitRaw {
+                name: "bench".into(),
+                config: Box::new(ExperimentConfig::quick(3)),
+                cells: vec![CellSpec::Failover {
+                    technique: "anycast".into(),
+                    site: "bos".into(),
+                }],
+            },
+            ClientRequest::Jobs,
+            ClientRequest::Watch { job_id: 7 },
+            ClientRequest::Status,
+            ClientRequest::Matrix,
+            ClientRequest::Quit,
+        ];
+        for req in &reqs {
+            let bytes = encode_vec(req);
+            let back: ClientRequest = decode_exact(&bytes).unwrap();
+            // The config has no PartialEq; compare debug skeletons.
+            assert_eq!(
+                std::mem::discriminant(req),
+                std::mem::discriminant(&back),
+                "{req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = [
+            ClientReply::Error {
+                message: "no".into(),
+            },
+            ClientReply::Submitted { job_id: 3 },
+            ClientReply::Jobs {
+                rows_json: "[]".into(),
+            },
+            ClientReply::JobDone {
+                job_id: 3,
+                state: JobState::Failed,
+                error: Some("boom".into()),
+            },
+            ClientReply::Status { json: "{}".into() },
+            ClientReply::Matrix { json: "{}".into() },
+            ClientReply::Bye,
+        ];
+        for reply in &replies {
+            let bytes = encode_vec(reply);
+            let back: ClientReply = decode_exact(&bytes).unwrap();
+            assert_eq!(
+                std::mem::discriminant(reply),
+                std::mem::discriminant(&back),
+                "{reply:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn job_state_round_trips() {
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+        ] {
+            let bytes = encode_vec(&state);
+            assert_eq!(decode_exact::<JobState>(&bytes).unwrap(), state);
+            assert_eq!(JobState::parse(state.as_str()), Some(state));
+        }
+        assert_eq!(JobState::parse("weird"), None);
+    }
+}

@@ -56,6 +56,9 @@ pub struct TrafficSummary {
     pub offered: f64,
     pub served: f64,
     pub shed: f64,
+    /// Overload diverted to scrubbing capacity instead of shed (only
+    /// while a `Scrub` mitigation is active).
+    pub scrubbed: f64,
     pub unserved: f64,
     /// Client re-steers the DNS controller issued.
     pub resteers: u64,
@@ -84,6 +87,15 @@ impl TrafficSummary {
     pub fn shed_fraction(&self) -> f64 {
         if self.offered > 0.0 {
             self.shed / self.offered
+        } else {
+            0.0
+        }
+    }
+
+    /// Scrubbed demand as a fraction of offered demand.
+    pub fn scrubbed_fraction(&self) -> f64 {
+        if self.offered > 0.0 {
+            self.scrubbed / self.offered
         } else {
             0.0
         }
@@ -121,8 +133,12 @@ pub struct TrafficSim {
     offered: f64,
     served: f64,
     shed: f64,
+    scrubbed: f64,
     unserved: f64,
     load: Vec<f64>,
+    /// Active scrubbing mitigation: (per-tick pool as a fraction of total
+    /// capacity, active-until time).
+    scrub: Option<(f64, SimTime)>,
 }
 
 impl TrafficSim {
@@ -170,8 +186,10 @@ impl TrafficSim {
             offered: 0.0,
             served: 0.0,
             shed: 0.0,
+            scrubbed: 0.0,
             unserved: 0.0,
             load: vec![0.0; num_sites],
+            scrub: None,
             demand,
         };
         if steering == Steering::Dns {
@@ -222,6 +240,14 @@ impl TrafficSim {
 
     pub fn change_capacity(&mut self, site: SiteId, factor: f64) {
         self.capacities[site.index()] *= factor;
+    }
+
+    /// Activates a scrubbing mitigation until `until`: each tick, up to
+    /// `capacity_factor × total site capacity` of overload is diverted to
+    /// the scrubbing pool (counted as `scrubbed`) before anything is
+    /// shed. A later activation replaces an earlier one.
+    pub fn activate_scrub(&mut self, capacity_factor: f64, until: SimTime) {
+        self.scrub = Some((capacity_factor, until));
     }
 
     /// Greedy capacity-constrained pack of current demand at time `t`:
@@ -313,6 +339,12 @@ impl TrafficSim {
         } else {
             &mut self.peak_after
         };
+        // This tick's scrubbing pool: a fraction of total capacity that
+        // absorbs overload before it is shed (while the mitigation runs).
+        let mut scrub_pool = match self.scrub {
+            Some((factor, until)) if now < until => factor * self.capacities.iter().sum::<f64>(),
+            _ => 0.0,
+        };
         for (s, peak) in peaks.iter_mut().enumerate() {
             let cap = self.capacities[s].max(f64::MIN_POSITIVE);
             let util = self.load[s] / cap;
@@ -321,9 +353,14 @@ impl TrafficSim {
             }
             if self.load[s] > self.capacities[s] {
                 // Overloaded: capacity's worth is served (degraded), the
-                // excess is shed at the door.
+                // excess is diverted to scrubbing while the pool lasts,
+                // and the remainder is shed at the door.
                 self.served += self.capacities[s];
-                self.shed += self.load[s] - self.capacities[s];
+                let excess = self.load[s] - self.capacities[s];
+                let diverted = excess.min(scrub_pool);
+                scrub_pool -= diverted;
+                self.scrubbed += diverted;
+                self.shed += excess - diverted;
             } else {
                 self.served += self.load[s];
             }
@@ -397,6 +434,7 @@ impl TrafficSim {
             offered: self.offered,
             served: self.served,
             shed: self.shed,
+            scrubbed: self.scrubbed,
             unserved: self.unserved,
             resteers: self.resteers,
             target_weights,
@@ -533,6 +571,54 @@ mod tests {
             (sb.peak_after() - 2.0 * sa.peak_after()).abs() < 1e-6,
             "halving capacity doubles utilization"
         );
+    }
+
+    #[test]
+    fn scrubbing_diverts_overload_until_it_expires() {
+        let (topo, cdn, rng) = world();
+        let cfg = flat_config();
+        let mut sim = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Catchment);
+        // Generous pool: everything site 0 cannot serve is scrubbed while
+        // the mitigation is active (first tick), then shed (second tick).
+        sim.activate_scrub(10.0, SimTime::ZERO + SimDuration::from_secs(5));
+        let t_fail = SimTime::ZERO;
+        sim.on_tick(SimTime::ZERO, t_fail, &rng, |_| Some(SiteId(0)));
+        let mid = sim.summary(&[]);
+        assert!(mid.scrubbed > 0.0, "active scrub must divert overload");
+        assert_eq!(mid.shed, 0.0, "pool covers the whole excess");
+        sim.on_tick(
+            SimTime::ZERO + SimDuration::from_secs(10),
+            t_fail,
+            &rng,
+            |_| Some(SiteId(0)),
+        );
+        let done = sim.summary(&[]);
+        assert_eq!(done.scrubbed, mid.scrubbed, "expired scrub diverts nothing");
+        assert!(done.shed > 0.0, "post-expiry overload is shed again");
+        // Conservation holds with the new bucket in the ledger.
+        let total = done.served + done.shed + done.scrubbed + done.unserved;
+        assert!(
+            (done.offered - total).abs() < 1e-6,
+            "{}",
+            done.offered - total
+        );
+        assert!(done.scrubbed_fraction() > 0.0);
+    }
+
+    #[test]
+    fn undersized_scrub_pool_splits_excess_with_shedding() {
+        let (topo, cdn, rng) = world();
+        let cfg = flat_config();
+        let mut sim = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Catchment);
+        // Pool of 0.5× total capacity cannot absorb all of site 0's
+        // overload (~7 fair shares of excess at headroom 1.6).
+        sim.activate_scrub(0.5, SimTime::ZERO + SimDuration::from_secs(60));
+        sim.on_tick(SimTime::ZERO, SimTime::ZERO, &rng, |_| Some(SiteId(0)));
+        let s = sim.summary(&[]);
+        assert!(s.scrubbed > 0.0);
+        assert!(s.shed > 0.0, "undersized pool must still shed the rest");
+        let total = s.served + s.shed + s.scrubbed + s.unserved;
+        assert!((s.offered - total).abs() < 1e-6);
     }
 
     #[test]
