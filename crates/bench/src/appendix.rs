@@ -9,6 +9,8 @@
 //! Internet; the estimation pipeline (burst detection, per-peer
 //! convergence/propagation) is identical to the paper's.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use bobw_bgp::{BgpTimingConfig, OriginConfig, Standalone};
 use bobw_core::{CellPerf, ExperimentConfig};
 use bobw_event::RngFactory;
@@ -63,6 +65,10 @@ pub fn withdrawal_convergence_instrumented(
 ) -> (StudyOutput, Vec<CellPerf>) {
     let prefix = study_prefix();
     let idx: Vec<usize> = (0..instances).collect();
+    // Monotone high-water-mark feedback across instances, same as the
+    // experiment loop's queue hint: later cells preallocate what earlier
+    // cells needed (relaxed atomics — the hint is approximate by design).
+    let queue_hint = AtomicUsize::new(0);
     let per_instance = crate::runner::run_cells(&idx, jobs, |_, &i| {
         let wall_start = std::time::Instant::now();
         let rng = RngFactory::new(cfg.seed).derive("fig3", i as u64);
@@ -71,7 +77,12 @@ pub fn withdrawal_convergence_instrumented(
         let peers = pick_collector_peers(&topo, COLLECTOR_STRIDE);
         let collector = Collector::new(peers, &rng);
 
-        let mut sim = Standalone::new(&topo, timing.clone(), &rng);
+        let mut sim = Standalone::with_queue_capacity(
+            &topo,
+            timing.clone(),
+            &rng,
+            queue_hint.load(Ordering::Relaxed),
+        );
         sim.announce(origin, prefix, OriginConfig::plain());
         sim.run_to_idle(cfg.max_events);
         sim.sim_mut().set_record_history(true);
@@ -93,9 +104,11 @@ pub fn withdrawal_convergence_instrumented(
             .into_iter()
             .map(|(_, d)| d.as_secs_f64())
             .collect();
+        queue_hint.fetch_max(sim.peak_queue_depth(), Ordering::Relaxed);
         let perf = CellPerf {
             events_processed: sim.events_processed(),
             peak_queue_depth: sim.peak_queue_depth(),
+            queue_capacity: sim.queue_capacity(),
             wall_micros: wall_start.elapsed().as_micros() as u64,
         };
         (samples, error, perf)
@@ -150,6 +163,8 @@ pub fn announcement_propagation_instrumented(
 ) -> (StudyOutput, Vec<CellPerf>) {
     let prefix = study_prefix();
     let idx: Vec<usize> = (0..instances).collect();
+    // See fig3: cross-instance queue high-water-mark feedback.
+    let queue_hint = AtomicUsize::new(0);
     let per_instance = crate::runner::run_cells(&idx, jobs, |_, &i| {
         let wall_start = std::time::Instant::now();
         let rng = RngFactory::new(cfg.seed).derive("fig4", i as u64);
@@ -160,7 +175,12 @@ pub fn announcement_propagation_instrumented(
         let peers = pick_collector_peers(&topo, COLLECTOR_STRIDE);
         let collector = Collector::new(peers, &rng);
 
-        let mut sim = Standalone::new(&topo, timing.clone(), &rng);
+        let mut sim = Standalone::with_queue_capacity(
+            &topo,
+            timing.clone(),
+            &rng,
+            queue_hint.load(Ordering::Relaxed),
+        );
         sim.sim_mut().set_record_history(true);
         let t_announce = sim.now();
         for o in &origins {
@@ -179,9 +199,11 @@ pub fn announcement_propagation_instrumented(
             .into_iter()
             .map(|(_, d)| d.as_secs_f64())
             .collect();
+        queue_hint.fetch_max(sim.peak_queue_depth(), Ordering::Relaxed);
         let perf = CellPerf {
             events_processed: sim.events_processed(),
             peak_queue_depth: sim.peak_queue_depth(),
+            queue_capacity: sim.queue_capacity(),
             wall_micros: wall_start.elapsed().as_micros() as u64,
         };
         (samples, error, perf)

@@ -11,11 +11,12 @@
 //!   cells; deterministic for a fixed scale/seed, so a change means the
 //!   simulation itself changed shape, not just the host.
 //!
-//! Exit status: 0 when every metric is within tolerance, 1 on regression,
-//! 2 on usage/parse errors. CI runs this as a *non-fatal* step — shared
-//! runners are too noisy for a hard wall-time gate — so the gate's value
-//! is the printed delta table in the log, plus a hard signal available
-//! locally via `cargo run --release --bin bench_gate`.
+//! Exit status: 0 when every aggregate metric is within tolerance, 1 on
+//! regression, 2 on usage/parse errors. The per-technique drill-down is
+//! informational only (small per-technique samples are noisier than any
+//! tolerance worth gating on). CI's `perf-smoke` job runs this as a hard
+//! gate at `--tolerance 0.10` and publishes the drill-down table in the
+//! job summary.
 //!
 //! Regenerate the baseline after an intentional perf change:
 //!
@@ -186,6 +187,19 @@ fn check(name: &str, base: f64, cur: f64, higher_is_better: bool, tol: f64) -> b
     !regressed
 }
 
+/// A drill-down line: same layout as [`check`] but never gates.
+fn show(name: &str, base: f64, cur: f64) {
+    let delta = if base != 0.0 {
+        (cur - base) / base
+    } else {
+        0.0
+    };
+    println!(
+        "{name:<18} baseline {base:>14.1}  current {cur:>14.1}  delta {delta:>+8.1}%",
+        delta = delta * 100.0
+    );
+}
+
 fn main() {
     let args = parse_args();
 
@@ -255,8 +269,11 @@ fn main() {
     // one simulator path (a technique maps onto the announcement shapes
     // and reaction machinery it exercises). Events/sec uses summed
     // per-cell wall time, since cells of different techniques interleave
-    // within one batch.
-    println!("\nper-technique drill-down:");
+    // within one batch. Informational only — a single technique's
+    // cell-summed wall time is a much smaller sample than the batch
+    // aggregate and swings well past any tolerance tight enough to be a
+    // useful headline gate, so these lines never flip the exit status.
+    println!("\nper-technique drill-down (informational):");
     for (tech, b) in &base.by_technique {
         let Some(c) = cur.by_technique.get(tech) else {
             println!(
@@ -272,19 +289,15 @@ fn main() {
             );
             continue;
         }
-        ok &= check(
+        show(
             &format!("{tech} ev/s"),
             b.events_per_sec(),
             c.events_per_sec(),
-            true,
-            args.tolerance,
         );
-        ok &= check(
+        show(
             &format!("{tech} wall us"),
             b.cell_micros as f64,
             c.cell_micros as f64,
-            false,
-            args.tolerance,
         );
     }
     for tech in cur.by_technique.keys() {

@@ -38,6 +38,7 @@ fn push_study_cells(
             seed,
             events_processed: p.events_processed,
             peak_queue_depth: p.peak_queue_depth,
+            queue_capacity: p.queue_capacity,
             wall_micros: p.wall_micros,
         });
     }

@@ -130,6 +130,7 @@ fn main() {
                 seed: tb.cfg.seed,
                 events_processed: p.events_processed,
                 peak_queue_depth: p.peak_queue_depth,
+                queue_capacity: p.queue_capacity,
                 wall_micros: p.wall_micros,
             });
             grouped[ti].push(result);

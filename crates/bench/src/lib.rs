@@ -553,6 +553,7 @@ pub fn compute_table1_dispatch(
             seed: testbed.cfg.seed,
             events_processed: perf.events_processed,
             peak_queue_depth: perf.peak_queue_depth,
+            queue_capacity: perf.queue_capacity,
             wall_micros: perf.wall_micros,
         });
         rows.insert(r.site_name, (r.frac_not_anycast_routed, r.steered));

@@ -238,6 +238,10 @@ pub struct CellRecord {
     pub seed: u64,
     pub events_processed: u64,
     pub peak_queue_depth: usize,
+    /// Final capacity of the event queue's hot lane — compared against
+    /// `peak_queue_depth` it shows whether the high-water-mark
+    /// preallocation avoided regrowth for this cell.
+    pub queue_capacity: usize,
     pub wall_micros: u64,
 }
 
@@ -410,6 +414,7 @@ pub fn run_failover_grid_dispatch(
             seed: testbed.cfg.seed,
             events_processed: perf.events_processed,
             peak_queue_depth: perf.peak_queue_depth,
+            queue_capacity: perf.queue_capacity,
             wall_micros: perf.wall_micros,
         });
         grouped[ti].push(result);

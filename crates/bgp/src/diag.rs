@@ -58,7 +58,7 @@ pub struct Candidate {
 pub fn explain(sim: &BgpSim, node: NodeId, prefix: &Prefix) -> Vec<Candidate> {
     let n = sim.node(node);
     let best = match n.best(prefix) {
-        Some(b) => b.clone(),
+        Some(b) => *b,
         None => return Vec::new(),
     };
     let mut out = Vec::new();
@@ -73,37 +73,35 @@ pub fn explain(sim: &BgpSim, node: NodeId, prefix: &Prefix) -> Vec<Candidate> {
             verdict: Verdict::Best,
         });
     }
-    if let Some(adj) = n.adj_in(prefix) {
-        for (from, attrs) in adj {
-            let verdict = if Some(*from) == best.from {
-                Verdict::Best
-            } else if attrs.local_pref < best.attrs.local_pref {
-                Verdict::LowerLocalPref {
-                    candidate: attrs.local_pref,
-                    best: best.attrs.local_pref,
-                }
-            } else if attrs.path.len() > best.attrs.path.len() {
-                Verdict::LongerAsPath {
-                    candidate: attrs.path.len(),
-                    best: best.attrs.path.len(),
-                }
-            } else if attrs.med > best.attrs.med {
-                Verdict::HigherMed {
-                    candidate: attrs.med,
-                    best: best.attrs.med,
-                }
-            } else {
-                Verdict::TieBreak
-            };
-            out.push(Candidate {
-                from: Some(*from),
-                local_pref: attrs.local_pref,
-                med: attrs.med,
-                path: attrs.path.to_string(),
-                origin: attrs.origin,
-                verdict,
-            });
-        }
+    for (from, attrs) in n.adj_in(prefix) {
+        let verdict = if Some(from) == best.from {
+            Verdict::Best
+        } else if attrs.local_pref < best.attrs.local_pref {
+            Verdict::LowerLocalPref {
+                candidate: attrs.local_pref,
+                best: best.attrs.local_pref,
+            }
+        } else if attrs.path.len() > best.attrs.path.len() {
+            Verdict::LongerAsPath {
+                candidate: attrs.path.len(),
+                best: best.attrs.path.len(),
+            }
+        } else if attrs.med > best.attrs.med {
+            Verdict::HigherMed {
+                candidate: attrs.med,
+                best: best.attrs.med,
+            }
+        } else {
+            Verdict::TieBreak
+        };
+        out.push(Candidate {
+            from: Some(from),
+            local_pref: attrs.local_pref,
+            med: attrs.med,
+            path: attrs.path.to_string(),
+            origin: attrs.origin,
+            verdict,
+        });
     }
     // Best first, then by neighbor id.
     out.sort_by_key(|c| (c.verdict != Verdict::Best, c.from));

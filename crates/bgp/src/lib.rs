@@ -33,6 +33,7 @@ pub mod damping;
 pub mod diag;
 pub mod node;
 pub mod policy;
+pub mod rib;
 pub mod route;
 pub mod sim;
 pub mod timing;
@@ -41,6 +42,7 @@ pub use damping::{DampState, DampingConfig};
 pub use diag::{dump_rib, explain, Candidate, Verdict};
 pub use node::BgpNode;
 pub use policy::{import_local_pref, may_export, OriginConfig};
+pub use rib::{cmp_selected, select_from, FlatRib, MapRib, RibKernel};
 pub use route::{BgpEvent, Message, NextHop, RouteAttrs, RouteChange, Selected, WireRoute};
-pub use sim::{BgpSim, Standalone};
+pub use sim::{BgpSim, SimSeed, Standalone};
 pub use timing::BgpTimingConfig;

@@ -7,19 +7,50 @@
 //! falls back to the next-best *stale* entry and re-advertises it, and that
 //! ghost dies only when its supplier sends its own withdrawal — the exact
 //! dynamics behind the paper's Figure 3 convergence tail.
+//!
+//! # Memory layout
+//!
+//! Everything on the per-message hot path is integer-indexed. The RIB is a
+//! [`FlatRib`]: prefixes intern to dense ids, candidates live in a slice
+//! sorted by neighbor index, the Loc-RIB is a parallel slot. The
+//! per-neighbor send machinery (`last_announce` / `last_sent` / pending)
+//! is a flat `Vec<SendState>` indexed by prefix id — receiving one update
+//! and re-exporting it to a neighbor does zero hash lookups. The only maps
+//! left key *rare* state: flap damping (off by default) and origination.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 
 use bobw_event::{SimDuration, SimTime};
-use bobw_net::{AsPath, Asn, NodeId, Prefix, PrefixTrie};
+use bobw_net::{AsPath, Asn, FlatPrefixMap, NodeId, Prefix};
 use bobw_topology::Rel;
 use rand::rngs::SmallRng;
 
 use crate::damping::DampState;
 use crate::policy::{import_local_pref, may_export, OriginConfig};
+use crate::rib::{cmp_selected, FlatRib, TieKey, SELF_TIE_KEY};
 use crate::route::{BgpEvent, Message, NextHop, RouteAttrs, Selected, WireRoute};
 use crate::timing::BgpTimingConfig;
+
+/// Per-⟨neighbor, prefix⟩ send state, indexed by the node's dense prefix id.
+#[derive(Debug, Clone, Copy, Default)]
+struct SendState {
+    /// Last time an *announcement* for the prefix was put on the wire.
+    last_announce: Option<SimTime>,
+    /// What this neighbor currently believes we advertised (`None` =
+    /// withdrawn or never announced).
+    last_sent: Option<WireRoute>,
+    /// Coalesced outgoing message awaiting its send timer.
+    pending: Option<Pending>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// `Some` = update, `None` = withdraw.
+    msg: Option<WireRoute>,
+    /// Guard against superseded `Fire` events.
+    gen: u64,
+}
 
 /// Per-neighbor session state.
 #[derive(Debug)]
@@ -34,21 +65,18 @@ pub struct NeighborState {
     /// injection; routes from a down neighbor are purged when the hold
     /// timer expires.
     up: bool,
-    /// Last time an *announcement* for a prefix was put on the wire.
-    last_announce: HashMap<Prefix, SimTime>,
-    /// What this neighbor currently believes we advertised (absent =
-    /// withdrawn or never announced).
-    last_sent: HashMap<Prefix, WireRoute>,
-    /// Coalesced outgoing message awaiting its send timer.
-    pending: HashMap<Prefix, Pending>,
+    /// Send state per prefix id, grown on demand.
+    send: Vec<SendState>,
 }
 
-#[derive(Debug)]
-struct Pending {
-    /// `Some` = update, `None` = withdraw.
-    msg: Option<WireRoute>,
-    /// Guard against superseded `Fire` events.
-    gen: u64,
+impl NeighborState {
+    /// The send slot for prefix id `pidx`, growing the table on demand.
+    fn send_slot(&mut self, pidx: usize) -> &mut SendState {
+        if self.send.len() <= pidx {
+            self.send.resize(pidx + 1, SendState::default());
+        }
+        &mut self.send[pidx]
+    }
 }
 
 /// One AS-level BGP speaker.
@@ -56,35 +84,40 @@ pub struct BgpNode {
     pub id: NodeId,
     pub asn: Asn,
     neighbors: Vec<NeighborState>,
-    nbr_index: HashMap<NodeId, usize>,
-    adj_in: HashMap<Prefix, BTreeMap<NodeId, RouteAttrs>>,
+    /// `peer NodeId → neighbor index`, sorted by peer for binary search.
+    nbr_lookup: Vec<(NodeId, u32)>,
+    /// Adj-RIB-In + Loc-RIB (see [`FlatRib`]).
+    rib: FlatRib,
     /// Flap-damping state per ⟨neighbor, prefix⟩ (only populated when
     /// damping is enabled in the timing config).
     damping: HashMap<(NodeId, Prefix), DampState>,
-    best: HashMap<Prefix, Selected>,
-    fib: PrefixTrie<NextHop>,
+    fib: FlatPrefixMap<NextHop>,
     originated: BTreeMap<Prefix, OriginConfig>,
     gen_counter: u64,
+    /// Reusable buffer for session expiry/restore sweeps (collect affected
+    /// prefixes, sort by prefix value, re-decide) — no per-sweep allocation.
+    scratch: Vec<(Prefix, u32)>,
 }
 
 impl BgpNode {
     pub fn new(id: NodeId, asn: Asn, neighbors: Vec<NeighborState>) -> BgpNode {
-        let nbr_index = neighbors
+        let mut nbr_lookup: Vec<(NodeId, u32)> = neighbors
             .iter()
             .enumerate()
-            .map(|(i, n)| (n.peer, i))
+            .map(|(i, n)| (n.peer, i as u32))
             .collect();
+        nbr_lookup.sort_unstable();
         BgpNode {
             id,
             asn,
             neighbors,
-            nbr_index,
-            adj_in: HashMap::new(),
+            nbr_lookup,
+            rib: FlatRib::new(),
             damping: HashMap::new(),
-            best: HashMap::new(),
-            fib: PrefixTrie::new(),
+            fib: FlatPrefixMap::new(),
             originated: BTreeMap::new(),
             gen_counter: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -103,9 +136,7 @@ impl BgpNode {
             delay,
             session_mrai,
             up: true,
-            last_announce: HashMap::new(),
-            last_sent: HashMap::new(),
-            pending: HashMap::new(),
+            send: Vec::new(),
         }
     }
 
@@ -113,14 +144,33 @@ impl BgpNode {
         &self.neighbors
     }
 
-    /// The node's current best route for `prefix`.
-    pub fn best(&self, prefix: &Prefix) -> Option<&Selected> {
-        self.best.get(prefix)
+    /// The neighbor index for `peer`, if it is one of ours.
+    fn nbr_pos(&self, peer: NodeId) -> Option<usize> {
+        self.nbr_lookup
+            .binary_search_by_key(&peer, |&(p, _)| p)
+            .ok()
+            .map(|i| self.nbr_lookup[i].1 as usize)
     }
 
-    /// All routes in the Adj-RIB-In for `prefix` (neighbor → attrs).
-    pub fn adj_in(&self, prefix: &Prefix) -> Option<&BTreeMap<NodeId, RouteAttrs>> {
-        self.adj_in.get(prefix)
+    /// The node's current best route for `prefix`.
+    pub fn best(&self, prefix: &Prefix) -> Option<&Selected> {
+        self.rib.best_at(self.rib.position(prefix)?)
+    }
+
+    /// All routes in the Adj-RIB-In for `prefix`, sorted by neighbor id
+    /// (the order the historic `BTreeMap<NodeId, _>` storage iterated in).
+    pub fn adj_in(&self, prefix: &Prefix) -> Vec<(NodeId, RouteAttrs)> {
+        let Some(pidx) = self.rib.position(prefix) else {
+            return Vec::new();
+        };
+        let mut v: Vec<(NodeId, RouteAttrs)> = self
+            .rib
+            .routes_at(pidx)
+            .iter()
+            .map(|&(n, a)| (self.neighbors[n as usize].peer, a))
+            .collect();
+        v.sort_unstable_by_key(|&(n, _)| n);
+        v
     }
 
     /// Longest-prefix-match forwarding lookup.
@@ -153,11 +203,12 @@ impl BgpNode {
         out: &mut Vec<(SimDuration, BgpEvent)>,
     ) -> bool {
         self.originated.insert(prefix, cfg);
+        let pidx = self.rib.intern(prefix);
         // Re-running the decision also refreshes exports if only the origin
         // config (e.g. prepend count) changed while best stays "self".
-        let changed = self.run_decision(now, prefix, timing, rng, out);
+        let changed = self.run_decision(now, prefix, pidx, timing, rng, out);
         if !changed {
-            self.refresh_exports(now, prefix, timing, rng, out);
+            self.refresh_exports(now, prefix, pidx, timing, rng, out);
         }
         changed
     }
@@ -176,14 +227,14 @@ impl BgpNode {
         if self.originated.remove(&prefix).is_none() {
             return false;
         }
-        self.run_decision(now, prefix, timing, rng, out)
+        let pidx = self.rib.intern(prefix);
+        self.run_decision(now, prefix, pidx, timing, rng, out)
     }
 
     /// Is the session to `neighbor` up?
     pub fn session_is_up(&self, neighbor: NodeId) -> bool {
-        self.nbr_index
-            .get(&neighbor)
-            .map(|i| self.neighbors[*i].up)
+        self.nbr_pos(neighbor)
+            .map(|i| self.neighbors[i].up)
             .unwrap_or(false)
     }
 
@@ -194,11 +245,13 @@ impl BgpNode {
     /// avoid scheduling a duplicate hold timer when a link is failed twice
     /// (e.g. a `SilentCrash` following a drill on the same site).
     pub fn fail_session(&mut self, neighbor: NodeId) -> bool {
-        if let Some(&idx) = self.nbr_index.get(&neighbor) {
+        if let Some(idx) = self.nbr_pos(neighbor) {
             let nbr = &mut self.neighbors[idx];
             if nbr.up {
                 nbr.up = false;
-                nbr.pending.clear();
+                for s in &mut nbr.send {
+                    s.pending = None;
+                }
                 return true;
             }
         }
@@ -216,37 +269,35 @@ impl BgpNode {
         rng: &mut SmallRng,
         out: &mut Vec<(SimDuration, BgpEvent)>,
     ) -> Vec<Prefix> {
-        match self.nbr_index.get(&neighbor) {
-            Some(&idx) if !self.neighbors[idx].up => {}
+        let idx = match self.nbr_pos(neighbor) {
+            Some(idx) if !self.neighbors[idx].up => idx,
             _ => return Vec::new(), // session recovered or unknown: no-op
-        }
-        // `adj_in` is a HashMap, so collect-then-sort: the per-prefix
+        };
+        // Collect-then-sort into the reusable scratch buffer: the per-prefix
         // decision below draws timing jitter from `rng`, and iteration
-        // order must not depend on the hasher instance (it differs across
-        // threads and processes, breaking run-to-run reproducibility).
-        let mut affected: Vec<Prefix> = self
-            .adj_in
-            .iter()
-            .filter(|(_, m)| m.contains_key(&neighbor))
-            .map(|(p, _)| *p)
-            .collect();
+        // order must not depend on storage order (prefix ids intern in
+        // arrival order, which differs across techniques and runs).
+        let mut affected = std::mem::take(&mut self.scratch);
+        affected.clear();
+        self.rib.prefixes_from_into(idx as u32, &mut affected);
         affected.sort_unstable();
+        let incremental = timing.flap_damping.is_none();
         let mut changed = Vec::new();
-        for prefix in affected {
-            if let Some(m) = self.adj_in.get_mut(&prefix) {
-                m.remove(&neighbor);
-                if m.is_empty() {
-                    self.adj_in.remove(&prefix);
-                }
+        for &(prefix, pidx) in &affected {
+            self.rib.remove_at(pidx as usize, idx as u32);
+            if incremental && self.removal_keeps_best(pidx as usize, neighbor) {
+                continue; // removed a non-best candidate: decision stands
             }
-            if self.run_decision(now, prefix, timing, rng, out) {
+            if self.run_decision(now, prefix, pidx as usize, timing, rng, out) {
                 changed.push(prefix);
             }
         }
-        // The peer also lost everything we ever sent it.
-        let nbr = &mut self.neighbors[self.nbr_index[&neighbor]];
-        nbr.last_sent.clear();
-        nbr.last_announce.clear();
+        affected.clear();
+        self.scratch = affected;
+        // The peer also lost everything we ever sent it. (No pending sends
+        // survive here: they were dropped at failure time and none queue
+        // while the session is down.)
+        self.neighbors[idx].send.clear();
         changed
     }
 
@@ -260,7 +311,7 @@ impl BgpNode {
         rng: &mut SmallRng,
         out: &mut Vec<(SimDuration, BgpEvent)>,
     ) {
-        let Some(&idx) = self.nbr_index.get(&neighbor) else {
+        let Some(idx) = self.nbr_pos(neighbor) else {
             return;
         };
         {
@@ -269,18 +320,20 @@ impl BgpNode {
                 return;
             }
             nbr.up = true;
-            nbr.last_sent.clear();
-            nbr.last_announce.clear();
-            nbr.pending.clear();
+            nbr.send.clear();
         }
-        // Sorted for the same reason as in `expire_session`: `best` is a
-        // HashMap and each export draws MRAI jitter from `rng` in turn.
-        let mut prefixes: Vec<Prefix> = self.best.keys().copied().collect();
+        // Sorted by prefix value for the same reason as in
+        // `expire_session`: each export draws MRAI jitter from `rng`.
+        let mut prefixes = std::mem::take(&mut self.scratch);
+        prefixes.clear();
+        self.rib.prefixes_with_best_into(&mut prefixes);
         prefixes.sort_unstable();
-        for prefix in prefixes {
-            let desired = self.desired_export(prefix, idx);
-            self.queue_export(now, prefix, idx, desired, timing, rng, out);
+        for &(prefix, pidx) in &prefixes {
+            let desired = self.desired_export(prefix, pidx as usize, idx);
+            self.queue_export(now, prefix, pidx as usize, idx, desired, timing, rng, out);
         }
+        prefixes.clear();
+        self.scratch = prefixes;
     }
 
     /// Processes one incoming message. Returns whether the best route for
@@ -296,10 +349,10 @@ impl BgpNode {
     ) -> bool {
         let prefix = msg.prefix();
         // A message arriving over a failed link is lost.
-        match self.nbr_index.get(&from) {
-            Some(&idx) if self.neighbors[idx].up => {}
+        let idx = match self.nbr_pos(from) {
+            Some(idx) if self.neighbors[idx].up => idx,
             _ => return false,
-        }
+        };
         // Flap damping: every received change to this neighbor's route
         // accrues penalty; suppression hides the candidate from the
         // decision until the penalty decays.
@@ -324,19 +377,21 @@ impl BgpNode {
                 ));
             }
         }
+        let pidx = self.rib.intern(prefix);
+        // With damping off, a single-candidate change has a closed-form
+        // effect on the decision (see `incremental_update`), so the full
+        // candidate scan runs only when the incumbent itself is touched.
+        let incremental = timing.flap_damping.is_none();
         match msg {
             Message::Update { route, .. } => {
                 if route.path.contains(self.asn) {
                     // Loop detection: discard, and drop any previous route
                     // from this neighbor (an update implicitly replaces it).
-                    if let Some(m) = self.adj_in.get_mut(&prefix) {
-                        m.remove(&from);
+                    self.rib.remove_at(pidx, idx as u32);
+                    if incremental && self.removal_keeps_best(pidx, from) {
+                        return false;
                     }
                 } else {
-                    let idx = *self
-                        .nbr_index
-                        .get(&from)
-                        .unwrap_or_else(|| panic!("message from non-neighbor {from}"));
                     let rel = self.neighbors[idx].rel;
                     let attrs = RouteAttrs {
                         path: route.path,
@@ -345,19 +400,24 @@ impl BgpNode {
                         origin: route.origin,
                         no_export: route.no_export,
                     };
-                    self.adj_in.entry(prefix).or_default().insert(from, attrs);
-                }
-            }
-            Message::Withdraw { .. } => {
-                if let Some(m) = self.adj_in.get_mut(&prefix) {
-                    m.remove(&from);
-                    if m.is_empty() {
-                        self.adj_in.remove(&prefix);
+                    self.rib.insert_at(pidx, idx as u32, attrs);
+                    if incremental {
+                        if let Some(changed) =
+                            self.incremental_update(now, prefix, pidx, idx, attrs, timing, rng, out)
+                        {
+                            return changed;
+                        }
                     }
                 }
             }
+            Message::Withdraw { .. } => {
+                self.rib.remove_at(pidx, idx as u32);
+                if incremental && self.removal_keeps_best(pidx, from) {
+                    return false;
+                }
+            }
         }
-        self.run_decision(now, prefix, timing, rng, out)
+        self.run_decision(now, prefix, pidx, timing, rng, out)
     }
 
     /// A damping reuse timer fired: if the candidate's penalty has decayed
@@ -391,7 +451,8 @@ impl BgpNode {
             ));
             return false;
         }
-        self.run_decision(now, prefix, timing, rng, out)
+        let pidx = self.rib.intern(prefix);
+        self.run_decision(now, prefix, pidx, timing, rng, out)
     }
 
     /// A pending send timer fired; emit the coalesced message if it is
@@ -405,31 +466,37 @@ impl BgpNode {
         timing: &BgpTimingConfig,
         out: &mut Vec<(SimDuration, BgpEvent)>,
     ) {
-        let Some(&idx) = self.nbr_index.get(&neighbor) else {
+        let Some(idx) = self.nbr_pos(neighbor) else {
             return;
+        };
+        let Some(pidx) = self.rib.position(&prefix) else {
+            return; // nothing was ever queued for an unknown prefix
         };
         let nbr = &mut self.neighbors[idx];
         if !nbr.up {
             return; // link died while the timer was pending
         }
-        match nbr.pending.get(&prefix) {
+        let Some(slot) = nbr.send.get_mut(pidx) else {
+            return;
+        };
+        match slot.pending {
             Some(p) if p.gen == gen => {}
             _ => return, // superseded or cancelled
         }
-        let p = nbr.pending.remove(&prefix).expect("checked above");
+        let p = slot.pending.take().expect("checked above");
         let msg = match p.msg {
             Some(w) => {
-                nbr.last_announce.insert(prefix, now);
-                nbr.last_sent.insert(prefix, w.clone());
+                slot.last_announce = Some(now);
+                slot.last_sent = Some(w);
                 Message::Update { prefix, route: w }
             }
             None => {
                 // Under per-peer update pacing (WRATE on) a withdrawal also
                 // restarts the pacing clock for the session, like any update.
                 if timing.withdrawal_rate_limiting {
-                    nbr.last_announce.insert(prefix, now);
+                    slot.last_announce = Some(now);
                 }
-                nbr.last_sent.remove(&prefix);
+                slot.last_sent = None;
                 Message::Withdraw { prefix }
             }
         };
@@ -446,54 +513,168 @@ impl BgpNode {
     /// Re-runs the decision process for `prefix`; on change, updates the
     /// Loc-RIB and FIB and queues per-neighbor exports. Returns whether the
     /// best route changed.
+    #[allow(clippy::too_many_arguments)]
     fn run_decision(
         &mut self,
         now: SimTime,
         prefix: Prefix,
+        pidx: usize,
         timing: &BgpTimingConfig,
         rng: &mut SmallRng,
         out: &mut Vec<(SimDuration, BgpEvent)>,
     ) -> bool {
-        let new_best = self.compute_best(now, prefix, timing);
-        if new_best == self.best.get(&prefix).cloned() {
+        let new_best = self.compute_best(now, prefix, pidx, timing);
+        if new_best.as_ref() == self.rib.best_at(pidx) {
             return false;
         }
-        match &new_best {
-            Some(sel) => {
-                self.fib.insert(prefix, sel.next_hop());
-                self.best.insert(prefix, sel.clone());
-            }
-            None => {
-                self.fib.remove(&prefix);
-                self.best.remove(&prefix);
-            }
-        }
-        self.refresh_exports(now, prefix, timing, rng, out);
+        self.commit_best(now, prefix, pidx, new_best, timing, rng, out);
         true
     }
 
-    /// Recomputes the desired export of `prefix` toward every neighbor and
-    /// queues any change through the send machinery.
-    fn refresh_exports(
+    /// Installs an already-decided best route: FIB, Loc-RIB, exports.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_best(
         &mut self,
         now: SimTime,
         prefix: Prefix,
+        pidx: usize,
+        new_best: Option<Selected>,
         timing: &BgpTimingConfig,
         rng: &mut SmallRng,
         out: &mut Vec<(SimDuration, BgpEvent)>,
     ) {
+        match &new_best {
+            Some(sel) => {
+                self.fib.insert(prefix, sel.next_hop());
+            }
+            None => {
+                self.fib.remove(&prefix);
+            }
+        }
+        self.rib.set_best_at(pidx, new_best);
+        self.refresh_exports(now, prefix, pidx, timing, rng, out);
+    }
+
+    /// After removing the candidate from `from` at `pidx`: is the current
+    /// best provably still the decision outcome? True when the incumbent
+    /// was not supplied by `from` (removing a non-minimum element cannot
+    /// change the minimum of a strict total order). Only valid with flap
+    /// damping off — suppression states can flip with the mere passage of
+    /// time, invalidating the stored decision.
+    fn removal_keeps_best(&self, pidx: usize, from: NodeId) -> bool {
+        match self.rib.best_at(pidx) {
+            Some(best) => best.from != Some(from),
+            None => true,
+        }
+    }
+
+    /// Incremental decision after inserting `attrs` from neighbor `idx`:
+    /// when the incumbent came from a *different* supplier, the new outcome
+    /// is simply `min(incumbent, candidate)` under `cmp_selected`'s strict
+    /// total order, so the full candidate scan can be skipped. Returns
+    /// `None` when only a full recomputation is correct (no incumbent, or
+    /// the incumbent's own supplier changed). Only valid with flap damping
+    /// off (see [`Self::removal_keeps_best`]).
+    #[allow(clippy::too_many_arguments)]
+    fn incremental_update(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        pidx: usize,
+        idx: usize,
+        attrs: RouteAttrs,
+        timing: &BgpTimingConfig,
+        rng: &mut SmallRng,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) -> Option<bool> {
+        let peer = self.neighbors[idx].peer;
+        let key: TieKey = (1, self.neighbors[idx].peer_asn, peer);
+        let best = *self.rib.best_at(pidx)?;
+        if best.from == Some(peer) {
+            return None;
+        }
+        let cur_key: TieKey = match best.from {
+            None => SELF_TIE_KEY,
+            Some(s) => (1, self.neighbors[self.nbr_pos(s)?].peer_asn, s),
+        };
+        let cand = Selected {
+            from: Some(peer),
+            attrs,
+        };
+        if cmp_selected(&cand, key, &best, cur_key) == Ordering::Less {
+            self.commit_best(now, prefix, pidx, Some(cand), timing, rng, out);
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Recomputes the desired export of `prefix` toward every neighbor and
+    /// queues any change through the send machinery.
+    ///
+    /// The common case — the best route was learned from a neighbor — has a
+    /// receiver-independent export form (the prepended path is the same for
+    /// everyone; only split horizon and Gao–Rexford gating vary), so the
+    /// path composition and supplier-relation lookup are hoisted out of the
+    /// per-neighbor loop rather than re-run by [`Self::desired_export`] for
+    /// each receiver.
+    fn refresh_exports(
+        &mut self,
+        now: SimTime,
+        prefix: Prefix,
+        pidx: usize,
+        timing: &BgpTimingConfig,
+        rng: &mut SmallRng,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        // (supplier, supplier relation, wire form) for a learned best route
+        // that is exportable at all; `None` falls back to the per-neighbor
+        // path (origination, NO_EXPORT, or no best route).
+        let learned: Option<(NodeId, Option<Rel>, WireRoute)> = match self.rib.best_at(pidx) {
+            Some(best) => match best.from {
+                Some(supplier) if !best.attrs.no_export => {
+                    let supplier_rel = self.nbr_pos(supplier).map(|i| self.neighbors[i].rel);
+                    Some((
+                        supplier,
+                        supplier_rel,
+                        WireRoute {
+                            path: best.attrs.path.prepended(self.asn, 1),
+                            med: 0,
+                            origin: best.attrs.origin,
+                            no_export: false,
+                        },
+                    ))
+                }
+                _ => None,
+            },
+            None => None,
+        };
         for idx in 0..self.neighbors.len() {
-            let desired = self.desired_export(prefix, idx);
-            self.queue_export(now, prefix, idx, desired, timing, rng, out);
+            let desired = match &learned {
+                Some((supplier, supplier_rel, wire)) => {
+                    let n = &self.neighbors[idx];
+                    if !n.up
+                        || n.peer == *supplier
+                        || supplier_rel.is_none()
+                        || !may_export(*supplier_rel, n.rel)
+                    {
+                        None
+                    } else {
+                        Some(*wire)
+                    }
+                }
+                None => self.desired_export(prefix, pidx, idx),
+            };
+            self.queue_export(now, prefix, pidx, idx, desired, timing, rng, out);
         }
     }
 
     /// What should currently be advertised to neighbor `idx` for `prefix`?
-    fn desired_export(&self, prefix: Prefix, idx: usize) -> Option<WireRoute> {
+    fn desired_export(&self, prefix: Prefix, pidx: usize, idx: usize) -> Option<WireRoute> {
         if !self.neighbors[idx].up {
             return None;
         }
-        let best = self.best.get(&prefix)?;
+        let best = self.rib.best_at(pidx)?;
         let to_rel = self.neighbors[idx].rel;
         match best.from {
             None => {
@@ -521,7 +702,7 @@ impl BgpNode {
                 if learned_from == self.neighbors[idx].peer {
                     return None;
                 }
-                let lf_rel = self.neighbors[self.nbr_index[&learned_from]].rel;
+                let lf_rel = self.neighbors[self.nbr_pos(learned_from)?].rel;
                 if !may_export(Some(lf_rel), to_rel) {
                     return None;
                 }
@@ -543,6 +724,7 @@ impl BgpNode {
         &mut self,
         now: SimTime,
         prefix: Prefix,
+        pidx: usize,
         idx: usize,
         desired: Option<WireRoute>,
         timing: &BgpTimingConfig,
@@ -558,18 +740,21 @@ impl BgpNode {
             // cleared at failure time.
             return;
         }
+        let peer = nbr.peer;
+        let session_mrai = nbr.session_mrai;
+        let slot = nbr.send_slot(pidx);
 
-        let effective: Option<&WireRoute> = match nbr.pending.get(&prefix) {
+        let effective: Option<&WireRoute> = match &slot.pending {
             Some(p) => p.msg.as_ref(),
-            None => nbr.last_sent.get(&prefix),
+            None => slot.last_sent.as_ref(),
         };
         if desired.as_ref() == effective {
             return;
         }
         // Flapped back to what is already on the wire: cancel the pending
         // correction instead of sending a redundant message.
-        if nbr.pending.contains_key(&prefix) && desired.as_ref() == nbr.last_sent.get(&prefix) {
-            nbr.pending.remove(&prefix);
+        if slot.pending.is_some() && desired.as_ref() == slot.last_sent.as_ref() {
+            slot.pending = None;
             return;
         }
 
@@ -581,93 +766,79 @@ impl BgpNode {
         };
         let mut fire_delay = proc;
         if rate_limited {
-            if let Some(last) = nbr.last_announce.get(&prefix) {
-                let mrai = timing.jittered_mrai(nbr.session_mrai, rng);
-                let ready = *last + mrai;
+            if let Some(last) = slot.last_announce {
+                let mrai = timing.jittered_mrai(session_mrai, rng);
+                let ready = last + mrai;
                 if ready > now + proc {
                     fire_delay = ready.since(now);
                 }
             }
         }
-        nbr.pending.insert(prefix, Pending { msg: desired, gen });
+        slot.pending = Some(Pending { msg: desired, gen });
         out.push((
             fire_delay,
             BgpEvent::Fire {
                 node: node_id,
-                neighbor: nbr.peer,
+                neighbor: peer,
                 prefix,
                 gen,
             },
         ));
     }
 
-    /// RFC 4271-flavoured candidate comparison; `Ordering::Less` = better.
-    fn cmp_candidates(&self, a: &Selected, b: &Selected) -> Ordering {
-        b.attrs
-            .local_pref
-            .cmp(&a.attrs.local_pref)
-            .then(a.attrs.path.len().cmp(&b.attrs.path.len()))
-            .then(a.attrs.med.cmp(&b.attrs.med))
-            .then_with(|| {
-                let key = |s: &Selected| match s.from {
-                    // Self-originated sorts first (it also has max
-                    // LOCAL_PREF, so this arm is belt-and-braces).
-                    None => (0, Asn(0), NodeId(0)),
-                    Some(n) => {
-                        let i = self.nbr_index[&n];
-                        (1, self.neighbors[i].peer_asn, n)
-                    }
-                };
-                key(a).cmp(&key(b))
-            })
-    }
-
     fn compute_best(
         &self,
         now: SimTime,
         prefix: Prefix,
+        pidx: usize,
         timing: &BgpTimingConfig,
     ) -> Option<Selected> {
-        let mut best: Option<Selected> = None;
+        let mut best: Option<(Selected, TieKey)> = None;
         if self.originated.contains_key(&prefix) {
-            best = Some(Selected {
-                from: None,
-                attrs: RouteAttrs {
-                    path: AsPath::empty(),
-                    local_pref: u32::MAX,
-                    med: 0,
-                    origin: self.id,
-                    no_export: false,
+            best = Some((
+                Selected {
+                    from: None,
+                    attrs: RouteAttrs {
+                        path: AsPath::empty(),
+                        local_pref: u32::MAX,
+                        med: 0,
+                        origin: self.id,
+                        no_export: false,
+                    },
                 },
-            });
+                SELF_TIE_KEY,
+            ));
         }
-        if let Some(m) = self.adj_in.get(&prefix) {
-            for (nbr, attrs) in m {
-                // Dampened candidates are invisible to the decision.
-                if let Some(dcfg) = &timing.flap_damping {
-                    if let Some(state) = self.damping.get(&(*nbr, prefix)) {
-                        if state.is_suppressed(dcfg, now) {
-                            continue;
-                        }
+        // Candidate iteration order (neighbor index) cannot influence the
+        // outcome: `cmp_selected` is a strict total order over candidates
+        // from distinct neighbors.
+        for &(nbr, attrs) in self.rib.routes_at(pidx) {
+            let n = &self.neighbors[nbr as usize];
+            // Dampened candidates are invisible to the decision.
+            if let Some(dcfg) = &timing.flap_damping {
+                if let Some(state) = self.damping.get(&(n.peer, prefix)) {
+                    if state.is_suppressed(dcfg, now) {
+                        continue;
                     }
                 }
-                let cand = Selected {
-                    from: Some(*nbr),
-                    attrs: attrs.clone(),
-                };
-                best = match best {
-                    None => Some(cand),
-                    Some(cur) => {
-                        if self.cmp_candidates(&cand, &cur) == Ordering::Less {
-                            Some(cand)
-                        } else {
-                            Some(cur)
-                        }
-                    }
-                };
             }
+            let cand = Selected {
+                from: Some(n.peer),
+                attrs,
+            };
+            let key: TieKey = (1, n.peer_asn, n.peer);
+            best = match best {
+                None => Some((cand, key)),
+                Some((cur, cur_key)) => {
+                    if cmp_selected(&cand, key, &cur, cur_key) == Ordering::Less {
+                        Some((cand, key))
+                    } else {
+                        Some((cur, cur_key))
+                    }
+                }
+            };
         }
-        best
+        best.map(|(s, _)| s)
     }
 }
 

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// recover the same information from communities or from which prefix was
 /// used; the simulator uses it for catchment accounting only, never in the
 /// decision process.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireRoute {
     pub path: AsPath,
     pub med: u32,
@@ -28,7 +28,7 @@ pub struct WireRoute {
 
 /// A route as held in a node's Adj-RIB-In / Loc-RIB: wire attributes plus
 /// the import-policy-assigned LOCAL_PREF.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouteAttrs {
     pub path: AsPath,
     pub local_pref: u32,
@@ -42,7 +42,7 @@ impl RouteAttrs {
     /// Re-wraps Loc-RIB attributes as wire attributes for export.
     pub fn to_wire(&self) -> WireRoute {
         WireRoute {
-            path: self.path.clone(),
+            path: self.path,
             med: self.med,
             origin: self.origin,
             no_export: self.no_export,
@@ -51,7 +51,7 @@ impl RouteAttrs {
 }
 
 /// A BGP message for a single prefix.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Message {
     Update { prefix: Prefix, route: WireRoute },
     Withdraw { prefix: Prefix },
@@ -76,7 +76,7 @@ pub enum NextHop {
 }
 
 /// The route a node currently uses for a prefix.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Selected {
     /// The neighbor the route was learned from; `None` = self-originated.
     pub from: Option<NodeId>,
@@ -115,7 +115,7 @@ impl RouteChange {
 }
 
 /// Events driving the BGP simulator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BgpEvent {
     /// A message arrives at `to` from neighbor `from`.
     Deliver {
@@ -184,10 +184,7 @@ mod tests {
             origin: NodeId(3),
             no_export: false,
         };
-        let self_route = Selected {
-            from: None,
-            attrs: attrs.clone(),
-        };
+        let self_route = Selected { from: None, attrs };
         assert_eq!(self_route.next_hop(), NextHop::Local);
         let learned = Selected {
             from: Some(NodeId(9)),

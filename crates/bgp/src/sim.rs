@@ -35,41 +35,99 @@ pub struct BgpSim {
     history: Vec<RouteChange>,
     record_history: bool,
     stats: SimStats,
+    /// Bumped on every change to observable forwarding state: any node's
+    /// best route (hence FIB) and any session's up/down flag. Lets data
+    /// plane consumers memoize pure functions of FIB + session state (probe
+    /// walks) and invalidate exactly when routing actually moved.
+    version: u64,
+}
+
+/// Precomputed stochastic per-session state for one `(topology, timing,
+/// seed)` triple: every session's MRAI value and every node's
+/// processing-delay RNG stream in its initial state.
+///
+/// [`BgpSim::new`] derives roughly two RNG streams per directed session and
+/// one per node. A harness that builds one simulator per experiment cell
+/// over a shared testbed re-derives all of them for identical values; with
+/// a seed built once per testbed, [`BgpSim::from_seed`] turns per-cell
+/// construction into plain clones. The seed is `Send + Sync`, so one
+/// instance serves a cell-parallel thread pool.
+pub struct SimSeed {
+    mrai: Vec<Box<[SimDuration]>>,
+    proc: Vec<SmallRng>,
+}
+
+impl SimSeed {
+    /// Samples the per-session MRAI values and per-node processing streams
+    /// exactly as [`BgpSim::new`] would with the same arguments.
+    pub fn new(topo: &Topology, timing: &BgpTimingConfig, rng: &RngFactory) -> SimSeed {
+        let mrai = topo
+            .nodes()
+            .map(|node| {
+                topo.neighbors(node.id)
+                    .iter()
+                    .map(|adj| {
+                        let session_key = (node.id.index() as u64) << 32 | adj.peer.index() as u64;
+                        timing.sample_session_mrai(rng, session_key)
+                    })
+                    .collect()
+            })
+            .collect();
+        let proc = topo
+            .nodes()
+            .map(|node| rng.stream("bgp-proc", node.id.index() as u64))
+            .collect();
+        SimSeed { mrai, proc }
+    }
 }
 
 impl BgpSim {
     /// Builds per-node BGP state over `topo`. MRAI values are sampled per
     /// directed session from the factory's `"mrai-session"` stream.
     pub fn new(topo: &Topology, timing: BgpTimingConfig, rng: &RngFactory) -> BgpSim {
+        let seed = SimSeed::new(topo, &timing, rng);
+        BgpSim::from_seed(topo, timing, &seed)
+    }
+
+    /// [`BgpSim::new`] against a prebuilt [`SimSeed`] — byte-identical
+    /// state, but all RNG stream derivation replaced by clones.
+    pub fn from_seed(topo: &Topology, timing: BgpTimingConfig, seed: &SimSeed) -> BgpSim {
         let n = topo.len();
         let mut nodes = Vec::with_capacity(n);
-        let mut proc_rngs = Vec::with_capacity(n);
         for node in topo.nodes() {
             let neighbors = topo
                 .neighbors(node.id)
                 .iter()
-                .map(|adj| {
-                    let session_key = (node.id.index() as u64) << 32 | adj.peer.index() as u64;
+                .zip(seed.mrai[node.id.index()].iter())
+                .map(|(adj, &session_mrai)| {
                     BgpNode::neighbor_state(
                         adj.peer,
                         topo.node(adj.peer).asn,
                         adj.rel,
                         adj.delay,
-                        timing.sample_session_mrai(rng, session_key),
+                        session_mrai,
                     )
                 })
                 .collect();
             nodes.push(BgpNode::new(node.id, node.asn, neighbors));
-            proc_rngs.push(rng.stream("bgp-proc", node.id.index() as u64));
         }
         BgpSim {
             timing,
             nodes,
-            proc_rngs,
+            proc_rngs: seed.proc.clone(),
             history: Vec::new(),
             record_history: false,
             stats: SimStats::default(),
+            version: 0,
         }
+    }
+
+    /// Monotone counter over forwarding-state changes (FIBs and session
+    /// up/down flags). Two calls returning the same value bracket a window
+    /// in which every [`fib_lookup`](BgpSim::fib_lookup) and
+    /// [`link_is_up`](BgpSim::link_is_up) answer was stable.
+    pub fn state_version(&self) -> u64 {
+        self.version
     }
 
     /// Enables/disables the route-change history (collector feed). Off by
@@ -135,6 +193,7 @@ impl BgpSim {
             out,
         );
         if changed {
+            self.version += 1;
             self.record_change(now, node, prefix);
         }
     }
@@ -155,6 +214,7 @@ impl BgpSim {
             out,
         );
         if changed {
+            self.version += 1;
             self.record_change(now, node, prefix);
         }
     }
@@ -175,6 +235,7 @@ impl BgpSim {
                 );
                 if changed {
                     self.stats.best_changes += 1;
+                    self.version += 1;
                     self.record_change(now, to, prefix);
                 }
             }
@@ -201,6 +262,7 @@ impl BgpSim {
                 );
                 if changed {
                     self.stats.best_changes += 1;
+                    self.version += 1;
                     self.record_change(now, node, prefix);
                 }
             }
@@ -214,6 +276,7 @@ impl BgpSim {
                 );
                 for prefix in changed {
                     self.stats.best_changes += 1;
+                    self.version += 1;
                     self.record_change(now, node, prefix);
                 }
             }
@@ -238,6 +301,7 @@ impl BgpSim {
             // whole-site failures) must not schedule a duplicate HoldExpire,
             // which would rerun the purge and inflate best_changes/history.
             if self.nodes[x.index()].fail_session(y) {
+                self.version += 1;
                 out.push((
                     hold,
                     BgpEvent::HoldExpire {
@@ -262,6 +326,7 @@ impl BgpSim {
             let idx = x.index();
             let (node, rng) = (&mut self.nodes[idx], &mut self.proc_rngs[idx]);
             node.restore_session(now, y, &self.timing, rng, out);
+            self.version += 1;
         }
     }
 
@@ -409,6 +474,12 @@ impl Standalone {
     /// High-water mark of the engine queue (see [`Engine::peak_pending`]).
     pub fn peak_queue_depth(&self) -> usize {
         self.engine.peak_pending()
+    }
+
+    /// Events the engine's hot queue lane can hold without reallocating
+    /// (see [`Engine::queue_capacity`]).
+    pub fn queue_capacity(&self) -> usize {
+        self.engine.queue_capacity()
     }
 
     /// Schedule everything the sim emitted into `scratch` onto the engine.
@@ -625,7 +696,7 @@ mod tests {
         assert_eq!(s.sim().best(t1b, &pre).unwrap().from, Some(t1a));
         assert_eq!(s.sim().best(t1c, &pre).unwrap().from, Some(t1a));
         // Adj-RIB-In of t1b contains only the t1a route.
-        assert_eq!(s.sim().node(t1b).adj_in(&pre).unwrap().len(), 1);
+        assert_eq!(s.sim().node(t1b).adj_in(&pre).len(), 1);
     }
 
     #[test]

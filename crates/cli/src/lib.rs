@@ -685,7 +685,12 @@ fn cmd_catchment(opts: &Options) -> Result<String, String> {
                        // One converged anycast run, counted via control measurement of
                        // each site's not-routed fraction is awkward; do it directly.
             let rng = &tb.rng;
-            let mut sim = Standalone::new(&tb.topo, BgpTimingConfig::instant(), rng);
+            let mut sim = Standalone::with_queue_capacity(
+                &tb.topo,
+                BgpTimingConfig::instant(),
+                rng,
+                tb.queue_capacity_hint(),
+            );
             let prefix: Prefix = tb.cfg.plan.anycast_probe;
             for &s in tb.cdn.site_nodes() {
                 sim.announce(s, prefix, OriginConfig::plain());
@@ -736,7 +741,12 @@ fn cmd_catchment(opts: &Options) -> Result<String, String> {
 fn converged_world(opts: &Options) -> Result<(Testbed, Standalone), String> {
     let cfg = opts.scale_config()?;
     let tb = Testbed::new(cfg);
-    let mut sim = Standalone::new(&tb.topo, tb.cfg.timing.clone(), &tb.rng);
+    let mut sim = Standalone::with_queue_capacity(
+        &tb.topo,
+        tb.cfg.timing.clone(),
+        &tb.rng,
+        tb.queue_capacity_hint(),
+    );
     let plan = tb.cfg.plan.clone();
     for &s in tb.cdn.site_nodes() {
         sim.announce(s, plan.anycast_probe, OriginConfig::plain());

@@ -134,6 +134,7 @@ pub fn measure_control_instrumented(
     let perf = CellPerf {
         events_processed: sim.events_processed(),
         peak_queue_depth: sim.peak_queue_depth(),
+        queue_capacity: sim.queue_capacity(),
         wall_micros: wall_start.elapsed().as_micros() as u64,
     };
     (result, perf)

@@ -19,7 +19,7 @@
 use bobw_bgp::{BgpEvent, BgpSim, BgpTimingConfig};
 use bobw_dataplane::walk;
 use bobw_dataplane::{
-    probe_once, ForwardEnv, ProbeConfig, ProbeLog, ProbeOutcome, ProbeRecord, SiteCapture,
+    probe_path, ForwardEnv, ProbeConfig, ProbeLog, ProbeOutcome, ProbeRecord, SiteCapture,
 };
 use bobw_dns::Authoritative;
 use bobw_event::{Engine, Handler, RngFactory, Scheduler, SimDuration, SimTime};
@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::metrics::{analyze_target, TargetOutcome};
 use crate::plan::AddressPlan;
-use crate::targets::select_targets;
+use crate::targets::select_targets_counted;
 use crate::technique::{Action, Technique};
 
 /// A botched reactive reconfiguration (see `ExperimentConfig::reaction_fault`).
@@ -170,12 +170,18 @@ pub struct Testbed {
     /// (`BENCH_baseline.json`), so even the first cell preallocates.
     /// Same contract as `queue_hint`: allocation only, never results.
     primed_hints: std::collections::BTreeMap<String, usize>,
+    /// Per-session MRAI values and per-node RNG streams, sampled once; each
+    /// cell stamps its simulator out of this instead of re-deriving ~two
+    /// RNG streams per session (`BgpSim::from_seed` is byte-identical to
+    /// `BgpSim::new` over the same factory).
+    pub(crate) bgp_seed: bobw_bgp::SimSeed,
 }
 
 impl Testbed {
     pub fn new(cfg: ExperimentConfig) -> Testbed {
         let rng = RngFactory::new(cfg.seed);
         let (topo, cdn) = generate(&cfg.gen, &rng);
+        let bgp_seed = bobw_bgp::SimSeed::new(&topo, &cfg.timing, &rng);
         Testbed {
             cfg,
             topo,
@@ -183,6 +189,7 @@ impl Testbed {
             rng,
             queue_hint: AtomicUsize::new(0),
             primed_hints: std::collections::BTreeMap::new(),
+            bgp_seed,
         }
     }
 
@@ -333,7 +340,18 @@ struct Run<'a> {
     /// Fault ops an op application wants scheduled later (staged React
     /// rollouts); drained onto the event queue by the handler.
     pending_faults: Vec<(SimDuration, FaultOp)>,
+    /// Per-target memo of the last probe walk, keyed by (BGP state version,
+    /// down-set epoch, destination). The walk is a pure function of that
+    /// key, and routing is static between events, so consecutive probe
+    /// rounds over a converged network skip the hop-by-hop FIB walk.
+    probe_memo: Vec<Option<ProbeMemo>>,
+    /// Bumped whenever `down` changes; part of the memo key.
+    down_epoch: u64,
 }
+
+/// One memoized probe walk: key (version, epoch, dst) and the cached
+/// outcome — the answering site and total delay, or `None` for lost.
+type ProbeMemo = (u64, u64, u32, Option<(SiteId, SimDuration)>);
 
 impl Run<'_> {
     fn drain_bgp(&mut self, sched: &mut Scheduler<'_, SimEvent>) {
@@ -393,6 +411,7 @@ impl Run<'_> {
                 // The site dies: data plane drops everything arriving there.
                 if !self.down.contains(&node) {
                     self.down.push(node);
+                    self.down_epoch += 1;
                 }
                 if graceful {
                     // Its router withdraws all announcements (§4).
@@ -409,6 +428,7 @@ impl Run<'_> {
             }
             FaultOp::SiteRestore { node } => {
                 self.down.retain(|&n| n != node);
+                self.down_epoch += 1;
                 let peers: Vec<NodeId> = self.topo.neighbors(node).iter().map(|a| a.peer).collect();
                 for peer in peers {
                     self.bgp.restore_link(now, node, peer, &mut self.scratch);
@@ -461,6 +481,7 @@ impl Run<'_> {
                 // down, nothing left to withdraw.
                 if !self.down.contains(&node) {
                     self.down.push(node);
+                    self.down_epoch += 1;
                 }
                 self.mark_site(node, true);
             }
@@ -557,6 +578,10 @@ impl Handler<SimEvent> for Run<'_> {
             }
             SimEvent::ProbeRound(seq) => {
                 let mut outcomes = Vec::with_capacity(self.targets.len());
+                if self.probe_memo.len() < self.targets.len() {
+                    self.probe_memo.resize(self.targets.len(), None);
+                }
+                let version = self.bgp.state_version();
                 {
                     let env = ForwardEnv {
                         topo: self.topo,
@@ -575,7 +600,29 @@ impl Handler<SimEvent> for Run<'_> {
                         };
                         outcomes.push(match dst {
                             Some(dst) => {
-                                probe_once(&env, self.cdn, self.topo, self.prober, target, dst, now)
+                                let key = (version, self.down_epoch, dst);
+                                let path = match self.probe_memo[i] {
+                                    Some((v, e, d, p)) if (v, e, d) == key => p,
+                                    _ => {
+                                        let p = probe_path(
+                                            &env,
+                                            self.cdn,
+                                            self.topo,
+                                            self.prober,
+                                            target,
+                                            dst,
+                                        );
+                                        self.probe_memo[i] = Some((key.0, key.1, key.2, p));
+                                        p
+                                    }
+                                };
+                                match path {
+                                    Some((site, delay)) => ProbeOutcome::Received {
+                                        site,
+                                        at: now + delay,
+                                    },
+                                    None => ProbeOutcome::Lost,
+                                }
                             }
                             // Every candidate site is failed: no answer,
                             // nowhere to connect.
@@ -658,6 +705,10 @@ pub struct CellPerf {
     pub events_processed: u64,
     /// High-water mark of the cell's event queue.
     pub peak_queue_depth: usize,
+    /// Final capacity of the queue's hot lane — shows whether the
+    /// high-water-mark preallocation actually avoided regrowth (capacity
+    /// at or near the primed hint means no reallocation happened).
+    pub queue_capacity: usize,
     /// Host wall-clock time for the whole cell, in microseconds.
     pub wall_micros: u64,
 }
@@ -666,14 +717,17 @@ impl CellPerf {
     pub const ZERO: CellPerf = CellPerf {
         events_processed: 0,
         peak_queue_depth: 0,
+        queue_capacity: 0,
         wall_micros: 0,
     };
 
     /// Fold another cell's counters into an aggregate: events add up, queue
-    /// depth takes the max, wall time adds up (total CPU-side work).
+    /// depth and capacity take the max, wall time adds up (total CPU-side
+    /// work).
     pub fn absorb(&mut self, other: &CellPerf) {
         self.events_processed += other.events_processed;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.queue_capacity = self.queue_capacity.max(other.queue_capacity);
         self.wall_micros += other.wall_micros;
     }
 }
@@ -738,7 +792,7 @@ pub fn try_run_failover_instrumented(
         topo,
         cdn,
         plan,
-        bgp: BgpSim::new(topo, cfg.timing.clone(), &testbed.rng),
+        bgp: BgpSim::from_seed(topo, cfg.timing.clone(), &testbed.bgp_seed),
         down: Vec::new(),
         targets: Vec::new(),
         prober: NodeId(0), // set after target selection
@@ -754,6 +808,8 @@ pub fn try_run_failover_instrumented(
         rng: &testbed.rng,
         log: ProbeLog::new(0),
         capture: SiteCapture::new(cdn.num_sites()),
+        probe_memo: Vec::new(),
+        down_epoch: 0,
         scratch: Vec::with_capacity(64),
         pending_faults: Vec::new(),
     };
@@ -802,19 +858,7 @@ pub fn try_run_failover_instrumented(
 
     // --- Phase 2: target selection + reachability (control) test. ---
     let require_not_anycast = !matches!(technique, Technique::Anycast);
-    let candidates = select_targets(
-        topo,
-        cdn,
-        &run.bgp,
-        plan,
-        failed,
-        cfg.proximity_ms,
-        require_not_anycast,
-        usize::MAX,
-        &testbed.rng,
-    );
-    let num_candidates = candidates.len();
-    let selected = select_targets(
+    let (selected, num_candidates) = select_targets_counted(
         topo,
         cdn,
         &run.bgp,
@@ -953,6 +997,7 @@ pub fn try_run_failover_instrumented(
     let perf = CellPerf {
         events_processed: engine.processed(),
         peak_queue_depth: engine.peak_pending(),
+        queue_capacity: engine.queue_capacity(),
         wall_micros: wall_start.elapsed().as_micros() as u64,
     };
     Ok((result, perf))

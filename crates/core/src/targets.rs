@@ -36,6 +36,36 @@ pub fn select_targets(
     limit: usize,
     rng: &RngFactory,
 ) -> Vec<NodeId> {
+    select_targets_counted(
+        topo,
+        cdn,
+        bgp,
+        plan,
+        site,
+        proximity_ms,
+        require_not_anycast,
+        limit,
+        rng,
+    )
+    .0
+}
+
+/// [`select_targets`] plus the total eligible-candidate count before the
+/// cap. Candidate filtering walks the data plane twice per client node, so
+/// a harness wanting both the capped selection and the candidate count
+/// should make one call here rather than two `select_targets` calls.
+#[allow(clippy::too_many_arguments)]
+pub fn select_targets_counted(
+    topo: &Topology,
+    cdn: &CdnDeployment,
+    bgp: &BgpSim,
+    plan: &AddressPlan,
+    site: SiteId,
+    proximity_ms: f64,
+    require_not_anycast: bool,
+    limit: usize,
+    rng: &RngFactory,
+) -> (Vec<NodeId>, usize) {
     let env = ForwardEnv {
         topo,
         bgp,
@@ -56,13 +86,14 @@ pub fn select_targets(
             }
         })
         .collect();
+    let num_candidates = eligible.len();
     // Deterministic spread: shuffle with a site-keyed stream, then cap.
     let mut r = rng.stream("target-shuffle", site.0 as u64);
     eligible.shuffle(&mut r);
     eligible.truncate(limit);
     // Sorted output keeps downstream processing order-stable.
     eligible.sort();
-    eligible
+    (eligible, num_candidates)
 }
 
 #[cfg(test)]

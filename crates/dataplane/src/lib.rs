@@ -30,4 +30,4 @@ pub use capture::SiteCapture;
 pub use catchment::{catchment, rtt_to_site};
 pub use forward::{walk, walk_with_path, Delivery, ForwardEnv};
 pub use packet::{internet_checksum, IcmpEcho, PacketError, ETHICS_PAYLOAD};
-pub use probe::{probe_once, ProbeConfig, ProbeLog, ProbeOutcome, ProbeRecord};
+pub use probe::{probe_once, probe_path, ProbeConfig, ProbeLog, ProbeOutcome, ProbeRecord};

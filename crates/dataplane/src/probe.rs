@@ -142,22 +142,40 @@ pub fn probe_once(
     reply_dst: Ipv4Net,
     now: SimTime,
 ) -> ProbeOutcome {
+    match probe_path(env, cdn, topo, prober_site, target, reply_dst) {
+        Some((site, delay)) => ProbeOutcome::Received {
+            site,
+            at: now + delay,
+        },
+        None => ProbeOutcome::Lost,
+    }
+}
+
+/// The time-independent part of [`probe_once`]: which site answers and the
+/// total request+reply delay, or `None` when the probe is lost. A pure
+/// function of FIB and session state — callers may memoize the result
+/// keyed on [`BgpSim::state_version`](bobw_bgp::BgpSim::state_version)
+/// and recover `probe_once`'s answer as `now + delay`.
+pub fn probe_path(
+    env: &ForwardEnv<'_>,
+    cdn: &CdnDeployment,
+    topo: &Topology,
+    prober_site: NodeId,
+    target: NodeId,
+    reply_dst: Ipv4Net,
+) -> Option<(SiteId, SimDuration)> {
     let request_leg = propagation_delay(
         topo.node(prober_site)
             .coords
             .distance_km(&topo.node(target).coords),
     );
     match walk(env, target, reply_dst) {
-        Delivery::Delivered { node, latency, .. } => match cdn.site_at(node) {
-            Some(site) => ProbeOutcome::Received {
-                site,
-                at: now + request_leg + latency,
-            },
+        Delivery::Delivered { node, latency, .. } => cdn
+            .site_at(node)
             // Delivered to a non-site origin (not a CDN prefix): treat as
             // lost from the experiment's point of view.
-            None => ProbeOutcome::Lost,
-        },
-        _ => ProbeOutcome::Lost,
+            .map(|site| (site, request_leg + latency)),
+        _ => None,
     }
 }
 

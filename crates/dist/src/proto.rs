@@ -729,6 +729,7 @@ wire_struct!(ControlResult {
 wire_struct!(CellPerf {
     events_processed,
     peak_queue_depth,
+    queue_capacity,
     wall_micros
 });
 

@@ -143,7 +143,7 @@ impl<E> Engine<E> {
     ) -> StepOutcome {
         let mut budget = max_events;
         loop {
-            match self.queue.peek_time() {
+            let t = match self.queue.peek_time() {
                 None => {
                     // Draining before a *finite* deadline still advances
                     // the clock to it: "run until T" guarantees now >= T,
@@ -161,22 +161,31 @@ impl<E> Engine<E> {
                     self.now = deadline;
                     return StepOutcome::DeadlineReached;
                 }
-                Some(_) => {}
-            }
+                Some(t) => t,
+            };
             if budget == 0 {
                 return StepOutcome::BudgetExhausted;
             }
-            budget -= 1;
-            let (at, ev) = self.queue.pop().expect("peeked non-empty");
-            debug_assert!(at >= self.now, "event queue went backwards");
-            self.now = at;
-            self.processed += 1;
-            let mut sched = Scheduler {
-                now: self.now,
-                queue: &mut self.queue,
-            };
-            handler.handle(at, ev, &mut sched);
-            self.note_depth();
+            // One wakeup drains the whole same-timestamp run (FIFO by
+            // insertion seq — including events a handler schedules *at* `t`
+            // while the run is draining), so deadline/idle checks are paid
+            // once per distinct timestamp, not once per event. Processing
+            // order is exactly the (time, seq) order the per-event loop had.
+            while budget > 0 {
+                let Some((at, ev)) = self.queue.pop_if_at(t) else {
+                    break;
+                };
+                budget -= 1;
+                debug_assert!(at >= self.now, "event queue went backwards");
+                self.now = at;
+                self.processed += 1;
+                let mut sched = Scheduler {
+                    now: self.now,
+                    queue: &mut self.queue,
+                };
+                handler.handle(at, ev, &mut sched);
+                self.note_depth();
+            }
         }
     }
 

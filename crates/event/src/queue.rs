@@ -1,19 +1,81 @@
-//! The event queue: a priority queue ordered by `(time, sequence)`.
+//! A hierarchical timer wheel with a strict `(time, seq)` total order.
 //!
-//! The sequence number makes ordering *total*: two events scheduled for the
-//! same instant pop in the order they were pushed. Without this, BGP message
-//! processing order would depend on `BinaryHeap` internals and runs would
-//! not be reproducible.
+//! # Why not a binary heap?
+//!
+//! The simulator's hot loop is push/pop on this queue — millions of events
+//! per failover cell. A single global `BinaryHeap` pays `O(log n)` compares
+//! (and cache misses) per operation at queue depths in the thousands. A
+//! calendar/timer wheel files far-out events into coarse time buckets for
+//! `O(1)` amortized insertion and only pays heap discipline for the handful
+//! of events inside the *current* few-millisecond window.
+//!
+//! # Structure
+//!
+//! Two bucket levels plus two heaps:
+//!
+//! * **L0**: 1024 slots of 2^22 ns (≈4.2 ms) each — covers ≈4.3 s ahead.
+//! * **L1**: 1024 slots of 2^32 ns (≈4.3 s) each — covers ≈73 min ahead.
+//! * **overflow**: a min-heap for anything farther out (BGP timers never
+//!   get here; `FAR_FUTURE` sentinels would).
+//! * **ready**: a small min-heap holding events in the current L0 window
+//!   *and* any event pushed at or before the cursor (handlers scheduling
+//!   "now" land here directly).
+//!
+//! The cursor (`pos0`, an absolute L0 slot number — never wrapped, so there
+//! is no ambiguity between wheel cycles) advances only when `ready` drains:
+//! the next non-empty L0 slot is spilled into `ready`, L1 slots cascade into
+//! L0 when the cursor crosses an L1 boundary, and overflow events are pulled
+//! in once they fit the L1 horizon. Empty stretches are skipped a slot (or
+//! an L1 boundary, or straight to the overflow minimum) at a time without
+//! touching event data.
+//!
+//! # Determinism contract
+//!
+//! Ordering is **exactly** what the old heap provided and what the
+//! reproduction's byte-identity gates rely on: strictly by `(time, seq)`,
+//! where `seq` is the global insertion number — equal-time events pop FIFO.
+//! Buckets never reorder anything: a slot is drained in its entirety into
+//! the `ready` heap before any of its events pop, and the heap applies the
+//! same `(time, seq)` key the old implementation used. Every event, near or
+//! far, passes through `ready` exactly once; the win is that `ready` holds
+//! tens of events instead of the whole queue.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 10;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Slot-index mask.
+const MASK: u64 = (SLOTS as u64) - 1;
+/// L0 granularity: events within the same 2^22 ns (≈4.2 ms) share a slot.
+const S0: u32 = 22;
+/// L1 granularity: 2^32 ns ≈ 4.3 s per slot.
+const S1: u32 = S0 + SLOT_BITS;
+
 struct Entry<E> {
     at: SimTime,
     seq: u64,
     payload: E,
+}
+
+/// Index of the first set bit at or after `start` in a [`SLOTS`]-bit map.
+fn next_occupied(words: &[u64; SLOTS / 64], start: usize) -> Option<usize> {
+    let mut w = start >> 6;
+    let mut word = words[w] & (!0u64 << (start & 63));
+    loop {
+        if word != 0 {
+            return Some((w << 6) + word.trailing_zeros() as usize);
+        }
+        w += 1;
+        if w == SLOTS / 64 {
+            return None;
+        }
+        word = words[w];
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -33,14 +95,31 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
+        // first. Payloads are never compared.
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
 
-/// A deterministic min-priority queue of timestamped events.
+/// A deterministic future-event queue: min by `(time, insertion seq)`, so
+/// equal timestamps process FIFO. See the module docs for the wheel layout.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Events at or before the cursor window, ordered by `(time, seq)`.
+    ready: BinaryHeap<Entry<E>>,
+    /// Fine level: slot `i & MASK` holds events with `at >> S0 == i`.
+    l0: Vec<Vec<Entry<E>>>,
+    /// Occupancy bitmap over `l0` (bit `i` set ⇔ `l0[i]` non-empty), so the
+    /// cursor can jump over empty stretches in a few word scans instead of
+    /// stepping ~4.2 ms slots one by one (BGP delays are seconds apart).
+    occ0: [u64; SLOTS / 64],
+    /// Coarse level: slot `j & MASK` holds events with `at >> S1 == j`.
+    l1: Vec<Vec<Entry<E>>>,
+    /// Beyond the L1 horizon (> ≈73 min ahead of the cursor).
+    overflow: BinaryHeap<Entry<E>>,
+    /// Absolute L0 slot number of the current window (monotone, unwrapped).
+    pos0: u64,
+    count0: usize,
+    count1: usize,
+    len: usize,
     next_seq: u64,
 }
 
@@ -52,60 +131,207 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        Self::with_capacity(0)
     }
 
-    /// A queue with room for `cap` events before the heap reallocates.
-    /// Capacity is invisible to ordering — callers feed a previous run's
-    /// high-water mark (e.g. [`Engine::peak_pending`]) to skip the doubling
-    /// growth of a cold heap.
-    ///
-    /// [`Engine::peak_pending`]: crate::Engine::peak_pending
+    /// Creates a queue whose hot `ready` lane can hold `cap` events without
+    /// reallocating. Callers that know a run's high-water mark (the
+    /// experiment loop records one per cell) use this to avoid regrowth.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            ready: BinaryHeap::with_capacity(cap),
+            l0: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occ0: [0; SLOTS / 64],
+            l1: (0..SLOTS).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            pos0: 0,
+            count0: 0,
+            count1: 0,
+            len: 0,
             next_seq: 0,
         }
     }
 
-    /// Events the queue can hold without reallocating.
+    /// Events the hot `ready` lane can hold before reallocating.
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.ready.capacity()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Schedules `payload` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        self.len += 1;
+        self.place(Entry { at, seq, payload });
     }
 
-    /// Removes and returns the earliest event.
+    /// Files an entry into the right lane relative to the current cursor.
+    /// Also used when cascading, which is why it never touches `len`/`seq`.
+    fn place(&mut self, e: Entry<E>) {
+        let idx0 = e.at.as_nanos() >> S0;
+        if idx0 <= self.pos0 {
+            // Current window, or scheduled at/before the cursor (handlers
+            // pushing "now"): heap-ordered with whatever is already ready.
+            self.ready.push(e);
+        } else if idx0 - self.pos0 < SLOTS as u64 {
+            let slot = (idx0 & MASK) as usize;
+            self.l0[slot].push(e);
+            self.occ0[slot >> 6] |= 1 << (slot & 63);
+            self.count0 += 1;
+        } else {
+            let idx1 = e.at.as_nanos() >> S1;
+            if idx1 - (self.pos0 >> SLOT_BITS) < SLOTS as u64 {
+                self.l1[(idx1 & MASK) as usize].push(e);
+                self.count1 += 1;
+            } else {
+                self.overflow.push(e);
+            }
+        }
+    }
+
+    /// Advances the cursor until `ready` holds the globally earliest event
+    /// (or the queue is empty). Each event moves between lanes at most a
+    /// constant number of times over its lifetime, and empty slots are
+    /// skipped without touching event data.
+    fn refill(&mut self) {
+        while self.ready.is_empty() && self.len > 0 {
+            if self.count0 > 0 {
+                // Jump to the next occupied L0 slot, stopping at the L1
+                // boundary (which must cascade before the next block's
+                // occupancy is known). Identical slot-visit order to
+                // stepping one slot at a time — the skipped slots are
+                // empty by the bitmap invariant.
+                let first = ((self.pos0 + 1) & MASK) as usize;
+                let bit = if (self.pos0 & MASK) == MASK {
+                    None // cursor sits on the boundary slot already
+                } else {
+                    next_occupied(&self.occ0, first)
+                };
+                match bit {
+                    Some(slot) => {
+                        self.pos0 = (self.pos0 & !MASK) + slot as u64;
+                        self.drain_l0_slot(slot);
+                    }
+                    None => {
+                        // Nothing left in this block: cross into the next
+                        // one, then take its slot 0 if occupied (events can
+                        // be filed there before the cursor arrives).
+                        self.pos0 = (self.pos0 | MASK) + 1;
+                        self.cascade();
+                        if self.occ0[0] & 1 != 0 {
+                            self.drain_l0_slot(0);
+                        }
+                    }
+                }
+            } else if self.count1 > 0 {
+                // Nothing within the L0 horizon: jump to the next L1
+                // boundary and cascade that slot.
+                self.pos0 = (self.pos0 | MASK) + 1;
+                self.cascade();
+            } else {
+                // Only overflow events remain: jump the cursor straight to
+                // the earliest one (safe — every nearer lane is empty).
+                let at = self.overflow.peek().expect("len>0 with empty lanes").at;
+                self.pos0 = at.as_nanos() >> S0;
+                self.pull_overflow();
+            }
+        }
+    }
+
+    /// Moves every event in L0 slot `slot` into `ready`, maintaining the
+    /// occupancy bitmap and count.
+    fn drain_l0_slot(&mut self, slot: usize) {
+        let bucket = &mut self.l0[slot];
+        self.count0 -= bucket.len();
+        self.occ0[slot >> 6] &= !(1 << (slot & 63));
+        self.ready.extend(bucket.drain(..));
+    }
+
+    /// Spills the L1 slot the cursor just entered down into L0/ready, and
+    /// pulls overflow events that now fit the L1 horizon.
+    fn cascade(&mut self) {
+        let pos1 = self.pos0 >> SLOT_BITS;
+        let slot = std::mem::take(&mut self.l1[(pos1 & MASK) as usize]);
+        self.count1 -= slot.len();
+        for e in slot {
+            self.place(e);
+        }
+        self.pull_overflow();
+    }
+
+    fn pull_overflow(&mut self) {
+        let pos1 = self.pos0 >> SLOT_BITS;
+        while let Some(top) = self.overflow.peek() {
+            let idx1 = top.at.as_nanos() >> S1;
+            if idx1 <= pos1 || idx1 - pos1 < SLOTS as u64 {
+                let e = self.overflow.pop().expect("peeked non-empty");
+                self.place(e);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes and returns the earliest event (FIFO among equal times).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        self.refill();
+        self.ready.pop().map(|e| {
+            self.len -= 1;
+            (e.at, e.payload)
+        })
     }
 
-    /// The timestamp of the earliest event without removing it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    /// Pops the earliest event only if it is scheduled exactly at `t`.
+    ///
+    /// Used by the engine to drain a same-timestamp run in one wakeup
+    /// without re-checking deadlines per event. Once the cursor has reached
+    /// `t`, every remaining event at `t` is in the ready lane (slots are
+    /// drained whole, and later pushes at `t` file as "at/before cursor"),
+    /// so the hot path skips the refill entirely.
+    pub fn pop_if_at(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        if self.ready.is_empty() {
+            self.refill();
+        }
+        if self.ready.peek()?.at != t {
+            return None;
+        }
+        self.pop()
     }
 
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
+    /// The timestamp of the earliest event, if any. Advances the internal
+    /// cursor (never the event order), hence `&mut`.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.refill();
+        self.ready.peek().map(|e| e.at)
     }
 
-    /// True when no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// Drops all pending events.
+    /// Drops all pending events. The cursor keeps its position so time
+    /// stays monotone for the owning engine.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.ready.clear();
+        self.overflow.clear();
+        if self.count0 > 0 {
+            for slot in &mut self.l0 {
+                slot.clear();
+            }
+        }
+        self.occ0 = [0; SLOTS / 64];
+        if self.count1 > 0 {
+            for slot in &mut self.l1 {
+                slot.clear();
+            }
+        }
+        self.count0 = 0;
+        self.count1 = 0;
+        self.len = 0;
     }
 }
 
@@ -114,81 +340,208 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3), "c");
-        q.push(SimTime::from_secs(1), "a");
-        q.push(SimTime::from_secs(2), "b");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        q.push(t(5), "c");
+        q.push(t(1), "a");
+        q.push(t(3), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(3), "b")));
+        assert_eq!(q.pop(), Some((t(5), "c")));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
     fn ties_pop_fifo() {
         let mut q = EventQueue::new();
-        let t = SimTime::from_secs(5);
         for i in 0..100 {
-            q.push(t, i);
+            q.push(t(7), i);
         }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(7), i)), "FIFO broken at {i}");
+        }
     }
 
     #[test]
     fn interleaved_push_pop_keeps_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(10), 10);
-        q.push(SimTime::from_secs(5), 5);
-        assert_eq!(q.pop(), Some((SimTime::from_secs(5), 5)));
-        q.push(SimTime::from_secs(1), 1);
-        q.push(SimTime::from_secs(7), 7);
-        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
-        assert_eq!(q.pop(), Some((SimTime::from_secs(7), 7)));
-        assert_eq!(q.pop(), Some((SimTime::from_secs(10), 10)));
-        assert_eq!(q.pop(), None);
+        q.push(t(10), "late");
+        q.push(t(5), "mid");
+        assert_eq!(q.pop(), Some((t(5), "mid")));
+        // Push earlier than an already-popped time region: still fine,
+        // the queue orders purely by (time, seq) among what remains.
+        q.push(t(1), "early-but-late-push");
+        assert_eq!(q.pop(), Some((t(1), "early-but-late-push")));
+        assert_eq!(q.pop(), Some((t(10), "late")));
     }
 
     #[test]
     fn peek_does_not_remove() {
         let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_secs(2), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        q.push(t(2), "x");
+        assert_eq!(q.peek_time(), Some(t(2)));
         assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((t(2), "x")));
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]
     fn with_capacity_preallocates_without_changing_order() {
         let mut q = EventQueue::with_capacity(64);
         assert!(q.capacity() >= 64);
-        q.push(SimTime::from_secs(3), "c");
-        q.push(SimTime::from_secs(1), "a");
-        q.push(SimTime::from_secs(2), "b");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        q.push(t(2), "b");
+        q.push(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(2), "b")));
     }
 
     #[test]
     fn clear_empties() {
         let mut q = EventQueue::new();
-        q.push(SimTime::ZERO, ());
+        q.push(t(1), 1);
+        q.push(t(2), 2);
         q.clear();
         assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
     fn same_time_different_batches_fifo() {
-        // Events pushed at the same instant across separate pushes (e.g.
-        // updates fanned out to many neighbors) keep push order.
         let mut q = EventQueue::new();
-        let t = SimTime::ZERO + SimDuration::from_millis(42);
-        q.push(t, "first");
-        q.push(SimTime::from_secs(1), "later");
-        q.push(t, "second");
-        assert_eq!(q.pop().unwrap().1, "first");
-        assert_eq!(q.pop().unwrap().1, "second");
-        assert_eq!(q.pop().unwrap().1, "later");
+        q.push(t(1), "first");
+        assert_eq!(q.pop(), Some((t(1), "first")));
+        q.push(t(1), "second");
+        q.push(t(1), "third");
+        assert_eq!(q.pop(), Some((t(1), "second")));
+        assert_eq!(q.pop(), Some((t(1), "third")));
+    }
+
+    #[test]
+    fn spans_all_wheel_levels() {
+        // One event per lane: ready-window, L0, L1, overflow, FAR_FUTURE.
+        let mut q = EventQueue::new();
+        q.push(SimTime::FAR_FUTURE, "sentinel");
+        q.push(SimTime::from_nanos(1), "now-ish");
+        q.push(SimTime::from_nanos(50 << S0), "l0");
+        q.push(t(60), "l1");
+        q.push(t(2 * 3600), "overflow");
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "now-ish")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(50 << S0), "l0")));
+        assert_eq!(q.pop(), Some((t(60), "l1")));
+        assert_eq!(q.pop(), Some((t(2 * 3600), "overflow")));
+        assert_eq!(q.pop(), Some((SimTime::FAR_FUTURE, "sentinel")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_behind_cursor_after_long_jump_still_orders() {
+        // Drain past a long empty stretch (cursor jumps), then push events
+        // earlier than the cursor: they must still pop in (time, seq) order.
+        let mut q = EventQueue::new();
+        q.push(t(3600), "far");
+        assert_eq!(q.peek_time(), Some(t(3600)));
+        q.push(t(1), "a");
+        q.push(t(1), "b");
+        q.push(t(2), "c");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(1), "b")));
+        assert_eq!(q.pop(), Some((t(2), "c")));
+        assert_eq!(q.pop(), Some((t(3600), "far")));
+    }
+
+    #[test]
+    fn cascade_preserves_fifo_within_coarse_slot() {
+        // Two same-time events far enough out to land in L1 together must
+        // still pop FIFO after cascading through L0.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_nanos((5u64 << S1) + 12345);
+        q.push(far, "first");
+        q.push(far, "second");
+        q.push(SimTime::from_nanos(10), "near");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "near")));
+        assert_eq!(q.pop(), Some((far, "first")));
+        assert_eq!(q.pop(), Some((far, "second")));
+    }
+
+    #[test]
+    fn pop_if_at_only_takes_matching_time() {
+        let mut q = EventQueue::new();
+        q.push(t(1), "a");
+        q.push(t(1), "b");
+        q.push(t(2), "c");
+        assert_eq!(q.peek_time(), Some(t(1)));
+        assert_eq!(q.pop_if_at(t(1)), Some((t(1), "a")));
+        assert_eq!(q.pop_if_at(t(1)), Some((t(1), "b")));
+        assert_eq!(q.pop_if_at(t(1)), None, "next event is at t=2");
+        assert_eq!(q.pop_if_at(t(2)), Some((t(2), "c")));
+        assert_eq!(q.pop_if_at(t(2)), None);
+    }
+
+    #[test]
+    fn dense_random_workload_matches_reference_sort() {
+        // Deterministic pseudo-random times across all wheel levels,
+        // compared against a stable sort by (time, insertion index).
+        let mut q = EventQueue::new();
+        let mut expect: Vec<(u64, usize)> = Vec::new();
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        for i in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Bias towards small times, but cover L1/overflow too.
+            let ns = match i % 7 {
+                0 => x % (1 << S0),               // current window
+                1..=4 => x % (1 << (S1 - 1)),     // L0 span
+                5 => x % (1 << (S1 + SLOT_BITS)), // L1 span
+                _ => x % (1 << 45),               // overflow
+            };
+            q.push(SimTime::from_nanos(ns), i);
+            expect.push((ns, i));
+        }
+        expect.sort_by_key(|&(ns, i)| (ns, i));
+        for &(ns, i) in &expect {
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(ns), i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_drain_and_push_matches_reference() {
+        // Alternate pushes and pops; remaining events must always pop in
+        // (time, seq) order even as the cursor advances mid-stream.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut seq = 0usize;
+        let mut pending: Vec<(u64, usize)> = Vec::new();
+        let mut popped: Vec<(u64, usize)> = Vec::new();
+        let mut clock = 0u64;
+        for round in 0..200 {
+            for _ in 0..(round % 5) + 1 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let ns = clock + x % SimDuration::from_secs(20).as_nanos();
+                q.push(SimTime::from_nanos(ns), seq);
+                pending.push((ns, seq));
+                seq += 1;
+            }
+            for _ in 0..(round % 3) + 1 {
+                if let Some((at, id)) = q.pop() {
+                    clock = at.as_nanos();
+                    popped.push((clock, id));
+                }
+            }
+        }
+        while let Some((at, id)) = q.pop() {
+            popped.push((at.as_nanos(), id));
+        }
+        pending.sort_by_key(|&(ns, i)| (ns, i));
+        assert_eq!(popped, pending);
     }
 }

@@ -83,7 +83,7 @@ impl Collector {
                     time: rc.time + delay,
                     peer: rc.node,
                     prefix: rc.prefix,
-                    path: rc.new.as_ref().map(|sel| sel.attrs.path.clone()),
+                    path: rc.new.as_ref().map(|sel| sel.attrs.path),
                 })
             })
             .collect();

@@ -1,0 +1,234 @@
+//! A flat, sorted prefix map with longest-prefix-match lookup.
+//!
+//! Same LPM semantics as [`PrefixTrie`](crate::PrefixTrie), different
+//! memory layout: one contiguous `Vec<(Prefix, V)>` kept sorted by
+//! `(address, length)` instead of one heap node per prefix bit. Simulator
+//! FIBs hold a handful of experiment prefixes (a covering /23, its /24
+//! halves, per-target /24s), so a linear scan over a cache-resident vector
+//! beats chasing up to 24 `Box` pointers per lookup — and insert/remove
+//! stop allocating entirely once the vector has warmed up. The trie remains
+//! the right structure for large tables; this is the right one for FIBs on
+//! the simulator's hot path.
+
+use crate::addr::{Ipv4Net, Prefix};
+
+/// A map from [`Prefix`] to `V` supporting exact and longest-prefix-match
+/// lookups, backed by a single sorted vector.
+///
+/// ```
+/// use bobw_net::{FlatPrefixMap, Prefix};
+///
+/// let mut fib = FlatPrefixMap::new();
+/// fib.insert("184.164.244.0/23".parse().unwrap(), "backup");
+/// fib.insert("184.164.244.0/24".parse().unwrap(), "primary");
+/// let addr = "184.164.244.0/24".parse::<Prefix>().unwrap().addr_at(10);
+/// // Longest-prefix match: the /24 shadows the /23 …
+/// assert_eq!(*fib.lookup(addr).unwrap().1, "primary");
+/// fib.remove(&"184.164.244.0/24".parse().unwrap());
+/// // … until it is withdrawn and traffic falls through to the cover.
+/// assert_eq!(*fib.lookup(addr).unwrap().1, "backup");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlatPrefixMap<V> {
+    /// Sorted by `Prefix` order (address, then length). Kept deduplicated:
+    /// at most one entry per exact prefix.
+    entries: Vec<(Prefix, V)>,
+}
+
+impl<V> FlatPrefixMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        FlatPrefixMap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts or replaces the value at `prefix`, returning the previous
+    /// value if one existed.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        match self.entries.binary_search_by_key(&prefix, |(p, _)| *p) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (prefix, value));
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the value at exactly `prefix`.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        match self.entries.binary_search_by_key(prefix, |(p, _)| *p) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// The value stored at exactly `prefix`, if any.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        match self.entries.binary_search_by_key(prefix, |(p, _)| *p) {
+            Ok(i) => Some(&self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Mutable access to the value stored at exactly `prefix`.
+    pub fn get_mut(&mut self, prefix: &Prefix) -> Option<&mut V> {
+        match self.entries.binary_search_by_key(prefix, |(p, _)| *p) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Longest-prefix-match: the deepest stored prefix containing `addr`,
+    /// with its value. This is the forwarding lookup.
+    pub fn lookup(&self, addr: Ipv4Net) -> Option<(Prefix, &V)> {
+        let mut best: Option<(Prefix, &V)> = None;
+        for (p, v) in &self.entries {
+            if p.contains(addr) && best.is_none_or(|(b, _)| p.len() > b.len()) {
+                best = Some((*p, v));
+            }
+        }
+        best
+    }
+
+    /// All stored prefixes that cover `addr`, shallowest first.
+    pub fn matches(&self, addr: Ipv4Net) -> Vec<(Prefix, &V)> {
+        let mut out: Vec<(Prefix, &V)> = self
+            .entries
+            .iter()
+            .filter(|(p, _)| p.contains(addr))
+            .map(|(p, v)| (*p, v))
+            .collect();
+        out.sort_by_key(|(p, _)| p.len());
+        out
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in lexicographic
+    /// (address, length) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        self.entries.iter().map(|(p, v)| (*p, v))
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::parse_addr;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv4Net {
+        parse_addr(s).unwrap()
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut t = FlatPrefixMap::new();
+        t.insert(p("184.164.244.0/23"), "super");
+        t.insert(p("184.164.244.0/24"), "specific");
+        let (q, v) = t.lookup(a("184.164.244.7")).unwrap();
+        assert_eq!((q, *v), (p("184.164.244.0/24"), "specific"));
+        let (q, v) = t.lookup(a("184.164.245.7")).unwrap();
+        assert_eq!((q, *v), (p("184.164.244.0/23"), "super"));
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut t = FlatPrefixMap::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(*t.get(&p("10.0.0.0/8")).unwrap(), 2);
+    }
+
+    #[test]
+    fn remove_and_exact_get() {
+        let mut t = FlatPrefixMap::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        assert_eq!(t.remove(&p("10.1.0.0/16")), Some(2));
+        assert_eq!(t.remove(&p("10.1.0.0/16")), None);
+        assert!(t.get(&p("10.0.0.0/16")).is_none());
+        assert_eq!(*t.get(&p("10.0.0.0/8")).unwrap(), 1);
+        *t.get_mut(&p("10.0.0.0/8")).unwrap() += 10;
+        assert_eq!(*t.get(&p("10.0.0.0/8")).unwrap(), 11);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = FlatPrefixMap::new();
+        t.insert(Prefix::DEFAULT, 0u8);
+        assert!(t.lookup(0).is_some());
+        assert!(t.lookup(u32::MAX).is_some());
+        t.insert(p("10.0.0.0/8"), 1u8);
+        assert_eq!(*t.lookup(a("10.1.1.1")).unwrap().1, 1);
+        assert_eq!(*t.lookup(a("11.1.1.1")).unwrap().1, 0);
+    }
+
+    #[test]
+    fn lookup_misses_when_nothing_covers() {
+        let mut t = FlatPrefixMap::new();
+        t.insert(p("10.0.0.0/8"), ());
+        assert!(t.lookup(a("11.0.0.1")).is_none());
+        assert!(FlatPrefixMap::<()>::new().lookup(0).is_none());
+    }
+
+    #[test]
+    fn matches_returns_chain_shallowest_first() {
+        let mut t = FlatPrefixMap::new();
+        t.insert(Prefix::DEFAULT, 0);
+        t.insert(p("184.164.244.0/23"), 23);
+        t.insert(p("184.164.244.0/24"), 24);
+        let m: Vec<u8> = t
+            .matches(a("184.164.244.1"))
+            .into_iter()
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(m, vec![0, 23, 24]);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut t = FlatPrefixMap::new();
+        let prefixes = [
+            "10.0.0.0/8",
+            "184.164.244.0/24",
+            "184.164.244.0/23",
+            "0.0.0.0/0",
+        ];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let got: Vec<Prefix> = t.iter().map(|(q, _)| q).collect();
+        let mut want: Vec<Prefix> = prefixes.iter().map(|s| p(s)).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn slash32_round_trip() {
+        let mut t = FlatPrefixMap::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        assert_eq!(*t.lookup(a("1.2.3.4")).unwrap().1, "host");
+        assert!(t.lookup(a("1.2.3.5")).is_none());
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

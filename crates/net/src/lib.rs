@@ -12,19 +12,25 @@
 //!   routes shadowing a valid covering route) fall out of the data structure
 //!   rather than being hand-coded.
 //! * [`Asn`], [`AsPath`] — AS numbers and AS paths with prepending and
-//!   loop detection, the currency of the BGP decision process.
+//!   loop detection, the currency of the BGP decision process. Paths are
+//!   interned in a thread-local [`PathTable`] so they copy as a handle.
 //! * [`NodeId`] — a dense index for topology nodes (one per AS, plus one per
 //!   CDN site, plus one per route collector).
 //!
-//! Everything here is plain data: no interior mutability, no clocks, no
-//! randomness, so the layer above can stay fully deterministic.
+//! Everything here is deterministic plain data: no clocks, no randomness.
+//! The only interior mutability is the per-thread path interner, whose id
+//! assignment is invisible to results (ids never serialize and never order).
 
 pub mod addr;
 pub mod aspath;
+pub mod flatmap;
+pub mod hash;
 pub mod ids;
 pub mod trie;
 
 pub use addr::{fmt_addr, parse_addr, Ipv4Net, Prefix, PrefixParseError};
-pub use aspath::{AsPath, Asn};
+pub use aspath::{AsPath, Asn, PathId, PathTable};
+pub use flatmap::FlatPrefixMap;
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use ids::NodeId;
 pub use trie::PrefixTrie;

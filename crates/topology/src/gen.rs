@@ -164,6 +164,10 @@ struct Builder<'a> {
     topo: Topology,
     rng: &'a RngFactory,
     next_asn: u32,
+    /// Trig-precomputed coordinates, parallel to the topology's node list.
+    /// Every [`Builder::nearest`] call scans all nodes, so each node's
+    /// haversine terms are computed once here instead of once per scan.
+    prep: Vec<crate::geo::PreparedCoords>,
 }
 
 impl<'a> Builder<'a> {
@@ -176,11 +180,16 @@ impl<'a> Builder<'a> {
         )
     }
 
+    fn add_prepared(&mut self, asn: Asn, kind: NodeKind, coords: Coords, region: usize) -> NodeId {
+        self.prep.push(coords.prepare());
+        self.topo.add_node(asn, kind, coords, region)
+    }
+
     fn add(&mut self, kind: NodeKind, region: usize, stream: &str, id: u64) -> NodeId {
         let asn = Asn(self.next_asn);
         self.next_asn += 1;
         let coords = self.coords_near(region, stream, id);
-        self.topo.add_node(asn, kind, coords, region)
+        self.add_prepared(asn, kind, coords, region)
     }
 
     /// The `k` nearest nodes to `from` satisfying `filter`, deterministic
@@ -192,6 +201,7 @@ impl<'a> Builder<'a> {
         k: usize,
         exclude_linked_to: Option<NodeId>,
     ) -> Vec<NodeId> {
+        let from = from.prepare();
         let mut candidates: Vec<(u64, NodeId)> = self
             .topo
             .nodes()
@@ -200,7 +210,10 @@ impl<'a> Builder<'a> {
                 Some(x) => n.id != x && !self.topo.are_linked(x, n.id),
                 None => true,
             })
-            .map(|n| ((from.distance_km(&n.coords) * 1000.0) as u64, n.id))
+            .map(|n| {
+                let km = from.distance_km_to(&self.prep[n.id.index()]);
+                ((km * 1000.0) as u64, n.id)
+            })
             .collect();
         candidates.sort();
         candidates.into_iter().take(k).map(|(_, id)| id).collect()
@@ -224,6 +237,7 @@ pub fn generate(cfg: &GenConfig, rng: &RngFactory) -> (Topology, CdnDeployment) 
         topo: Topology::new(),
         rng,
         next_asn: 1,
+        prep: Vec::with_capacity(cfg.num_ases() + cfg.sites.len()),
     };
     let nregions = REGIONS.len();
 
@@ -423,15 +437,14 @@ pub fn generate(cfg: &GenConfig, rng: &RngFactory) -> (Topology, CdnDeployment) 
             .iter()
             .position(|r| r.name == spec.region)
             .unwrap_or_else(|| panic!("site {} in unknown region {}", spec.name, spec.region));
-        let asn_backup = b.next_asn; // sites use CDN_ASN, not the counter
         let coords = b.coords_near(region, "site-coords", i as u64);
-        let id = b.topo.add_node(
+        // Sites use CDN_ASN, not the counter.
+        let id = b.add_prepared(
             CDN_ASN,
             NodeKind::CdnSite(crate::cdn::SiteId(i as u8)),
             coords,
             region,
         );
-        b.next_asn = asn_backup;
         for att in &spec.attachments {
             match *att {
                 SiteAttachment::TransitProviders(n) => {

@@ -22,12 +22,41 @@ impl Coords {
 
     /// Great-circle distance in kilometres (haversine, mean Earth radius).
     pub fn distance_km(&self, other: &Coords) -> f64 {
+        self.prepare().distance_km_to(&other.prepare())
+    }
+
+    /// Caches this point's radians and `cos(lat)` for repeated distance
+    /// queries (the generator's nearest-neighbor scans hit every node once
+    /// per query point).
+    pub fn prepare(&self) -> PreparedCoords {
+        let lat_rad = self.lat.to_radians();
+        PreparedCoords {
+            lat_rad,
+            lon_rad: self.lon.to_radians(),
+            cos_lat: lat_rad.cos(),
+        }
+    }
+}
+
+/// Trig-precomputed form of [`Coords`]. [`PreparedCoords::distance_km_to`]
+/// evaluates the same haversine expression over the same intermediates as
+/// the historic inline formula, so cached and uncached distances agree bit
+/// for bit — distance-sorted tie-breaking cannot be perturbed by caching.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedCoords {
+    lat_rad: f64,
+    lon_rad: f64,
+    cos_lat: f64,
+}
+
+impl PreparedCoords {
+    /// Great-circle distance in kilometres (haversine, mean Earth radius).
+    pub fn distance_km_to(&self, other: &PreparedCoords) -> f64 {
         const R: f64 = 6371.0;
-        let (la1, lo1) = (self.lat.to_radians(), self.lon.to_radians());
-        let (la2, lo2) = (other.lat.to_radians(), other.lon.to_radians());
-        let dla = la2 - la1;
-        let dlo = lo2 - lo1;
-        let a = (dla / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlo / 2.0).sin().powi(2);
+        let dla = other.lat_rad - self.lat_rad;
+        let dlo = other.lon_rad - self.lon_rad;
+        let a =
+            (dla / 2.0).sin().powi(2) + self.cos_lat * other.cos_lat * (dlo / 2.0).sin().powi(2);
         2.0 * R * a.sqrt().asin()
     }
 }

@@ -29,5 +29,5 @@ pub mod graph;
 
 pub use cdn::{CdnDeployment, SiteAttachment, SiteId, SiteSpec, CDN_ASN};
 pub use gen::{attach_origin, generate, GenConfig, OriginProfile};
-pub use geo::{propagation_delay, Coords, Region, REGIONS};
+pub use geo::{propagation_delay, Coords, PreparedCoords, Region, REGIONS};
 pub use graph::{Adjacency, Node, NodeKind, Rel, Topology};
