@@ -20,7 +20,7 @@ use bobw_bench::{
     load_queue_hints, parse_cli, run_or_exit, write_json, CellRecord, PerfLog, TechniqueSeries,
     BASELINE_FILE,
 };
-use bobw_core::{FailoverResult, Technique, Testbed};
+use bobw_core::{FailoverResult, SessionModel, Technique, Testbed};
 use bobw_dist::{CellOutput, CellSpec};
 use bobw_measure::{cdf_row, percent};
 use bobw_scenario::{catalog_files, load_file};
@@ -83,17 +83,41 @@ fn main() {
         rule.push_str("---|");
     }
     let mut detail = String::new();
+    let mut wrote_header = false;
 
-    for (si, path) in files.iter().enumerate() {
+    // Session-fault scenarios run twice — the abstract approximation and
+    // the message-level FSMs — as adjacent `name` / `name+msg` matrix rows,
+    // so the resilience matrix shows what the approximation misses (e.g.
+    // damping/NOTIFICATION interaction only exists under message-level).
+    let mut runs: Vec<(std::path::PathBuf, SessionModel, String)> = Vec::new();
+    for path in &files {
+        let scenario = run_or_exit(load_file(path));
+        runs.push((path.clone(), SessionModel::Abstract, scenario.name.clone()));
+        if scenario.uses_session_actions() {
+            runs.push((
+                path.clone(),
+                SessionModel::MessageLevel,
+                format!("{}+msg", scenario.name),
+            ));
+        }
+    }
+
+    for (si, (path, session_model, label)) in runs.iter().enumerate() {
         let scenario = run_or_exit(load_file(path));
         eprintln!(
             "[{}/{}] scenario {} ({} jobs) ...",
             si + 1,
-            files.len(),
-            scenario.name,
+            runs.len(),
+            label,
             cli.jobs
         );
         let mut cfg = cli.scale.config(cli.seed);
+        cfg.session_model = *session_model;
+        // Catalog convention: `damping-*` scenarios study the interaction
+        // with route-flap damping, so it comes on for them.
+        if scenario.wants_damping() && cfg.timing.flap_damping.is_none() {
+            cfg.timing.flap_damping = Some(bobw_bgp::DampingConfig::default());
+        }
         cfg.scenario = Some(scenario.clone());
         let mut tb = Testbed::new(cfg);
         tb.prime_queue_hints(hints.clone());
@@ -140,10 +164,10 @@ fn main() {
             .zip(&grouped)
             .map(|(t, results)| TechniqueSeries::from_results(t, results))
             .collect();
-        write_json(&cli, &format!("scenario_{}", scenario.name), &series);
+        write_json(&cli, &format!("scenario_{label}"), &series);
 
-        let mut row = format!("| {} |", scenario.name);
-        let _ = writeln!(detail, "### {} — {}\n", scenario.name, scenario.description);
+        let mut row = format!("| {label} |");
+        let _ = writeln!(detail, "### {} — {}\n", label, scenario.description);
         let _ = writeln!(detail, "```");
         for s in &series {
             let cell = MatrixCell::from_series(s);
@@ -161,14 +185,15 @@ fn main() {
                 cdf_row(&format!("{} recon", s.technique), &s.reconnection_cdf())
             );
             matrix
-                .entry(scenario.name.clone())
+                .entry(label.clone())
                 .or_default()
                 .insert(s.technique.clone(), cell);
         }
         let _ = writeln!(detail, "```\n");
-        if si == 0 {
+        if !wrote_header {
             let _ = writeln!(md, "{header}");
             let _ = writeln!(md, "{rule}");
+            wrote_header = true;
         }
         let _ = writeln!(md, "{row}");
     }

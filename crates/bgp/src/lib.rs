@@ -43,6 +43,8 @@ pub use diag::{dump_rib, explain, Candidate, Verdict};
 pub use node::BgpNode;
 pub use policy::{import_local_pref, may_export, OriginConfig};
 pub use rib::{cmp_selected, select_from, FlatRib, MapRib, RibKernel};
-pub use route::{BgpEvent, Message, NextHop, RouteAttrs, RouteChange, Selected, WireRoute};
-pub use sim::{BgpSim, SimSeed, Standalone};
+pub use route::{
+    BgpEvent, Message, NextHop, RouteAttrs, RouteChange, Selected, SessionTimerKind, WireRoute,
+};
+pub use sim::{BgpSim, SessionKnobs, SimSeed, Standalone};
 pub use timing::BgpTimingConfig;

@@ -65,6 +65,11 @@ pub struct NeighborState {
     /// injection; routes from a down neighbor are purged when the hold
     /// timer expires.
     up: bool,
+    /// Does the data plane still forward over this adjacency? The abstract
+    /// model keeps this locked to `up` (a dead session is a dead link).
+    /// The message-level model splits them: graceful restart and half-open
+    /// sessions lose the control plane while packets keep flowing.
+    fwd_up: bool,
     /// Send state per prefix id, grown on demand.
     send: Vec<SendState>,
 }
@@ -136,12 +141,20 @@ impl BgpNode {
             delay,
             session_mrai,
             up: true,
+            fwd_up: true,
             send: Vec::new(),
         }
     }
 
     pub fn neighbors(&self) -> &[NeighborState] {
         &self.neighbors
+    }
+
+    /// The dense neighbor index for `peer`, if it is one of ours. The
+    /// message-level session layer keys its per-session state by this
+    /// index (parallel to [`BgpNode::neighbors`]).
+    pub fn neighbor_index(&self, peer: NodeId) -> Option<usize> {
+        self.nbr_pos(peer)
     }
 
     /// The neighbor index for `peer`, if it is one of ours.
@@ -247,6 +260,7 @@ impl BgpNode {
     pub fn fail_session(&mut self, neighbor: NodeId) -> bool {
         if let Some(idx) = self.nbr_pos(neighbor) {
             let nbr = &mut self.neighbors[idx];
+            nbr.fwd_up = false;
             if nbr.up {
                 nbr.up = false;
                 for s in &mut nbr.send {
@@ -256,6 +270,89 @@ impl BgpNode {
             }
         }
         false
+    }
+
+    /// Control-plane-only teardown (message-level model): the BGP session
+    /// drops but packets keep forwarding over the adjacency. Used for
+    /// graceful restart (forwarding preserved by design) and half-open
+    /// sessions (the wire is fine, the session state is not). Same return
+    /// contract as [`BgpNode::fail_session`].
+    pub fn fail_session_control(&mut self, neighbor: NodeId) -> bool {
+        if let Some(idx) = self.nbr_pos(neighbor) {
+            let nbr = &mut self.neighbors[idx];
+            if nbr.up {
+                nbr.up = false;
+                for s in &mut nbr.send {
+                    s.pending = None;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Does the data plane forward over the adjacency to `neighbor`?
+    pub fn forwarding_is_up(&self, neighbor: NodeId) -> bool {
+        self.nbr_pos(neighbor)
+            .map(|i| self.neighbors[i].fwd_up)
+            .unwrap_or(false)
+    }
+
+    /// Message-level bootstrap: every session starts administratively down
+    /// (establishment will bring it up), with forwarding untouched. Called
+    /// before anything is announced, so there is nothing to purge.
+    pub fn quiesce_sessions(&mut self) {
+        for nbr in &mut self.neighbors {
+            nbr.up = false;
+        }
+    }
+
+    /// The prefixes currently learned from `neighbor`, sorted. The
+    /// graceful-restart machinery snapshots this as the stale set.
+    pub fn prefixes_from(&self, neighbor: NodeId) -> Vec<Prefix> {
+        let Some(idx) = self.nbr_pos(neighbor) else {
+            return Vec::new();
+        };
+        let mut buf = Vec::new();
+        self.rib.prefixes_from_into(idx as u32, &mut buf);
+        let mut prefixes: Vec<Prefix> = buf.into_iter().map(|(p, _)| p).collect();
+        prefixes.sort_unstable();
+        prefixes
+    }
+
+    /// Graceful-restart stale sweep: the restart window closed and these
+    /// prefixes were never re-advertised by `neighbor` — purge the leftover
+    /// candidates and re-decide. Unlike [`BgpNode::expire_session`] this
+    /// runs against a live (re-established) session and touches only the
+    /// listed prefixes. Returns the prefixes whose best route changed.
+    pub fn purge_stale_from(
+        &mut self,
+        now: SimTime,
+        neighbor: NodeId,
+        stale: &[Prefix],
+        timing: &BgpTimingConfig,
+        rng: &mut SmallRng,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) -> Vec<Prefix> {
+        let Some(idx) = self.nbr_pos(neighbor) else {
+            return Vec::new();
+        };
+        let mut changed = Vec::new();
+        for &prefix in stale {
+            let Some(pidx) = self.rib.position(&prefix) else {
+                continue;
+            };
+            if !self.rib.remove_at(pidx, idx as u32) {
+                continue; // already gone (withdrawn in the meantime)
+            }
+            if self.removal_keeps_best(pidx, neighbor) && timing.flap_damping.is_none() {
+                continue;
+            }
+            if self.run_decision(now, prefix, pidx, timing, rng, out) {
+                changed.push(prefix);
+            }
+        }
+        changed
     }
 
     /// Hold timer expiry: if the session is still down, purge every route
@@ -320,6 +417,7 @@ impl BgpNode {
                 return;
             }
             nbr.up = true;
+            nbr.fwd_up = true;
             nbr.send.clear();
         }
         // Sorted by prefix value for the same reason as in

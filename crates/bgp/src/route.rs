@@ -2,6 +2,7 @@
 
 use bobw_event::SimTime;
 use bobw_net::{AsPath, NodeId, Prefix};
+use bobw_session::SessionPayload;
 use serde::{Deserialize, Serialize};
 
 /// What actually travels between ASes for one prefix: the path-vector
@@ -145,6 +146,36 @@ pub enum BgpEvent {
     /// purged (triggering withdrawals/exploration). Scheduled when a link
     /// fails silently; a no-op if the session came back up in the meantime.
     HoldExpire { node: NodeId, neighbor: NodeId },
+    /// Message-level model only: a session-management message
+    /// (OPEN/KEEPALIVE/NOTIFICATION) arrives at `to` from `from`. Route
+    /// UPDATEs keep travelling as [`BgpEvent::Deliver`]; both kinds pass
+    /// through the wire codec when the session layer is enabled.
+    SessionMsg {
+        to: NodeId,
+        from: NodeId,
+        payload: SessionPayload,
+    },
+    /// Message-level model only: a session timer for `node`'s session to
+    /// `neighbor` fires. `gen` guards staleness — the session layer bumps
+    /// the per-kind generation to cancel an armed timer, and a firing with
+    /// a stale generation is a no-op.
+    SessionTimer {
+        node: NodeId,
+        neighbor: NodeId,
+        kind: SessionTimerKind,
+        gen: u32,
+    },
+}
+
+/// Which timer a [`BgpEvent::SessionTimer`] represents: the three RFC 4271
+/// session timers plus the graceful-restart stale sweep (an integration-
+/// level deadline, not an FSM timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionTimerKind {
+    ConnectRetry,
+    Hold,
+    Keepalive,
+    StaleSweep,
 }
 
 #[cfg(test)]

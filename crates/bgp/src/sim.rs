@@ -3,13 +3,20 @@
 //! pure-control-plane experiments.
 
 use bobw_event::{Engine, Handler, RngFactory, Scheduler, SimDuration, SimTime, StepOutcome};
-use bobw_net::{NodeId, Prefix};
+use bobw_net::{AsPath, NodeId, Prefix};
+use bobw_session::{
+    codec, BgpMessage, DownReason, FsmInput, FsmOutput, PeerFsm, PeerState, SessionConfig,
+    SessionPayload, TimerKind, UpdateAttrs, UpdateMsg, CEASE,
+};
 use bobw_topology::Topology;
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 use crate::node::BgpNode;
 use crate::policy::OriginConfig;
-use crate::route::{BgpEvent, NextHop, RouteChange, Selected};
+use crate::route::{
+    BgpEvent, Message, NextHop, RouteChange, Selected, SessionTimerKind, WireRoute,
+};
 use crate::timing::BgpTimingConfig;
 
 /// Aggregate counters, exposed for the engine benchmarks and for sanity
@@ -20,6 +27,9 @@ pub struct SimStats {
     pub messages: u64,
     /// Best-route changes across all nodes.
     pub best_changes: u64,
+    /// Session-management messages (OPEN/KEEPALIVE/NOTIFICATION) delivered;
+    /// always zero in the abstract session model.
+    pub session_msgs: u64,
 }
 
 /// The whole-network BGP state: one [`BgpNode`] per topology node.
@@ -40,6 +50,133 @@ pub struct BgpSim {
     /// plane consumers memoize pure functions of FIB + session state (probe
     /// walks) and invalidate exactly when routing actually moved.
     version: u64,
+    /// Message-level session layer (per-peer FSMs + wire codec on every
+    /// message). `None` = the abstract model: adjacencies are booleans and
+    /// session management is implicit. Strictly opt-in via
+    /// [`BgpSim::enable_message_level`]; when `None`, no code path below
+    /// touches it, keeping abstract runs byte-identical to before.
+    session: Option<SessionLayer>,
+}
+
+/// Knobs for the message-level session layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionKnobs {
+    /// Base connect-retry interval; each scheduled retry is jittered
+    /// uniformly in `[0.5, 1.5) ×` this from the node's processing-delay
+    /// RNG stream (deterministic given the seed).
+    pub connect_retry_s: f64,
+    /// Graceful-restart window advertised in every OPEN; 0 disables the
+    /// capability network-wide.
+    pub gr_restart_s: u16,
+}
+
+impl Default for SessionKnobs {
+    fn default() -> SessionKnobs {
+        SessionKnobs {
+            connect_retry_s: 1.0,
+            gr_restart_s: 120,
+        }
+    }
+}
+
+/// Per-directed-session state in the message-level model, parallel to the
+/// owning node's neighbor list.
+struct PeerSession {
+    fsm: PeerFsm,
+    /// Per-timer-kind generation counters; an armed timer event carries the
+    /// generation at arming time and is a no-op if it was bumped since.
+    gens: [u32; 4],
+    /// Administrative link state for this direction (fault injection).
+    admin_up: bool,
+    /// This endpoint's TCP is unreachable (process restarting). Connect
+    /// attempts against — or from — a blocked endpoint fail.
+    blocked: bool,
+    /// Graceful restart: prefixes retained from the restarting peer,
+    /// sorted; pruned as re-advertisements arrive, leftovers purged by the
+    /// stale sweep.
+    stale: Vec<Prefix>,
+}
+
+struct SessionLayer {
+    knobs: SessionKnobs,
+    /// `sessions[node][nix]` for the session from `node` to its `nix`-th
+    /// neighbor.
+    sessions: Vec<Vec<PeerSession>>,
+}
+
+fn kind_ix(kind: SessionTimerKind) -> usize {
+    match kind {
+        SessionTimerKind::ConnectRetry => 0,
+        SessionTimerKind::Hold => 1,
+        SessionTimerKind::Keepalive => 2,
+        SessionTimerKind::StaleSweep => 3,
+    }
+}
+
+impl SessionLayer {
+    /// Bumps and returns the generation for `(node, nix, kind)` — the next
+    /// scheduled timer of that kind is the only live one.
+    fn arm(&mut self, node: usize, nix: usize, kind: SessionTimerKind) -> u32 {
+        let gen = &mut self.sessions[node][nix].gens[kind_ix(kind)];
+        *gen += 1;
+        *gen
+    }
+
+    /// Invalidates any armed timer of `kind` without scheduling a new one.
+    fn cancel(&mut self, node: usize, nix: usize, kind: SessionTimerKind) {
+        self.sessions[node][nix].gens[kind_ix(kind)] += 1;
+    }
+
+    fn cancel_all(&mut self, node: usize, nix: usize) {
+        for g in &mut self.sessions[node][nix].gens {
+            *g += 1;
+        }
+    }
+}
+
+/// Message-level model: every route UPDATE and WITHDRAW crosses the wire
+/// as RFC 4271 bytes. Encode, decode, and rebuild — the *decoded* message
+/// is what gets delivered, so a codec asymmetry would surface as a routing
+/// difference instead of passing silently.
+fn roundtrip_update(msg: Message) -> Message {
+    let update = match msg {
+        Message::Update { prefix, route } => UpdateMsg {
+            withdrawn: Vec::new(),
+            attrs: Some(UpdateAttrs {
+                as_path: route.path.hops(),
+                med: route.med,
+                origin_node: route.origin.index() as u32,
+                no_export: route.no_export,
+            }),
+            nlri: vec![prefix],
+        },
+        Message::Withdraw { prefix } => UpdateMsg {
+            withdrawn: vec![prefix],
+            attrs: None,
+            nlri: Vec::new(),
+        },
+    };
+    let bytes = codec::encode(&BgpMessage::Update(update)).expect("route update encodes");
+    let (decoded, len) = codec::decode(&bytes).expect("route update decodes");
+    debug_assert_eq!(len, bytes.len());
+    let BgpMessage::Update(u) = decoded else {
+        unreachable!("UPDATE decodes as UPDATE");
+    };
+    let rebuilt = match (&u.withdrawn[..], &u.nlri[..], u.attrs) {
+        ([], [prefix], Some(a)) => Message::Update {
+            prefix: *prefix,
+            route: WireRoute {
+                path: AsPath::from_hops(a.as_path),
+                med: a.med,
+                origin: NodeId(a.origin_node),
+                no_export: a.no_export,
+            },
+        },
+        ([prefix], [], None) => Message::Withdraw { prefix: *prefix },
+        _ => unreachable!("codec preserved the update shape"),
+    };
+    debug_assert_eq!(rebuilt, msg);
+    rebuilt
 }
 
 /// Precomputed stochastic per-session state for one `(topology, timing,
@@ -119,7 +256,74 @@ impl BgpSim {
             record_history: false,
             stats: SimStats::default(),
             version: 0,
+            session: None,
         }
+    }
+
+    /// Switches to the message-level session model: one [`PeerFsm`] per
+    /// directed session, wire-codec round-trips on every message, and
+    /// session-fault realism (half-open, NOTIFICATION resets, graceful
+    /// restart). Every session starts administratively quiesced; call
+    /// [`BgpSim::start_sessions`] to kick off establishment — and call both
+    /// *before* announcing anything, so the initial table exchange happens
+    /// through real session establishment.
+    pub fn enable_message_level(&mut self, knobs: SessionKnobs) {
+        if self.session.is_some() {
+            return;
+        }
+        let hold_time_s = self.timing.hold_time().as_secs_f64().round() as u16;
+        let sessions = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let cfg = SessionConfig {
+                    hold_time_s,
+                    connect_retry_s: knobs.connect_retry_s,
+                    gr_restart_s: knobs.gr_restart_s,
+                    asn: node.asn.0,
+                };
+                node.neighbors()
+                    .iter()
+                    .map(|_| PeerSession {
+                        fsm: PeerFsm::new(cfg),
+                        gens: [0; 4],
+                        admin_up: true,
+                        blocked: false,
+                        stale: Vec::new(),
+                    })
+                    .collect()
+            })
+            .collect();
+        for node in &mut self.nodes {
+            node.quiesce_sessions();
+        }
+        self.session = Some(SessionLayer { knobs, sessions });
+        self.version += 1;
+    }
+
+    /// Is the message-level session model active?
+    pub fn message_level(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Starts every idle session (both directions of every adjacency), in
+    /// node-then-neighbor order. With the simulator's instant TCP the OPEN
+    /// exchanges interleave deterministically and every session reaches
+    /// Established, triggering the initial full-table exports.
+    pub fn start_sessions(&mut self, now: SimTime, out: &mut Vec<(SimDuration, BgpEvent)>) {
+        let Some(mut layer) = self.session.take() else {
+            return;
+        };
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i].id;
+            for nix in 0..layer.sessions[i].len() {
+                if layer.sessions[i][nix].fsm.state() == PeerState::Idle {
+                    let peer = self.nodes[i].neighbors()[nix].peer;
+                    self.drive(&mut layer, now, node, peer, FsmInput::Start, out);
+                }
+            }
+        }
+        self.session = Some(layer);
     }
 
     /// Monotone counter over forwarding-state changes (FIBs and session
@@ -224,6 +428,23 @@ impl BgpSim {
         match ev {
             BgpEvent::Deliver { to, from, msg } => {
                 self.stats.messages += 1;
+                // Message-level model: the update crosses the wire as RFC
+                // 4271 bytes, and a refresh from a restarting peer prunes
+                // the graceful-restart stale set.
+                let msg = if let Some(layer) = self.session.as_mut() {
+                    let msg = roundtrip_update(msg);
+                    if let Some(nix) = self.nodes[to.index()].neighbor_index(from) {
+                        let stale = &mut layer.sessions[to.index()][nix].stale;
+                        if !stale.is_empty() {
+                            if let Ok(pos) = stale.binary_search(&msg.prefix()) {
+                                stale.remove(pos);
+                            }
+                        }
+                    }
+                    msg
+                } else {
+                    msg
+                };
                 let prefix = msg.prefix();
                 let changed = self.nodes[to.index()].receive(
                     now,
@@ -267,20 +488,293 @@ impl BgpSim {
                 }
             }
             BgpEvent::HoldExpire { node, neighbor } => {
-                let changed = self.nodes[node.index()].expire_session(
-                    now,
-                    neighbor,
-                    &self.timing,
-                    &mut self.proc_rngs[node.index()],
-                    out,
-                );
-                for prefix in changed {
-                    self.stats.best_changes += 1;
+                self.expire_now(now, node, neighbor, out);
+            }
+            BgpEvent::SessionMsg { to, from, payload } => {
+                let Some(mut layer) = self.session.take() else {
+                    return; // abstract model: stray event, drop
+                };
+                if self.wire_ok(&layer, to, from) {
+                    self.stats.session_msgs += 1;
+                    // Exercise the wire codec on every session message:
+                    // serialize, parse, feed the *parsed* form to the FSM.
+                    let full = payload.to_message(from.index() as u32);
+                    let bytes = codec::encode(&full).expect("session message encodes");
+                    let (decoded, len) = codec::decode(&bytes).expect("session message decodes");
+                    debug_assert_eq!(len, bytes.len());
+                    let payload = SessionPayload::from_message(&decoded)
+                        .expect("session payload survives the codec");
+                    self.drive(&mut layer, now, to, from, FsmInput::Recv(payload), out);
+                }
+                self.session = Some(layer);
+            }
+            BgpEvent::SessionTimer {
+                node,
+                neighbor,
+                kind,
+                gen,
+            } => {
+                self.session_timer(now, node, neighbor, kind, gen, out);
+            }
+        }
+    }
+
+    /// Purge everything learned from `neighbor` at `node` right now (the
+    /// session must already be marked down), with stats/history
+    /// bookkeeping.
+    fn expire_now(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        neighbor: NodeId,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        let idx = node.index();
+        let changed = self.nodes[idx].expire_session(
+            now,
+            neighbor,
+            &self.timing,
+            &mut self.proc_rngs[idx],
+            out,
+        );
+        for prefix in changed {
+            self.stats.best_changes += 1;
+            self.version += 1;
+            self.record_change(now, node, prefix);
+        }
+    }
+
+    /// Control-plane teardown with purge: the session drops (forwarding
+    /// preserved — physical cuts go through `fail_session` separately) and
+    /// every route learned from the peer is removed.
+    fn teardown_purge(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        peer: NodeId,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        if self.nodes[node.index()].fail_session_control(peer) {
+            self.version += 1;
+        }
+        self.expire_now(now, node, peer, out);
+    }
+
+    /// Can a message (or TCP connect) cross the wire between `a` and `b`?
+    fn wire_ok(&self, layer: &SessionLayer, a: NodeId, b: NodeId) -> bool {
+        let (Some(ab), Some(ba)) = (
+            self.nodes[a.index()].neighbor_index(b),
+            self.nodes[b.index()].neighbor_index(a),
+        ) else {
+            return false;
+        };
+        let sa = &layer.sessions[a.index()][ab];
+        let sb = &layer.sessions[b.index()][ba];
+        sa.admin_up && sb.admin_up && !sa.blocked && !sb.blocked
+    }
+
+    /// Schedules a jittered connect-retry for `node`'s session to `peer`,
+    /// `extra` from now. The jitter draws from the node's processing-delay
+    /// stream, so it is deterministic given the seed and event order.
+    fn schedule_retry(
+        &mut self,
+        layer: &mut SessionLayer,
+        node: NodeId,
+        peer: NodeId,
+        nix: usize,
+        extra: SimDuration,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        let idx = node.index();
+        let jit: f64 = self.proc_rngs[idx].gen_range(0.5..1.5) * layer.knobs.connect_retry_s;
+        let gen = layer.arm(idx, nix, SessionTimerKind::ConnectRetry);
+        out.push((
+            SimDuration::from_secs_f64(extra.as_secs_f64() + jit),
+            BgpEvent::SessionTimer {
+                node,
+                neighbor: peer,
+                kind: SessionTimerKind::ConnectRetry,
+                gen,
+            },
+        ));
+    }
+
+    /// Feeds one input to the FSM for `node`'s session to `peer` and
+    /// performs the required effects. TCP connects resolve instantly
+    /// ([`Self::wire_ok`]); timer requests follow the integration policy
+    /// documented in DESIGN.md §9 (steady-state liveness timers elided so
+    /// `run_to_idle` terminates; fault paths arm them explicitly).
+    fn drive(
+        &mut self,
+        layer: &mut SessionLayer,
+        now: SimTime,
+        node: NodeId,
+        peer: NodeId,
+        input: FsmInput,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        let idx = node.index();
+        let Some(nix) = self.nodes[idx].neighbor_index(peer) else {
+            return;
+        };
+        let mut fx = Vec::new();
+        layer.sessions[idx][nix].fsm.step(input, &mut fx);
+        // Honor Arm(Keepalive) only on OpenConfirm entry (an OPEN just
+        // arrived): one bounded shot, never re-armed from its own firing —
+        // a wedged handshake must not tick forever.
+        let ka_entry = matches!(input, FsmInput::Recv(SessionPayload::Open { .. }));
+        for o in fx {
+            match o {
+                FsmOutput::Send(payload) => {
+                    let delay = self.nodes[idx].neighbors()[nix].delay;
+                    out.push((
+                        delay,
+                        BgpEvent::SessionMsg {
+                            to: peer,
+                            from: node,
+                            payload,
+                        },
+                    ));
+                }
+                FsmOutput::AttemptConnect => {
+                    let tcp = if self.wire_ok(layer, node, peer) {
+                        FsmInput::TcpUp
+                    } else {
+                        FsmInput::TcpFail
+                    };
+                    self.drive(layer, now, node, peer, tcp, out);
+                }
+                FsmOutput::Arm(kind, d) => {
+                    if kind == TimerKind::Keepalive && ka_entry {
+                        let gen = layer.arm(idx, nix, SessionTimerKind::Keepalive);
+                        out.push((
+                            d,
+                            BgpEvent::SessionTimer {
+                                node,
+                                neighbor: peer,
+                                kind: SessionTimerKind::Keepalive,
+                                gen,
+                            },
+                        ));
+                    }
+                    // ConnectRetry and Hold are scheduled explicitly (with
+                    // jitter) by the fault injectors; steady-state requests
+                    // are elided — the wire is loss-free.
+                }
+                FsmOutput::Up { .. } => {
+                    layer.cancel(idx, nix, SessionTimerKind::Hold);
+                    layer.cancel(idx, nix, SessionTimerKind::Keepalive);
+                    let (n, rng) = (&mut self.nodes[idx], &mut self.proc_rngs[idx]);
+                    n.restore_session(now, peer, &self.timing, rng, out);
                     self.version += 1;
-                    self.record_change(now, node, prefix);
+                }
+                FsmOutput::Down { reason } => match reason {
+                    DownReason::PeerRestarting { window_s } => {
+                        // Graceful restart: keep forwarding AND keep the
+                        // routes (marked stale) for the advertised window.
+                        if self.nodes[idx].fail_session_control(peer) {
+                            self.version += 1;
+                        }
+                        layer.sessions[idx][nix].stale = self.nodes[idx].prefixes_from(peer);
+                        let gen = layer.arm(idx, nix, SessionTimerKind::StaleSweep);
+                        out.push((
+                            SimDuration::from_secs_f64(f64::from(window_s)),
+                            BgpEvent::SessionTimer {
+                                node,
+                                neighbor: peer,
+                                kind: SessionTimerKind::StaleSweep,
+                                gen,
+                            },
+                        ));
+                    }
+                    DownReason::HoldExpired => {
+                        self.teardown_purge(now, node, peer, out);
+                        // Reconnect on our own initiative (the peer may be
+                        // gone); parks in Active if the wire is still dead.
+                        self.schedule_retry(layer, node, peer, nix, SimDuration::ZERO, out);
+                    }
+                    DownReason::NotificationReceived { .. } | DownReason::Stopped => {
+                        // Injector-driven teardown: purge now; whether and
+                        // when to reconnect is the injector's decision
+                        // (receivers of a NOTIFICATION listen passively).
+                        self.teardown_purge(now, node, peer, out);
+                    }
+                },
+            }
+        }
+    }
+
+    /// A [`BgpEvent::SessionTimer`] fired: generation-check, then dispatch.
+    fn session_timer(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        neighbor: NodeId,
+        kind: SessionTimerKind,
+        gen: u32,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        let Some(mut layer) = self.session.take() else {
+            return;
+        };
+        let idx = node.index();
+        if let Some(nix) = self.nodes[idx].neighbor_index(neighbor) {
+            if layer.sessions[idx][nix].gens[kind_ix(kind)] == gen {
+                match kind {
+                    SessionTimerKind::ConnectRetry => {
+                        // A retry firing from our own side implies the local
+                        // process is reachable again (graceful-restart
+                        // completion clears the block).
+                        layer.sessions[idx][nix].blocked = false;
+                        let input = if layer.sessions[idx][nix].fsm.state() == PeerState::Idle {
+                            FsmInput::Start
+                        } else {
+                            FsmInput::Timer(TimerKind::ConnectRetry)
+                        };
+                        self.drive(&mut layer, now, node, neighbor, input, out);
+                    }
+                    SessionTimerKind::Hold => {
+                        self.drive(
+                            &mut layer,
+                            now,
+                            node,
+                            neighbor,
+                            FsmInput::Timer(TimerKind::Hold),
+                            out,
+                        );
+                    }
+                    SessionTimerKind::Keepalive => {
+                        self.drive(
+                            &mut layer,
+                            now,
+                            node,
+                            neighbor,
+                            FsmInput::Timer(TimerKind::Keepalive),
+                            out,
+                        );
+                    }
+                    SessionTimerKind::StaleSweep => {
+                        // The graceful-restart window closed: purge whatever
+                        // the restarted peer never re-advertised.
+                        let stale = std::mem::take(&mut layer.sessions[idx][nix].stale);
+                        let changed = self.nodes[idx].purge_stale_from(
+                            now,
+                            neighbor,
+                            &stale,
+                            &self.timing,
+                            &mut self.proc_rngs[idx],
+                            out,
+                        );
+                        for prefix in changed {
+                            self.stats.best_changes += 1;
+                            self.version += 1;
+                            self.record_change(now, node, prefix);
+                        }
+                    }
                 }
             }
         }
+        self.session = Some(layer);
     }
 
     /// Fails the link between `a` and `b` silently: no withdrawals are
@@ -289,11 +783,15 @@ impl BgpSim {
     /// future messages on the link are lost.
     pub fn fail_link(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         a: NodeId,
         b: NodeId,
         out: &mut Vec<(SimDuration, BgpEvent)>,
     ) {
+        if self.session.is_some() {
+            self.ml_link_down(now, a, b, out);
+            return;
+        }
         let hold = self.timing.hold_time();
         for (x, y) in [(a, b), (b, a)] {
             // Only a real up→down transition arms a hold timer: failing an
@@ -322,6 +820,23 @@ impl BgpSim {
         b: NodeId,
         out: &mut Vec<(SimDuration, BgpEvent)>,
     ) {
+        if self.session.is_some() {
+            self.ml_link_up(now, a, b, out);
+            return;
+        }
+        self.restore_sessions_raw(now, a, b, out);
+    }
+
+    /// The abstract restore: flip both directions up and re-export full
+    /// tables. Also the message-level fast path when both FSMs survived
+    /// the outage.
+    fn restore_sessions_raw(
+        &mut self,
+        now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
         for (x, y) in [(a, b), (b, a)] {
             let idx = x.index();
             let (node, rng) = (&mut self.nodes[idx], &mut self.proc_rngs[idx]);
@@ -330,13 +845,18 @@ impl BgpSim {
         }
     }
 
-    /// Bounces the BGP session on a link: down and immediately back up
-    /// (an RFC 4271 session reset / operator `clear bgp` on both ends).
-    /// The hold timers armed by the teardown find the session up again
-    /// when they fire and so never purge; both ends clear their outbound
-    /// state and re-advertise their full tables with MRAI pacing — the
-    /// observable effect is a burst of duplicate UPDATEs and any
+    /// Bounces the BGP session on a link (an RFC 4271 session reset /
+    /// operator `clear bgp`).
+    ///
+    /// Abstract model: down and immediately back up — the hold timers armed
+    /// by the teardown find the session up again when they fire and never
+    /// purge; the observable effect is a burst of duplicate UPDATEs and any
     /// route-flap-damping penalty they earn.
+    ///
+    /// Message-level model: `a` sends an administrative Cease NOTIFICATION
+    /// (see [`BgpSim::notify_reset`]): both ends purge, then re-establish
+    /// after a jittered connect-retry — duplicate updates *plus* a real
+    /// withdraw/re-announce flap, which is what damping actually penalizes.
     pub fn reset_link(
         &mut self,
         now: SimTime,
@@ -344,8 +864,245 @@ impl BgpSim {
         b: NodeId,
         out: &mut Vec<(SimDuration, BgpEvent)>,
     ) {
+        if self.session.is_some() {
+            self.notify_reset(now, a, b, CEASE, out);
+            return;
+        }
         self.fail_link(now, a, b, out);
         self.restore_link(now, a, b, out);
+    }
+
+    /// Message-level physical cut: both directions go administratively
+    /// down, and each endpoint whose session was Established discovers the
+    /// loss when its (now explicitly armed) hold timer expires.
+    fn ml_link_down(
+        &mut self,
+        _now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        let Some(mut layer) = self.session.take() else {
+            return;
+        };
+        for (x, y) in [(a, b), (b, a)] {
+            let xi = x.index();
+            let Some(nix) = self.nodes[xi].neighbor_index(y) else {
+                continue;
+            };
+            layer.sessions[xi][nix].admin_up = false;
+            if self.nodes[xi].fail_session(y) {
+                self.version += 1;
+                if layer.sessions[xi][nix].fsm.is_established() {
+                    let hold = layer.sessions[xi][nix].fsm.hold_time();
+                    let gen = layer.arm(xi, nix, SessionTimerKind::Hold);
+                    out.push((
+                        hold,
+                        BgpEvent::SessionTimer {
+                            node: x,
+                            neighbor: y,
+                            kind: SessionTimerKind::Hold,
+                            gen,
+                        },
+                    ));
+                }
+            }
+        }
+        self.session = Some(layer);
+    }
+
+    /// Message-level link restoration. If both FSMs are still Established
+    /// (the outage fit inside the hold window) the sessions never noticed:
+    /// cancel the hold timers and restore. Otherwise each torn-down side
+    /// restarts its handshake; an endpoint still Established sees the fresh
+    /// OPEN and replaces its session.
+    fn ml_link_up(
+        &mut self,
+        now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        let Some(mut layer) = self.session.take() else {
+            return;
+        };
+        let (Some(ab), Some(ba)) = (
+            self.nodes[a.index()].neighbor_index(b),
+            self.nodes[b.index()].neighbor_index(a),
+        ) else {
+            self.session = Some(layer);
+            return;
+        };
+        layer.sessions[a.index()][ab].admin_up = true;
+        layer.sessions[b.index()][ba].admin_up = true;
+        let both_established = layer.sessions[a.index()][ab].fsm.is_established()
+            && layer.sessions[b.index()][ba].fsm.is_established();
+        if both_established {
+            layer.cancel(a.index(), ab, SessionTimerKind::Hold);
+            layer.cancel(b.index(), ba, SessionTimerKind::Hold);
+            self.restore_sessions_raw(now, a, b, out);
+        } else {
+            for (x, y, nix) in [(a, b, ab), (b, a, ba)] {
+                if !layer.sessions[x.index()][nix].fsm.is_established() {
+                    self.drive(&mut layer, now, x, y, FsmInput::Start, out);
+                }
+            }
+        }
+        self.session = Some(layer);
+    }
+
+    /// `a` resets its session to `b` with a NOTIFICATION carrying `code`:
+    /// `a` purges immediately and reconnects after a jittered retry; `b`
+    /// purges when the NOTIFICATION arrives and then listens passively.
+    ///
+    /// Abstract approximation: both ends purge and immediately re-establish
+    /// (a noticed reset, unlike [`BgpSim::fail_link`]'s silent loss).
+    pub fn notify_reset(
+        &mut self,
+        now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        code: u8,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        if let Some(mut layer) = self.session.take() {
+            self.drive(
+                &mut layer,
+                now,
+                a,
+                b,
+                FsmInput::Stop {
+                    notify: Some((code, 0)),
+                },
+                out,
+            );
+            if let Some(nix) = self.nodes[a.index()].neighbor_index(b) {
+                self.schedule_retry(&mut layer, a, b, nix, SimDuration::ZERO, out);
+            }
+            self.session = Some(layer);
+        } else {
+            for (x, y) in [(a, b), (b, a)] {
+                if self.nodes[x.index()].fail_session(y) {
+                    self.version += 1;
+                }
+                self.expire_now(now, x, y, out);
+            }
+            self.restore_sessions_raw(now, a, b, out);
+        }
+    }
+
+    /// Half-open session: `peer`'s side of the session to `site` silently
+    /// loses its state (state-table corruption, one-sided TCP teardown).
+    /// The peer purges instantly; `site` keeps advertising into the void
+    /// until its hold timer expires — the §5 pathology where a site keeps
+    /// attracting traffic it can no longer coordinate with its neighbor.
+    ///
+    /// Message-level: the peer FSM stops silently and then listens; the
+    /// site's hold expiry notifies, purges, and reconnects (full recovery).
+    /// Abstract approximation: same two-phase purge via [`BgpEvent::HoldExpire`],
+    /// but no re-establishment (the abstract model has no reconnect logic).
+    /// Forwarding stays up in both models: the wire is fine.
+    pub fn half_open(
+        &mut self,
+        now: SimTime,
+        site: NodeId,
+        peer: NodeId,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        if let Some(mut layer) = self.session.take() {
+            self.drive(
+                &mut layer,
+                now,
+                peer,
+                site,
+                FsmInput::Stop { notify: None },
+                out,
+            );
+            let si = site.index();
+            if let Some(nix) = self.nodes[si].neighbor_index(peer) {
+                if layer.sessions[si][nix].fsm.is_established() {
+                    let hold = layer.sessions[si][nix].fsm.hold_time();
+                    let gen = layer.arm(si, nix, SessionTimerKind::Hold);
+                    out.push((
+                        hold,
+                        BgpEvent::SessionTimer {
+                            node: site,
+                            neighbor: peer,
+                            kind: SessionTimerKind::Hold,
+                            gen,
+                        },
+                    ));
+                }
+            }
+            self.session = Some(layer);
+        } else {
+            if self.nodes[peer.index()].fail_session_control(site) {
+                self.version += 1;
+            }
+            self.expire_now(now, peer, site, out);
+            if self.nodes[site.index()].fail_session_control(peer) {
+                self.version += 1;
+                out.push((
+                    self.timing.hold_time(),
+                    BgpEvent::HoldExpire {
+                        node: site,
+                        neighbor: peer,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Graceful restart (RFC 4724) of `node`'s BGP process: every neighbor
+    /// that negotiated the capability keeps forwarding *and* keeps the
+    /// routes learned from `node` (marked stale) while the process is down.
+    /// After `restart`, `node` reconnects with per-session jitter; routes
+    /// the peers never see re-advertised are purged when the advertised
+    /// stale window closes.
+    ///
+    /// Abstract approximation: a restart without helper-mode support — every
+    /// session bounces ([`BgpSim::reset_link`] per neighbor), producing the
+    /// duplicate-update burst but no retention.
+    pub fn graceful_restart(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        restart: SimDuration,
+        out: &mut Vec<(SimDuration, BgpEvent)>,
+    ) {
+        if let Some(mut layer) = self.session.take() {
+            let idx = node.index();
+            for nix in 0..layer.sessions[idx].len() {
+                let peer = self.nodes[idx].neighbors()[nix].peer;
+                // The restarting process forgets its session state without
+                // touching the FIB; its TCP is unreachable until restart
+                // completes. (The node's own RIB is preserved, as if
+                // checkpointed — the model captures the peer-side retention
+                // and the control-plane outage window.)
+                let cfg = layer.sessions[idx][nix].fsm.config();
+                layer.sessions[idx][nix].fsm = PeerFsm::new(cfg);
+                layer.sessions[idx][nix].blocked = true;
+                layer.sessions[idx][nix].stale.clear();
+                layer.cancel_all(idx, nix);
+                if self.nodes[idx].fail_session_control(peer) {
+                    self.version += 1;
+                }
+                // The peer detects the restart (GR negotiated ⇒ retain).
+                self.drive(&mut layer, now, peer, node, FsmInput::PeerRestart, out);
+                // Restart completes after `restart`, then reconnect.
+                self.schedule_retry(&mut layer, node, peer, nix, restart, out);
+            }
+            self.session = Some(layer);
+        } else {
+            let peers: Vec<NodeId> = self.nodes[node.index()]
+                .neighbors()
+                .iter()
+                .map(|n| n.peer)
+                .collect();
+            for peer in peers {
+                self.reset_link(now, node, peer, out);
+            }
+        }
     }
 
     /// Fails every link of `node` (a whole-site crash).
@@ -361,10 +1118,13 @@ impl BgpSim {
         }
     }
 
-    /// Is the (bidirectional) link between `a` and `b` usable? A link
-    /// counts as up only when both ends consider the session up.
+    /// Is the (bidirectional) link between `a` and `b` usable by the data
+    /// plane? Keyed to the *forwarding* flag, which the abstract model
+    /// keeps locked to the session flag; the message-level model splits
+    /// them so graceful restart and half-open sessions keep forwarding
+    /// while the control plane is down.
     pub fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
-        self.nodes[a.index()].session_is_up(b) && self.nodes[b.index()].session_is_up(a)
+        self.nodes[a.index()].forwarding_is_up(b) && self.nodes[b.index()].forwarding_is_up(a)
     }
 
     fn record_change(&mut self, now: SimTime, node: NodeId, prefix: Prefix) {
@@ -528,6 +1288,42 @@ impl Standalone {
         let now = self.engine.now();
         self.sim
             .fail_node_links(now, node, peers, &mut self.scratch);
+        self.flush_scratch();
+    }
+
+    /// Switches to the message-level session model and starts every
+    /// session (see [`BgpSim::enable_message_level`]). Call before
+    /// announcing anything; run the engine afterwards to let the sessions
+    /// establish.
+    pub fn enable_message_level(&mut self) {
+        self.sim.enable_message_level(SessionKnobs::default());
+        let now = self.engine.now();
+        self.sim.start_sessions(now, &mut self.scratch);
+        self.flush_scratch();
+    }
+
+    /// Half-opens the session between `site` and `peer` (see
+    /// [`BgpSim::half_open`]).
+    pub fn half_open(&mut self, site: NodeId, peer: NodeId) {
+        let now = self.engine.now();
+        self.sim.half_open(now, site, peer, &mut self.scratch);
+        self.flush_scratch();
+    }
+
+    /// Resets `a`'s session to `b` with a NOTIFICATION (see
+    /// [`BgpSim::notify_reset`]).
+    pub fn notify_reset(&mut self, a: NodeId, b: NodeId, code: u8) {
+        let now = self.engine.now();
+        self.sim.notify_reset(now, a, b, code, &mut self.scratch);
+        self.flush_scratch();
+    }
+
+    /// Gracefully restarts `node`'s BGP process (see
+    /// [`BgpSim::graceful_restart`]).
+    pub fn graceful_restart(&mut self, node: NodeId, restart: SimDuration) {
+        let now = self.engine.now();
+        self.sim
+            .graceful_restart(now, node, restart, &mut self.scratch);
         self.flush_scratch();
     }
 
@@ -793,5 +1589,146 @@ mod tests {
         let stats = s.sim().stats();
         assert!(stats.messages >= 3);
         assert!(stats.best_changes >= 3);
+    }
+
+    /// A message-level Standalone over the chain topology with sessions
+    /// established and `prefix` announced from `leaf`.
+    fn ml_converged() -> (Standalone, NodeId, NodeId, NodeId, NodeId, Prefix) {
+        let (topo, t1, mid, leaf, leaf2) = chain();
+        let rng = RngFactory::new(1);
+        let mut s = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);
+        s.enable_message_level();
+        let pre = p("184.164.244.0/24");
+        s.announce(leaf, pre, OriginConfig::plain());
+        assert_eq!(s.run_to_idle(1_000_000), StepOutcome::Idle);
+        (s, t1, mid, leaf, leaf2, pre)
+    }
+
+    #[test]
+    fn message_level_converges_like_abstract() {
+        let (topo, t1, mid, leaf, leaf2) = chain();
+        let rng = RngFactory::new(1);
+        let mut a = Standalone::new(&topo, BgpTimingConfig::instant(), &rng);
+        let pre = p("184.164.244.0/24");
+        a.announce(leaf, pre, OriginConfig::plain());
+        a.run_to_idle(1_000_000);
+
+        let (m, ..) = ml_converged();
+        for n in [t1, mid, leaf, leaf2] {
+            assert_eq!(
+                m.sim().best(n, &pre),
+                a.sim().best(n, &pre),
+                "best at {n} differs between models"
+            );
+            assert_eq!(
+                m.sim().fib_lookup(n, pre.addr_at(1)),
+                a.sim().fib_lookup(n, pre.addr_at(1))
+            );
+        }
+        // OPEN/KEEPALIVE exchanges went through the codec: 2 per direction
+        // per adjacency at minimum.
+        assert!(m.sim().stats().session_msgs >= 12);
+        assert_eq!(a.sim().stats().session_msgs, 0);
+    }
+
+    #[test]
+    fn message_level_notify_reset_flaps_and_recovers() {
+        let (mut s, t1, mid, _leaf, leaf2, pre) = ml_converged();
+        s.sim_mut().set_record_history(true);
+        let before = s.sim().stats().session_msgs;
+        s.notify_reset(t1, mid, 6); // administrative Cease from t1
+        assert_eq!(s.run_to_idle(1_000_000), StepOutcome::Idle);
+        // t1 purged its only route (via mid) and propagated the loss to
+        // leaf2, then re-learned everything after re-establishment.
+        let hist = s.sim().history();
+        assert!(
+            hist.iter().any(|rc| rc.node == leaf2 && rc.is_withdrawal()),
+            "reset must propagate a real withdrawal"
+        );
+        assert_eq!(s.sim().best(t1, &pre).unwrap().from, Some(mid));
+        assert_eq!(s.sim().best(leaf2, &pre).unwrap().from, Some(t1));
+        assert!(
+            s.sim().stats().session_msgs > before,
+            "reset must exchange NOTIFICATION + fresh handshake"
+        );
+    }
+
+    #[test]
+    fn message_level_half_open_purges_peer_then_site() {
+        let (mut s, t1, mid, _leaf, _leaf2, pre) = ml_converged();
+        // t1's side of the (mid, t1) session silently loses its state.
+        s.half_open(mid, t1);
+        s.run_until_secs(1);
+        // Phase 1: t1 purged instantly; mid still believes the session is
+        // up and keeps its state.
+        assert!(s.sim().best(t1, &pre).is_none(), "peer purges immediately");
+        assert!(s.sim().best(mid, &pre).is_some());
+        // The wire itself is fine: forwarding stays up in both directions.
+        assert!(s.sim().link_is_up(t1, mid));
+        // Phase 2: mid's hold timer expires, it notices, reconnects, and
+        // the session fully recovers.
+        assert_eq!(s.run_to_idle(1_000_000), StepOutcome::Idle);
+        assert_eq!(s.sim().best(t1, &pre).unwrap().from, Some(mid));
+    }
+
+    #[test]
+    fn message_level_graceful_restart_retains_routes() {
+        let (mut s, t1, mid, _leaf, _leaf2, pre) = ml_converged();
+        s.sim_mut().set_record_history(true);
+        let best_before = *s.sim().best(t1, &pre).unwrap();
+        s.graceful_restart(mid, SimDuration::from_secs(5));
+        // During the restart window: control plane down, but t1 retains
+        // the stale route and the data plane keeps forwarding through mid.
+        assert_eq!(s.sim().best(t1, &pre), Some(&best_before));
+        assert!(s.sim().link_is_up(t1, mid));
+        assert!(!s.sim().node(t1).session_is_up(mid));
+        // Restart completes, sessions re-establish, stale set is refreshed
+        // before the sweep: no withdrawal ever reaches the network.
+        assert_eq!(s.run_to_idle(1_000_000), StepOutcome::Idle);
+        assert_eq!(s.sim().best(t1, &pre), Some(&best_before));
+        assert!(s.sim().node(t1).session_is_up(mid));
+        assert!(
+            !s.sim().history().iter().any(|rc| rc.is_withdrawal()),
+            "graceful restart must not leak withdrawals"
+        );
+    }
+
+    #[test]
+    fn message_level_link_cut_purges_at_hold_and_recovers_on_restore() {
+        let (mut s, t1, mid, _leaf, leaf2, pre) = ml_converged();
+        s.fail_link(t1, mid);
+        // Before the hold timer: sessions still Established, routes kept.
+        s.run_until_secs(1);
+        assert!(s.sim().best(t1, &pre).is_some());
+        assert!(!s.sim().link_is_up(t1, mid));
+        // Hold expires: both sides purge; t1 and leaf2 lose the route.
+        assert_eq!(s.run_to_idle(1_000_000), StepOutcome::Idle);
+        assert!(s.sim().best(t1, &pre).is_none());
+        assert!(s.sim().best(leaf2, &pre).is_none());
+        // Restore: handshake from scratch, full tables re-exchanged.
+        s.restore_link(t1, mid);
+        assert_eq!(s.run_to_idle(1_000_000), StepOutcome::Idle);
+        assert_eq!(s.sim().best(t1, &pre).unwrap().from, Some(mid));
+        assert_eq!(s.sim().best(leaf2, &pre).unwrap().from, Some(t1));
+    }
+
+    #[test]
+    fn message_level_deterministic_across_runs() {
+        let (topo, t1, mid, leaf, _leaf2) = chain();
+        let run = || {
+            let rng = RngFactory::new(99);
+            let mut s = Standalone::new(&topo, BgpTimingConfig::default(), &rng);
+            s.sim_mut().set_record_history(true);
+            s.enable_message_level();
+            let pre = p("184.164.244.0/24");
+            s.announce(leaf, pre, OriginConfig::plain());
+            s.run_to_idle(1_000_000);
+            s.notify_reset(t1, mid, 6);
+            s.run_to_idle(1_000_000);
+            s.graceful_restart(mid, SimDuration::from_secs(5));
+            s.run_to_idle(1_000_000);
+            (s.sim().stats(), s.now(), s.sim().history().len())
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 
 use bobw_bgp::{dump_rib, BgpTimingConfig, OriginConfig, Standalone};
 use bobw_core::{
-    measure_control, run_failover, ExperimentConfig, FailureMode, Technique, Testbed,
+    measure_control, run_failover, ExperimentConfig, FailureMode, SessionModel, Technique, Testbed,
     TrafficConfig, TrafficSummary,
 };
 use bobw_dataplane::{walk_with_path, ForwardEnv};
@@ -90,6 +90,15 @@ impl Options {
             Some("on") => cfg.traffic = Some(TrafficConfig::default()),
             Some(other) => return Err(format!("unknown --traffic {other:?} (on|off)")),
         }
+        match self.get("session") {
+            None | Some("abstract") => {}
+            Some("message-level") => cfg.session_model = SessionModel::MessageLevel,
+            Some(other) => {
+                return Err(format!(
+                    "unknown --session {other:?} (abstract|message-level)"
+                ))
+            }
+        }
         Ok(cfg)
     }
 
@@ -125,7 +134,7 @@ USAGE:
   bobw topology   [--scale quick|eval|large] [--seed N] [--json]
   bobw failover   [--technique T] [--site NAME|all] [--scale S] [--seed N]
                   [--failure graceful|crash] [--hold SECS] [--jobs N]
-                  [--traffic on|off]
+                  [--traffic on|off] [--session abstract|message-level]
                   [--dispatch local|tcp://HOST:PORT|unix://PATH]
   bobw worker     --connect tcp://HOST:PORT|unix://PATH [--threads N]
                   [--name S] [--secret-file F]
@@ -142,6 +151,7 @@ USAGE:
   bobw scenario   validate [FILE ...|--catalog DIR] [--scale S] [--seed N]
   bobw scenario   run      FILE [--technique T] [--site NAME] [--scale S]
                   [--seed N] [--failure graceful|crash] [--traffic on|off]
+                  [--session abstract|message-level]
   bobw help
 
 Techniques: unicast, anycast, proactive-superprefix, reactive-anycast,
@@ -627,6 +637,11 @@ fn cmd_scenario(opts: &Options) -> Result<String, String> {
             };
             let scenario = bobw_scenario::load_file(&std::path::PathBuf::from(file))?;
             let mut cfg = opts.scale_config()?;
+            // Catalog convention: `damping-*` scenarios study the
+            // interaction with route-flap damping, so it comes on.
+            if scenario.wants_damping() && cfg.timing.flap_damping.is_none() {
+                cfg.timing.flap_damping = Some(bobw_bgp::DampingConfig::default());
+            }
             cfg.scenario = Some(scenario.clone());
             let tb = Testbed::new(cfg);
             let technique = opts.technique()?;

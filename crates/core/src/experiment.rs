@@ -63,6 +63,27 @@ pub enum FailureMode {
     SilentCrash,
 }
 
+/// Which BGP session model the simulator runs.
+///
+/// `Abstract` is the legacy adjacency model: sessions are booleans, faults
+/// flip them, and no session-management traffic exists. It is the default
+/// everywhere and reproduces every checked-in `results/*.json`
+/// byte-identically — selecting it draws no extra RNG values and schedules
+/// no extra events. `MessageLevel` runs the `bobw-session` subsystem: every
+/// adjacency is a pair of RFC 4271 finite-state machines exchanging
+/// OPEN/KEEPALIVE/NOTIFICATION messages through the wire codec, link faults
+/// become TCP failures discovered by hold timers, and the session-fault
+/// scenario actions (`HalfOpen`, `GracefulRestart`, `NotifyReset`,
+/// `HijackAnnounce`) gain their full FSM semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionModel {
+    /// Boolean adjacencies (legacy, byte-identical to pre-session results).
+    #[default]
+    Abstract,
+    /// Per-peer FSMs + wire codec (`bobw-session`).
+    MessageLevel,
+}
+
 /// Experiment parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -105,6 +126,9 @@ pub struct ExperimentConfig {
     /// outcome, but `None` skips even the observation so legacy results
     /// stay byte-identical.
     pub traffic: Option<TrafficConfig>,
+    /// Which session model runs (see [`SessionModel`]). `Abstract` — the
+    /// default — is byte-identical to the pre-session simulator.
+    pub session_model: SessionModel,
     pub seed: u64,
     /// Event budget per engine phase (runaway protection).
     pub max_events: u64,
@@ -127,6 +151,7 @@ impl ExperimentConfig {
             pre_failure_flaps: 0,
             scenario: None,
             traffic: None,
+            session_model: SessionModel::Abstract,
             seed,
             max_events: 50_000_000,
         }
@@ -147,6 +172,7 @@ impl ExperimentConfig {
             pre_failure_flaps: 0,
             scenario: None,
             traffic: None,
+            session_model: SessionModel::Abstract,
             seed,
             max_events: 200_000_000,
         }
@@ -448,6 +474,31 @@ impl Run<'_> {
             }
             FaultOp::SessionReset { node, peer } => {
                 self.bgp.reset_link(now, node, peer, &mut self.scratch);
+            }
+            FaultOp::HalfOpen { node, peer } => {
+                self.bgp.half_open(now, node, peer, &mut self.scratch);
+            }
+            FaultOp::GracefulRestart { node, restart } => {
+                self.bgp
+                    .graceful_restart(now, node, restart, &mut self.scratch);
+            }
+            FaultOp::NotifyReset { node, peer, code } => {
+                self.bgp
+                    .notify_reset(now, node, peer, code, &mut self.scratch);
+            }
+            FaultOp::Hijack { node, victim } => {
+                // The hijacker originates the victim's prefixes as its own
+                // (a plain origin hijack — same route-level semantics under
+                // both session models).
+                for prefix in self.bgp.node(victim).originated_prefixes() {
+                    self.bgp.announce(
+                        now,
+                        node,
+                        prefix,
+                        bobw_bgp::OriginConfig::plain(),
+                        &mut self.scratch,
+                    );
+                }
             }
             FaultOp::Drain { node, site, ttl } => {
                 // Withdraw the routes, de-steer the clients. Each target's
@@ -815,6 +866,14 @@ pub fn try_run_failover_instrumented(
     };
 
     // --- Phase 1: announce and converge. ---
+    // Message-level model: every adjacency handshakes (OPEN/KEEPALIVE
+    // through the wire codec) before — and interleaved with, FIFO ties —
+    // the initial announcements, exactly like routers booting up.
+    if matches!(cfg.session_model, SessionModel::MessageLevel) {
+        run.bgp
+            .enable_message_level(bobw_bgp::SessionKnobs::default());
+        run.bgp.start_sessions(engine.now(), &mut run.scratch);
+    }
     let mut initial: Vec<Action> = technique.before(plan, topo, cdn, failed);
     // Measurement prefixes: RTT probe unicast from the site under test,
     // anycast probe from every site.
@@ -1430,5 +1489,161 @@ mod tests {
         // The in-run high-water mark still wins once it exceeds the prime.
         primed.prime_queue_hints([("anycast".to_string(), 1)]);
         assert!(primed.queue_capacity_hint_for("anycast") >= primed.queue_capacity_hint());
+    }
+
+    #[test]
+    fn abstract_session_model_is_byte_identical_to_legacy() {
+        // `session_model: Abstract` IS the legacy simulator — selecting it
+        // explicitly must change nothing, down to the engine event count
+        // (the session layer stays `None`, so no extra events, no extra
+        // RNG draws, no code-path divergence).
+        let legacy = quick_testbed();
+        let mut cfg = ExperimentConfig::quick(7);
+        cfg.targets_per_site = 40;
+        cfg.session_model = SessionModel::Abstract;
+        let explicit = Testbed::new(cfg);
+        let site = legacy.site("bos");
+        for technique in [Technique::Anycast, Technique::ReactiveAnycast] {
+            let (a, pa) = run_failover_instrumented(&legacy, &technique, site);
+            let (b, pb) = run_failover_instrumented(&explicit, &technique, site);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            assert_eq!(pa.events_processed, pb.events_processed);
+        }
+    }
+
+    #[test]
+    fn message_level_baseline_runs_all_techniques() {
+        // The paper baseline completes under the message-level session
+        // model for every figure-2 technique: phase 1 handshakes every
+        // adjacency through the wire codec and still converges, the site
+        // failure and reaction play out through the FSMs, and the headline
+        // result survives — reactive-anycast keeps full control and
+        // recovers nearly everyone.
+        let mut cfg = ExperimentConfig::quick(7);
+        cfg.targets_per_site = 40;
+        cfg.session_model = SessionModel::MessageLevel;
+        let tb = Testbed::new(cfg);
+        let site = tb.site("bos");
+        let mut techniques = Technique::figure2_set();
+        techniques.push(Technique::Combined);
+        for technique in &techniques {
+            let r = run_failover(&tb, technique, site);
+            assert!(
+                r.num_selected > 0,
+                "{}: no targets selected under message-level",
+                r.technique
+            );
+        }
+        let r = run_failover(&tb, &Technique::ReactiveAnycast, site);
+        assert!(
+            r.control_fraction() > 0.99,
+            "reactive-anycast control under message-level: {}",
+            r.control_fraction()
+        );
+        assert!(
+            r.never_reconnected_fraction() < 0.1,
+            "message-level reconnection regressed: {}",
+            r.never_reconnected_fraction()
+        );
+    }
+
+    #[test]
+    fn message_level_results_are_deterministic() {
+        let mk = || {
+            let mut cfg = ExperimentConfig::quick(11);
+            cfg.targets_per_site = 40;
+            cfg.session_model = SessionModel::MessageLevel;
+            Testbed::new(cfg)
+        };
+        let (ta, tb) = (mk(), mk());
+        let site = ta.site("ams");
+        let (a, pa) = run_failover_instrumented(&ta, &Technique::ReactiveAnycast, site);
+        let (b, pb) = run_failover_instrumented(&tb, &Technique::ReactiveAnycast, site);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(pa.events_processed, pb.events_processed);
+    }
+
+    #[test]
+    fn session_fault_scenario_differs_between_models() {
+        // The graceful-restart scenario is where the models genuinely
+        // diverge: message-level retains the restarting site's routes as
+        // stale (clients never see a withdrawal), while the abstract
+        // approximation bounces every session. Both must complete; the
+        // message-level run must lose no more targets than the abstract.
+        let scenario = Scenario {
+            name: "gr".into(),
+            description: String::new(),
+            site: "$site".into(),
+            measure_from_s: Some(10.0),
+            events: vec![bobw_scenario::ScenarioEvent {
+                at_s: 10.0,
+                action: bobw_scenario::ScenarioAction::GracefulRestart {
+                    site: "$site".into(),
+                    restart_s: 120.0,
+                },
+            }],
+        };
+        assert!(scenario.uses_session_actions());
+        let run_with = |model: SessionModel| {
+            let mut cfg = ExperimentConfig::quick(7);
+            cfg.targets_per_site = 40;
+            cfg.scenario = Some(scenario.clone());
+            cfg.session_model = model;
+            let tb = Testbed::new(cfg);
+            let site = tb.site("bos");
+            run_failover(&tb, &Technique::Unicast, site)
+        };
+        let ml = run_with(SessionModel::MessageLevel);
+        let ab = run_with(SessionModel::Abstract);
+        assert!(ml.num_controllable > 0 && ab.num_controllable > 0);
+        assert!(
+            ml.never_reconnected_fraction() <= ab.never_reconnected_fraction(),
+            "graceful-restart retention must not lose more targets than the bounce \
+             approximation: ml {} vs abstract {}",
+            ml.never_reconnected_fraction(),
+            ab.never_reconnected_fraction()
+        );
+    }
+
+    #[test]
+    fn half_open_and_hijack_scenarios_complete_under_both_models() {
+        let mk_scenario = |action: bobw_scenario::ScenarioAction| Scenario {
+            name: "s".into(),
+            description: String::new(),
+            site: "$site".into(),
+            measure_from_s: Some(10.0),
+            events: vec![bobw_scenario::ScenarioEvent { at_s: 10.0, action }],
+        };
+        let actions = [
+            bobw_scenario::ScenarioAction::HalfOpen {
+                site: "$site".into(),
+                link: 0,
+            },
+            bobw_scenario::ScenarioAction::NotifyReset {
+                site: "$site".into(),
+                link: 0,
+                code: 6,
+            },
+            bobw_scenario::ScenarioAction::HijackAnnounce {
+                site: "$site".into(),
+                link: 0,
+            },
+        ];
+        for action in actions {
+            let scenario = mk_scenario(action.clone());
+            for model in [SessionModel::Abstract, SessionModel::MessageLevel] {
+                let mut cfg = ExperimentConfig::quick(7);
+                cfg.targets_per_site = 40;
+                cfg.scenario = Some(scenario.clone());
+                cfg.session_model = model;
+                let tb = Testbed::new(cfg);
+                let site = tb.site("bos");
+                let r = run_failover(&tb, &Technique::Unicast, site);
+                assert!(
+                    r.num_selected > 0,
+                    "{action:?} under {model:?}: no targets selected"
+                );
+            }
+        }
     }
 }

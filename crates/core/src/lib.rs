@@ -38,13 +38,13 @@ pub mod targets;
 pub mod technique;
 pub mod tradeoffs;
 
-pub use bobw_traffic::{Steering, TrafficConfig, TrafficSim, TrafficSummary};
+pub use bobw_traffic::{RegionCapacity, Steering, TrafficConfig, TrafficSim, TrafficSummary};
 pub use control::{measure_control, measure_control_instrumented, ControlResult};
 pub use divergence::{analyze_divergence, DivergenceReport};
 pub use dns_experiment::{run_unicast_dns_failover, DnsClientConfig};
 pub use experiment::{
     run_failover, run_failover_instrumented, try_run_failover_instrumented, CellPerf,
-    ExperimentConfig, FailoverResult, FailureMode, ReactionFault, Testbed,
+    ExperimentConfig, FailoverResult, FailureMode, ReactionFault, SessionModel, Testbed,
 };
 pub use load::{anycast_load, apply_to_dns, assign_load_aware, Assignment, LoadModel};
 pub use metrics::{analyze_target, TargetOutcome};

@@ -36,7 +36,12 @@ use crate::wire_struct;
 /// a capacity, `Ready` reports testbed-cache hits), client greetings for
 /// the `bobw serve` job service, and `TrafficSummary` gains scrubbed
 /// volume.
-pub const PROTOCOL_VERSION: u32 = 4;
+/// v5: `CellPerf` reports the final event-queue capacity.
+/// v6: `ExperimentConfig` carries the session model (abstract vs
+/// message-level FSMs) and `TrafficConfig` carries per-region capacity
+/// overrides. Scenarios still cross as JSON, so the session-fault actions
+/// need no encoding change.
+pub const PROTOCOL_VERSION: u32 = 6;
 
 // ---------------------------------------------------------------------------
 // Fingerprints
@@ -654,6 +659,23 @@ impl Wire for bobw_scenario::Scenario {
     }
 }
 
+impl Wire for bobw_core::SessionModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            bobw_core::SessionModel::Abstract => 0u32.encode(out),
+            bobw_core::SessionModel::MessageLevel => 1u32.encode(out),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u32::decode(buf)? {
+            0 => Ok(bobw_core::SessionModel::Abstract),
+            1 => Ok(bobw_core::SessionModel::MessageLevel),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
 wire_struct!(ExperimentConfig {
     gen,
     timing,
@@ -667,9 +689,12 @@ wire_struct!(ExperimentConfig {
     pre_failure_flaps,
     scenario,
     traffic,
+    session_model,
     seed,
     max_events
 });
+
+wire_struct!(bobw_core::RegionCapacity { region, factor });
 
 wire_struct!(bobw_core::TrafficConfig {
     capacity_headroom,
@@ -678,7 +703,8 @@ wire_struct!(bobw_core::TrafficConfig {
     control_every,
     resteer_ttl_s,
     diurnal_amplitude,
-    diurnal_period_s
+    diurnal_period_s,
+    region_capacity
 });
 
 // ---------------------------------------------------------------------------
@@ -754,8 +780,19 @@ mod tests {
         cfg.traffic = Some(bobw_core::TrafficConfig {
             capacity_headroom: 1.25,
             control_every: 5,
+            region_capacity: vec![
+                bobw_core::RegionCapacity {
+                    region: "seattle".into(),
+                    factor: 2.0,
+                },
+                bobw_core::RegionCapacity {
+                    region: "boston".into(),
+                    factor: 0.5,
+                },
+            ],
             ..Default::default()
         });
+        cfg.session_model = bobw_core::SessionModel::MessageLevel;
         let bytes = encode_vec(&cfg);
         let back: ExperimentConfig = decode_exact(&bytes).unwrap();
         // The vendored serde can't derive PartialEq-able configs, but JSON

@@ -41,6 +41,22 @@ pub enum FaultOp {
     RestoreLinks { pairs: Vec<(NodeId, NodeId)> },
     /// Bounce the BGP session on one link (down + up, same instant).
     SessionReset { node: NodeId, peer: NodeId },
+    /// Half-open session: `peer`'s side silently dies and purges; `node`
+    /// keeps advertising until its hold timer expires.
+    HalfOpen { node: NodeId, peer: NodeId },
+    /// Graceful restart (RFC 4724): `node`'s sessions all drop but
+    /// forwarding is retained; message-level neighbors keep the learned
+    /// routes as stale for up to `restart`.
+    GracefulRestart { node: NodeId, restart: SimDuration },
+    /// NOTIFICATION-triggered reset of the (node, peer) session with RFC
+    /// 4271 error `code`; both ends purge, then reconnect.
+    NotifyReset {
+        node: NodeId,
+        peer: NodeId,
+        code: u8,
+    },
+    /// `node` originates `victim`'s prefixes as its own (origin hijack).
+    Hijack { node: NodeId, victim: NodeId },
     /// Withdraw the node's prefixes and DNS-de-steer the site's clients,
     /// each re-resolving within `ttl`.
     Drain {
@@ -255,6 +271,46 @@ pub fn compile(
                 let node = cdn.node(resolve_site(i, site, measured, cdn)?);
                 let peer = resolve_link(i, topo, node, *link)?;
                 push(ev.at_s, FaultOp::SessionReset { node, peer });
+            }
+            ScenarioAction::HalfOpen { site, link } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                let peer = resolve_link(i, topo, node, *link)?;
+                push(ev.at_s, FaultOp::HalfOpen { node, peer });
+            }
+            ScenarioAction::GracefulRestart { site, restart_s } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                push(
+                    ev.at_s,
+                    FaultOp::GracefulRestart {
+                        node,
+                        restart: SimDuration::from_secs_f64(*restart_s),
+                    },
+                );
+            }
+            ScenarioAction::NotifyReset { site, link, code } => {
+                let node = cdn.node(resolve_site(i, site, measured, cdn)?);
+                let peer = resolve_link(i, topo, node, *link)?;
+                push(
+                    ev.at_s,
+                    FaultOp::NotifyReset {
+                        node,
+                        peer,
+                        code: *code,
+                    },
+                );
+            }
+            ScenarioAction::HijackAnnounce { site, link } => {
+                // The neighbor across the link is the hijacker; the site is
+                // the victim whose prefixes it forges.
+                let victim = cdn.node(resolve_site(i, site, measured, cdn)?);
+                let hijacker = resolve_link(i, topo, victim, *link)?;
+                push(
+                    ev.at_s,
+                    FaultOp::Hijack {
+                        node: hijacker,
+                        victim,
+                    },
+                );
             }
             ScenarioAction::Flap {
                 site,
@@ -631,6 +687,91 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("events[1]") && err.contains("oz"), "{err}");
+    }
+
+    #[test]
+    fn session_actions_compile_to_resolved_ops() {
+        let (topo, cdn, rng) = testbed();
+        let site = cdn.by_name("bos").unwrap();
+        let s = Scenario {
+            name: "session-faults".into(),
+            description: String::new(),
+            site: "$site".into(),
+            measure_from_s: Some(10.0),
+            events: vec![
+                ScenarioEvent {
+                    at_s: 10.0,
+                    action: ScenarioAction::HalfOpen {
+                        site: "$site".into(),
+                        link: 0,
+                    },
+                },
+                ScenarioEvent {
+                    at_s: 20.0,
+                    action: ScenarioAction::GracefulRestart {
+                        site: "$site".into(),
+                        restart_s: 120.0,
+                    },
+                },
+                ScenarioEvent {
+                    at_s: 30.0,
+                    action: ScenarioAction::NotifyReset {
+                        site: "$site".into(),
+                        link: 1,
+                        code: 4,
+                    },
+                },
+                ScenarioEvent {
+                    at_s: 40.0,
+                    action: ScenarioAction::HijackAnnounce {
+                        site: "$site".into(),
+                        link: 0,
+                    },
+                },
+            ],
+        };
+        let c = compile(&s, &topo, &cdn, &rng, site, true).unwrap();
+        let node = cdn.node(site);
+        let peer0 = topo.neighbors(node)[0].peer;
+        let peer1 = topo.neighbors(node)[1].peer;
+        assert_eq!(c.events[0].op, FaultOp::HalfOpen { node, peer: peer0 });
+        assert_eq!(
+            c.events[1].op,
+            FaultOp::GracefulRestart {
+                node,
+                restart: SimDuration::from_secs(120),
+            }
+        );
+        assert_eq!(
+            c.events[2].op,
+            FaultOp::NotifyReset {
+                node,
+                peer: peer1,
+                code: 4,
+            }
+        );
+        // The hijacker is the neighbor; the measured site is the victim.
+        assert_eq!(
+            c.events[3].op,
+            FaultOp::Hijack {
+                node: peer0,
+                victim: node,
+            }
+        );
+
+        // Bad link indices are compile-time errors, as for LinkDown.
+        let mut bad = s.clone();
+        bad.events[0] = ScenarioEvent {
+            at_s: 10.0,
+            action: ScenarioAction::HalfOpen {
+                site: "$site".into(),
+                link: 10_000,
+            },
+        };
+        let err = compile(&bad, &topo, &cdn, &rng, site, true)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("out of range"), "{err}");
     }
 
     #[test]

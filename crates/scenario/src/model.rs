@@ -65,6 +65,27 @@ pub enum ScenarioAction {
     /// the hold-timer purge never fires but both ends re-advertise
     /// (a soft reset / RFC 4271 session bounce).
     SessionReset { site: String, link: usize },
+    /// Half-open session on one of the site's links: the remote end
+    /// silently loses its session state (one-sided TCP teardown) and
+    /// purges at once, while the site keeps advertising into the void
+    /// until its hold timer expires. Under the message-level model the
+    /// site's FSM then notifies, reconnects, and recovers; the abstract
+    /// model approximates the two-phase purge without re-establishment.
+    HalfOpen { site: String, link: usize },
+    /// The site's router restarts its BGP process with graceful restart
+    /// (RFC 4724): every session drops but forwarding — and, under the
+    /// message-level model, the neighbors' learned routes, marked stale —
+    /// is retained for `restart_s` while the sessions re-handshake.
+    GracefulRestart { site: String, restart_s: f64 },
+    /// The site sends a NOTIFICATION with error `code` (1–6, RFC 4271
+    /// §4.5) on one link: an administrative/error reset. Both ends purge;
+    /// the session re-establishes after the connect-retry backoff.
+    NotifyReset { site: String, link: usize, code: u8 },
+    /// The neighbor on one of the site's links originates the site's
+    /// prefixes as its own — a plain origin hijack. Route-level, so its
+    /// semantics are identical under both session models; under
+    /// message-level the forged UPDATEs still cross the wire codec.
+    HijackAnnounce { site: String, link: usize },
     /// A periodic withdraw/re-announce sequence: `count` cycles starting
     /// here, one every `period_s`, each staying down `down_s`, with
     /// per-cycle jitter drawn uniformly from `[0, jitter_s)` out of the
@@ -139,6 +160,21 @@ impl ScenarioAction {
                 | ScenarioAction::Drain { .. }
                 | ScenarioAction::Surge { .. }
                 | ScenarioAction::CapacityChange { .. }
+                | ScenarioAction::HalfOpen { .. }
+                | ScenarioAction::HijackAnnounce { .. }
+        )
+    }
+
+    /// Whether this action only gains its full semantics under the
+    /// message-level session model (`SessionModel::MessageLevel`). The
+    /// abstract model runs a documented approximation instead.
+    pub fn is_session_action(&self) -> bool {
+        matches!(
+            self,
+            ScenarioAction::HalfOpen { .. }
+                | ScenarioAction::GracefulRestart { .. }
+                | ScenarioAction::NotifyReset { .. }
+                | ScenarioAction::HijackAnnounce { .. }
         )
     }
 }
@@ -279,10 +315,35 @@ impl Scenario {
                     finite_nonneg(i, "capacity_factor", *capacity_factor)?;
                     finite_nonneg(i, "duration_s", *duration_s)?;
                 }
+                ScenarioAction::GracefulRestart { restart_s, .. } => {
+                    finite_nonneg(i, "restart_s", *restart_s)?;
+                }
+                ScenarioAction::NotifyReset { code, .. } if !(1..=6).contains(code) => {
+                    return Err(ScenarioError::at(
+                        i,
+                        format!(
+                            "NOTIFICATION error code must be 1..=6 (RFC 4271 §4.5), got {code}"
+                        ),
+                    ));
+                }
                 _ => {}
             }
         }
         Ok(())
+    }
+
+    /// Whether any event is a session-level action ([`ScenarioAction::is_session_action`]).
+    /// The bench matrix runs such scenarios under both session models —
+    /// the abstract approximation and the message-level FSMs — so the
+    /// resilience matrix shows what the approximation misses.
+    pub fn uses_session_actions(&self) -> bool {
+        self.events.iter().any(|e| e.action.is_session_action())
+    }
+
+    /// Convention: scenarios named `damping-*` are run with route-flap
+    /// damping enabled (the catalog's damping-interaction studies).
+    pub fn wants_damping(&self) -> bool {
+        self.name.starts_with("damping-")
     }
 
     /// The measurement anchor in seconds (see `measure_from_s`).
@@ -444,6 +505,76 @@ mod tests {
             err.contains("events[0]") && err.contains("capacity_factor"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn session_actions_validate_and_classify() {
+        let mut s = Scenario::site_failure(2.0, 0);
+        assert!(!s.uses_session_actions());
+        assert!(!s.wants_damping());
+        s.events.insert(
+            0,
+            ScenarioEvent {
+                at_s: 5.0,
+                action: ScenarioAction::NotifyReset {
+                    site: "$site".into(),
+                    link: 0,
+                    code: 6,
+                },
+            },
+        );
+        s.validate().unwrap();
+        assert!(s.uses_session_actions());
+        // Code 0 and 7 are outside RFC 4271 §4.5.
+        for bad in [0u8, 7] {
+            s.events[0] = ScenarioEvent {
+                at_s: 5.0,
+                action: ScenarioAction::NotifyReset {
+                    site: "$site".into(),
+                    link: 0,
+                    code: bad,
+                },
+            };
+            let err = s.validate().unwrap_err().to_string();
+            assert!(err.contains("error code"), "{err}");
+        }
+        s.events[0] = ScenarioEvent {
+            at_s: 5.0,
+            action: ScenarioAction::GracefulRestart {
+                site: "$site".into(),
+                restart_s: f64::NAN,
+            },
+        };
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("restart_s"), "{err}");
+
+        s.name = "damping-storm".into();
+        assert!(s.wants_damping());
+
+        // Impact classification: half-open and hijack take service away;
+        // graceful restart and a noticed reset do not.
+        let site = || "$site".to_string();
+        assert!(ScenarioAction::HalfOpen {
+            site: site(),
+            link: 0
+        }
+        .is_impactful());
+        assert!(ScenarioAction::HijackAnnounce {
+            site: site(),
+            link: 0
+        }
+        .is_impactful());
+        assert!(!ScenarioAction::GracefulRestart {
+            site: site(),
+            restart_s: 120.0
+        }
+        .is_impactful());
+        assert!(!ScenarioAction::NotifyReset {
+            site: site(),
+            link: 0,
+            code: 6
+        }
+        .is_impactful());
     }
 
     #[test]

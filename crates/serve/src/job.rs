@@ -9,7 +9,7 @@
 
 use std::path::Path;
 
-use bobw_core::{ExperimentConfig, FailureMode, Technique, TrafficConfig};
+use bobw_core::{ExperimentConfig, FailureMode, SessionModel, Technique, TrafficConfig};
 use bobw_dist::CellSpec;
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +45,9 @@ pub struct JobSpec {
     pub traffic: Option<String>,
     /// Fault scenario: a catalog name (`"ddos-scrub"`) or a file path.
     pub scenario: Option<String>,
+    /// `abstract` (default) | `message-level`: which BGP session model
+    /// the cells run (see `bobw_core::SessionModel`).
+    pub session: Option<String>,
 }
 
 /// A spec expanded against a concrete config: ready to queue.
@@ -105,6 +108,15 @@ pub fn expand(spec: &JobSpec, catalog: &Path) -> Result<ExpandedJob, String> {
         None | Some("off") => {}
         Some("on") => config.traffic = Some(TrafficConfig::default()),
         Some(other) => return Err(format!("unknown traffic {other:?} (on|off)")),
+    }
+    match spec.session.as_deref() {
+        None | Some("abstract") => {}
+        Some("message-level") => config.session_model = SessionModel::MessageLevel,
+        Some(other) => {
+            return Err(format!(
+                "unknown session {other:?} (abstract|message-level)"
+            ))
+        }
     }
     if let Some(reference) = &spec.scenario {
         let scenario = resolve_scenario(reference, catalog)?;
@@ -245,6 +257,22 @@ mod tests {
                 .unwrap_err()
                 .contains("not found")
         );
+    }
+
+    #[test]
+    fn session_field_selects_the_model() {
+        let c = catalog();
+        let json = r#"{"techniques": ["anycast"], "session": "message-level"}"#;
+        let job = expand_spec(json, &c).unwrap();
+        assert_eq!(job.config.session_model, SessionModel::MessageLevel);
+        let json = r#"{"techniques": ["anycast"], "session": "abstract"}"#;
+        let job = expand_spec(json, &c).unwrap();
+        assert_eq!(job.config.session_model, SessionModel::Abstract);
+        let json = r#"{"techniques": ["anycast"]}"#;
+        let job = expand_spec(json, &c).unwrap();
+        assert_eq!(job.config.session_model, SessionModel::Abstract);
+        let json = r#"{"techniques": ["anycast"], "session": "telepathy"}"#;
+        assert!(expand_spec(json, &c).unwrap_err().contains("session"));
     }
 
     #[test]

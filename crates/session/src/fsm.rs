@@ -1,0 +1,609 @@
+//! Per-peer BGP session finite state machine (RFC 4271 §8, simplified).
+//!
+//! States: Idle → Connect → (Active) → OpenSent → OpenConfirm →
+//! Established. The machine is pure: it consumes [`FsmInput`]s and appends
+//! [`FsmOutput`]s; the caller owns TCP emulation, timer scheduling, jitter,
+//! and message delivery. In particular `Arm(kind, duration)` is a request —
+//! the integration layer may schedule it verbatim, add jitter, or elide it
+//! under its determinism rules (see DESIGN.md §9); the FSM itself never
+//! assumes a timer it armed will fire.
+//!
+//! Deliberate deviations from RFC 4271, chosen for a discrete-event
+//! simulator with instant, reliable "TCP":
+//!
+//! - Idle listens: an OPEN arriving in Idle/Connect/Active performs a
+//!   passive open (the RFC routes this through separate Active-side
+//!   connection tracking; collapsing it removes the collision machinery
+//!   while keeping both endpoints' observable message flow).
+//! - A duplicate OPEN in OpenConfirm is ignored rather than treated as a
+//!   collision — the simulator has no parallel TCP connections. An OPEN
+//!   arriving in Established *replaces* the session (teardown + passive
+//!   accept): it means the peer restarted without us noticing the drop.
+//! - `PeerRestart` is an explicit input (the simulator knows the peer's
+//!   process died); with graceful restart negotiated it yields
+//!   `Down(PeerRestarting)` so the caller retains stale routes.
+
+use crate::msg::{SessionPayload, CEASE, HOLD_TIMER_EXPIRED};
+use bobw_event::SimDuration;
+
+/// The six RFC 4271 session states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    Idle,
+    Connect,
+    Active,
+    OpenSent,
+    OpenConfirm,
+    Established,
+}
+
+/// The three session timers (plus the graceful-restart stale sweep, which
+/// lives in the integration layer, not here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    ConnectRetry,
+    Hold,
+    Keepalive,
+}
+
+/// Static per-session knobs, shared by both endpoints in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Proposed hold time; the session uses `min(ours, peer's)`.
+    pub hold_time_s: u16,
+    /// Base connect-retry interval (jitter is the caller's business).
+    pub connect_retry_s: f64,
+    /// Graceful-restart window advertised in OPEN; 0 disables the
+    /// capability.
+    pub gr_restart_s: u16,
+    /// Our ASN, advertised in OPEN.
+    pub asn: u32,
+}
+
+impl SessionConfig {
+    /// The OPEN payload this configuration advertises.
+    pub fn open_payload(&self) -> SessionPayload {
+        SessionPayload::Open {
+            asn: self.asn,
+            hold_time_s: self.hold_time_s,
+            gr_restart_s: self.gr_restart_s,
+        }
+    }
+}
+
+/// Inputs driving the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmInput {
+    /// Operator/automatic start: begin connecting.
+    Start,
+    /// The emulated TCP connection succeeded.
+    TcpUp,
+    /// The emulated TCP connection failed (link down, peer wedged).
+    TcpFail,
+    /// A session timer fired.
+    Timer(TimerKind),
+    /// A session message arrived.
+    Recv(SessionPayload),
+    /// The peer's BGP process restarted (graceful restart if negotiated).
+    PeerRestart,
+    /// Tear the session down; `Some(code)` sends a NOTIFICATION first.
+    Stop { notify: Option<(u8, u8)> },
+}
+
+/// Why an Established session went down — decides whether the caller
+/// purges routes learned from the peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownReason {
+    /// Hold timer expired: silent loss, purge.
+    HoldExpired,
+    /// Peer sent NOTIFICATION: purge.
+    NotificationReceived { code: u8, subcode: u8 },
+    /// We stopped (and possibly notified): purge.
+    Stopped,
+    /// Peer is restarting with graceful restart negotiated: RETAIN routes
+    /// as stale for the advertised window.
+    PeerRestarting { window_s: u16 },
+}
+
+/// Effects the caller must perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmOutput {
+    /// Transmit a session message to the peer.
+    Send(SessionPayload),
+    /// Try the emulated TCP connect; answer with `TcpUp`/`TcpFail`.
+    AttemptConnect,
+    /// Request a timer; the caller schedules (with jitter) or elides.
+    Arm(TimerKind, SimDuration),
+    /// The session reached Established with this negotiated hold time.
+    Up { hold: SimDuration },
+    /// The session left Established.
+    Down { reason: DownReason },
+}
+
+/// Hold time used while waiting for the peer's OPEN (RFC 4271 suggests a
+/// large value before negotiation).
+const HANDSHAKE_HOLD_S: u16 = 240;
+
+/// One peer's session state machine.
+#[derive(Debug, Clone)]
+pub struct PeerFsm {
+    cfg: SessionConfig,
+    state: PeerState,
+    /// Negotiated hold time, valid from OpenConfirm on.
+    hold: SimDuration,
+    /// The peer's advertised graceful-restart window, if any.
+    peer_gr: Option<u16>,
+}
+
+impl PeerFsm {
+    pub fn new(cfg: SessionConfig) -> PeerFsm {
+        PeerFsm {
+            cfg,
+            state: PeerState::Idle,
+            hold: SimDuration::from_secs_f64(f64::from(cfg.hold_time_s)),
+            peer_gr: None,
+        }
+    }
+
+    pub fn state(&self) -> PeerState {
+        self.state
+    }
+
+    /// The static configuration this machine was built with (used to build
+    /// a fresh machine when the process restarts).
+    pub fn config(&self) -> SessionConfig {
+        self.cfg
+    }
+
+    pub fn is_established(&self) -> bool {
+        self.state == PeerState::Established
+    }
+
+    /// The negotiated hold time (proposal until OPEN exchange completes).
+    pub fn hold_time(&self) -> SimDuration {
+        self.hold
+    }
+
+    /// The peer's graceful-restart window from its OPEN, if advertised.
+    pub fn peer_graceful_restart_s(&self) -> Option<u16> {
+        self.peer_gr
+    }
+
+    fn connect_retry(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.cfg.connect_retry_s)
+    }
+
+    fn keepalive_interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.hold.as_secs_f64() / 3.0)
+    }
+
+    /// Processes the peer's OPEN: negotiate hold, record capabilities,
+    /// move to OpenConfirm. `send_own_open` is set on the passive path
+    /// (we have not introduced ourselves yet).
+    fn accept_open(
+        &mut self,
+        hold_time_s: u16,
+        gr_restart_s: u16,
+        send_own_open: bool,
+        out: &mut Vec<FsmOutput>,
+    ) {
+        let negotiated = self.cfg.hold_time_s.min(hold_time_s);
+        self.hold = SimDuration::from_secs_f64(f64::from(negotiated));
+        self.peer_gr = (gr_restart_s > 0).then_some(gr_restart_s);
+        self.state = PeerState::OpenConfirm;
+        if send_own_open {
+            out.push(FsmOutput::Send(self.cfg.open_payload()));
+        }
+        out.push(FsmOutput::Send(SessionPayload::Keepalive));
+        out.push(FsmOutput::Arm(
+            TimerKind::Keepalive,
+            self.keepalive_interval(),
+        ));
+        out.push(FsmOutput::Arm(TimerKind::Hold, self.hold));
+    }
+
+    /// Leaves Established (purging semantics chosen by `reason`) or just
+    /// resets a handshake state.
+    fn teardown(&mut self, reason: DownReason, out: &mut Vec<FsmOutput>) {
+        if self.state == PeerState::Established {
+            out.push(FsmOutput::Down { reason });
+        }
+        self.state = PeerState::Idle;
+        self.peer_gr = None;
+        self.hold = SimDuration::from_secs_f64(f64::from(self.cfg.hold_time_s));
+    }
+
+    /// Advances the machine by one input, appending required effects.
+    pub fn step(&mut self, input: FsmInput, out: &mut Vec<FsmOutput>) {
+        use FsmInput as I;
+        use PeerState as S;
+        match (self.state, input) {
+            // --- Starting up. ---
+            (S::Idle, I::Start) => {
+                self.state = S::Connect;
+                out.push(FsmOutput::Arm(
+                    TimerKind::ConnectRetry,
+                    self.connect_retry(),
+                ));
+                out.push(FsmOutput::AttemptConnect);
+            }
+            // A Start in any non-Idle, non-Established state restarts the
+            // handshake from scratch (the integration layer uses this to
+            // kick parked sessions when a link comes back).
+            (S::Connect | S::Active | S::OpenSent | S::OpenConfirm, I::Start) => {
+                self.teardown(DownReason::Stopped, out);
+                self.step(I::Start, out);
+            }
+            (S::Connect, I::TcpUp) | (S::Active, I::TcpUp) => {
+                self.state = S::OpenSent;
+                self.hold = SimDuration::from_secs_f64(f64::from(HANDSHAKE_HOLD_S));
+                out.push(FsmOutput::Send(self.cfg.open_payload()));
+                out.push(FsmOutput::Arm(TimerKind::Hold, self.hold));
+            }
+            (S::Connect, I::TcpFail) | (S::OpenSent, I::TcpFail) => {
+                // Park in Active; the caller decides if/when to retry.
+                self.state = S::Active;
+                out.push(FsmOutput::Arm(
+                    TimerKind::ConnectRetry,
+                    self.connect_retry(),
+                ));
+            }
+            (S::Connect | S::Active, I::Timer(TimerKind::ConnectRetry)) => {
+                self.state = S::Connect;
+                out.push(FsmOutput::AttemptConnect);
+            }
+            // --- OPEN exchange (active and passive paths). ---
+            (
+                S::Idle | S::Connect | S::Active,
+                I::Recv(SessionPayload::Open {
+                    hold_time_s,
+                    gr_restart_s,
+                    ..
+                }),
+            ) => {
+                // Passive open: the peer reached out first. Idle listens —
+                // see the module docs on deviations.
+                self.accept_open(hold_time_s, gr_restart_s, true, out);
+            }
+            (
+                S::OpenSent,
+                I::Recv(SessionPayload::Open {
+                    hold_time_s,
+                    gr_restart_s,
+                    ..
+                }),
+            ) => {
+                self.accept_open(hold_time_s, gr_restart_s, false, out);
+            }
+            // Duplicate OPEN during confirmation: ignore (no parallel-
+            // connection collisions in the simulator).
+            (S::OpenConfirm, I::Recv(SessionPayload::Open { .. })) => {}
+            // An OPEN while Established means the peer restarted the
+            // session without us noticing a drop (asymmetric teardown):
+            // replace — tear down (purging) and accept passively.
+            (
+                S::Established,
+                I::Recv(SessionPayload::Open {
+                    hold_time_s,
+                    gr_restart_s,
+                    ..
+                }),
+            ) => {
+                self.teardown(DownReason::Stopped, out);
+                self.accept_open(hold_time_s, gr_restart_s, true, out);
+            }
+            // --- Reaching Established. ---
+            (S::OpenConfirm, I::Recv(SessionPayload::Keepalive)) => {
+                self.state = S::Established;
+                out.push(FsmOutput::Up { hold: self.hold });
+                out.push(FsmOutput::Arm(TimerKind::Hold, self.hold));
+            }
+            // --- Keepalive liveness. ---
+            (S::OpenConfirm | S::Established, I::Timer(TimerKind::Keepalive)) => {
+                out.push(FsmOutput::Send(SessionPayload::Keepalive));
+                out.push(FsmOutput::Arm(
+                    TimerKind::Keepalive,
+                    self.keepalive_interval(),
+                ));
+            }
+            (S::Established, I::Recv(SessionPayload::Keepalive)) => {
+                out.push(FsmOutput::Arm(TimerKind::Hold, self.hold));
+            }
+            // --- Dying. ---
+            (S::OpenSent | S::OpenConfirm | S::Established, I::Timer(TimerKind::Hold)) => {
+                out.push(FsmOutput::Send(SessionPayload::Notification {
+                    code: HOLD_TIMER_EXPIRED,
+                    subcode: 0,
+                }));
+                self.teardown(DownReason::HoldExpired, out);
+            }
+            (_, I::Recv(SessionPayload::Notification { code, subcode })) => {
+                self.teardown(DownReason::NotificationReceived { code, subcode }, out);
+            }
+            (_, I::Stop { notify }) => {
+                if let Some((code, subcode)) = notify {
+                    if self.state != S::Idle {
+                        out.push(FsmOutput::Send(SessionPayload::Notification {
+                            code,
+                            subcode,
+                        }));
+                    }
+                }
+                self.teardown(DownReason::Stopped, out);
+            }
+            (S::Established, I::PeerRestart) => {
+                let reason = match self.peer_gr {
+                    Some(window_s) => DownReason::PeerRestarting { window_s },
+                    None => DownReason::Stopped,
+                };
+                self.teardown(reason, out);
+            }
+            (S::Established, I::TcpFail) => {
+                self.teardown(DownReason::Stopped, out);
+            }
+            // --- Everything else is a stale event: ignore. ---
+            (_, _) => {}
+        }
+    }
+}
+
+/// Convenience: a `Stop` that sends an administrative Cease.
+pub fn stop_with_cease(subcode: u8) -> FsmInput {
+    FsmInput::Stop {
+        notify: Some((CEASE, subcode)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: SessionConfig = SessionConfig {
+        hold_time_s: 90,
+        connect_retry_s: 1.0,
+        gr_restart_s: 120,
+        asn: 65001,
+    };
+
+    fn step(fsm: &mut PeerFsm, input: FsmInput) -> Vec<FsmOutput> {
+        let mut out = Vec::new();
+        fsm.step(input, &mut out);
+        out
+    }
+
+    fn peer_open(hold: u16, gr: u16) -> FsmInput {
+        FsmInput::Recv(SessionPayload::Open {
+            asn: 65002,
+            hold_time_s: hold,
+            gr_restart_s: gr,
+        })
+    }
+
+    /// Walks an FSM to Established via the active (initiating) path.
+    fn establish(fsm: &mut PeerFsm) {
+        step(fsm, FsmInput::Start);
+        step(fsm, FsmInput::TcpUp);
+        step(fsm, peer_open(90, 120));
+        step(fsm, FsmInput::Recv(SessionPayload::Keepalive));
+        assert!(fsm.is_established());
+    }
+
+    #[test]
+    fn active_path_walks_all_six_states() {
+        let mut fsm = PeerFsm::new(CFG);
+        assert_eq!(fsm.state(), PeerState::Idle);
+        let out = step(&mut fsm, FsmInput::Start);
+        assert_eq!(fsm.state(), PeerState::Connect);
+        assert!(out.contains(&FsmOutput::AttemptConnect));
+        assert!(matches!(
+            out[0],
+            FsmOutput::Arm(TimerKind::ConnectRetry, d) if d.as_secs_f64() == 1.0
+        ));
+        // TCP fails: park in Active.
+        step(&mut fsm, FsmInput::TcpFail);
+        assert_eq!(fsm.state(), PeerState::Active);
+        // Connect-retry timer fires: back to Connect, try again.
+        let out = step(&mut fsm, FsmInput::Timer(TimerKind::ConnectRetry));
+        assert_eq!(fsm.state(), PeerState::Connect);
+        assert_eq!(out, vec![FsmOutput::AttemptConnect]);
+        // TCP succeeds: OPEN goes out, handshake hold armed.
+        let out = step(&mut fsm, FsmInput::TcpUp);
+        assert_eq!(fsm.state(), PeerState::OpenSent);
+        assert_eq!(out[0], FsmOutput::Send(CFG.open_payload()));
+        assert!(matches!(
+            out[1],
+            FsmOutput::Arm(TimerKind::Hold, d) if d.as_secs_f64() == 240.0
+        ));
+        // Peer's OPEN: negotiate min hold, confirm.
+        let out = step(&mut fsm, peer_open(30, 0));
+        assert_eq!(fsm.state(), PeerState::OpenConfirm);
+        assert_eq!(fsm.hold_time().as_secs_f64(), 30.0);
+        assert_eq!(fsm.peer_graceful_restart_s(), None);
+        assert_eq!(out[0], FsmOutput::Send(SessionPayload::Keepalive));
+        assert!(out.iter().any(
+            |o| matches!(o, FsmOutput::Arm(TimerKind::Keepalive, d) if d.as_secs_f64() == 10.0)
+        ));
+        // Peer's KEEPALIVE: Established, session up.
+        let out = step(&mut fsm, FsmInput::Recv(SessionPayload::Keepalive));
+        assert_eq!(fsm.state(), PeerState::Established);
+        assert!(matches!(out[0], FsmOutput::Up { hold } if hold.as_secs_f64() == 30.0));
+    }
+
+    #[test]
+    fn passive_open_from_idle_sends_both_messages() {
+        let mut fsm = PeerFsm::new(CFG);
+        let out = step(&mut fsm, peer_open(90, 120));
+        assert_eq!(fsm.state(), PeerState::OpenConfirm);
+        assert_eq!(out[0], FsmOutput::Send(CFG.open_payload()));
+        assert_eq!(out[1], FsmOutput::Send(SessionPayload::Keepalive));
+        assert_eq!(fsm.peer_graceful_restart_s(), Some(120));
+    }
+
+    #[test]
+    fn keepalive_timer_refreshes_in_openconfirm_and_established() {
+        let mut fsm = PeerFsm::new(CFG);
+        establish(&mut fsm);
+        let out = step(&mut fsm, FsmInput::Timer(TimerKind::Keepalive));
+        assert_eq!(out[0], FsmOutput::Send(SessionPayload::Keepalive));
+        assert!(matches!(out[1], FsmOutput::Arm(TimerKind::Keepalive, _)));
+        // An incoming keepalive re-arms hold.
+        let out = step(&mut fsm, FsmInput::Recv(SessionPayload::Keepalive));
+        assert_eq!(out, vec![FsmOutput::Arm(TimerKind::Hold, fsm.hold_time())]);
+    }
+
+    #[test]
+    fn hold_expiry_notifies_and_purges() {
+        let mut fsm = PeerFsm::new(CFG);
+        establish(&mut fsm);
+        let out = step(&mut fsm, FsmInput::Timer(TimerKind::Hold));
+        assert_eq!(fsm.state(), PeerState::Idle);
+        assert_eq!(
+            out[0],
+            FsmOutput::Send(SessionPayload::Notification {
+                code: HOLD_TIMER_EXPIRED,
+                subcode: 0
+            })
+        );
+        assert_eq!(
+            out[1],
+            FsmOutput::Down {
+                reason: DownReason::HoldExpired
+            }
+        );
+    }
+
+    #[test]
+    fn hold_expiry_in_handshake_does_not_emit_down() {
+        let mut fsm = PeerFsm::new(CFG);
+        step(&mut fsm, FsmInput::Start);
+        step(&mut fsm, FsmInput::TcpUp);
+        assert_eq!(fsm.state(), PeerState::OpenSent);
+        let out = step(&mut fsm, FsmInput::Timer(TimerKind::Hold));
+        assert_eq!(fsm.state(), PeerState::Idle);
+        assert!(!out.iter().any(|o| matches!(o, FsmOutput::Down { .. })));
+    }
+
+    #[test]
+    fn notification_tears_down_with_received_reason() {
+        let mut fsm = PeerFsm::new(CFG);
+        establish(&mut fsm);
+        let out = step(
+            &mut fsm,
+            FsmInput::Recv(SessionPayload::Notification {
+                code: CEASE,
+                subcode: 2,
+            }),
+        );
+        assert_eq!(fsm.state(), PeerState::Idle);
+        assert_eq!(
+            out,
+            vec![FsmOutput::Down {
+                reason: DownReason::NotificationReceived {
+                    code: CEASE,
+                    subcode: 2
+                }
+            }]
+        );
+    }
+
+    #[test]
+    fn stop_with_notify_sends_cease_first() {
+        let mut fsm = PeerFsm::new(CFG);
+        establish(&mut fsm);
+        let out = step(&mut fsm, stop_with_cease(0));
+        assert_eq!(
+            out,
+            vec![
+                FsmOutput::Send(SessionPayload::Notification {
+                    code: CEASE,
+                    subcode: 0
+                }),
+                FsmOutput::Down {
+                    reason: DownReason::Stopped
+                },
+            ]
+        );
+        // Stopping an already-idle session is silent.
+        let out = step(&mut fsm, stop_with_cease(0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn peer_restart_retains_routes_only_with_gr() {
+        let mut fsm = PeerFsm::new(CFG);
+        establish(&mut fsm);
+        assert_eq!(fsm.peer_graceful_restart_s(), Some(120));
+        let out = step(&mut fsm, FsmInput::PeerRestart);
+        assert_eq!(
+            out,
+            vec![FsmOutput::Down {
+                reason: DownReason::PeerRestarting { window_s: 120 }
+            }]
+        );
+        // Without GR in the peer's OPEN, a restart purges.
+        let mut fsm = PeerFsm::new(CFG);
+        step(&mut fsm, FsmInput::Start);
+        step(&mut fsm, FsmInput::TcpUp);
+        step(&mut fsm, peer_open(90, 0));
+        step(&mut fsm, FsmInput::Recv(SessionPayload::Keepalive));
+        let out = step(&mut fsm, FsmInput::PeerRestart);
+        assert_eq!(
+            out,
+            vec![FsmOutput::Down {
+                reason: DownReason::Stopped
+            }]
+        );
+    }
+
+    #[test]
+    fn start_kicks_a_parked_session_back_to_connect() {
+        let mut fsm = PeerFsm::new(CFG);
+        step(&mut fsm, FsmInput::Start);
+        step(&mut fsm, FsmInput::TcpFail);
+        assert_eq!(fsm.state(), PeerState::Active);
+        let out = step(&mut fsm, FsmInput::Start);
+        assert_eq!(fsm.state(), PeerState::Connect);
+        assert!(out.contains(&FsmOutput::AttemptConnect));
+    }
+
+    #[test]
+    fn duplicate_open_in_openconfirm_is_ignored() {
+        let mut fsm = PeerFsm::new(CFG);
+        step(&mut fsm, FsmInput::Start);
+        step(&mut fsm, FsmInput::TcpUp);
+        step(&mut fsm, peer_open(90, 120));
+        assert_eq!(fsm.state(), PeerState::OpenConfirm);
+        let hold = fsm.hold_time();
+        let out = step(&mut fsm, peer_open(3, 0));
+        assert!(out.is_empty());
+        assert_eq!(fsm.state(), PeerState::OpenConfirm);
+        assert_eq!(fsm.hold_time(), hold);
+    }
+
+    #[test]
+    fn open_in_established_replaces_the_session() {
+        let mut fsm = PeerFsm::new(CFG);
+        establish(&mut fsm);
+        let out = step(&mut fsm, peer_open(30, 0));
+        // Purge the old session, then answer the fresh handshake.
+        assert_eq!(
+            out[0],
+            FsmOutput::Down {
+                reason: DownReason::Stopped
+            }
+        );
+        assert_eq!(fsm.state(), PeerState::OpenConfirm);
+        assert_eq!(fsm.hold_time().as_secs_f64(), 30.0);
+        assert!(out.contains(&FsmOutput::Send(CFG.open_payload())));
+        assert!(out.contains(&FsmOutput::Send(SessionPayload::Keepalive)));
+    }
+
+    #[test]
+    fn stale_timer_inputs_are_noops() {
+        let mut fsm = PeerFsm::new(CFG);
+        assert!(step(&mut fsm, FsmInput::Timer(TimerKind::Hold)).is_empty());
+        assert!(step(&mut fsm, FsmInput::Timer(TimerKind::Keepalive)).is_empty());
+        establish(&mut fsm);
+        assert!(step(&mut fsm, FsmInput::Timer(TimerKind::ConnectRetry)).is_empty());
+    }
+}

@@ -1,6 +1,21 @@
 //! Traffic-layer configuration.
 
+use bobw_topology::REGIONS;
 use serde::{Deserialize, Serialize};
+
+/// Per-region capacity asymmetry: every site in `region` gets its
+/// provisioned capacity multiplied by `factor` on top of the global
+/// `capacity_headroom`. Real deployments are not uniformly provisioned —
+/// a flagship metro may carry 2× the fair-share capacity while an edge
+/// region runs lean — and the asymmetry decides whether a regional
+/// failover cascades (the lean neighbors overflow in turn) or absorbs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionCapacity {
+    /// A region name from the topology generator's region table.
+    pub region: String,
+    /// Multiplier applied to the sites' fair-share capacity (> 0).
+    pub factor: f64,
+}
 
 /// Knobs of the demand/capacity/controller model. Carried inside
 /// `ExperimentConfig` (as `traffic: Option<TrafficConfig>`) and across the
@@ -28,6 +43,9 @@ pub struct TrafficConfig {
     /// Diurnal period in seconds. The default compresses a "day" into an
     /// hour so the curve is visible within a 600 s probing window.
     pub diurnal_period_s: f64,
+    /// Per-region capacity overrides (empty = uniform provisioning, the
+    /// pre-existing behavior). See [`RegionCapacity`].
+    pub region_capacity: Vec<RegionCapacity>,
 }
 
 impl Default for TrafficConfig {
@@ -40,6 +58,7 @@ impl Default for TrafficConfig {
             resteer_ttl_s: 30.0,
             diurnal_amplitude: 0.2,
             diurnal_period_s: 3600.0,
+            region_capacity: Vec::new(),
         }
     }
 }
@@ -68,6 +87,17 @@ impl TrafficConfig {
         }
         if self.control_every == 0 {
             return Err("control_every must be >= 1".to_string());
+        }
+        for rc in &self.region_capacity {
+            if REGIONS.iter().all(|r| r.name != rc.region) {
+                return Err(format!("region_capacity: unknown region {:?}", rc.region));
+            }
+            if !rc.factor.is_finite() || rc.factor <= 0.0 {
+                return Err(format!(
+                    "region_capacity[{}]: factor must be finite and > 0, got {}",
+                    rc.region, rc.factor
+                ));
+            }
         }
         Ok(())
     }

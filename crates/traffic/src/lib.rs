@@ -37,6 +37,6 @@ pub mod demand;
 pub mod sim;
 
 pub use assign::{anycast_load, apply_to_dns, assign_load_aware, Assignment, LoadModel};
-pub use config::TrafficConfig;
+pub use config::{RegionCapacity, TrafficConfig};
 pub use demand::{DemandModel, Surge};
 pub use sim::{Steering, TrafficSim, TrafficSummary};

@@ -24,7 +24,7 @@
 
 use bobw_event::{RngFactory, SimDuration, SimTime};
 use bobw_net::NodeId;
-use bobw_topology::{CdnDeployment, SiteId, Topology};
+use bobw_topology::{CdnDeployment, SiteId, Topology, REGIONS};
 use serde::{Deserialize, Serialize};
 
 use crate::config::TrafficConfig;
@@ -152,7 +152,18 @@ impl TrafficSim {
         let demand = DemandModel::sample(topo, rng, cfg);
         let num_sites = cdn.num_sites();
         let fair = demand.total_base() / num_sites.max(1) as f64;
-        let capacities = vec![fair * cfg.capacity_headroom; num_sites];
+        let mut capacities = vec![fair * cfg.capacity_headroom; num_sites];
+        // Regional provisioning asymmetry: scale each region's sites by
+        // its configured factor (validate() has already vetted the names).
+        for rc in &cfg.region_capacity {
+            if let Some(idx) = REGIONS.iter().position(|r| r.name == rc.region) {
+                for (s, &n) in cdn.site_nodes().iter().enumerate() {
+                    if topo.node(n).region == idx {
+                        capacities[s] *= rc.factor;
+                    }
+                }
+            }
+        }
         let site_coords: Vec<_> = cdn
             .site_nodes()
             .iter()
@@ -483,6 +494,83 @@ mod tests {
         assert!(s.unserved < s.offered * 1e-9, "unserved {}", s.unserved);
         assert!(s.peak_before() <= cfg.utilization_ceiling + 1e-9);
         assert_eq!(s.peak_after(), 0.0, "no tick at or past t_fail");
+    }
+
+    #[test]
+    fn region_capacity_scales_only_the_named_regions_sites() {
+        let (topo, cdn, rng) = world();
+        let base = TrafficSim::new(&flat_config(), &topo, &cdn, &rng, Steering::Dns);
+        let mut cfg = flat_config();
+        cfg.region_capacity = vec![crate::RegionCapacity {
+            region: "seattle".into(),
+            factor: 2.5,
+        }];
+        cfg.validate().unwrap();
+        let scaled = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Dns);
+        let idx = REGIONS.iter().position(|r| r.name == "seattle").unwrap();
+        let mut touched = 0;
+        for (s, &n) in cdn.site_nodes().iter().enumerate() {
+            let expect = if topo.node(n).region == idx {
+                touched += 1;
+                base.capacities()[s] * 2.5
+            } else {
+                base.capacities()[s]
+            };
+            assert!(
+                (scaled.capacities()[s] - expect).abs() < 1e-9,
+                "site {s}: {} vs {}",
+                scaled.capacities()[s],
+                expect
+            );
+        }
+        assert!(touched > 0, "the small topology deploys in seattle");
+
+        let mut bad = cfg.clone();
+        bad.region_capacity[0].region = "atlantis".into();
+        assert!(bad.validate().unwrap_err().contains("unknown region"));
+        bad = cfg;
+        bad.region_capacity[0].factor = 0.0;
+        assert!(bad.validate().unwrap_err().contains("factor"));
+    }
+
+    #[test]
+    fn asymmetric_capacity_conserves_demand() {
+        // Demand accounting must balance exactly under per-region
+        // asymmetry: offered = served + shed + unserved on every tick, and
+        // a lean region sheds where the uniform world absorbed.
+        let (topo, cdn, rng) = world();
+        let mut cfg = flat_config();
+        // Starve every region: capacity below the demand each site's
+        // catchment carries, so the adversarial oracle overloads it.
+        cfg.region_capacity = REGIONS
+            .iter()
+            .map(|r| crate::RegionCapacity {
+                region: r.name.to_string(),
+                factor: 0.1,
+            })
+            .collect();
+        cfg.validate().unwrap();
+        let mut sim = TrafficSim::new(&cfg, &topo, &cdn, &rng, Steering::Catchment);
+        let t_fail = SimTime::ZERO;
+        for k in 0..5u64 {
+            sim.on_tick(
+                SimTime::ZERO + SimDuration::from_secs(10 * k),
+                t_fail,
+                &rng,
+                |_| Some(SiteId(0)),
+            );
+        }
+        let s = sim.summary(&[]);
+        assert!(s.offered > 0.0);
+        assert!(s.shed > 0.0, "starved capacity must shed");
+        assert!(
+            (s.offered - (s.served + s.shed + s.unserved)).abs() < 1e-6,
+            "conservation: offered {} != served {} + shed {} + unserved {}",
+            s.offered,
+            s.served,
+            s.shed,
+            s.unserved
+        );
     }
 
     #[test]
